@@ -1,0 +1,77 @@
+// Experiment E2 (DESIGN.md): the limitation the paper concedes in
+// Section 5.1 — when the update volume approaches the base size (or the
+// query is barely selective so results are huge), complete re-evaluation
+// catches up with and eventually beats the DRA. This bench sweeps the
+// update fraction at fixed N so the crossover point is visible, and sweeps
+// selectivity to show the poor-selectivity regime.
+#include "bench_support.hpp"
+
+namespace cq::bench {
+namespace {
+
+constexpr std::size_t kRows = 50000;
+
+// --- update-fraction sweep (u as permille of N) -------------------------
+void BM_Dra_UpdateFraction(benchmark::State& state) {
+  const auto permille = static_cast<std::size_t>(state.range(0));
+  const std::size_t updates = kRows * permille / 1000;
+  const Scenario& s = selection_scenario(kRows, updates, 0.05);
+  for (auto _ : state) {
+    const core::DiffResult d = core::dra_differential(s.query, s.db, s.t0);
+    benchmark::DoNotOptimize(&d);
+  }
+  state.counters["update_fraction_pct"] = static_cast<double>(permille) / 10.0;
+}
+
+void BM_Recompute_UpdateFraction(benchmark::State& state) {
+  const auto permille = static_cast<std::size_t>(state.range(0));
+  const std::size_t updates = kRows * permille / 1000;
+  const Scenario& s = selection_scenario(kRows, updates, 0.05);
+  for (auto _ : state) {
+    const core::DiffResult d = core::propagate(s.query, s.db, s.before);
+    benchmark::DoNotOptimize(&d);
+  }
+  state.counters["update_fraction_pct"] = static_cast<double>(permille) / 10.0;
+}
+
+void update_fraction_args(benchmark::internal::Benchmark* b) {
+  for (std::int64_t permille : {1, 10, 50, 100, 250, 500, 1000}) b->Arg(permille);
+  b->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_Dra_UpdateFraction)->Apply(update_fraction_args);
+BENCHMARK(BM_Recompute_UpdateFraction)->Apply(update_fraction_args);
+
+// --- selectivity sweep at moderate update volume -------------------------
+void BM_Dra_Selectivity(benchmark::State& state) {
+  const double selectivity = static_cast<double>(state.range(0)) / 1000.0;
+  const Scenario& s = selection_scenario(kRows, 500, selectivity);
+  for (auto _ : state) {
+    const core::DiffResult d = core::dra_differential(s.query, s.db, s.t0);
+    benchmark::DoNotOptimize(&d);
+  }
+  state.counters["selectivity_pct"] = selectivity * 100.0;
+}
+
+void BM_Recompute_Selectivity(benchmark::State& state) {
+  const double selectivity = static_cast<double>(state.range(0)) / 1000.0;
+  const Scenario& s = selection_scenario(kRows, 500, selectivity);
+  for (auto _ : state) {
+    const core::DiffResult d = core::propagate(s.query, s.db, s.before);
+    benchmark::DoNotOptimize(&d);
+  }
+  state.counters["selectivity_pct"] = selectivity * 100.0;
+}
+
+void selectivity_args(benchmark::internal::Benchmark* b) {
+  for (std::int64_t s : {1, 10, 100, 500, 900}) b->Arg(s);
+  b->Unit(benchmark::kMicrosecond);
+}
+
+BENCHMARK(BM_Dra_Selectivity)->Apply(selectivity_args);
+BENCHMARK(BM_Recompute_Selectivity)->Apply(selectivity_args);
+
+}  // namespace
+}  // namespace cq::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,163 @@
+// Experiment E4 (DESIGN.md): the paper's Section 5.1 network arguments,
+// measured over the DIOM substrate with real wire encodings:
+//   (1) shipping deltas per refresh << re-shipping query results
+//       << re-shipping base data;
+//   (2) client-side caching + DRA makes servers scalable in the number of
+//       clients (server work grows with deltas, not with clients x base).
+// Counters (bytes per refresh) are the result; wall time covers the full
+// sync+evaluate pipeline.
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+
+#include "query/parser.hpp"
+#include "diom/mediator.hpp"
+#include "query/parser.hpp"
+#include "diom/network.hpp"
+#include "diom/source.hpp"
+#include "workload/stocks.hpp"
+
+namespace cq::bench {
+namespace {
+
+/// One server + one client; per-iteration: a burst of updates, then one
+/// refresh under the given shipping strategy.
+enum class Strategy { kShipDeltas, kShipResult, kShipBase };
+
+void run_shipping(benchmark::State& state, Strategy strategy) {
+  const auto symbols = static_cast<std::size_t>(state.range(0));
+  const auto updates_per_refresh = static_cast<std::size_t>(state.range(1));
+
+  common::Rng rng(0x5e10 ^ symbols);
+  cat::Database server;
+  wl::StocksWorkload market(server, "Stocks", {.symbols = symbols}, rng);
+
+  diom::Network net;
+  diom::Mediator client("client", &net);
+  client.attach(std::make_shared<diom::RelationalSource>("Stocks", server, "Stocks"));
+  auto sink = std::make_shared<core::CollectingSink>();
+  const core::CqHandle cq = client.manager().install(
+      core::CqSpec::from_sql("watch", "SELECT symbol, price FROM Stocks WHERE price < 30",
+                             core::triggers::manual(), nullptr,
+                             core::DeliveryMode::kComplete),
+      sink);
+
+  const auto result_query =
+      qry::parse_query("SELECT symbol, price FROM Stocks WHERE price < 30");
+  net.reset();
+
+  std::uint64_t refreshes = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    market.step(updates_per_refresh, 2, 2);
+    state.ResumeTiming();
+    switch (strategy) {
+      case Strategy::kShipDeltas: {
+        client.sync();
+        (void)client.manager().execute_now(cq);
+        break;
+      }
+      case Strategy::kShipResult: {
+        // Server evaluates and ships the full result every refresh.
+        const rel::Relation result = core::recompute(result_query, server);
+        net.send("Stocks", "client", diom::encode_relation(result).size());
+        break;
+      }
+      case Strategy::kShipBase: {
+        // Client-side recompute without caching: ship the base table.
+        net.send("Stocks", "client",
+                 diom::encode_relation(server.table("Stocks")).size());
+        break;
+      }
+    }
+    ++refreshes;
+  }
+  state.counters["bytes_per_refresh"] =
+      static_cast<double>(net.total_bytes()) / static_cast<double>(refreshes);
+  state.counters["transfer_ms_per_refresh"] =
+      net.total_transfer_ms() / static_cast<double>(refreshes);
+}
+
+void BM_ShipDeltas(benchmark::State& state) { run_shipping(state, Strategy::kShipDeltas); }
+void BM_ShipResult(benchmark::State& state) { run_shipping(state, Strategy::kShipResult); }
+void BM_ShipBase(benchmark::State& state) { run_shipping(state, Strategy::kShipBase); }
+
+void ship_args(benchmark::internal::Benchmark* b) {
+  for (std::int64_t symbols : {2000, 20000}) {
+    for (std::int64_t updates : {20, 200}) b->Args({symbols, updates});
+  }
+  b->Unit(benchmark::kMicrosecond)->Iterations(20);
+}
+
+BENCHMARK(BM_ShipDeltas)->Apply(ship_args);
+BENCHMARK(BM_ShipResult)->Apply(ship_args);
+BENCHMARK(BM_ShipBase)->Apply(ship_args);
+
+/// Server scalability: total bytes the server emits per update burst as the
+/// number of subscribed clients grows, delta-shipping vs result-shipping.
+void BM_ServerBytes_DeltaShipping(benchmark::State& state) {
+  const auto clients_n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(0xca11);
+  cat::Database server;
+  wl::StocksWorkload market(server, "Stocks", {.symbols = 5000}, rng);
+
+  diom::Network net;
+  std::vector<std::unique_ptr<diom::Mediator>> clients;
+  for (std::size_t i = 0; i < clients_n; ++i) {
+    clients.push_back(
+        std::make_unique<diom::Mediator>("client" + std::to_string(i), &net));
+    clients.back()->attach(
+        std::make_shared<diom::RelationalSource>("Stocks", server, "Stocks"));
+  }
+  net.reset();
+  std::uint64_t bursts = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    market.step(100, 2, 2);
+    state.ResumeTiming();
+    for (auto& c : clients) c->sync();
+    ++bursts;
+  }
+  state.counters["server_bytes_per_burst"] =
+      static_cast<double>(net.total_bytes()) / static_cast<double>(bursts);
+  state.counters["clients"] = static_cast<double>(clients_n);
+}
+
+void BM_ServerBytes_ResultShipping(benchmark::State& state) {
+  const auto clients_n = static_cast<std::size_t>(state.range(0));
+  common::Rng rng(0xca11);
+  cat::Database server;
+  wl::StocksWorkload market(server, "Stocks", {.symbols = 5000}, rng);
+  const auto query =
+      qry::parse_query("SELECT symbol, price FROM Stocks WHERE price < 30");
+
+  diom::Network net;
+  std::uint64_t bursts = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    market.step(100, 2, 2);
+    state.ResumeTiming();
+    const rel::Relation result = core::recompute(query, server);
+    const auto payload = diom::encode_relation(result);
+    for (std::size_t i = 0; i < clients_n; ++i) {
+      net.send("Stocks", "client" + std::to_string(i), payload.size());
+    }
+    ++bursts;
+  }
+  state.counters["server_bytes_per_burst"] =
+      static_cast<double>(net.total_bytes()) / static_cast<double>(bursts);
+  state.counters["clients"] = static_cast<double>(clients_n);
+}
+
+void client_args(benchmark::internal::Benchmark* b) {
+  for (std::int64_t c : {1, 4, 16, 64}) b->Arg(c);
+  b->Unit(benchmark::kMicrosecond)->Iterations(10);
+}
+
+BENCHMARK(BM_ServerBytes_DeltaShipping)->Apply(client_args);
+BENCHMARK(BM_ServerBytes_ResultShipping)->Apply(client_args);
+
+}  // namespace
+}  // namespace cq::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,119 @@
+// Experiment E7 (DESIGN.md): generality vs the Terry-et-al. continuous
+// queries baseline. On pure-append workloads both approaches are
+// incremental and comparable; on mixed workloads (the Internet reality the
+// paper argues for) continuous queries are inapplicable and the only
+// alternative to the DRA is complete re-evaluation. The "applicable_pct"
+// counter quantifies how quickly the append-only assumption breaks as even
+// a small fraction of deletions/modifications enters the stream.
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+#include "common/error.hpp"
+#include "cq/terry.hpp"
+
+namespace cq::bench {
+namespace {
+
+constexpr std::size_t kRows = 20000;
+constexpr std::size_t kUpdates = 500;
+
+const Scenario& append_only_scenario() {
+  return selection_scenario(kRows, kUpdates, 0.05, /*modify=*/0.0, /*delete=*/0.0);
+}
+
+const Scenario& mixed_scenario() {
+  return selection_scenario(kRows, kUpdates, 0.05, /*modify=*/0.3, /*delete=*/0.2);
+}
+
+void BM_TerryAppendOnly(benchmark::State& state) {
+  const Scenario& s = append_only_scenario();
+  for (auto _ : state) {
+    const rel::Relation incr = core::terry_incremental(s.query, s.db, s.t0);
+    benchmark::DoNotOptimize(&incr);
+  }
+}
+
+void BM_DraAppendOnly(benchmark::State& state) {
+  const Scenario& s = append_only_scenario();
+  for (auto _ : state) {
+    const core::DiffResult d = core::dra_differential(s.query, s.db, s.t0);
+    benchmark::DoNotOptimize(&d);
+  }
+}
+
+void BM_DraMixed(benchmark::State& state) {
+  const Scenario& s = mixed_scenario();
+  for (auto _ : state) {
+    const core::DiffResult d = core::dra_differential(s.query, s.db, s.t0);
+    benchmark::DoNotOptimize(&d);
+  }
+}
+
+void BM_RecomputeMixed(benchmark::State& state) {
+  // What a continuous-query system must fall back to on mixed workloads.
+  const Scenario& s = mixed_scenario();
+  for (auto _ : state) {
+    const core::DiffResult d = core::propagate(s.query, s.db, s.before);
+    benchmark::DoNotOptimize(&d);
+  }
+}
+
+void BM_TerryMixedIsRejected(benchmark::State& state) {
+  const Scenario& s = mixed_scenario();
+  std::size_t rejected = 0;
+  std::size_t total = 0;
+  for (auto _ : state) {
+    ++total;
+    try {
+      const rel::Relation incr = core::terry_incremental(s.query, s.db, s.t0);
+      benchmark::DoNotOptimize(&incr);
+    } catch (const common::Unsupported&) {
+      ++rejected;
+    }
+  }
+  state.counters["rejected_pct"] =
+      100.0 * static_cast<double>(rejected) / static_cast<double>(total);
+}
+
+BENCHMARK(BM_TerryAppendOnly)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DraAppendOnly)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_DraMixed)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_RecomputeMixed)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TerryMixedIsRejected)->Unit(benchmark::kMicrosecond);
+
+/// How fast the append-only assumption breaks: probability that a window
+/// of W updates is still pure-append, as the non-insert fraction grows.
+void BM_AppendOnlyApplicability(benchmark::State& state) {
+  const double non_insert_fraction = static_cast<double>(state.range(0)) / 100.0;
+  const auto window = static_cast<std::size_t>(state.range(1));
+
+  common::Rng rng(0x7e44 ^ window);
+  std::size_t applicable = 0;
+  std::size_t windows = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    cat::Database db;
+    wl::SweepTable table(db, "S", 1000, 16, rng);
+    const auto query = table.selection_query(0.1);
+    const common::Timestamp t0 = db.clock().now();
+    table.update(window, {.modify_fraction = non_insert_fraction / 2,
+                          .delete_fraction = non_insert_fraction / 2});
+    state.ResumeTiming();
+    if (core::append_only_since(query, db, t0)) ++applicable;
+    ++windows;
+  }
+  state.counters["applicable_pct"] =
+      100.0 * static_cast<double>(applicable) / static_cast<double>(windows);
+}
+
+void applicability_args(benchmark::internal::Benchmark* b) {
+  for (std::int64_t pct : {0, 1, 5, 20}) b->Args({pct, 50});
+  b->Unit(benchmark::kMillisecond)->Iterations(20);
+}
+
+BENCHMARK(BM_AppendOnlyApplicability)->Apply(applicability_args);
+
+}  // namespace
+}  // namespace cq::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// End-to-end system throughput (summary experiment; not tied to a single
+// paper claim): a CQ manager carrying K continual queries over one hot
+// table, driven by rounds of updates + poll + GC. Compares the DRA
+// execution strategy against per-execution recompute at the whole-system
+// level, and shows how cost scales with the number of standing queries —
+// the monitoring-scale scenario the paper's Internet motivation implies.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "cq/manager.hpp"
+#include "workload/sweep.hpp"
+
+namespace cq::bench {
+namespace {
+
+constexpr std::size_t kRows = 20000;
+constexpr std::size_t kUpdatesPerRound = 100;
+
+void run_system(benchmark::State& state, core::ExecutionStrategy strategy) {
+  const auto cq_count = static_cast<std::size_t>(state.range(0));
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    common::Rng rng(0x7412 ^ cq_count);
+    cat::Database db;
+    wl::SweepTable table(db, "S", kRows, 64, rng);
+    core::CqManager manager(db);
+    for (std::size_t i = 0; i < cq_count; ++i) {
+      // Spread the queries over disjoint 2%-wide key bands.
+      const std::int64_t lo =
+          static_cast<std::int64_t>(i) * wl::kSweepKeySpace /
+          static_cast<std::int64_t>(std::max<std::size_t>(cq_count, 1));
+      core::CqSpec spec;
+      spec.name = "cq" + std::to_string(i);
+      qry::SpjQuery q;
+      q.from.push_back({"S", ""});
+      q.where = alg::Expr::between(alg::Expr::col("key"), rel::Value(lo),
+                                   rel::Value(lo + wl::kSweepKeySpace / 50));
+      spec.query = std::move(q);
+      spec.trigger = core::triggers::on_change();
+      spec.strategy = strategy;
+      spec.mode = core::DeliveryMode::kComplete;
+      manager.install(std::move(spec), nullptr);
+    }
+    state.ResumeTiming();
+
+    for (int round = 0; round < 10; ++round) {
+      table.update(kUpdatesPerRound, {});
+      manager.poll();
+      manager.collect_garbage();
+    }
+
+    state.PauseTiming();
+    state.counters["executions"] = static_cast<double>(
+        manager.metrics().get(common::metric::kQueryExecutions));
+    state.counters["delta_rows"] = static_cast<double>(
+        manager.metrics().get(common::metric::kDeltaRowsScanned));
+    state.counters["base_rows"] = static_cast<double>(
+        manager.metrics().get(common::metric::kBaseRowsScanned));
+    state.ResumeTiming();
+  }
+  state.counters["updates_total"] = 10.0 * static_cast<double>(kUpdatesPerRound);
+}
+
+void BM_SystemDra(benchmark::State& state) {
+  run_system(state, core::ExecutionStrategy::kDra);
+}
+void BM_SystemRecompute(benchmark::State& state) {
+  run_system(state, core::ExecutionStrategy::kRecompute);
+}
+
+void throughput_args(benchmark::internal::Benchmark* b) {
+  for (std::int64_t cqs : {1, 8, 32}) b->Arg(cqs);
+  b->Unit(benchmark::kMillisecond)->Iterations(3);
+}
+
+BENCHMARK(BM_SystemDra)->Apply(throughput_args);
+BENCHMARK(BM_SystemRecompute)->Apply(throughput_args);
+
+}  // namespace
+}  // namespace cq::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Internet-scale information monitoring (the paper's motivating scenario,
+// Sections 1 and 5.5): three autonomous, heterogeneous sources — a
+// relational stock exchange, a flat-file analyst-notes store observed by a
+// translator, and an append-only news feed — attached to a DIOM mediator.
+// The mediator mirrors each source locally by shipping differential
+// relations over a simulated network, and continual queries (including one
+// joining two different sources) run client-side via the DRA.
+#include <iostream>
+
+#include "catalog/transaction.hpp"
+#include "common/rng.hpp"
+#include "diom/feed_source.hpp"
+#include "diom/file_source.hpp"
+#include "diom/mediator.hpp"
+#include "workload/stocks.hpp"
+
+int main() {
+  using namespace cq;
+  using rel::Value;
+  using rel::ValueType;
+
+  common::Rng rng(99);
+
+  // --- autonomous producers -------------------------------------------
+  cat::Database exchange;  // a relational DBMS somewhere on the net
+  wl::StocksWorkload market(exchange, "Stocks", {.symbols = 1500}, rng);
+
+  auto notes = std::make_shared<diom::FileSource>(  // a flat-file store
+      "Notes", rel::Schema::of({{"sym", ValueType::kString},
+                                {"rating", ValueType::kInt}}));
+  for (int i = 0; i < 200; ++i) {
+    notes->write_line(wl::StocksWorkload::symbol_name(rng.index(1500)) + "," +
+                      std::to_string(rng.uniform_int(0, 10)));
+  }
+
+  auto wire_news = std::make_shared<diom::FeedSource>(  // an append-only feed
+      "News", rel::Schema::of({{"sym", ValueType::kString},
+                               {"headline", ValueType::kString}}));
+
+  // --- the client-side mediator ----------------------------------------
+  diom::Network net;
+  net.set_default_link({.latency_ms = 25.0, .bandwidth_bytes_per_ms = 1000.0});
+  diom::Mediator client("workstation", &net);
+  client.attach(std::make_shared<diom::RelationalSource>("Stocks", exchange, "Stocks"));
+  client.attach(notes);
+  client.attach(wire_news);
+  std::cout << "Attached " << client.source_count()
+            << " heterogeneous sources; initial load shipped "
+            << net.total_bytes() << " bytes\n\n";
+
+  // --- continual queries over the mirror -------------------------------
+  auto picks_sink = std::make_shared<core::CollectingSink>();
+  client.manager().install(
+      core::CqSpec::from_sql(
+          "hot-picks",
+          "SELECT s.symbol, s.price, n.rating FROM Stocks s, Notes n "
+          "WHERE s.symbol = n.sym AND n.rating > 7 AND s.price < 50",
+          core::triggers::on_change(), nullptr, core::DeliveryMode::kComplete),
+      picks_sink);
+
+  auto news_sink = std::make_shared<core::CollectingSink>();
+  client.manager().install(
+      core::CqSpec::from_sql("sym1-news",
+                             "SELECT * FROM News WHERE sym = 'SYM000001'",
+                             core::triggers::on_change()),
+      news_sink);
+
+  // --- the world changes; the client periodically synchronizes ---------
+  for (int hour = 1; hour <= 8; ++hour) {
+    market.step(/*trades=*/300, /*listings=*/10, /*delistings=*/8);
+    notes->write_line(wl::StocksWorkload::symbol_name(rng.index(1500)) + "," +
+                      std::to_string(rng.uniform_int(0, 10)));
+    wire_news->publish({Value(wl::StocksWorkload::symbol_name(rng.index(3))),
+                        Value("headline at hour " + std::to_string(hour))});
+
+    const std::uint64_t before = net.total_bytes();
+    const std::size_t applied = client.sync();
+    client.manager().poll();
+    client.manager().collect_garbage();
+
+    const auto& picks = picks_sink->notifications().back();
+    std::cout << "hour " << hour << ": pulled " << applied << " delta rows ("
+              << (net.total_bytes() - before) << " bytes); hot-picks |result|="
+              << picks.complete->size() << ", news notifications="
+              << news_sink->notifications().size() - 1 << "\n";
+  }
+
+  // --- the paper's network argument, measured ---------------------------
+  const std::uint64_t incremental_total = net.total_bytes();
+  net.reset();
+  client.ship_snapshots();
+  std::cout << "\nBytes if every refresh re-shipped full snapshots (one sync): "
+            << net.total_bytes() << "\n";
+  std::cout << "Bytes actually shipped across all 8 incremental syncs + load: "
+            << incremental_total << "\n";
+  std::cout << "Simulated transfer time spent: " << net.total_transfer_ms()
+            << " ms (per-link latency " << 25.0 << " ms)\n";
+  return 0;
+}

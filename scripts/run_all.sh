@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Build, test, benchmark, and run every example — the full reproduction
+# pipeline. Outputs land in test_output.txt / bench_output.txt at the repo
+# root (the same files EXPERIMENTS.md refers to).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/bench_*; do
+    echo "===== $b ====="
+    "$b"
+  done
+} 2>&1 | tee bench_output.txt
+
+for example in quickstart stock_monitor bank_accounts internet_monitor \
+               epsilon_cache time_travel; do
+  echo "===== examples/$example ====="
+  "build/examples/$example"
+done
+
+echo "===== examples/cqshell (scripted) ====="
+"build/examples/cqshell" <<'EOF'
+CREATE TABLE Stocks (name STRING, price INT)
+INSERT INTO Stocks VALUES ('DEC', 150)
+INSTALL watch TRIGGER ONCHANGE AS SELECT * FROM Stocks WHERE price > 120
+INSERT INTO Stocks VALUES ('MAC', 130)
+POLL
+QUIT
+EOF

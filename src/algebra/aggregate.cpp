@@ -1,0 +1,204 @@
+#include "algebra/aggregate.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace cq::alg {
+
+using rel::Relation;
+using rel::Tuple;
+using rel::Value;
+using rel::ValueType;
+
+const char* to_string(AggKind kind) noexcept {
+  switch (kind) {
+    case AggKind::kCount: return "COUNT";
+    case AggKind::kSum: return "SUM";
+    case AggKind::kAvg: return "AVG";
+    case AggKind::kMin: return "MIN";
+    case AggKind::kMax: return "MAX";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Streaming accumulator for one aggregate.
+class Accumulator {
+ public:
+  explicit Accumulator(AggKind kind) : kind_(kind) {}
+
+  void add(const Value& v) {
+    if (kind_ == AggKind::kCount) {
+      if (!v.is_null()) ++count_;  // COUNT(col) skips NULLs; COUNT(*) feeds TRUE
+      return;
+    }
+    if (v.is_null()) return;
+    ++count_;
+    switch (kind_) {
+      case AggKind::kSum:
+      case AggKind::kAvg:
+        if (v.type() == ValueType::kInt && !is_double_) {
+          int_sum_ += v.as_int();
+        } else {
+          if (!is_double_) {
+            dbl_sum_ = static_cast<double>(int_sum_);
+            is_double_ = true;
+          }
+          dbl_sum_ += v.numeric();
+        }
+        break;
+      case AggKind::kMin:
+        if (!best_ || v < *best_) best_ = v;
+        break;
+      case AggKind::kMax:
+        if (!best_ || *best_ < v) best_ = v;
+        break;
+      case AggKind::kCount:
+        break;
+    }
+  }
+
+  [[nodiscard]] Value result() const {
+    switch (kind_) {
+      case AggKind::kCount:
+        return Value(static_cast<std::int64_t>(count_));
+      case AggKind::kSum:
+        if (count_ == 0) return Value::null();
+        return is_double_ ? Value(dbl_sum_) : Value(int_sum_);
+      case AggKind::kAvg:
+        if (count_ == 0) return Value::null();
+        return Value((is_double_ ? dbl_sum_ : static_cast<double>(int_sum_)) /
+                     static_cast<double>(count_));
+      case AggKind::kMin:
+      case AggKind::kMax:
+        return best_ ? *best_ : Value::null();
+    }
+    return Value::null();
+  }
+
+ private:
+  AggKind kind_;
+  std::int64_t count_ = 0;
+  std::int64_t int_sum_ = 0;
+  double dbl_sum_ = 0.0;
+  bool is_double_ = false;
+  std::optional<Value> best_;
+};
+
+ValueType result_type(AggKind kind, ValueType input) {
+  switch (kind) {
+    case AggKind::kCount: return ValueType::kInt;
+    case AggKind::kAvg: return ValueType::kDouble;
+    case AggKind::kSum: return input == ValueType::kDouble ? ValueType::kDouble
+                                                           : ValueType::kInt;
+    case AggKind::kMin:
+    case AggKind::kMax: return input;
+  }
+  return ValueType::kNull;
+}
+
+}  // namespace
+
+rel::Schema aggregate_output_schema(const rel::Schema& input,
+                                    const std::vector<std::string>& group_columns,
+                                    const std::vector<AggSpec>& specs) {
+  std::vector<rel::Attribute> out;
+  for (const auto& g : group_columns) out.push_back(input.at(input.index_of(g)));
+  for (const auto& s : specs) {
+    ValueType in_type = ValueType::kInt;
+    if (!s.column.empty() && s.column != "*") {
+      in_type = input.at(input.index_of(s.column)).type;
+    } else if (s.kind != AggKind::kCount) {
+      throw common::InvalidArgument("aggregate_output_schema: " +
+                                    std::string(to_string(s.kind)) + " requires a column");
+    }
+    out.push_back(
+        {s.alias.empty() ? std::string(to_string(s.kind)) + "(" + s.column + ")"
+                         : s.alias,
+         result_type(s.kind, in_type)});
+  }
+  return rel::Schema(std::move(out));
+}
+
+Value scalar_aggregate(const Relation& input, AggKind kind, const std::string& column,
+                       common::Metrics* metrics) {
+  std::optional<std::size_t> col;
+  if (!column.empty() && column != "*") col = input.schema().index_of(column);
+  if (!col && kind != AggKind::kCount) {
+    throw common::InvalidArgument("scalar_aggregate: " + std::string(to_string(kind)) +
+                                  " requires a column");
+  }
+  Accumulator acc(kind);
+  for (const auto& row : input.rows()) {
+    acc.add(col ? row.at(*col) : Value(true));
+  }
+  if (metrics != nullptr) {
+    metrics->add(common::metric::kRowsScanned, static_cast<std::int64_t>(input.size()));
+  }
+  return acc.result();
+}
+
+Relation group_aggregate(const Relation& input,
+                         const std::vector<std::string>& group_columns,
+                         const std::vector<AggSpec>& specs, common::Metrics* metrics) {
+  std::vector<std::size_t> group_idx;
+  group_idx.reserve(group_columns.size());
+  for (const auto& c : group_columns) group_idx.push_back(input.schema().index_of(c));
+
+  std::vector<std::optional<std::size_t>> spec_idx;
+  for (const auto& s : specs) {
+    std::optional<std::size_t> idx;
+    if (!s.column.empty() && s.column != "*") {
+      idx = input.schema().index_of(s.column);
+    } else if (s.kind != AggKind::kCount) {
+      throw common::InvalidArgument("group_aggregate: " +
+                                    std::string(to_string(s.kind)) + " requires a column");
+    }
+    spec_idx.push_back(idx);
+  }
+  rel::Schema out_schema = aggregate_output_schema(input.schema(), group_columns, specs);
+
+  // Deterministic output order: map keyed by group values (Value ordering).
+  struct KeyLess {
+    bool operator()(const std::vector<Value>& a, const std::vector<Value>& b) const {
+      for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+        auto c = a[i].compare(b[i]);
+        if (c != std::strong_ordering::equal) return c == std::strong_ordering::less;
+      }
+      return a.size() < b.size();
+    }
+  };
+  std::map<std::vector<Value>, std::vector<Accumulator>, KeyLess> groups;
+
+  for (const auto& row : input.rows()) {
+    std::vector<Value> key;
+    key.reserve(group_idx.size());
+    for (auto gi : group_idx) key.push_back(row.at(gi));
+    auto it = groups.find(key);
+    if (it == groups.end()) {
+      std::vector<Accumulator> accs;
+      accs.reserve(specs.size());
+      for (const auto& s : specs) accs.emplace_back(s.kind);
+      it = groups.emplace(std::move(key), std::move(accs)).first;
+    }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      it->second[i].add(spec_idx[i] ? row.at(*spec_idx[i]) : Value(true));
+    }
+  }
+
+  Relation out{std::move(out_schema)};
+  for (const auto& [key, accs] : groups) {
+    std::vector<Value> values = key;
+    for (const auto& acc : accs) values.push_back(acc.result());
+    out.append(Tuple(std::move(values)));
+  }
+  if (metrics != nullptr) {
+    metrics->add(common::metric::kRowsScanned, static_cast<std::int64_t>(input.size()));
+  }
+  return out;
+}
+
+}  // namespace cq::alg

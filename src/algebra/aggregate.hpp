@@ -1,0 +1,45 @@
+// Aggregation: scalar aggregates (the paper's checking-account SUM query,
+// Sections 3.2 and 5.3) and grouped aggregates.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "relation/relation.hpp"
+
+namespace cq::alg {
+
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
+
+[[nodiscard]] const char* to_string(AggKind kind) noexcept;
+
+/// One aggregate column specification: FUNC(column) AS alias.
+/// For kCount the column may be empty (COUNT(*)).
+struct AggSpec {
+  AggKind kind = AggKind::kCount;
+  std::string column;
+  std::string alias;
+};
+
+/// Aggregate over the whole relation. NULL inputs are skipped (SQL-style);
+/// SUM/MIN/MAX over an empty input yield NULL, COUNT yields 0.
+[[nodiscard]] rel::Value scalar_aggregate(const rel::Relation& input, AggKind kind,
+                                          const std::string& column,
+                                          common::Metrics* metrics = nullptr);
+
+/// The schema produced by group_aggregate (and maintained incrementally by
+/// core::AggregateState): group columns followed by one column per spec.
+[[nodiscard]] rel::Schema aggregate_output_schema(
+    const rel::Schema& input, const std::vector<std::string>& group_columns,
+    const std::vector<AggSpec>& specs);
+
+/// GROUP BY `group_columns` computing each AggSpec. Output schema is the
+/// group columns followed by one column per spec (named by alias).
+[[nodiscard]] rel::Relation group_aggregate(const rel::Relation& input,
+                                            const std::vector<std::string>& group_columns,
+                                            const std::vector<AggSpec>& specs,
+                                            common::Metrics* metrics = nullptr);
+
+}  // namespace cq::alg

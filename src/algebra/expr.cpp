@@ -1,0 +1,343 @@
+#include "algebra/expr.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cq::alg {
+
+using rel::Value;
+using rel::ValueType;
+
+const char* to_string(CmpOp op) noexcept {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "<>";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+const char* to_string(ArithOp op) noexcept {
+  switch (op) {
+    case ArithOp::kAdd: return "+";
+    case ArithOp::kSub: return "-";
+    case ArithOp::kMul: return "*";
+    case ArithOp::kDiv: return "/";
+  }
+  return "?";
+}
+
+std::shared_ptr<Expr> Expr::make_node() { return std::shared_ptr<Expr>(new Expr()); }
+
+ExprPtr Expr::lit(Value v) {
+  auto e = make_node();
+  e->kind_ = Kind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::col(std::string name) {
+  auto e = make_node();
+  if (name.empty()) throw common::InvalidArgument("Expr::col: empty column name");
+  e->kind_ = Kind::kColumn;
+  e->column_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::cmp(CmpOp op, ExprPtr lhs, ExprPtr rhs) {
+  if (!lhs || !rhs) throw common::InvalidArgument("Expr::cmp: null child");
+  auto e = make_node();
+  e->kind_ = Kind::kCompare;
+  e->cmp_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  if (!lhs || !rhs) throw common::InvalidArgument("Expr::arith: null child");
+  auto e = make_node();
+  e->kind_ = Kind::kArith;
+  e->arith_ = op;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::logical_and(ExprPtr lhs, ExprPtr rhs) {
+  if (!lhs || !rhs) throw common::InvalidArgument("Expr::logical_and: null child");
+  auto e = make_node();
+  e->kind_ = Kind::kLogical;
+  e->logic_ = BoolOp::kAnd;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::logical_or(ExprPtr lhs, ExprPtr rhs) {
+  if (!lhs || !rhs) throw common::InvalidArgument("Expr::logical_or: null child");
+  auto e = make_node();
+  e->kind_ = Kind::kLogical;
+  e->logic_ = BoolOp::kOr;
+  e->children_ = {std::move(lhs), std::move(rhs)};
+  return e;
+}
+
+ExprPtr Expr::logical_not(ExprPtr child) {
+  if (!child) throw common::InvalidArgument("Expr::logical_not: null child");
+  auto e = make_node();
+  e->kind_ = Kind::kLogical;
+  e->logic_ = BoolOp::kNot;
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::is_null(ExprPtr child, bool negated) {
+  if (!child) throw common::InvalidArgument("Expr::is_null: null child");
+  auto e = make_node();
+  e->kind_ = Kind::kIsNull;
+  e->negated_ = negated;
+  e->children_ = {std::move(child)};
+  return e;
+}
+
+ExprPtr Expr::in_list(ExprPtr child, std::vector<Value> values, bool negated) {
+  if (!child) throw common::InvalidArgument("Expr::in_list: null child");
+  auto e = make_node();
+  e->kind_ = Kind::kIn;
+  e->negated_ = negated;
+  e->children_ = {std::move(child)};
+  e->values_ = std::move(values);
+  return e;
+}
+
+ExprPtr Expr::between(ExprPtr child, Value lo, Value hi) {
+  if (!child) throw common::InvalidArgument("Expr::between: null child");
+  auto e = make_node();
+  e->kind_ = Kind::kBetween;
+  e->children_ = {std::move(child)};
+  e->values_ = {std::move(lo), std::move(hi)};
+  return e;
+}
+
+ExprPtr Expr::like_prefix(ExprPtr child, std::string prefix) {
+  if (!child) throw common::InvalidArgument("Expr::like_prefix: null child");
+  auto e = make_node();
+  e->kind_ = Kind::kLike;
+  e->children_ = {std::move(child)};
+  e->prefix_ = std::move(prefix);
+  return e;
+}
+
+ExprPtr Expr::always_true() { return lit(Value(true)); }
+
+namespace {
+bool compare_values(CmpOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return false;  // two-valued logic
+  const auto c = a.compare(b);
+  switch (op) {
+    case CmpOp::kEq: return c == std::strong_ordering::equal;
+    case CmpOp::kNe: return c != std::strong_ordering::equal;
+    case CmpOp::kLt: return c == std::strong_ordering::less;
+    case CmpOp::kLe: return c != std::strong_ordering::greater;
+    case CmpOp::kGt: return c == std::strong_ordering::greater;
+    case CmpOp::kGe: return c != std::strong_ordering::less;
+  }
+  return false;
+}
+
+Value arith_values(ArithOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::null();
+  if (a.type() == ValueType::kInt && b.type() == ValueType::kInt) {
+    const auto x = a.as_int();
+    const auto y = b.as_int();
+    switch (op) {
+      case ArithOp::kAdd: return Value(x + y);
+      case ArithOp::kSub: return Value(x - y);
+      case ArithOp::kMul: return Value(x * y);
+      case ArithOp::kDiv:
+        if (y == 0) return Value::null();
+        return Value(x / y);
+    }
+  }
+  const double x = a.numeric();
+  const double y = b.numeric();
+  switch (op) {
+    case ArithOp::kAdd: return Value(x + y);
+    case ArithOp::kSub: return Value(x - y);
+    case ArithOp::kMul: return Value(x * y);
+    case ArithOp::kDiv:
+      if (y == 0.0) return Value::null();
+      return Value(x / y);
+  }
+  return Value::null();
+}
+}  // namespace
+
+Value Expr::eval(const rel::Tuple& tuple, const rel::Schema& schema) const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return literal_;
+    case Kind::kColumn:
+      return tuple.at(schema.index_of(column_));
+    case Kind::kCompare:
+      return Value(compare_values(cmp_, children_[0]->eval(tuple, schema),
+                                  children_[1]->eval(tuple, schema)));
+    case Kind::kArith:
+      return arith_values(arith_, children_[0]->eval(tuple, schema),
+                          children_[1]->eval(tuple, schema));
+    case Kind::kLogical:
+      switch (logic_) {
+        case BoolOp::kAnd:
+          return Value(children_[0]->eval_bool(tuple, schema) &&
+                       children_[1]->eval_bool(tuple, schema));
+        case BoolOp::kOr:
+          return Value(children_[0]->eval_bool(tuple, schema) ||
+                       children_[1]->eval_bool(tuple, schema));
+        case BoolOp::kNot:
+          return Value(!children_[0]->eval_bool(tuple, schema));
+      }
+      return Value(false);
+    case Kind::kIsNull: {
+      const bool null = children_[0]->eval(tuple, schema).is_null();
+      return Value(negated_ ? !null : null);
+    }
+    case Kind::kIn: {
+      const Value v = children_[0]->eval(tuple, schema);
+      if (v.is_null()) return Value(false);
+      bool found = false;
+      for (const auto& candidate : values_) {
+        if (v == candidate) {
+          found = true;
+          break;
+        }
+      }
+      return Value(negated_ ? !found : found);
+    }
+    case Kind::kBetween: {
+      const Value v = children_[0]->eval(tuple, schema);
+      return Value(compare_values(CmpOp::kGe, v, values_[0]) &&
+                   compare_values(CmpOp::kLe, v, values_[1]));
+    }
+    case Kind::kLike: {
+      const Value v = children_[0]->eval(tuple, schema);
+      if (v.type() != ValueType::kString) return Value(false);
+      const auto& s = v.as_string();
+      return Value(s.size() >= prefix_.size() &&
+                   s.compare(0, prefix_.size(), prefix_) == 0);
+    }
+  }
+  return Value::null();
+}
+
+bool Expr::eval_bool(const rel::Tuple& tuple, const rel::Schema& schema) const {
+  const Value v = eval(tuple, schema);
+  return v.type() == ValueType::kBool && v.as_bool();
+}
+
+void Expr::collect_columns(std::vector<std::string>& out) const {
+  if (kind_ == Kind::kColumn) out.push_back(column_);
+  for (const auto& c : children_) c->collect_columns(out);
+}
+
+std::vector<std::string> Expr::columns() const {
+  std::vector<std::string> all;
+  collect_columns(all);
+  std::vector<std::string> unique;
+  for (auto& name : all) {
+    bool seen = false;
+    for (const auto& u : unique) {
+      if (u == name) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) unique.push_back(std::move(name));
+  }
+  return unique;
+}
+
+bool Expr::resolves_in(const rel::Schema& schema) const {
+  for (const auto& c : columns()) {
+    if (!schema.contains(c)) return false;
+  }
+  return true;
+}
+
+ExprPtr Expr::rewrite_impl(
+    const std::function<std::string(const std::string&)>& rename) const {
+  auto e = make_node();
+  e->kind_ = kind_;
+  e->literal_ = literal_;
+  e->column_ = kind_ == Kind::kColumn ? rename(column_) : column_;
+  e->cmp_ = cmp_;
+  e->arith_ = arith_;
+  e->logic_ = logic_;
+  e->negated_ = negated_;
+  e->values_ = values_;
+  e->prefix_ = prefix_;
+  e->children_.reserve(children_.size());
+  for (const auto& c : children_) e->children_.push_back(c->rewrite_impl(rename));
+  return e;
+}
+
+std::string Expr::to_string() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kLiteral:
+      os << literal_.to_string();
+      break;
+    case Kind::kColumn:
+      os << column_;
+      break;
+    case Kind::kCompare:
+      os << "(" << children_[0]->to_string() << " " << alg::to_string(cmp_) << " "
+         << children_[1]->to_string() << ")";
+      break;
+    case Kind::kArith:
+      os << "(" << children_[0]->to_string() << " " << alg::to_string(arith_) << " "
+         << children_[1]->to_string() << ")";
+      break;
+    case Kind::kLogical:
+      if (logic_ == BoolOp::kNot) {
+        os << "NOT " << children_[0]->to_string();
+      } else {
+        os << "(" << children_[0]->to_string()
+           << (logic_ == BoolOp::kAnd ? " AND " : " OR ") << children_[1]->to_string()
+           << ")";
+      }
+      break;
+    case Kind::kIsNull:
+      os << children_[0]->to_string() << (negated_ ? " IS NOT NULL" : " IS NULL");
+      break;
+    case Kind::kIn: {
+      os << children_[0]->to_string() << (negated_ ? " NOT IN (" : " IN (");
+      for (std::size_t i = 0; i < values_.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << values_[i].to_string();
+      }
+      os << ")";
+      break;
+    }
+    case Kind::kBetween:
+      os << children_[0]->to_string() << " BETWEEN " << values_[0].to_string() << " AND "
+         << values_[1].to_string();
+      break;
+    case Kind::kLike:
+      os << children_[0]->to_string() << " LIKE '" << prefix_ << "%'";
+      break;
+  }
+  return os.str();
+}
+
+ExprPtr conjoin(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr acc;
+  for (const auto& c : conjuncts) {
+    if (!c) continue;
+    acc = acc ? Expr::logical_and(acc, c) : c;
+  }
+  return acc ? acc : Expr::always_true();
+}
+
+}  // namespace cq::alg

@@ -1,0 +1,119 @@
+#include "algebra/predicate.hpp"
+
+#include <algorithm>
+
+namespace cq::alg {
+
+namespace {
+void collect_conjuncts(const ExprPtr& e, std::vector<ExprPtr>& out) {
+  if (e->kind() == Expr::Kind::kLogical && e->bool_op() == BoolOp::kAnd) {
+    collect_conjuncts(e->children()[0], out);
+    collect_conjuncts(e->children()[1], out);
+    return;
+  }
+  out.push_back(e);
+}
+}  // namespace
+
+std::vector<ExprPtr> split_conjuncts(const ExprPtr& predicate) {
+  std::vector<ExprPtr> out;
+  if (predicate && !is_always_true(predicate)) collect_conjuncts(predicate, out);
+  return out;
+}
+
+bool is_always_true(const ExprPtr& predicate) {
+  return !predicate ||
+         (predicate->kind() == Expr::Kind::kLiteral &&
+          predicate->literal().type() == rel::ValueType::kBool &&
+          predicate->literal().as_bool());
+}
+
+JoinAnalysis analyze_join(const ExprPtr& predicate, const rel::Schema& left,
+                          const rel::Schema& right) {
+  JoinAnalysis out;
+  for (const auto& conjunct : split_conjuncts(predicate)) {
+    // col = col straddling the two inputs?
+    if (conjunct->kind() == Expr::Kind::kCompare && conjunct->cmp_op() == CmpOp::kEq) {
+      const auto& a = conjunct->children()[0];
+      const auto& b = conjunct->children()[1];
+      if (a->kind() == Expr::Kind::kColumn && b->kind() == Expr::Kind::kColumn) {
+        const auto al = left.find(a->column());
+        const auto ar = right.find(a->column());
+        const auto bl = left.find(b->column());
+        const auto br = right.find(b->column());
+        if (al && br && !ar && !bl) {
+          out.equi_pairs.emplace_back(*al, *br);
+          continue;
+        }
+        if (bl && ar && !br && !al) {
+          out.equi_pairs.emplace_back(*bl, *ar);
+          continue;
+        }
+      }
+    }
+    const bool in_left = conjunct->resolves_in(left);
+    const bool in_right = conjunct->resolves_in(right);
+    if (in_left && !in_right) {
+      out.left_only.push_back(conjunct);
+    } else if (in_right && !in_left) {
+      out.right_only.push_back(conjunct);
+    } else {
+      out.residual.push_back(conjunct);
+    }
+  }
+  return out;
+}
+
+int predicate_cost_rank(const ExprPtr& conjunct) {
+  switch (conjunct->kind()) {
+    case Expr::Kind::kIsNull: return 0;
+    case Expr::Kind::kCompare: {
+      // Column-vs-literal comparisons are cheapest; expressions cost more.
+      const auto& kids = conjunct->children();
+      const bool simple = kids[0]->kind() == Expr::Kind::kColumn &&
+                          kids[1]->kind() == Expr::Kind::kLiteral;
+      return simple ? 1 : 3;
+    }
+    case Expr::Kind::kBetween: return 1;
+    case Expr::Kind::kIn: return 2;
+    case Expr::Kind::kLike: return 2;
+    case Expr::Kind::kArith: return 3;
+    case Expr::Kind::kLogical: return 4;
+    default: return 2;
+  }
+}
+
+double estimate_selectivity(const ExprPtr& predicate) {
+  if (is_always_true(predicate)) return 1.0;
+  switch (predicate->kind()) {
+    case Expr::Kind::kCompare:
+      switch (predicate->cmp_op()) {
+        case CmpOp::kEq: return 0.1;
+        case CmpOp::kNe: return 0.9;
+        default: return 0.33;
+      }
+    case Expr::Kind::kBetween: return 0.25;
+    case Expr::Kind::kIn:
+      return std::min(1.0, 0.1 * static_cast<double>(predicate->values().size()));
+    case Expr::Kind::kLike: return 0.2;
+    case Expr::Kind::kIsNull: return 0.05;
+    case Expr::Kind::kLogical:
+      switch (predicate->bool_op()) {
+        case BoolOp::kAnd:
+          return estimate_selectivity(predicate->children()[0]) *
+                 estimate_selectivity(predicate->children()[1]);
+        case BoolOp::kOr: {
+          const double a = estimate_selectivity(predicate->children()[0]);
+          const double b = estimate_selectivity(predicate->children()[1]);
+          return a + b - a * b;
+        }
+        case BoolOp::kNot:
+          return 1.0 - estimate_selectivity(predicate->children()[0]);
+      }
+      return 0.5;
+    default:
+      return 0.5;
+  }
+}
+
+}  // namespace cq::alg

@@ -1,0 +1,47 @@
+// Predicate analysis used by the heuristic planner (Section 5.2: "Select
+// before Join", cheap predicates first) and by the hash-join equi-key
+// extraction inside DiffJoin.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "algebra/expr.hpp"
+#include "relation/schema.hpp"
+
+namespace cq::alg {
+
+/// Flatten a predicate into its top-level AND-conjuncts.
+[[nodiscard]] std::vector<ExprPtr> split_conjuncts(const ExprPtr& predicate);
+
+/// True when the predicate is the constant TRUE literal.
+[[nodiscard]] bool is_always_true(const ExprPtr& predicate);
+
+/// Classification of a join predicate between two inputs.
+struct JoinAnalysis {
+  /// Equi-join column pairs: (left column index, right column index).
+  std::vector<std::pair<std::size_t, std::size_t>> equi_pairs;
+  /// Conjuncts referencing only the left input (push-down candidates).
+  std::vector<ExprPtr> left_only;
+  /// Conjuncts referencing only the right input.
+  std::vector<ExprPtr> right_only;
+  /// Everything else, to be applied on the concatenated row.
+  std::vector<ExprPtr> residual;
+
+  [[nodiscard]] ExprPtr residual_predicate() const { return conjoin(residual); }
+};
+
+/// Split `predicate` relative to a left/right schema pair.
+[[nodiscard]] JoinAnalysis analyze_join(const ExprPtr& predicate,
+                                        const rel::Schema& left,
+                                        const rel::Schema& right);
+
+/// Rough cost rank of a conjunct for the "cheaper selection predicates
+/// before expensive ones" heuristic (Section 5.2). Lower runs earlier.
+[[nodiscard]] int predicate_cost_rank(const ExprPtr& conjunct);
+
+/// Crude selectivity estimate in (0, 1]; used only for join ordering.
+[[nodiscard]] double estimate_selectivity(const ExprPtr& predicate);
+
+}  // namespace cq::alg

@@ -1,0 +1,172 @@
+#include "algebra/simplify.hpp"
+
+#include "algebra/predicate.hpp"
+
+#include "common/error.hpp"
+
+namespace cq::alg {
+
+using rel::Value;
+using rel::ValueType;
+
+namespace {
+
+bool is_literal(const ExprPtr& e, bool value) {
+  return e->kind() == Expr::Kind::kLiteral &&
+         e->literal().type() == ValueType::kBool && e->literal().as_bool() == value;
+}
+
+/// Fold a column-free expression to its literal value. Type errors (e.g.
+/// arithmetic over booleans) keep the expression unfolded so they still
+/// surface at evaluation time, exactly as without simplification.
+ExprPtr fold_constant(const ExprPtr& e) {
+  static const rel::Schema kEmptySchema;
+  static const rel::Tuple kEmptyTuple;
+  try {
+    return Expr::lit(e->eval(kEmptyTuple, kEmptySchema));
+  } catch (const common::Error&) {
+    return e;
+  }
+}
+
+/// Core rewriter. `boolean_context` is true when this node's value is
+/// consumed through eval_bool() — the root of a predicate and the children
+/// of AND/OR/NOT. Rewrites that replace a logical node with a non-literal
+/// child (x AND true -> x, NOT NOT x -> x) change the node's *value* when
+/// x is not boolean, so they require boolean context; rewrites whose
+/// replacement is itself boolean-valued (short-circuits to a literal,
+/// De Morgan) are safe anywhere.
+ExprPtr simplify_impl(const ExprPtr& expression, bool boolean_context) {
+  switch (expression->kind()) {
+    case Expr::Kind::kLiteral:
+    case Expr::Kind::kColumn:
+      return expression;
+    default:
+      break;
+  }
+
+  // Whole-subtree constant folding first: evaluation with no rows bound is
+  // exactly the semantics a constant subexpression has at runtime.
+  if (is_constant(expression)) return fold_constant(expression);
+
+  // Recurse. Logical operators consume their children via eval_bool; every
+  // other operator consumes values.
+  const bool child_context = expression->kind() == Expr::Kind::kLogical;
+  std::vector<ExprPtr> children;
+  children.reserve(expression->children().size());
+  bool changed = false;
+  for (const auto& c : expression->children()) {
+    children.push_back(simplify_impl(c, child_context));
+    changed = changed || children.back() != c;
+  }
+
+  switch (expression->kind()) {
+    case Expr::Kind::kLogical:
+      switch (expression->bool_op()) {
+        case BoolOp::kAnd: {
+          const ExprPtr& a = children[0];
+          const ExprPtr& b = children[1];
+          if (is_literal(a, false) || is_literal(b, false)) {
+            return Expr::lit(Value(false));  // boolean-valued either way
+          }
+          if (boolean_context) {
+            if (is_literal(a, true)) return b;
+            if (is_literal(b, true)) return a;
+          }
+          return changed ? Expr::logical_and(a, b) : expression;
+        }
+        case BoolOp::kOr: {
+          const ExprPtr& a = children[0];
+          const ExprPtr& b = children[1];
+          if (is_literal(a, true) || is_literal(b, true)) {
+            return Expr::lit(Value(true));
+          }
+          if (boolean_context) {
+            if (is_literal(a, false)) return b;
+            if (is_literal(b, false)) return a;
+          }
+          return changed ? Expr::logical_or(a, b) : expression;
+        }
+        case BoolOp::kNot: {
+          const ExprPtr& inner = children[0];
+          if (inner->kind() == Expr::Kind::kLiteral &&
+              inner->literal().type() == ValueType::kBool) {
+            return Expr::lit(Value(!inner->literal().as_bool()));
+          }
+          if (inner->kind() == Expr::Kind::kLogical) {
+            switch (inner->bool_op()) {
+              case BoolOp::kNot:
+                // NOT NOT x == x only through eval_bool coercion.
+                if (boolean_context) {
+                  return simplify_impl(inner->children()[0], true);
+                }
+                break;
+              case BoolOp::kAnd:  // De Morgan: both sides boolean-valued.
+                return simplify_impl(
+                    Expr::logical_or(Expr::logical_not(inner->children()[0]),
+                                     Expr::logical_not(inner->children()[1])),
+                    boolean_context);
+              case BoolOp::kOr:
+                return simplify_impl(
+                    Expr::logical_and(Expr::logical_not(inner->children()[0]),
+                                      Expr::logical_not(inner->children()[1])),
+                    boolean_context);
+            }
+          }
+          return changed ? Expr::logical_not(inner) : expression;
+        }
+      }
+      return expression;
+
+    case Expr::Kind::kCompare:
+      return changed ? Expr::cmp(expression->cmp_op(), children[0], children[1])
+                     : expression;
+    case Expr::Kind::kArith:
+      return changed ? Expr::arith(expression->arith_op(), children[0], children[1])
+                     : expression;
+    case Expr::Kind::kIsNull: {
+      // Non-nullable cases can't be decided statically (columns may hold
+      // NULL); only rebuild when the child changed.
+      return changed ? Expr::is_null(children[0], expression->negated()) : expression;
+    }
+    case Expr::Kind::kIn: {
+      if (expression->values().empty()) {
+        return Expr::lit(Value(expression->negated()));
+      }
+      return changed
+                 ? Expr::in_list(children[0], expression->values(),
+                                 expression->negated())
+                 : expression;
+    }
+    case Expr::Kind::kBetween: {
+      // BETWEEN lo AND hi with lo > hi can never hold.
+      const Value& lo = expression->values()[0];
+      const Value& hi = expression->values()[1];
+      if (!lo.is_null() && !hi.is_null() &&
+          lo.compare(hi) == std::strong_ordering::greater) {
+        return Expr::lit(Value(false));
+      }
+      return changed ? Expr::between(children[0], lo, hi) : expression;
+    }
+    case Expr::Kind::kLike:
+      return changed ? Expr::like_prefix(children[0], expression->prefix())
+                     : expression;
+    case Expr::Kind::kLiteral:
+    case Expr::Kind::kColumn:
+      return expression;  // handled above; keep the compiler satisfied
+  }
+  return expression;
+}
+
+}  // namespace
+
+bool is_constant(const ExprPtr& expression) {
+  return expression->columns().empty();
+}
+
+ExprPtr simplify(const ExprPtr& expression) {
+  if (!expression) return expression;
+  return simplify_impl(expression, /*boolean_context=*/true);
+}
+
+}  // namespace cq::alg

@@ -1,0 +1,30 @@
+// Expression simplification (part of the Section 5.2 query-refinement
+// toolbox): constant folding, boolean identity/short-circuit pruning,
+// double-negation elimination, and De Morgan normalization so more
+// conjuncts surface for the planner's pushdown pass.
+//
+// All rewrites preserve this library's two-valued logic exactly (see
+// expr.hpp); in particular comparisons are NOT inverted under NOT, because
+// with NULL operands `NOT (a < b)` and `a >= b` differ.
+#pragma once
+
+#include "algebra/expr.hpp"
+
+namespace cq::alg {
+
+/// Simplified equivalent of `expression` *as a predicate*: on every tuple
+/// where the input evaluates without error, eval_bool() of the result
+/// equals eval_bool() of the input. Two standard caveats: value-level
+/// eval() may differ for non-boolean operands of boolean rewrites (e.g.
+/// `NOT NOT price` simplifies to `price`), and — as in SQL optimizers —
+/// short-circuit pruning (`X AND false` → `false`) may eliminate a branch
+/// that would have raised a type error. Idempotent; itself never throws —
+/// folding a division by zero yields the NULL literal, and constant
+/// subtrees whose folding would raise a type error are left unfolded so
+/// the error still surfaces at evaluation time.
+[[nodiscard]] ExprPtr simplify(const ExprPtr& expression);
+
+/// True when the expression references no columns (it folds to a literal).
+[[nodiscard]] bool is_constant(const ExprPtr& expression);
+
+}  // namespace cq::alg

@@ -1,0 +1,189 @@
+#include "catalog/database.hpp"
+
+#include "catalog/transaction.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace cq::cat {
+
+Database::Database(std::shared_ptr<common::Clock> clock) : clock_(std::move(clock)) {
+  if (!clock_) throw common::InvalidArgument("Database: null clock");
+}
+
+Database::Database() : Database(std::make_shared<common::VirtualClock>()) {}
+
+void Database::create_table(const std::string& name, rel::Schema schema) {
+  if (name.empty()) throw common::InvalidArgument("Database: empty table name");
+  if (tables_.contains(name)) {
+    throw common::InvalidArgument("Database: table '" + name + "' already exists");
+  }
+  tables_.emplace(name, Table(std::move(schema)));
+}
+
+bool Database::has_table(const std::string& name) const noexcept {
+  return tables_.contains(name);
+}
+
+std::vector<std::string> Database::table_names() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(name);
+  return out;
+}
+
+Table& Database::table_entry(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) throw common::NotFound("Database: no table '" + name + "'");
+  return it->second;
+}
+
+const Table& Database::table_entry(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) throw common::NotFound("Database: no table '" + name + "'");
+  return it->second;
+}
+
+const rel::Relation& Database::table(const std::string& name) const {
+  return table_entry(name).base;
+}
+
+const delta::DeltaRelation& Database::delta(const std::string& name) const {
+  return table_entry(name).delta;
+}
+
+void Table::apply_insert(rel::Tuple row) {
+  base.insert(row);
+  for (auto& [name, index] : indexes) index.on_insert(row);
+}
+
+rel::Tuple Table::apply_erase(rel::TupleId tid) {
+  rel::Tuple old = base.erase(tid);
+  for (auto& [name, index] : indexes) index.on_erase(old);
+  return old;
+}
+
+rel::Tuple Table::apply_update(rel::TupleId tid, std::vector<rel::Value> values) {
+  rel::Tuple replacement(values, tid);
+  rel::Tuple old = base.update(tid, std::move(values));
+  for (auto& [name, index] : indexes) index.on_update(old, replacement);
+  return old;
+}
+
+void Database::create_index(const std::string& table, const std::string& index_name,
+                            const std::vector<std::string>& columns) {
+  if (index_name.empty()) throw common::InvalidArgument("Database: empty index name");
+  if (columns.empty()) {
+    throw common::InvalidArgument("Database: index needs at least one column");
+  }
+  Table& entry = table_entry(table);
+  if (entry.indexes.contains(index_name)) {
+    throw common::InvalidArgument("Database: index '" + index_name +
+                                  "' already exists on '" + table + "'");
+  }
+  std::vector<std::size_t> positions;
+  positions.reserve(columns.size());
+  for (const auto& c : columns) positions.push_back(entry.base.schema().index_of(c));
+  rel::MaintainedIndex index(std::move(positions));
+  index.build(entry.base);
+  entry.indexes.emplace(index_name, std::move(index));
+}
+
+const rel::MaintainedIndex* Database::index_on(
+    const std::string& table, const std::vector<std::size_t>& columns) const {
+  const Table& entry = table_entry(table);
+  for (const auto& [name, index] : entry.indexes) {
+    if (index.columns().size() != columns.size()) continue;
+    bool all_found = true;
+    for (auto c : columns) {
+      bool found = false;
+      for (auto ic : index.columns()) found = found || ic == c;
+      if (!found) {
+        all_found = false;
+        break;
+      }
+    }
+    if (all_found) return &index;
+  }
+  return nullptr;
+}
+
+const rel::MaintainedIndex& Database::index(const std::string& table,
+                                            const std::string& index_name) const {
+  const Table& entry = table_entry(table);
+  auto it = entry.indexes.find(index_name);
+  if (it == entry.indexes.end()) {
+    throw common::NotFound("Database: no index '" + index_name + "' on '" + table + "'");
+  }
+  return it->second;
+}
+
+void Database::restore_table(const std::string& name, rel::Relation base,
+                             delta::DeltaRelation log) {
+  if (name.empty()) throw common::InvalidArgument("Database: empty table name");
+  if (tables_.contains(name)) {
+    throw common::InvalidArgument("Database: table '" + name + "' already exists");
+  }
+  if (!(base.schema() == log.base_schema())) {
+    throw common::SchemaMismatch("Database::restore_table: base/log schema mismatch");
+  }
+  Table table(base.schema());
+  table.base = std::move(base);
+  table.delta = std::move(log);
+  tables_.emplace(name, std::move(table));
+}
+
+std::vector<std::string> Database::index_names(const std::string& table) const {
+  const Table& entry = table_entry(table);
+  std::vector<std::string> out;
+  out.reserve(entry.indexes.size());
+  for (const auto& [name, index] : entry.indexes) out.push_back(name);
+  return out;
+}
+
+Transaction Database::begin() { return Transaction(*this); }
+
+rel::TupleId Database::insert(const std::string& table, std::vector<rel::Value> values) {
+  Transaction txn = begin();
+  const rel::TupleId tid = txn.insert(table, std::move(values));
+  txn.commit();
+  return tid;
+}
+
+void Database::erase(const std::string& table, rel::TupleId tid) {
+  Transaction txn = begin();
+  txn.erase(table, tid);
+  txn.commit();
+}
+
+void Database::modify(const std::string& table, rel::TupleId tid,
+                      std::vector<rel::Value> values) {
+  Transaction txn = begin();
+  txn.modify(table, tid, std::move(values));
+  txn.commit();
+}
+
+std::size_t Database::garbage_collect() {
+  const common::Timestamp cutoff = zones_.system_zone_start().value_or(clock_->now());
+  std::size_t reclaimed = 0;
+  for (auto& [name, table] : tables_) {
+    reclaimed += table.delta.truncate_before(cutoff);
+  }
+  if (reclaimed > 0) {
+    common::log_debug("Database GC reclaimed ", reclaimed, " delta rows (cutoff ",
+                      cutoff.to_string(), ")");
+  }
+  return reclaimed;
+}
+
+std::size_t Database::delta_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [name, table] : tables_) total += table.delta.byte_size();
+  return total;
+}
+
+void Database::notify_commit(const std::vector<std::string>& tables,
+                             common::Timestamp ts) {
+  if (commit_hook_) commit_hook_(tables, ts);
+}
+
+}  // namespace cq::cat

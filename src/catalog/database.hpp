@@ -1,0 +1,132 @@
+// The catalog: named base relations, each paired with its differential
+// relation, sharing one clock. This is the paper's picture of an
+// information source: updates arrive as transactions (Example 1), the
+// system instantiates the differential relation as a side effect, and the
+// DRA later reads (base, ΔR, timestamps) from here (Section 4.2 inputs).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "delta/delta_relation.hpp"
+#include "delta/delta_zone.hpp"
+#include "relation/index.hpp"
+#include "relation/relation.hpp"
+
+namespace cq::cat {
+
+class Transaction;
+
+/// One base relation together with its change log and persistent indexes.
+struct Table {
+  rel::Relation base;
+  delta::DeltaRelation delta;
+  /// Indexes by name, kept in sync by the commit apply pass.
+  std::map<std::string, rel::MaintainedIndex> indexes;
+
+  explicit Table(rel::Schema schema) : base(schema), delta(schema) {}
+
+  // Mutations that keep base and indexes consistent (used by Transaction).
+  void apply_insert(rel::Tuple row);
+  rel::Tuple apply_erase(rel::TupleId tid);
+  rel::Tuple apply_update(rel::TupleId tid, std::vector<rel::Value> values);
+};
+
+class Database {
+ public:
+  /// Databases share their clock with the CQ manager so commit timestamps
+  /// and CQ execution timestamps are comparable.
+  explicit Database(std::shared_ptr<common::Clock> clock);
+
+  /// Convenience: a database with its own VirtualClock.
+  Database();
+
+  [[nodiscard]] common::Clock& clock() const noexcept { return *clock_; }
+  [[nodiscard]] std::shared_ptr<common::Clock> clock_ptr() const noexcept { return clock_; }
+
+  /// Create an empty table. Throws InvalidArgument if the name is taken.
+  void create_table(const std::string& name, rel::Schema schema);
+
+  [[nodiscard]] bool has_table(const std::string& name) const noexcept;
+  [[nodiscard]] std::vector<std::string> table_names() const;
+
+  /// Read access to a table's current contents / change log.
+  [[nodiscard]] const rel::Relation& table(const std::string& name) const;
+  [[nodiscard]] const delta::DeltaRelation& delta(const std::string& name) const;
+
+  // ---- persistent indexes ----
+
+  /// Create and build a maintained index named `index_name` over the given
+  /// (bare) column names of `table`. Throws if the name is taken.
+  void create_index(const std::string& table, const std::string& index_name,
+                    const std::vector<std::string>& columns);
+
+  /// An index of `table` whose key is exactly `columns` (bare names, any
+  /// order); nullptr when none exists. The second element gives the index's
+  /// own column order as base-schema positions.
+  [[nodiscard]] const rel::MaintainedIndex* index_on(
+      const std::string& table, const std::vector<std::size_t>& columns) const;
+
+  /// Names of the indexes defined on `table`.
+  [[nodiscard]] std::vector<std::string> index_names(const std::string& table) const;
+
+  /// Index key columns (base-schema positions) of a named index.
+  [[nodiscard]] const rel::MaintainedIndex& index(const std::string& table,
+                                                  const std::string& index_name) const;
+
+  /// Snapshot-restore machinery (persist::load_database): install `name`
+  /// with the given base contents and differential log verbatim — no new
+  /// delta rows are generated. Throws if the table already exists or the
+  /// schemas disagree.
+  void restore_table(const std::string& name, rel::Relation base,
+                     delta::DeltaRelation log);
+
+  /// Begin a transaction. Nothing is visible until commit(); commit stamps
+  /// every change of the transaction with one fresh timestamp and appends
+  /// the transaction's net effect to the differential relations.
+  [[nodiscard]] Transaction begin();
+
+  // ---- single-statement conveniences (one-op transactions) ----
+  rel::TupleId insert(const std::string& table, std::vector<rel::Value> values);
+  void erase(const std::string& table, rel::TupleId tid);
+  void modify(const std::string& table, rel::TupleId tid, std::vector<rel::Value> values);
+
+  // ---- garbage collection (Section 5.4) ----
+
+  /// The registry of active CQ delta zones. The CQ manager registers each
+  /// CQ here and advances its zone after every execution.
+  [[nodiscard]] delta::DeltaZoneRegistry& zones() noexcept { return zones_; }
+  [[nodiscard]] const delta::DeltaZoneRegistry& zones() const noexcept { return zones_; }
+
+  /// Drop every delta row outside the system active delta zone. With no
+  /// registered CQ, drops everything up to `now`. Returns rows reclaimed.
+  std::size_t garbage_collect();
+
+  /// Total bytes held by all differential relations.
+  [[nodiscard]] std::size_t delta_bytes() const noexcept;
+
+  /// Hook invoked after every commit (used for eager trigger evaluation,
+  /// Section 5.3 strategy 1). Receives the names of the tables the commit
+  /// touched and the commit timestamp.
+  using CommitHook =
+      std::function<void(const std::vector<std::string>&, common::Timestamp)>;
+  void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
+
+ private:
+  friend class Transaction;
+
+  [[nodiscard]] Table& table_entry(const std::string& name);
+  [[nodiscard]] const Table& table_entry(const std::string& name) const;
+  void notify_commit(const std::vector<std::string>& tables, common::Timestamp ts);
+
+  std::shared_ptr<common::Clock> clock_;
+  std::map<std::string, Table> tables_;
+  delta::DeltaZoneRegistry zones_;
+  CommitHook commit_hook_;
+};
+
+}  // namespace cq::cat

@@ -1,0 +1,173 @@
+#include "catalog/transaction.hpp"
+
+#include <map>
+#include <optional>
+#include <set>
+
+#include "catalog/database.hpp"
+#include "common/error.hpp"
+
+namespace cq::cat {
+
+using common::Timestamp;
+using rel::TupleId;
+using rel::Value;
+
+Transaction::~Transaction() {
+  if (state_ == State::kActive) abort();
+}
+
+Transaction::Transaction(Transaction&& other) noexcept
+    : db_(other.db_), ops_(std::move(other.ops_)), state_(other.state_) {
+  other.state_ = State::kAborted;
+  other.ops_.clear();
+}
+
+void Transaction::require_active() const {
+  if (state_ != State::kActive) {
+    throw common::InvalidArgument("Transaction: already committed or aborted");
+  }
+}
+
+TupleId Transaction::insert(const std::string& table, std::vector<Value> values) {
+  require_active();
+  Table& entry = db_->table_entry(table);
+  if (values.size() != entry.base.schema().size()) {
+    throw common::SchemaMismatch("Transaction::insert arity mismatch for '" + table + "'");
+  }
+  const TupleId tid = entry.base.reserve_tid();
+  ops_.push_back(Op{OpKind::kInsert, table, tid, std::move(values)});
+  return tid;
+}
+
+void Transaction::erase(const std::string& table, TupleId tid) {
+  require_active();
+  static_cast<void>(db_->table_entry(table));  // validate the table name early
+  if (!tid.valid()) throw common::InvalidArgument("Transaction::erase: invalid tid");
+  ops_.push_back(Op{OpKind::kDelete, table, tid, {}});
+}
+
+void Transaction::modify(const std::string& table, TupleId tid,
+                         std::vector<Value> values) {
+  require_active();
+  Table& entry = db_->table_entry(table);
+  if (values.size() != entry.base.schema().size()) {
+    throw common::SchemaMismatch("Transaction::modify arity mismatch for '" + table + "'");
+  }
+  if (!tid.valid()) throw common::InvalidArgument("Transaction::modify: invalid tid");
+  ops_.push_back(Op{OpKind::kModify, table, tid, std::move(values)});
+}
+
+Timestamp Transaction::commit() {
+  require_active();
+
+  // ---- validation pass: simulate visibility without touching the base ----
+  // exists[t][tid]: known liveness of a tid after the ops so far; absent
+  // means "whatever the base table says".
+  std::map<std::string, std::map<TupleId, bool>> exists;
+  for (const auto& op : ops_) {
+    auto& table_exists = exists[op.table];
+    const Table& entry = db_->table_entry(op.table);
+    auto it = table_exists.find(op.tid);
+    const bool live = it != table_exists.end() ? it->second : entry.base.contains(op.tid);
+    switch (op.kind) {
+      case OpKind::kInsert:
+        if (live) {
+          throw common::InvalidArgument("Transaction: duplicate insert of tid " +
+                                        op.tid.to_string());
+        }
+        table_exists[op.tid] = true;
+        break;
+      case OpKind::kDelete:
+        if (!live) {
+          throw common::NotFound("Transaction: delete of missing tid " +
+                                 op.tid.to_string() + " in '" + op.table + "'");
+        }
+        table_exists[op.tid] = false;
+        break;
+      case OpKind::kModify:
+        if (!live) {
+          throw common::NotFound("Transaction: modify of missing tid " +
+                                 op.tid.to_string() + " in '" + op.table + "'");
+        }
+        break;
+    }
+  }
+
+  // ---- apply pass: mutate base tables, composing the per-tid net effect --
+  struct NetChange {
+    std::optional<std::vector<Value>> old_values;  // state before the txn
+    std::optional<std::vector<Value>> new_values;  // state after the txn
+    bool pre_existing = false;
+  };
+  // Ordered map => deterministic delta append order across runs.
+  std::map<std::string, std::map<TupleId, NetChange>> net;
+
+  for (const auto& op : ops_) {
+    Table& entry = db_->table_entry(op.table);
+    auto& changes = net[op.table];
+    auto [it, fresh] = changes.try_emplace(op.tid);
+    NetChange& change = it->second;
+    switch (op.kind) {
+      case OpKind::kInsert: {
+        if (fresh) change.pre_existing = false;
+        entry.apply_insert(rel::Tuple(op.values, op.tid));
+        change.new_values = op.values;
+        break;
+      }
+      case OpKind::kDelete: {
+        rel::Tuple old = entry.apply_erase(op.tid);
+        if (fresh) {
+          change.pre_existing = true;
+          change.old_values = old.values();
+        }
+        change.new_values.reset();
+        break;
+      }
+      case OpKind::kModify: {
+        rel::Tuple old = entry.apply_update(op.tid, op.values);
+        if (fresh) {
+          change.pre_existing = true;
+          change.old_values = old.values();
+        }
+        change.new_values = op.values;
+        break;
+      }
+    }
+  }
+
+  // ---- stamp and log the net effect ----
+  const Timestamp ts = db_->clock_->tick();
+  std::vector<std::string> touched;
+  for (auto& [table_name, changes] : net) {
+    Table& entry = db_->table_entry(table_name);
+    bool any = false;
+    for (auto& [tid, change] : changes) {
+      if (!change.pre_existing && change.new_values) {
+        entry.delta.record_insert(tid, std::move(*change.new_values), ts);
+        any = true;
+      } else if (change.pre_existing && !change.new_values) {
+        entry.delta.record_delete(tid, std::move(*change.old_values), ts);
+        any = true;
+      } else if (change.pre_existing && change.new_values) {
+        entry.delta.record_modify(tid, std::move(*change.old_values),
+                                  std::move(*change.new_values), ts);
+        any = true;
+      }
+      // insert-then-delete inside one transaction: no net effect, no log row.
+    }
+    if (any) touched.push_back(table_name);
+  }
+
+  state_ = State::kCommitted;
+  ops_.clear();
+  db_->notify_commit(touched, ts);
+  return ts;
+}
+
+void Transaction::abort() noexcept {
+  state_ = State::kAborted;
+  ops_.clear();
+}
+
+}  // namespace cq::cat

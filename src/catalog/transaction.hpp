@@ -1,0 +1,76 @@
+// Transactions over a Database, mirroring the paper's Example 1:
+//
+//   Begin Transaction T
+//     Insert (101088, MAC, 117);
+//     Modify (120992, DEC, 150) = (120992, DEC, 149);
+//     Delete (092394);
+//   End Transaction
+//
+// Changes become visible — and are appended to the differential relations,
+// composed to their per-tid net effect — atomically at commit(), stamped
+// with a single fresh timestamp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/timestamp.hpp"
+#include "relation/tuple.hpp"
+#include "relation/value.hpp"
+
+namespace cq::cat {
+
+class Database;
+
+class Transaction {
+ public:
+  ~Transaction();
+  Transaction(Transaction&&) noexcept;
+  Transaction& operator=(Transaction&&) = delete;
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Queue an insert; the returned tid may be used by later ops in this
+  /// transaction (e.g. modify a row inserted moments earlier).
+  rel::TupleId insert(const std::string& table, std::vector<rel::Value> values);
+
+  /// Queue a deletion of the row with this tid.
+  void erase(const std::string& table, rel::TupleId tid);
+
+  /// Queue an in-place modification: the row takes these values.
+  void modify(const std::string& table, rel::TupleId tid, std::vector<rel::Value> values);
+
+  /// Validate and apply every queued op atomically, append the net effect to
+  /// the differential relations, and return the commit timestamp. A
+  /// validation failure (unknown table/tid, double delete, arity mismatch)
+  /// throws and leaves the database untouched.
+  common::Timestamp commit();
+
+  /// Discard all queued ops. Reserved tids are not reused.
+  void abort() noexcept;
+
+  [[nodiscard]] bool active() const noexcept { return state_ == State::kActive; }
+  [[nodiscard]] std::size_t pending_ops() const noexcept { return ops_.size(); }
+
+ private:
+  friend class Database;
+  explicit Transaction(Database& db) : db_(&db) {}
+
+  enum class State { kActive, kCommitted, kAborted };
+  enum class OpKind { kInsert, kDelete, kModify };
+
+  struct Op {
+    OpKind kind;
+    std::string table;
+    rel::TupleId tid;
+    std::vector<rel::Value> values;  // new values for insert/modify
+  };
+
+  void require_active() const;
+
+  Database* db_;
+  std::vector<Op> ops_;
+  State state_ = State::kActive;
+};
+
+}  // namespace cq::cat

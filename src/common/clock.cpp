@@ -1,0 +1,41 @@
+#include "common/clock.hpp"
+
+#include <chrono>
+
+namespace cq::common {
+
+void VirtualClock::advance_to(Timestamp t) noexcept {
+  auto cur = now_.load(std::memory_order_relaxed);
+  while (t.ticks() > cur &&
+         !now_.compare_exchange_weak(cur, t.ticks(), std::memory_order_relaxed)) {
+  }
+}
+
+namespace {
+Timestamp::rep wall_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+Timestamp SystemClock::now() const {
+  auto t = wall_ns();
+  auto prev = last_.load(std::memory_order_relaxed);
+  while (t > prev && !last_.compare_exchange_weak(prev, t, std::memory_order_relaxed)) {
+  }
+  return Timestamp(last_.load(std::memory_order_relaxed));
+}
+
+Timestamp SystemClock::tick() {
+  auto t = wall_ns();
+  auto prev = last_.load(std::memory_order_relaxed);
+  for (;;) {
+    auto next = t > prev ? t : prev + 1;
+    if (last_.compare_exchange_weak(prev, next, std::memory_order_relaxed)) {
+      return Timestamp(next);
+    }
+  }
+}
+
+}  // namespace cq::common

@@ -1,0 +1,64 @@
+// Clock abstraction: the single source of timestamps for a database.
+//
+// Tests and benchmarks use VirtualClock so every run is deterministic and
+// trigger conditions like "once a week" can be exercised without waiting.
+#pragma once
+
+#include <atomic>
+#include <memory>
+
+#include "common/timestamp.hpp"
+
+namespace cq::common {
+
+/// Source of monotonically increasing timestamps.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current instant. Repeated calls never go backwards.
+  [[nodiscard]] virtual Timestamp now() const = 0;
+
+  /// Returns a timestamp strictly greater than any previously returned by
+  /// tick(); used to stamp commits so no two commits share an instant.
+  virtual Timestamp tick() = 0;
+};
+
+/// Deterministic logical clock. now() is the last ticked instant; advance()
+/// lets scenarios jump forward (e.g. "a week later") without real waiting.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(Timestamp start = Timestamp::zero()) noexcept
+      : now_(start.ticks()) {}
+
+  [[nodiscard]] Timestamp now() const override {
+    return Timestamp(now_.load(std::memory_order_relaxed));
+  }
+
+  Timestamp tick() override {
+    return Timestamp(now_.fetch_add(1, std::memory_order_relaxed) + 1);
+  }
+
+  /// Jump the clock forward by d. No-op for non-positive durations.
+  void advance(Duration d) noexcept {
+    if (d.ticks() > 0) now_.fetch_add(d.ticks(), std::memory_order_relaxed);
+  }
+
+  /// Set the clock to t if t is later than the current instant.
+  void advance_to(Timestamp t) noexcept;
+
+ private:
+  std::atomic<Timestamp::rep> now_;
+};
+
+/// Wall-clock nanoseconds since epoch, forced monotone across calls.
+class SystemClock final : public Clock {
+ public:
+  [[nodiscard]] Timestamp now() const override;
+  Timestamp tick() override;
+
+ private:
+  mutable std::atomic<Timestamp::rep> last_{0};
+};
+
+}  // namespace cq::common

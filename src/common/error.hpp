@@ -1,0 +1,64 @@
+// Error hierarchy. Invalid usage of the public API throws; internal
+// invariant violations use CQ_ASSERT which throws InternalError so tests can
+// observe them (rather than aborting the whole test binary).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cq::common {
+
+/// Root of all library errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// The caller supplied something malformed (bad schema, unknown column, ...).
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Two schemas/types that must agree do not.
+class SchemaMismatch : public InvalidArgument {
+ public:
+  using InvalidArgument::InvalidArgument;
+};
+
+/// Lookup of a named object (relation, column, CQ) failed.
+class NotFound : public Error {
+ public:
+  using Error::Error;
+};
+
+/// SQL-subset parser rejected the input.
+class ParseError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// An operation is not supported in the current state (e.g. feeding a
+/// deletion to the append-only Terry baseline).
+class Unsupported : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A library invariant was violated; indicates a bug in this library.
+class InternalError : public Error {
+ public:
+  using Error::Error;
+};
+
+[[noreturn]] inline void internal_fail(const char* expr, const char* file, int line) {
+  throw InternalError(std::string("invariant failed: ") + expr + " at " + file + ":" +
+                      std::to_string(line));
+}
+
+}  // namespace cq::common
+
+#define CQ_ASSERT(expr)                                             \
+  do {                                                              \
+    if (!(expr)) ::cq::common::internal_fail(#expr, __FILE__, __LINE__); \
+  } while (false)

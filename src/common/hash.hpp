@@ -1,0 +1,30 @@
+// Hash combining utilities (boost-style mixing with a 64-bit finalizer).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace cq::common {
+
+/// Mix a new 64-bit value into an accumulated hash seed.
+constexpr std::uint64_t hash_mix(std::uint64_t seed, std::uint64_t v) noexcept {
+  // splitmix64 finalizer applied to the combination.
+  std::uint64_t x = seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Combine the std::hash of v into seed.
+template <typename T>
+std::size_t hash_combine(std::size_t seed, const T& v) {
+  return static_cast<std::size_t>(
+      hash_mix(static_cast<std::uint64_t>(seed),
+               static_cast<std::uint64_t>(std::hash<T>{}(v))));
+}
+
+}  // namespace cq::common

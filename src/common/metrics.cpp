@@ -1,0 +1,22 @@
+#include "common/metrics.hpp"
+
+#include <sstream>
+
+namespace cq::common {
+
+void Metrics::add(const std::string& name, std::int64_t delta) {
+  counters_[name] += delta;
+}
+
+std::int64_t Metrics::get(const std::string& name) const noexcept {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::string Metrics::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, value] : counters_) os << name << "=" << value << "\n";
+  return os.str();
+}
+
+}  // namespace cq::common

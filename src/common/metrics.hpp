@@ -1,0 +1,49 @@
+// Lightweight counters used by operators, the DRA, and the simulated
+// network to account for work done (rows scanned, bytes shipped, ...).
+// Benchmarks read these to report the paper's cost quantities directly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace cq::common {
+
+/// A named bag of monotonically increasing counters.
+class Metrics {
+ public:
+  /// Add delta to the named counter (creating it at zero).
+  void add(const std::string& name, std::int64_t delta = 1);
+
+  /// Current value, or 0 if never touched.
+  [[nodiscard]] std::int64_t get(const std::string& name) const noexcept;
+
+  /// All counters in name order.
+  [[nodiscard]] const std::map<std::string, std::int64_t>& all() const noexcept {
+    return counters_;
+  }
+
+  /// Reset every counter to zero.
+  void reset() noexcept { counters_.clear(); }
+
+  /// Human-readable one-line-per-counter dump.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+};
+
+/// Well-known counter names, so producers and consumers agree on spelling.
+namespace metric {
+inline constexpr const char* kRowsScanned = "rows_scanned";
+inline constexpr const char* kRowsOutput = "rows_output";
+inline constexpr const char* kTuplesCompared = "tuples_compared";
+inline constexpr const char* kBytesSent = "bytes_sent";
+inline constexpr const char* kMessagesSent = "messages_sent";
+inline constexpr const char* kDeltaRowsScanned = "delta_rows_scanned";
+inline constexpr const char* kBaseRowsScanned = "base_rows_scanned";
+inline constexpr const char* kQueryExecutions = "query_executions";
+inline constexpr const char* kTriggerChecks = "trigger_checks";
+}  // namespace metric
+
+}  // namespace cq::common

@@ -1,0 +1,96 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace cq::common {
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  return sum;
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw InvalidArgument("Rng::uniform_int: lo > hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  if (lo > hi) throw InvalidArgument("Rng::uniform_real: lo > hi");
+  return lo + uniform01() * (hi - lo);
+}
+
+bool Rng::chance(double p) noexcept { return uniform01() < p; }
+
+std::uint64_t Rng::zipf(std::uint64_t n, double theta) {
+  if (n == 0) throw InvalidArgument("Rng::zipf: n must be positive");
+  if (theta <= 0.0) return next() % n;
+  if (n != zipf_n_ || theta != zipf_theta_) {
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    zipf_zetan_ = zeta(n, theta);
+    const double zeta2 = zeta(2, theta);
+    zipf_alpha_ = 1.0 / (1.0 - theta);
+    zipf_eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+                (1.0 - zeta2 / zipf_zetan_);
+  }
+  const double u = uniform01();
+  const double uz = u * zipf_zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  return static_cast<std::uint64_t>(
+      static_cast<double>(n) *
+      std::pow(zipf_eta_ * u - zipf_eta_ + 1.0, zipf_alpha_));
+}
+
+std::string Rng::string(std::size_t length) {
+  std::string out(length, 'a');
+  for (auto& c : out) c = static_cast<char>('a' + next() % 26);
+  return out;
+}
+
+std::size_t Rng::index(std::size_t size) {
+  if (size == 0) throw InvalidArgument("Rng::index: empty range");
+  return static_cast<std::size_t>(next() % size);
+}
+
+}  // namespace cq::common

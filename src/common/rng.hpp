@@ -1,0 +1,60 @@
+// Deterministic random number generation for workloads and property tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cq::common {
+
+/// xoshiro256** — fast, high-quality, reproducible across platforms.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) noexcept;
+
+  /// Uniform 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli draw with probability p of true.
+  bool chance(double p) noexcept;
+
+  /// Zipfian-distributed rank in [0, n) with skew theta (0 = uniform-ish).
+  /// Uses the classic rejection-free approximation of Gray et al.
+  std::uint64_t zipf(std::uint64_t n, double theta);
+
+  /// Random lowercase ASCII string of the given length.
+  std::string string(std::size_t length);
+
+  /// Pick a uniformly random element index of a non-empty container size.
+  std::size_t index(std::size_t size);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  // Cached zipf parameters so repeated draws over the same (n, theta) are cheap.
+  std::uint64_t zipf_n_ = 0;
+  double zipf_theta_ = -1.0;
+  double zipf_zetan_ = 0.0;
+  double zipf_alpha_ = 0.0;
+  double zipf_eta_ = 0.0;
+};
+
+}  // namespace cq::common

@@ -1,0 +1,80 @@
+// Logical timestamps for differential relations and continual-query state.
+//
+// The paper (Section 4.1) only requires "a system clock, or any other
+// monotonically increasing source of timestamps". We therefore model time as
+// a strong int64 wrapper and let a Clock implementation (clock.hpp) decide
+// whether ticks come from a deterministic logical counter or the wall clock.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace cq::common {
+
+/// A monotonically increasing logical instant. Ordered, hashable, printable.
+class Timestamp {
+ public:
+  using rep = std::int64_t;
+
+  constexpr Timestamp() noexcept = default;
+  constexpr explicit Timestamp(rep ticks) noexcept : ticks_(ticks) {}
+
+  /// The earliest representable instant; every real timestamp compares later.
+  [[nodiscard]] static constexpr Timestamp min() noexcept {
+    return Timestamp(std::numeric_limits<rep>::min());
+  }
+  /// The latest representable instant.
+  [[nodiscard]] static constexpr Timestamp max() noexcept {
+    return Timestamp(std::numeric_limits<rep>::max());
+  }
+  /// Conventional "beginning of history" (tick 0).
+  [[nodiscard]] static constexpr Timestamp zero() noexcept { return Timestamp(0); }
+
+  [[nodiscard]] constexpr rep ticks() const noexcept { return ticks_; }
+
+  constexpr auto operator<=>(const Timestamp&) const noexcept = default;
+
+  /// The immediately following instant. Saturates at max().
+  [[nodiscard]] constexpr Timestamp next() const noexcept {
+    return ticks_ == std::numeric_limits<rep>::max() ? *this : Timestamp(ticks_ + 1);
+  }
+
+  [[nodiscard]] std::string to_string() const { return std::to_string(ticks_); }
+
+ private:
+  rep ticks_ = 0;
+};
+
+/// A length of logical time, used by periodic trigger conditions.
+class Duration {
+ public:
+  using rep = std::int64_t;
+
+  constexpr Duration() noexcept = default;
+  constexpr explicit Duration(rep ticks) noexcept : ticks_(ticks) {}
+
+  [[nodiscard]] constexpr rep ticks() const noexcept { return ticks_; }
+  constexpr auto operator<=>(const Duration&) const noexcept = default;
+
+ private:
+  rep ticks_ = 0;
+};
+
+[[nodiscard]] constexpr Timestamp operator+(Timestamp t, Duration d) noexcept {
+  return Timestamp(t.ticks() + d.ticks());
+}
+[[nodiscard]] constexpr Duration operator-(Timestamp a, Timestamp b) noexcept {
+  return Duration(a.ticks() - b.ticks());
+}
+
+}  // namespace cq::common
+
+template <>
+struct std::hash<cq::common::Timestamp> {
+  std::size_t operator()(const cq::common::Timestamp& t) const noexcept {
+    return std::hash<cq::common::Timestamp::rep>{}(t.ticks());
+  }
+};

@@ -1,0 +1,80 @@
+// Incremental maintenance of aggregate query results on top of ΔQ.
+//
+// The paper's epsilon-query examples (Sections 3.2, 5.3) are aggregates —
+// "SELECT SUM(amount) FROM CheckingAccounts" — refreshed differentially.
+// AggregateState holds per-group accumulators that can both *add* and
+// *remove* contributions, so a DiffResult from the DRA updates the
+// aggregate in O(|ΔQ|) instead of O(|Q|):
+//   SUM / COUNT / AVG: running sums and counts;
+//   MIN / MAX:         a per-group ordered multiset of values (deletions
+//                      may expose the second-smallest/-largest).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/aggregate.hpp"
+#include "cq/diff.hpp"
+#include "relation/relation.hpp"
+
+namespace cq::core {
+
+class AggregateState {
+ public:
+  /// `spj_schema` is the schema of the SPJ core result the aggregates are
+  /// computed over (i.e. of the relations later passed to apply()).
+  AggregateState(rel::Schema spj_schema, std::vector<std::string> group_by,
+                 std::vector<alg::AggSpec> specs);
+
+  /// Reset to the aggregate of `spj_result` (used at CQ installation).
+  void initialize(const rel::Relation& spj_result);
+
+  /// Fold one differential result into the state.
+  void apply(const DiffResult& delta);
+
+  /// Current aggregate relation; identical (as a multiset) to
+  /// alg::group_aggregate(current SPJ result, group_by, specs).
+  [[nodiscard]] rel::Relation current() const;
+
+  /// Schema of current().
+  [[nodiscard]] const rel::Schema& output_schema() const noexcept { return out_schema_; }
+
+  /// Convenience for single-aggregate, ungrouped queries: the lone value
+  /// (e.g. the running SUM). Throws when grouped or multi-aggregate.
+  [[nodiscard]] rel::Value scalar() const;
+
+ private:
+  struct SpecState {
+    std::int64_t non_null = 0;  // rows with a non-null input
+    double dbl_sum = 0.0;
+    std::int64_t int_sum = 0;
+    bool is_double = false;
+    // Ordered multiset for MIN/MAX.
+    std::map<rel::Value, std::int64_t> values;
+  };
+  struct GroupState {
+    std::int64_t rows = 0;  // total rows in the group (for group liveness)
+    std::vector<SpecState> specs;
+  };
+
+  void fold_row(const rel::Tuple& row, std::int64_t weight);
+  [[nodiscard]] rel::Value spec_result(const alg::AggSpec& spec,
+                                       const SpecState& state) const;
+
+  rel::Schema spj_schema_;
+  std::vector<std::string> group_by_;
+  std::vector<alg::AggSpec> specs_;
+  rel::Schema out_schema_;
+  std::vector<std::size_t> group_idx_;
+  std::vector<std::optional<std::size_t>> spec_idx_;
+
+  struct KeyLess {
+    bool operator()(const std::vector<rel::Value>& a,
+                    const std::vector<rel::Value>& b) const;
+  };
+  std::map<std::vector<rel::Value>, GroupState, KeyLess> groups_;
+};
+
+}  // namespace cq::core

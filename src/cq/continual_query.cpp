@@ -1,0 +1,331 @@
+#include "cq/continual_query.hpp"
+
+#include <sstream>
+
+#include "algebra/ops.hpp"
+#include "algebra/predicate.hpp"
+#include "common/error.hpp"
+#include "cq/propagate.hpp"
+#include "query/parser.hpp"
+#include "query/planner.hpp"
+
+namespace cq::core {
+
+using common::Timestamp;
+using rel::Relation;
+
+const char* to_string(DeliveryMode mode) noexcept {
+  switch (mode) {
+    case DeliveryMode::kInsertionsOnly: return "insertions-only";
+    case DeliveryMode::kDeletionsOnly: return "deletions-only";
+    case DeliveryMode::kDifferential: return "differential";
+    case DeliveryMode::kComplete: return "complete";
+  }
+  return "?";
+}
+
+CqSpec CqSpec::from_sql(std::string name, const std::string& sql, TriggerPtr trigger,
+                        StopPtr stop, DeliveryMode mode) {
+  CqSpec spec;
+  spec.name = std::move(name);
+  spec.query = qry::parse_query(sql);
+  spec.trigger = std::move(trigger);
+  spec.stop = std::move(stop);
+  spec.mode = mode;
+  return spec;
+}
+
+ContinualQuery::ContinualQuery(CqSpec spec, const cat::Database& db)
+    : spec_(std::move(spec)), last_exec_(Timestamp::min()) {
+  spec_.query.validate();
+  if (!spec_.trigger) throw common::InvalidArgument("CQ '" + spec_.name + "': no trigger");
+  if (!spec_.stop) spec_.stop = stop::never();
+  for (const auto& ref : spec_.query.from) {
+    if (!db.has_table(ref.table)) {
+      throw common::NotFound("CQ '" + spec_.name + "': unknown table '" + ref.table + "'");
+    }
+    relations_.push_back(ref.table);
+  }
+}
+
+qry::SpjQuery ContinualQuery::spj_core() const {
+  qry::SpjQuery core = spec_.query;
+  core.distinct = false;
+  core.order_by.clear();  // ordering is presentation-only
+  if (core.is_aggregate()) {
+    core.projection.clear();  // aggregates read the full joined row
+    core.aggregates.clear();
+    core.group_by.clear();
+    core.having = nullptr;  // applied at delivery, over the aggregate output
+  }
+  return core;
+}
+
+rel::Relation ContinualQuery::delivered_aggregate() const {
+  Relation out = agg_state_->current();
+  if (spec_.query.having) out = alg::select(out, *spec_.query.having);
+  return out;
+}
+
+TriggerContext ContinualQuery::context(const cat::Database& db) const {
+  return TriggerContext{db, relations_, last_exec_, db.clock().now(), executions_};
+}
+
+bool ContinualQuery::should_fire(const cat::Database& db) const {
+  return !finished_ && spec_.trigger->should_fire(context(db));
+}
+
+bool ContinualQuery::should_stop(const cat::Database& db) const {
+  return finished_ || spec_.stop->satisfied(context(db));
+}
+
+ContinualQuery::Staleness ContinualQuery::staleness(const cat::Database& db) const {
+  Staleness out;
+  out.age = db.clock().now() - last_exec_;
+
+  const qry::SpjQuery core = spj_core();
+  std::vector<rel::Schema> schemas;
+  std::vector<std::size_t> cards;
+  for (const auto& ref : core.from) {
+    schemas.push_back(qry::qualify(db.table(ref.table).schema(), ref));
+    cards.push_back(db.table(ref.table).size());
+  }
+  const qry::PlannedQuery planned = qry::plan(core, schemas, cards);
+
+  for (std::size_t i = 0; i < core.from.size(); ++i) {
+    const auto& d = db.delta(core.from[i].table);
+    if (!d.changed_since(last_exec_)) continue;
+    Relation ins = d.insertions(last_exec_);
+    Relation del = d.deletions(last_exec_);
+    out.pending_changes += ins.size() + del.size();
+    const alg::ExprPtr f = planned.filter(i);
+    if (alg::is_always_true(f)) {
+      out.relevant_changes += ins.size() + del.size();
+    } else {
+      ins.set_schema(schemas[i]);
+      del.set_schema(schemas[i]);
+      out.relevant_changes +=
+          alg::select(ins, *f).size() + alg::select(del, *f).size();
+    }
+  }
+  return out;
+}
+
+std::string ContinualQuery::explain(const cat::Database& db) const {
+  std::ostringstream os;
+  os << "CQ '" << spec_.name << "': " << spec_.query.to_string() << "\n";
+  os << "  trigger: " << spec_.trigger->describe() << "\n";
+  os << "  stop: " << spec_.stop->describe() << "\n";
+  os << "  mode: " << core::to_string(spec_.mode) << ", strategy: "
+     << (spec_.strategy == ExecutionStrategy::kDra ? "DRA" : "recompute") << "\n";
+  os << "  executions: " << executions_ << ", last at t=" << last_exec_.to_string()
+     << "\n";
+
+  const qry::SpjQuery core = spj_core();
+  std::vector<rel::Schema> schemas;
+  std::vector<std::size_t> cards;
+  for (const auto& ref : core.from) {
+    schemas.push_back(qry::qualify(db.table(ref.table).schema(), ref));
+    cards.push_back(db.table(ref.table).size());
+  }
+  const qry::PlannedQuery planned = qry::plan(core, schemas, cards);
+  os << "  " << planned.to_string(core);
+
+  for (std::size_t i = 0; i < core.from.size(); ++i) {
+    const auto& d = db.delta(core.from[i].table);
+    const std::size_t pending =
+        d.changed_since(last_exec_) ? d.net_effect(last_exec_).size() : 0;
+    os << "  Δ" << core.from[i].table << ": " << pending << " pending net rows";
+    const auto names = db.index_names(core.from[i].table);
+    if (!names.empty()) {
+      os << " (indexes:";
+      for (const auto& n : names) os << " " << n;
+      os << ")";
+    }
+    os << "\n";
+  }
+  const Staleness s = staleness(db);
+  os << "  staleness: " << s.pending_changes << " pending / " << s.relevant_changes
+     << " relevant changes, age " << s.age.ticks() << " ticks\n";
+  return os.str();
+}
+
+namespace {
+
+/// Lift a multiset SPJ-level diff to DISTINCT level, updating `counts` to
+/// the post-diff multiplicities. A distinct row is inserted when its count
+/// rises from zero and deleted when it falls to zero.
+DiffResult lift_to_distinct(rel::TupleBag& counts, const DiffResult& raw,
+                            const rel::Schema& schema) {
+  DiffResult out;
+  out.inserted = Relation(schema);
+  out.deleted = Relation(schema);
+  for (const auto& row : raw.deleted.rows()) {
+    counts.add(row, -1);
+    const auto remaining = counts.count(row);
+    if (remaining < 0) {
+      throw common::InternalError("distinct maintenance: negative multiplicity");
+    }
+    if (remaining == 0) out.deleted.append(rel::Tuple(row.values()));
+  }
+  for (const auto& row : raw.inserted.rows()) {
+    const auto before = counts.count(row);
+    counts.add(row, +1);
+    if (before == 0) out.inserted.append(rel::Tuple(row.values()));
+  }
+  return out;
+}
+
+rel::Relation distinct_from_counts(const rel::TupleBag& counts, const rel::Schema& schema) {
+  Relation out(schema);
+  counts.for_each([&](const rel::Tuple& t, std::ptrdiff_t) { out.append(t); });
+  return out;
+}
+
+}  // namespace
+
+Notification ContinualQuery::execute_initial(const cat::Database& db,
+                                             common::Metrics* metrics) {
+  if (executions_ != 0) {
+    throw common::InvalidArgument("CQ '" + spec_.name + "': already initialized");
+  }
+  const qry::SpjQuery core = spj_core();
+  Relation spj = recompute(core, db, metrics);
+  if (metrics != nullptr) metrics->add(common::metric::kQueryExecutions, 1);
+
+  Notification note;
+  note.cq_name = spec_.name;
+  note.sequence = 0;
+
+  if (spec_.query.is_aggregate()) {
+    agg_state_.emplace(spj.schema(), spec_.query.group_by, spec_.query.aggregates);
+    agg_state_->initialize(spj);
+    note.aggregate = delivered_aggregate();
+    note.complete = note.aggregate;
+    // ΔQ plumbing still needs the previous SPJ result under kRecompute.
+    if (spec_.strategy == ExecutionStrategy::kRecompute) saved_result_ = spj;
+    note.delta.inserted = Relation(spj.schema());
+    note.delta.deleted = Relation(spj.schema());
+  } else if (spec_.query.distinct) {
+    result_counts_.emplace();
+    for (const auto& row : spj.rows()) result_counts_->add(row, +1);
+    note.complete = distinct_from_counts(*result_counts_, spj.schema());
+    if (spec_.strategy == ExecutionStrategy::kRecompute) saved_result_ = spj;
+    note.delta.inserted = Relation(spj.schema());
+    note.delta.deleted = Relation(spj.schema());
+  } else {
+    note.delta.inserted = Relation(spj.schema());
+    note.delta.deleted = Relation(spj.schema());
+    note.complete = spj;
+    if (spec_.mode == DeliveryMode::kComplete ||
+        spec_.strategy == ExecutionStrategy::kRecompute) {
+      saved_result_ = std::move(spj);
+    }
+  }
+
+  executions_ = 1;
+  last_exec_ = db.clock().now();
+  note.at = last_exec_;
+  return note;
+}
+
+void ContinualQuery::restore(const cat::Database& db, Timestamp last_execution,
+                             std::uint64_t executions) {
+  if (executions_ != 0) {
+    throw common::InvalidArgument("CQ '" + spec_.name + "': restore on a live CQ");
+  }
+  if (executions == 0) {
+    throw common::InvalidArgument("CQ '" + spec_.name +
+                                  "': restore needs executions >= 1");
+  }
+  const qry::SpjQuery core = spj_core();
+
+  // Reconstruct the SPJ result as of last_execution: current state rolled
+  // back by the inverted delta window (last_execution, now].
+  Relation spj = recompute(core, db);
+  DiffResult window = dra_differential(core, db, last_execution, nullptr,
+                                       spec_.dra_options);
+  DiffResult inverted;
+  inverted.inserted = std::move(window.deleted);
+  inverted.deleted = std::move(window.inserted);
+  spj = apply_diff(spj, inverted);
+
+  if (spec_.query.is_aggregate()) {
+    agg_state_.emplace(spj.schema(), spec_.query.group_by, spec_.query.aggregates);
+    agg_state_->initialize(spj);
+    if (spec_.strategy == ExecutionStrategy::kRecompute) saved_result_ = std::move(spj);
+  } else if (spec_.query.distinct) {
+    result_counts_.emplace();
+    for (const auto& row : spj.rows()) result_counts_->add(row, +1);
+    if (spec_.strategy == ExecutionStrategy::kRecompute) saved_result_ = std::move(spj);
+  } else if (spec_.mode == DeliveryMode::kComplete ||
+             spec_.strategy == ExecutionStrategy::kRecompute) {
+    saved_result_ = std::move(spj);
+  }
+
+  executions_ = executions;
+  last_exec_ = last_execution;
+}
+
+Notification ContinualQuery::execute(const cat::Database& db, common::Metrics* metrics,
+                                     DraStats* stats) {
+  if (executions_ == 0) return execute_initial(db, metrics);
+  const qry::SpjQuery core = spj_core();
+
+  // ---- ΔQ of the SPJ core ----
+  DiffResult raw;
+  if (spec_.strategy == ExecutionStrategy::kDra) {
+    raw = dra_differential(core, db, last_exec_, metrics, spec_.dra_options, stats);
+    if (saved_result_) saved_result_ = apply_diff(*saved_result_, raw);
+  } else {
+    if (!saved_result_) {
+      throw common::InternalError("CQ '" + spec_.name +
+                                  "': recompute strategy lost its saved result");
+    }
+    Relation current = recompute(core, db, metrics);
+    raw = diff(*saved_result_, current);
+    saved_result_ = std::move(current);
+  }
+  if (metrics != nullptr) metrics->add(common::metric::kQueryExecutions, 1);
+
+  Notification note;
+  note.cq_name = spec_.name;
+  note.sequence = executions_;
+
+  // ---- assemble per delivery mode (Algorithm 1, step 4) ----
+  if (spec_.query.is_aggregate()) {
+    const Relation before = delivered_aggregate();
+    agg_state_->apply(raw);
+    const Relation after = delivered_aggregate();
+    note.aggregate = after;
+    note.delta = diff(before, after);
+    if (spec_.mode == DeliveryMode::kComplete) note.complete = after;
+  } else if (spec_.query.distinct) {
+    note.delta = lift_to_distinct(*result_counts_, raw, raw.inserted.schema());
+    if (spec_.mode == DeliveryMode::kComplete) {
+      note.complete = distinct_from_counts(*result_counts_, raw.inserted.schema());
+    }
+  } else {
+    note.delta = raw;
+    if (spec_.mode == DeliveryMode::kComplete) note.complete = *saved_result_;
+  }
+
+  switch (spec_.mode) {
+    case DeliveryMode::kInsertionsOnly:
+      note.delta.deleted = Relation(note.delta.deleted.schema());
+      break;
+    case DeliveryMode::kDeletionsOnly:
+      note.delta.inserted = Relation(note.delta.inserted.schema());
+      break;
+    case DeliveryMode::kDifferential:
+    case DeliveryMode::kComplete:
+      break;
+  }
+
+  ++executions_;
+  last_exec_ = db.clock().now();
+  note.at = last_exec_;
+  return note;
+}
+
+}  // namespace cq::core

@@ -1,0 +1,79 @@
+#include "cq/diff.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "algebra/ops.hpp"
+#include "common/error.hpp"
+
+namespace cq::core {
+
+using rel::Relation;
+using rel::Tuple;
+
+bool DiffResult::equivalent(const DiffResult& other) const {
+  const DiffResult a = consolidated();
+  const DiffResult b = other.consolidated();
+  return a.inserted.equal_multiset(b.inserted) && a.deleted.equal_multiset(b.deleted);
+}
+
+DiffResult DiffResult::consolidated() const {
+  DiffResult out;
+  out.inserted = alg::difference(inserted, deleted);
+  out.deleted = alg::difference(deleted, inserted);
+  return out;
+}
+
+std::string DiffResult::to_string() const {
+  std::ostringstream os;
+  os << "ΔQ inserted: " << inserted.to_string() << "ΔQ deleted: " << deleted.to_string();
+  return os.str();
+}
+
+DiffResult diff(const Relation& before, const Relation& after) {
+  DiffResult out;
+  out.inserted = alg::difference(after, before);
+  out.deleted = alg::difference(before, after);
+  return out;
+}
+
+rel::Relation apply_diff(const Relation& previous, const DiffResult& delta) {
+  Relation next = previous;
+  for (const auto& row : delta.deleted.rows()) {
+    if (!next.remove_one(row)) {
+      throw common::InternalError(
+          "apply_diff: deleted row missing from previous result: " + row.to_string());
+    }
+  }
+  for (const auto& row : delta.inserted.rows()) next.append(row);
+  return next;
+}
+
+ClassifiedDiff classify(const DiffResult& delta) {
+  ClassifiedDiff out;
+  out.pure_insertions = rel::Relation(delta.inserted.schema());
+  out.pure_deletions = rel::Relation(delta.deleted.schema());
+
+  std::unordered_map<rel::TupleId, const Tuple*> deleted_by_tid;
+  for (const auto& row : delta.deleted.rows()) {
+    if (row.tid().valid()) deleted_by_tid.emplace(row.tid(), &row);
+  }
+  std::unordered_map<rel::TupleId, bool> matched;
+  for (const auto& row : delta.inserted.rows()) {
+    auto it = row.tid().valid() ? deleted_by_tid.find(row.tid()) : deleted_by_tid.end();
+    if (it != deleted_by_tid.end()) {
+      out.modified.emplace_back(*it->second, row);
+      matched[row.tid()] = true;
+    } else {
+      out.pure_insertions.append(row);
+    }
+  }
+  for (const auto& row : delta.deleted.rows()) {
+    if (!row.tid().valid() || !matched.contains(row.tid())) {
+      out.pure_deletions.append(row);
+    }
+  }
+  return out;
+}
+
+}  // namespace cq::core

@@ -1,0 +1,407 @@
+#include "cq/dra.hpp"
+
+#include <algorithm>
+
+#include "algebra/ops.hpp"
+#include "algebra/predicate.hpp"
+#include "common/error.hpp"
+#include "query/evaluate.hpp"
+#include "query/planner.hpp"
+
+namespace cq::core {
+
+using alg::ExprPtr;
+using common::Metrics;
+using common::Timestamp;
+using rel::Relation;
+
+namespace {
+
+/// A relation with signs: rows in `pos` carry weight +1, rows in `neg`
+/// weight −1. Multiset semantics throughout.
+struct Signed {
+  Relation pos;
+  Relation neg;
+
+  [[nodiscard]] bool zero() const noexcept { return pos.empty() && neg.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return pos.size() + neg.size(); }
+};
+
+Relation join_plain(const Relation& a, const Relation& b, const ExprPtr& predicate,
+                    bool use_hash, Metrics* metrics) {
+  if (a.empty() || b.empty()) {
+    return Relation(a.schema().concat(b.schema()));
+  }
+  if (use_hash) return alg::join(a, b, predicate, metrics);
+  // Nested-loop ablation: still push single-side conjuncts, but never build
+  // a hash table.
+  alg::JoinAnalysis analysis = alg::analyze_join(predicate, a.schema(), b.schema());
+  const Relation* l = &a;
+  const Relation* r = &b;
+  Relation lf;
+  Relation rf;
+  if (!analysis.left_only.empty()) {
+    lf = alg::select(a, *alg::conjoin(analysis.left_only), metrics);
+    l = &lf;
+  }
+  if (!analysis.right_only.empty()) {
+    rf = alg::select(b, *alg::conjoin(analysis.right_only), metrics);
+    r = &rf;
+  }
+  std::vector<ExprPtr> rest = analysis.residual;
+  for (const auto& [lc, rc] : analysis.equi_pairs) {
+    rest.push_back(alg::Expr::cmp(alg::CmpOp::kEq,
+                                  alg::Expr::col(a.schema().at(lc).name),
+                                  alg::Expr::col(b.schema().at(rc).name)));
+  }
+  const ExprPtr residual = alg::conjoin(rest);
+  return alg::nested_loop_join(*l, *r,
+                               alg::is_always_true(residual) ? nullptr : residual.get(),
+                               metrics);
+}
+
+/// (a ⋈ b) with sign bookkeeping: (a⁺−a⁻) ⋈ (b⁺−b⁻)
+///   = a⁺⋈b⁺ + a⁻⋈b⁻  −  (a⁺⋈b⁻ + a⁻⋈b⁺).
+Signed signed_join(const Signed& a, const Signed& b, const ExprPtr& predicate,
+                   bool use_hash, Metrics* metrics) {
+  Signed out;
+  out.pos = alg::union_all(join_plain(a.pos, b.pos, predicate, use_hash, metrics),
+                           join_plain(a.neg, b.neg, predicate, use_hash, metrics));
+  out.neg = alg::union_all(join_plain(a.pos, b.neg, predicate, use_hash, metrics),
+                           join_plain(a.neg, b.pos, predicate, use_hash, metrics));
+  return out;
+}
+
+std::vector<std::string> canonical_names(const std::vector<rel::Schema>& schemas) {
+  std::vector<std::string> names;
+  for (const auto& s : schemas) {
+    for (const auto& a : s.attributes()) names.push_back(a.name);
+  }
+  return names;
+}
+
+}  // namespace
+
+DiffResult dra_differential(const qry::SpjQuery& query, const cat::Database& db,
+                            Timestamp since, Metrics* metrics, const DraOptions& options,
+                            DraStats* stats) {
+  query.validate();
+  if (query.is_aggregate() || query.distinct) {
+    throw common::InvalidArgument(
+        "dra_differential handles the SPJ core only; strip aggregates/DISTINCT "
+        "(ContinualQuery maintains those on top of ΔQ)");
+  }
+  const std::size_t n = query.from.size();
+  DraStats local_stats;
+  DraStats& st = stats != nullptr ? *stats : local_stats;
+  st = DraStats{};
+
+  // ---- bind inputs: current base + signed delta per FROM entry ----
+  std::vector<rel::Schema> schemas;
+  schemas.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    schemas.push_back(qry::qualify(db.table(query.from[i].table).schema(), query.from[i]));
+  }
+
+  // Output schema for (possibly empty) results.
+  const std::vector<std::string> canon = canonical_names(schemas);
+  rel::Schema joined_schema;
+  for (const auto& s : schemas) joined_schema = joined_schema.concat(s);
+  const rel::Schema out_schema =
+      query.projection.empty() ? joined_schema : joined_schema.project(query.projection);
+
+  DiffResult result;
+  result.inserted = Relation(out_schema);
+  result.deleted = Relation(out_schema);
+
+  std::vector<Signed> delta(n);       // filtered, qualified ΔRi (signed)
+  std::vector<std::size_t> changed;   // indexes of changed FROM entries
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& d = db.delta(query.from[i].table);
+    if (!d.changed_since(since)) continue;
+    Relation ins = d.insertions(since);
+    Relation del = d.deletions(since);
+    st.delta_rows_read += ins.size() + del.size();
+    if (metrics != nullptr) {
+      metrics->add(common::metric::kDeltaRowsScanned,
+                   static_cast<std::int64_t>(ins.size() + del.size()));
+    }
+    if (ins.empty() && del.empty()) continue;  // e.g. insert+delete collapsed
+    ins.set_schema(schemas[i]);
+    del.set_schema(schemas[i]);
+    delta[i] = Signed{std::move(ins), std::move(del)};
+    changed.push_back(i);
+  }
+  st.changed_relations = changed.size();
+  if (changed.empty()) return result;
+
+  // ---- plan once: per-table filters + join conjuncts (Section 5.2) ----
+  std::vector<std::size_t> cards;
+  cards.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) cards.push_back(db.table(query.from[i].table).size());
+  const qry::PlannedQuery planned = qry::plan(query, schemas, cards);
+
+  // Filter the deltas by their table's pushed-down selection. Selection
+  // commutes with the substitution, so this both implements the Section 5.2
+  // irrelevance check and shrinks every term.
+  bool any_relevant = false;
+  for (auto i : changed) {
+    const ExprPtr f = planned.filter(i);
+    if (!alg::is_always_true(f)) {
+      delta[i].pos = alg::select(delta[i].pos, *f, metrics);
+      delta[i].neg = alg::select(delta[i].neg, *f, metrics);
+    }
+    if (!delta[i].zero()) any_relevant = true;
+  }
+  if (options.irrelevance_check) {
+    // Section 5.2 refinement: updates whose filtered delta is empty cannot
+    // affect the result — drop them from the truth table, and skip the
+    // whole re-evaluation when nothing relevant remains. Without the flag
+    // the DRA machinery below runs regardless (empty terms still enumerate
+    // and unchanged-side base states still get bound).
+    if (!any_relevant) {
+      st.skipped_irrelevant = true;
+      return result;
+    }
+    changed.erase(std::remove_if(changed.begin(), changed.end(),
+                                 [&](std::size_t i) { return delta[i].zero(); }),
+                  changed.end());
+    if (changed.empty()) {
+      st.skipped_irrelevant = true;
+      return result;
+    }
+    st.changed_relations = changed.size();
+  }
+
+  // Filtered, qualified current base state, built lazily and shared by all
+  // terms. Position i is ever bound to its base only when it is unchanged
+  // (then every term binds it) or when k >= 2 (terms substituting a
+  // *different* relation's delta bind i's base). In particular the common
+  // single-relation CQ never touches the base at all — the heart of the
+  // paper's efficiency claim.
+  const std::size_t k = changed.size();
+  std::vector<Relation> base(n);
+  std::vector<bool> base_built(n, false);
+  auto base_of = [&](std::size_t i) -> const Relation& {
+    if (!base_built[i]) {
+      base[i] = qry::qualified_copy(db.table(query.from[i].table), query.from[i]);
+      const ExprPtr f = planned.filter(i);
+      if (!alg::is_always_true(f)) base[i] = alg::select(base[i], *f, metrics);
+      if (metrics != nullptr) {
+        metrics->add(common::metric::kBaseRowsScanned,
+                     static_cast<std::int64_t>(db.table(query.from[i].table).size()));
+      }
+      base_built[i] = true;
+    }
+    return base[i];
+  };
+
+  // ---- truth table: one signed SPJ term per non-zero row (step 2) ----
+  if (k > 20) throw common::InvalidArgument("dra: too many changed relations");
+  Relation sum_pos(joined_schema);
+  Relation sum_neg(joined_schema);
+
+  // Probe an unchanged position's *persistent index* (when one covers an
+  // equi conjunct against the already-joined accumulator) instead of
+  // materializing and hashing its filtered base: O(|acc| · fanout) per term
+  // rather than O(|base|). Returns false when no usable index exists.
+  auto try_index_join = [&](const Signed& acc, std::size_t p,
+                            const std::vector<ExprPtr>& applicable,
+                            Signed& out) -> bool {
+    const rel::Relation& base_table = db.table(query.from[p].table);
+    // Collect equi pairs (acc column, base column) from the applicable
+    // conjuncts; positions in schemas[p] equal positions in the base schema.
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    for (const auto& conjunct : applicable) {
+      if (conjunct->kind() != alg::Expr::Kind::kCompare ||
+          conjunct->cmp_op() != alg::CmpOp::kEq) {
+        continue;
+      }
+      const auto& a = conjunct->children()[0];
+      const auto& b = conjunct->children()[1];
+      if (a->kind() != alg::Expr::Kind::kColumn ||
+          b->kind() != alg::Expr::Kind::kColumn) {
+        continue;
+      }
+      const auto a_acc = acc.pos.schema().find(a->column());
+      const auto a_base = schemas[p].find(a->column());
+      const auto b_acc = acc.pos.schema().find(b->column());
+      const auto b_base = schemas[p].find(b->column());
+      if (a_acc && b_base && !a_base && !b_acc) {
+        pairs.emplace_back(*a_acc, *b_base);
+      } else if (b_acc && a_base && !b_base && !a_acc) {
+        pairs.emplace_back(*b_acc, *a_base);
+      }
+    }
+    if (pairs.empty()) return false;
+
+    // Prefer an index covering all equi columns, else any single one.
+    const rel::MaintainedIndex* index = nullptr;
+    {
+      std::vector<std::size_t> base_cols;
+      for (const auto& [ac, bc] : pairs) base_cols.push_back(bc);
+      index = db.index_on(query.from[p].table, base_cols);
+      if (index == nullptr) {
+        for (const auto& [ac, bc] : pairs) {
+          index = db.index_on(query.from[p].table, {bc});
+          if (index != nullptr) break;
+        }
+      }
+    }
+    if (index == nullptr) return false;
+
+    // Map each index key column to the accumulator column feeding it.
+    std::vector<std::size_t> acc_cols;
+    for (auto index_col : index->columns()) {
+      bool found = false;
+      for (const auto& [ac, bc] : pairs) {
+        if (bc == index_col) {
+          acc_cols.push_back(ac);
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+
+    const rel::Schema combined = acc.pos.schema().concat(schemas[p]);
+    // Everything else (uncovered equi pairs, residual conjuncts, and the
+    // base table's own pushed-down filter) applies on the combined row.
+    std::vector<ExprPtr> checks = applicable;
+    const ExprPtr base_filter = planned.filter(p);
+    if (!alg::is_always_true(base_filter)) checks.push_back(base_filter);
+    const ExprPtr residual = alg::conjoin(checks);
+    const bool check_residual = !alg::is_always_true(residual);
+
+    auto probe_side = [&](const Relation& side, Relation& result) {
+      for (const auto& row : side.rows()) {
+        std::vector<rel::Value> key;
+        key.reserve(acc_cols.size());
+        for (auto c : acc_cols) key.push_back(row.at(c));
+        for (const rel::TupleId tid : index->probe(key)) {
+          const rel::Tuple* match = base_table.find(tid);
+          CQ_ASSERT(match != nullptr);
+          rel::Tuple joined = row.concat(*match);
+          if (metrics != nullptr) metrics->add(common::metric::kTuplesCompared, 1);
+          if (!check_residual || residual->eval_bool(joined, combined)) {
+            result.append(std::move(joined));
+          }
+        }
+      }
+    };
+    out.pos = Relation(combined);
+    out.neg = Relation(combined);
+    probe_side(acc.pos, out.pos);
+    probe_side(acc.neg, out.neg);
+    st.index_probes += acc.size();
+    return true;
+  };
+
+  for (std::size_t bits = 1; bits < (static_cast<std::size_t>(1) << k); ++bits) {
+    // Bind each FROM position for this term: a changed position in b gets
+    // its (signed, filtered) delta; the rest bind the current base state,
+    // materialized lazily only if a join step actually needs it.
+    std::vector<const Signed*> bound(n, nullptr);
+    bool term_zero = false;
+    std::size_t popcount = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if ((bits >> c) & 1U) {
+        bound[changed[c]] = &delta[changed[c]];
+        ++popcount;
+      }
+    }
+    for (std::size_t i = 0; i < n && !term_zero; ++i) {
+      if (bound[i] != nullptr) {
+        if (bound[i]->zero()) term_zero = true;
+      } else if (db.table(query.from[i].table).empty()) {
+        term_zero = true;
+      }
+    }
+    if (term_zero) continue;
+    ++st.terms_evaluated;
+
+    // Join order for this term: plan with the term's own cardinalities so
+    // the (tiny) delta sides are joined first.
+    std::vector<std::size_t> term_cards;
+    std::vector<const Relation*> term_samples(n, nullptr);
+    term_cards.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (bound[i] != nullptr) {
+        term_cards.push_back(bound[i]->size());
+        // Delta sides are qualified and already filter-reduced; sampling
+        // them stops the planner double-counting the filter's selectivity.
+        term_samples[i] = &bound[i]->pos;
+      } else {
+        term_cards.push_back(db.table(query.from[i].table).size());
+      }
+    }
+    const qry::PlannedQuery term_plan =
+        qry::plan(query, schemas, term_cards, &term_samples);
+
+    std::vector<ExprPtr> pending = term_plan.join_conjuncts;
+    std::vector<Signed> materialized(n);
+    auto bind_base = [&](std::size_t p) -> const Signed& {
+      if (materialized[p].pos.schema().empty()) {
+        materialized[p] = Signed{base_of(p), Relation(schemas[p])};
+      }
+      return materialized[p];
+    };
+
+    const std::size_t first = term_plan.join_order[0];
+    Signed acc = bound[first] != nullptr ? *bound[first] : bind_base(first);
+    for (std::size_t step = 1; step < n && !acc.zero(); ++step) {
+      const std::size_t p = term_plan.join_order[step];
+      const rel::Schema combined = acc.pos.schema().concat(schemas[p]);
+      std::vector<ExprPtr> applicable;
+      std::vector<ExprPtr> still_pending;
+      for (const auto& conjunct : pending) {
+        if (conjunct->resolves_in(combined)) {
+          applicable.push_back(conjunct);
+        } else {
+          still_pending.push_back(conjunct);
+        }
+      }
+      pending = std::move(still_pending);
+
+      Signed via_index;
+      if (bound[p] == nullptr && options.use_persistent_indexes &&
+          try_index_join(acc, p, applicable, via_index)) {
+        acc = std::move(via_index);
+        continue;
+      }
+      const Signed& next = bound[p] != nullptr ? *bound[p] : bind_base(p);
+      acc = signed_join(acc, next, alg::conjoin(applicable), options.use_hash_join,
+                        metrics);
+    }
+    if (acc.zero()) continue;
+    if (!pending.empty()) {
+      const ExprPtr rest = alg::conjoin(pending);
+      acc.pos = alg::select(acc.pos, *rest, metrics);
+      acc.neg = alg::select(acc.neg, *rest, metrics);
+    }
+
+    // Canonical column order so all terms line up.
+    if (n > 1) {
+      acc.pos = alg::project(acc.pos, canon, false, metrics);
+      acc.neg = alg::project(acc.neg, canon, false, metrics);
+    }
+
+    // Term sign: unchanged positions bind the *current* state, so the term
+    // carries (−1)^(|b|+1).
+    const bool positive = (popcount % 2) == 1;
+    sum_pos = alg::union_all(sum_pos, positive ? acc.pos : acc.neg);
+    sum_neg = alg::union_all(sum_neg, positive ? acc.neg : acc.pos);
+  }
+
+  // ---- projection (DiffProj: linear, keeps signs), then consolidation ----
+  if (!query.projection.empty()) {
+    sum_pos = alg::project(sum_pos, query.projection, false, metrics);
+    sum_neg = alg::project(sum_neg, query.projection, false, metrics);
+  }
+  DiffResult raw;
+  raw.inserted = std::move(sum_pos);
+  raw.deleted = std::move(sum_neg);
+  return raw.consolidated();
+}
+
+}  // namespace cq::core

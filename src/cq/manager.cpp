@@ -1,0 +1,177 @@
+#include "cq/manager.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace cq::core {
+
+CqManager::CqManager(cat::Database& db) : db_(db) {}
+
+CqManager::~CqManager() {
+  if (eager_) db_.set_commit_hook(nullptr);
+}
+
+CqHandle CqManager::install(CqSpec spec, std::shared_ptr<ResultSink> sink) {
+  Entry entry;
+  entry.query = std::make_unique<ContinualQuery>(std::move(spec), db_);
+  entry.sink = std::move(sink);
+
+  const Notification initial = entry.query->execute_initial(db_, &metrics_);
+  entry.zone_id = db_.zones().register_cq(entry.query->last_execution());
+  if (entry.sink) entry.sink->on_result(initial);
+
+  common::log_info("installed CQ '", entry.query->name(), "' trigger=",
+                   entry.query->spec().trigger->describe());
+
+  const CqHandle handle = next_handle_++;
+  entries_.emplace(handle, std::move(entry));
+  return handle;
+}
+
+CqHandle CqManager::install_restored(CqSpec spec, std::shared_ptr<ResultSink> sink,
+                                     common::Timestamp last_execution,
+                                     std::uint64_t executions) {
+  Entry entry;
+  entry.query = std::make_unique<ContinualQuery>(std::move(spec), db_);
+  entry.sink = std::move(sink);
+  entry.query->restore(db_, last_execution, executions);
+  entry.zone_id = db_.zones().register_cq(last_execution);
+
+  common::log_info("restored CQ '", entry.query->name(), "' at t=",
+                   last_execution.to_string(), " after ", executions, " executions");
+
+  const CqHandle handle = next_handle_++;
+  entries_.emplace(handle, std::move(entry));
+  return handle;
+}
+
+void CqManager::remove(CqHandle handle) {
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) {
+    throw common::NotFound("CqManager: unknown handle " + std::to_string(handle));
+  }
+  db_.zones().unregister(it->second.zone_id);
+  entries_.erase(it);
+}
+
+void CqManager::finish(CqHandle handle) {
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) return;
+  common::log_info("CQ '", it->second.query->name(), "' reached its Stop condition");
+  db_.zones().unregister(it->second.zone_id);
+  entries_.erase(it);
+}
+
+void CqManager::run(CqHandle handle, Entry& entry) {
+  DraStats stats;
+  const Notification note = entry.query->execute(db_, &metrics_, &stats);
+  last_stats_ = stats;
+  db_.zones().advance(entry.zone_id, entry.query->last_execution());
+  if (entry.sink) entry.sink->on_result(note);
+  if (entry.query->should_stop(db_)) {
+    entry.query->mark_finished();
+    finish(handle);
+  }
+}
+
+std::size_t CqManager::poll() {
+  std::size_t executed = 0;
+  // Snapshot handles: run() may erase finished entries.
+  std::vector<CqHandle> handles;
+  handles.reserve(entries_.size());
+  for (const auto& [h, e] : entries_) handles.push_back(h);
+
+  for (const CqHandle h : handles) {
+    auto it = entries_.find(h);
+    if (it == entries_.end()) continue;
+    Entry& entry = it->second;
+    metrics_.add(common::metric::kTriggerChecks, 1);
+    if (entry.query->should_stop(db_)) {
+      entry.query->mark_finished();
+      finish(h);
+      continue;
+    }
+    if (entry.query->should_fire(db_)) {
+      run(h, entry);
+      ++executed;
+    }
+  }
+  return executed;
+}
+
+void CqManager::set_eager(bool eager) {
+  if (eager == eager_) return;
+  eager_ = eager;
+  if (eager_) {
+    db_.set_commit_hook([this](const std::vector<std::string>& tables,
+                               common::Timestamp ts) { on_commit(tables, ts); });
+  } else {
+    db_.set_commit_hook(nullptr);
+  }
+}
+
+void CqManager::on_commit(const std::vector<std::string>& tables, common::Timestamp) {
+  if (in_dispatch_) return;  // a CQ execution never re-triggers itself
+  in_dispatch_ = true;
+  std::vector<CqHandle> handles;
+  handles.reserve(entries_.size());
+  for (const auto& [h, e] : entries_) handles.push_back(h);
+
+  for (const CqHandle h : handles) {
+    auto it = entries_.find(h);
+    if (it == entries_.end()) continue;
+    Entry& entry = it->second;
+    const auto& relations = entry.query->relations();
+    const bool relevant =
+        std::any_of(tables.begin(), tables.end(), [&](const std::string& t) {
+          return std::find(relations.begin(), relations.end(), t) != relations.end();
+        });
+    if (!relevant) continue;
+    metrics_.add(common::metric::kTriggerChecks, 1);
+    if (entry.query->should_stop(db_)) {
+      entry.query->mark_finished();
+      finish(h);
+      continue;
+    }
+    if (entry.query->should_fire(db_)) run(h, entry);
+  }
+  in_dispatch_ = false;
+}
+
+Notification CqManager::execute_now(CqHandle handle) {
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) {
+    throw common::NotFound("CqManager: unknown handle " + std::to_string(handle));
+  }
+  DraStats stats;
+  const Notification note = it->second.query->execute(db_, &metrics_, &stats);
+  last_stats_ = stats;
+  db_.zones().advance(it->second.zone_id, it->second.query->last_execution());
+  if (it->second.sink) it->second.sink->on_result(note);
+  if (it->second.query->should_stop(db_)) {
+    it->second.query->mark_finished();
+    finish(handle);
+  }
+  return note;
+}
+
+std::size_t CqManager::collect_garbage() { return db_.garbage_collect(); }
+
+const ContinualQuery& CqManager::cq(CqHandle handle) const {
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) {
+    throw common::NotFound("CqManager: unknown handle " + std::to_string(handle));
+  }
+  return *it->second.query;
+}
+
+std::vector<CqHandle> CqManager::handles() const {
+  std::vector<CqHandle> out;
+  out.reserve(entries_.size());
+  for (const auto& [h, e] : entries_) out.push_back(h);
+  return out;
+}
+
+}  // namespace cq::core

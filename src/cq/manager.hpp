@@ -1,0 +1,101 @@
+// The CQ manager (Sections 4.2, 5.3, 5.4): owns the installed continual
+// queries, decides *when* to test their trigger conditions (eagerly after
+// every commit, or periodically via poll()), invokes the DRA with the
+// proper timestamp predicate, delivers notifications, and drives garbage
+// collection of the differential relations through the delta-zone registry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/database.hpp"
+#include "common/metrics.hpp"
+#include "cq/continual_query.hpp"
+
+namespace cq::core {
+
+/// Handle to an installed CQ.
+using CqHandle = std::uint64_t;
+
+class CqManager {
+ public:
+  /// The database must outlive the manager.
+  explicit CqManager(cat::Database& db);
+  ~CqManager();
+
+  CqManager(const CqManager&) = delete;
+  CqManager& operator=(const CqManager&) = delete;
+
+  /// Install a CQ: runs the initial execution E_0 immediately, delivers it
+  /// to `sink` (which may be null to discard notifications), and registers
+  /// the CQ's active delta zone. Returns a handle.
+  CqHandle install(CqSpec spec, std::shared_ptr<ResultSink> sink);
+
+  /// Re-install a CQ recovered from a persisted deployment: no initial
+  /// execution or notification; runtime state (saved result, aggregate
+  /// accumulators, DISTINCT counts) is reconstructed from the database via
+  /// ContinualQuery::restore, and the delta zone registers at
+  /// `last_execution` so garbage collection keeps the rows it still needs.
+  CqHandle install_restored(CqSpec spec, std::shared_ptr<ResultSink> sink,
+                            common::Timestamp last_execution,
+                            std::uint64_t executions);
+
+  /// Remove a CQ before its Stop condition fires; releases its delta zone.
+  void remove(CqHandle handle);
+
+  /// Periodic strategy (Section 5.3): test every active CQ's trigger and
+  /// stop conditions; execute those that fire. Returns how many executed.
+  std::size_t poll();
+
+  /// Eager strategy (Section 5.3): hook into the database so triggers are
+  /// tested immediately after each commit that touches a CQ's relations.
+  /// Pass false to return to purely periodic checking.
+  void set_eager(bool eager);
+  [[nodiscard]] bool eager() const noexcept { return eager_; }
+
+  /// Force one execution regardless of the trigger.
+  Notification execute_now(CqHandle handle);
+
+  /// Reclaim differential-relation rows outside the system active delta
+  /// zone (Section 5.4). Returns rows reclaimed.
+  std::size_t collect_garbage();
+
+  [[nodiscard]] std::size_t active_count() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool contains(CqHandle handle) const noexcept {
+    return entries_.contains(handle);
+  }
+  [[nodiscard]] const ContinualQuery& cq(CqHandle handle) const;
+  [[nodiscard]] std::vector<CqHandle> handles() const;
+
+  /// Work counters accumulated across all executions (rows scanned, delta
+  /// rows read, trigger checks, ...).
+  [[nodiscard]] common::Metrics& metrics() noexcept { return metrics_; }
+
+  /// Stats of the most recent DRA invocation (for EXPLAIN-style output).
+  [[nodiscard]] const DraStats& last_dra_stats() const noexcept { return last_stats_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<ContinualQuery> query;
+    std::shared_ptr<ResultSink> sink;
+    delta::CqId zone_id = 0;
+  };
+
+  /// Run one CQ, notify, advance its zone; finish it when Stop holds.
+  void run(CqHandle handle, Entry& entry);
+  void finish(CqHandle handle);
+  void on_commit(const std::vector<std::string>& tables, common::Timestamp ts);
+
+  cat::Database& db_;
+  std::map<CqHandle, Entry> entries_;
+  CqHandle next_handle_ = 1;
+  bool eager_ = false;
+  bool in_dispatch_ = false;  // guards against reentrant commit hooks
+  common::Metrics metrics_;
+  DraStats last_stats_;
+};
+
+}  // namespace cq::core

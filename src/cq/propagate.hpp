@@ -1,0 +1,27 @@
+// The Propagate operator (Section 4.2): the formal *complete
+// re-evaluation* solution. Propagate(Q; [R, ΔR]) recomputes Q over the
+// current database state from scratch and diffs against the saved previous
+// result. It is the correctness oracle for the DRA ("functionally
+// equivalent to the recompute-the-query-from-scratch solution") and the
+// baseline in every benchmark.
+#pragma once
+
+#include "catalog/database.hpp"
+#include "common/metrics.hpp"
+#include "cq/diff.hpp"
+#include "query/ast.hpp"
+
+namespace cq::core {
+
+/// Recompute Q(S_now) over the base tables from scratch.
+[[nodiscard]] rel::Relation recompute(const qry::SpjQuery& query, const cat::Database& db,
+                                      common::Metrics* metrics = nullptr);
+
+/// Propagate(Q; [R, ΔR]) = Diff(Q(S_prev), Q(S_now)) — computed the
+/// expensive way: full recompute of the SPJ core, then multiset diff
+/// against the caller-saved previous result.
+[[nodiscard]] DiffResult propagate(const qry::SpjQuery& query, const cat::Database& db,
+                                   const rel::Relation& previous_result,
+                                   common::Metrics* metrics = nullptr);
+
+}  // namespace cq::core

@@ -1,0 +1,78 @@
+#include "cq/stop.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "cq/trigger.hpp"
+
+namespace cq::core::stop {
+
+namespace {
+
+class NeverStop final : public StopCondition {
+ public:
+  bool satisfied(const TriggerContext&) const override { return false; }
+  std::string describe() const override { return "never"; }
+};
+
+class AtTimeStop final : public StopCondition {
+ public:
+  explicit AtTimeStop(common::Timestamp t) : t_(t) {}
+  bool satisfied(const TriggerContext& context) const override {
+    return context.now >= t_;
+  }
+  std::string describe() const override { return "at time " + t_.to_string(); }
+
+ private:
+  common::Timestamp t_;
+};
+
+class AfterExecutionsStop final : public StopCondition {
+ public:
+  explicit AfterExecutionsStop(std::uint64_t n) : n_(n) {
+    if (n == 0) throw common::InvalidArgument("after_executions: n must be positive");
+  }
+  bool satisfied(const TriggerContext& context) const override {
+    return context.executions >= n_;
+  }
+  std::string describe() const override {
+    return "after " + std::to_string(n_) + " executions";
+  }
+
+ private:
+  std::uint64_t n_;
+};
+
+class PredicateStop final : public StopCondition {
+ public:
+  PredicateStop(std::function<bool(const TriggerContext&)> predicate,
+                std::string description)
+      : predicate_(std::move(predicate)), description_(std::move(description)) {
+    if (!predicate_) throw common::InvalidArgument("stop::when: null predicate");
+  }
+  bool satisfied(const TriggerContext& context) const override {
+    return predicate_(context);
+  }
+  std::string describe() const override { return description_; }
+
+ private:
+  std::function<bool(const TriggerContext&)> predicate_;
+  std::string description_;
+};
+
+}  // namespace
+
+StopPtr never() { return std::make_shared<NeverStop>(); }
+
+StopPtr at_time(common::Timestamp t) { return std::make_shared<AtTimeStop>(t); }
+
+StopPtr after_executions(std::uint64_t n) {
+  return std::make_shared<AfterExecutionsStop>(n);
+}
+
+StopPtr when(std::function<bool(const TriggerContext&)> predicate,
+             std::string description) {
+  return std::make_shared<PredicateStop>(std::move(predicate), std::move(description));
+}
+
+}  // namespace cq::core::stop

@@ -1,0 +1,46 @@
+// Termination conditions (the `Stop` of the triple (Q, T_CQ, Stop),
+// Section 3.1). When Stop becomes true the CQ sequence ends and the CQ
+// manager deinstalls the query, releasing its delta zone.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/timestamp.hpp"
+
+namespace cq::core {
+
+struct TriggerContext;
+
+class StopCondition {
+ public:
+  virtual ~StopCondition() = default;
+
+  /// Checked after each execution (and on every trigger poll). True means
+  /// the CQ is finished.
+  [[nodiscard]] virtual bool satisfied(const TriggerContext& context) const = 0;
+
+  [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+using StopPtr = std::shared_ptr<const StopCondition>;
+
+namespace stop {
+
+/// Stop = nil: the CQ runs until explicitly removed.
+[[nodiscard]] StopPtr never();
+
+/// End once logical time reaches `t`.
+[[nodiscard]] StopPtr at_time(common::Timestamp t);
+
+/// End after the CQ has produced `n` results.
+[[nodiscard]] StopPtr after_executions(std::uint64_t n);
+
+/// Arbitrary predicate over the trigger context.
+[[nodiscard]] StopPtr when(std::function<bool(const TriggerContext&)> predicate,
+                           std::string description);
+
+}  // namespace stop
+
+}  // namespace cq::core

@@ -1,0 +1,34 @@
+// Baseline: Terry et al.'s *continuous queries* (SIGMOD '92), as
+// characterized in Section 2 of the paper — incremental evaluation under
+// the **append-only** assumption. Deletions and in-place modifications are
+// outside its model; this implementation faithfully refuses them (throws
+// Unsupported), which is exactly the limitation the paper's DRA removes.
+//
+// On pure-append workloads the incremental step is simply Q over the
+// appended tuples (for monotone SPJ queries), so both approaches are
+// incremental there; benchmark E7 compares them and demonstrates the
+// generality gap on mixed workloads.
+#pragma once
+
+#include "catalog/database.hpp"
+#include "common/metrics.hpp"
+#include "common/timestamp.hpp"
+#include "cq/diff.hpp"
+#include "query/ast.hpp"
+
+namespace cq::core {
+
+/// Incremental continuous-query step: new result rows contributed by
+/// tuples appended after `since`. Throws common::Unsupported when any
+/// non-append change (deletion or modification) exists in the window.
+[[nodiscard]] rel::Relation terry_incremental(const qry::SpjQuery& query,
+                                              const cat::Database& db,
+                                              common::Timestamp since,
+                                              common::Metrics* metrics = nullptr);
+
+/// True when every change after `since` on the query's relations is an
+/// insertion (the workload satisfies the append-only assumption).
+[[nodiscard]] bool append_only_since(const qry::SpjQuery& query, const cat::Database& db,
+                                     common::Timestamp since);
+
+}  // namespace cq::core

@@ -1,0 +1,120 @@
+// Differential relations (Section 4.1): the log of changes to one base
+// relation, represented exactly as the paper describes —
+//
+//   | A1_old ... An_old | A1_new ... An_new | tid | ts |
+//
+// where insertions leave the old half null, deletions leave the new half
+// null, and modifications carry both. A delta relation spans many
+// transactions; rows older than every active CQ's last execution are
+// reclaimed by garbage collection (Section 5.4, delta_zone.hpp).
+//
+// Two derived views drive all differential evaluation:
+//   insertions(since): tuples added to R after `since` (inserts + the new
+//                      versions of modifications);
+//   deletions(since):  tuples removed from R after `since` (deletes + the
+//                      old versions of modifications).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/timestamp.hpp"
+#include "relation/relation.hpp"
+#include "relation/schema.hpp"
+
+namespace cq::delta {
+
+enum class ChangeKind { kInsert, kDelete, kModify };
+
+[[nodiscard]] const char* to_string(ChangeKind kind) noexcept;
+
+/// One differential tuple: the change made to the logical tuple `tid`.
+struct DeltaRow {
+  rel::TupleId tid;
+  std::optional<std::vector<rel::Value>> old_values;  // absent for insert
+  std::optional<std::vector<rel::Value>> new_values;  // absent for delete
+  common::Timestamp ts;
+
+  [[nodiscard]] ChangeKind kind() const noexcept {
+    if (!old_values) return ChangeKind::kInsert;
+    if (!new_values) return ChangeKind::kDelete;
+    return ChangeKind::kModify;
+  }
+};
+
+class DeltaRelation {
+ public:
+  /// `base_schema` is the schema of the relation whose changes we log.
+  explicit DeltaRelation(rel::Schema base_schema);
+
+  [[nodiscard]] const rel::Schema& base_schema() const noexcept { return base_schema_; }
+
+  /// Schema of the wide differential view: old half, new half, then
+  /// "__tid" and "__ts" bookkeeping columns (both INT).
+  [[nodiscard]] const rel::Schema& wide_schema() const noexcept { return wide_schema_; }
+
+  // ---- recording (normally called by catalog::Database at commit) ----
+  void record_insert(rel::TupleId tid, std::vector<rel::Value> values,
+                     common::Timestamp ts);
+  void record_delete(rel::TupleId tid, std::vector<rel::Value> old_values,
+                     common::Timestamp ts);
+  void record_modify(rel::TupleId tid, std::vector<rel::Value> old_values,
+                     std::vector<rel::Value> new_values, common::Timestamp ts);
+
+  /// Append an already-formed row (used by translators and tests). Rows must
+  /// arrive in non-decreasing timestamp order.
+  void append(DeltaRow row);
+
+  [[nodiscard]] const std::vector<DeltaRow>& rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t size() const noexcept { return rows_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return rows_.empty(); }
+
+  /// Timestamp of the most recent change, or nullopt when empty.
+  [[nodiscard]] std::optional<common::Timestamp> latest() const noexcept;
+
+  /// True when at least one change is strictly after `since`.
+  [[nodiscard]] bool changed_since(common::Timestamp since) const noexcept;
+
+  // ---- derived views ----
+
+  /// Net effect per tid of all changes strictly after `since`, in first-seen
+  /// order. Guarantees the paper's "no tid appears in multiple rows"
+  /// invariant for the queried window: consecutive changes to one tid
+  /// collapse (insert∘modify = insert, insert∘delete = nothing,
+  /// modify∘modify = one modify, modify∘delete = delete). A modification
+  /// whose old and new values are identical also collapses to nothing.
+  [[nodiscard]] std::vector<DeltaRow> net_effect(common::Timestamp since) const;
+
+  /// insertions(ΔR) restricted to ts > since, as a relation over the base
+  /// schema. Rows carry their tids. Computed from the net effect.
+  [[nodiscard]] rel::Relation insertions(common::Timestamp since) const;
+
+  /// deletions(ΔR) restricted to ts > since, over the base schema.
+  [[nodiscard]] rel::Relation deletions(common::Timestamp since) const;
+
+  /// The wide differential view (net effect, ts > since) as a relation over
+  /// wide_schema(), for direct evaluation of differential predicates like
+  ///   price_old > 120 AND price_new > 120 AND __ts > t_i   (Section 4.2).
+  [[nodiscard]] rel::Relation as_wide_relation(common::Timestamp since) const;
+
+  // ---- garbage collection (Section 5.4) ----
+
+  /// Drop every row with ts <= `before`. Returns how many rows were dropped.
+  std::size_t truncate_before(common::Timestamp before);
+
+  /// Approximate memory footprint in bytes (wire cost model).
+  [[nodiscard]] std::size_t byte_size() const noexcept;
+
+  [[nodiscard]] std::string to_string(std::size_t max_rows = 50) const;
+
+ private:
+  void check_values(const std::optional<std::vector<rel::Value>>& values) const;
+
+  rel::Schema base_schema_;
+  rel::Schema wide_schema_;
+  std::vector<DeltaRow> rows_;  // ts-ordered
+};
+
+}  // namespace cq::delta

@@ -1,0 +1,59 @@
+#include "delta/delta_zone.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cq::delta {
+
+using common::Timestamp;
+
+CqId DeltaZoneRegistry::register_cq(Timestamp t) {
+  const CqId id = next_id_++;
+  zones_.emplace(id, t);
+  return id;
+}
+
+void DeltaZoneRegistry::advance(CqId id, Timestamp t) {
+  auto it = zones_.find(id);
+  if (it == zones_.end()) {
+    throw common::NotFound("DeltaZoneRegistry: unknown CQ id " + std::to_string(id));
+  }
+  if (t < it->second) {
+    throw common::InvalidArgument("DeltaZoneRegistry: zone for CQ " + std::to_string(id) +
+                                  " may not move backwards");
+  }
+  it->second = t;
+}
+
+void DeltaZoneRegistry::unregister(CqId id) {
+  if (zones_.erase(id) == 0) {
+    throw common::NotFound("DeltaZoneRegistry: unknown CQ id " + std::to_string(id));
+  }
+}
+
+Timestamp DeltaZoneRegistry::zone_start(CqId id) const {
+  auto it = zones_.find(id);
+  if (it == zones_.end()) {
+    throw common::NotFound("DeltaZoneRegistry: unknown CQ id " + std::to_string(id));
+  }
+  return it->second;
+}
+
+std::optional<Timestamp> DeltaZoneRegistry::system_zone_start() const noexcept {
+  std::optional<Timestamp> start;
+  for (const auto& [id, t] : zones_) {
+    if (!start || t < *start) start = t;
+  }
+  return start;
+}
+
+std::string DeltaZoneRegistry::to_string() const {
+  std::ostringstream os;
+  os << "DeltaZoneRegistry{" << zones_.size() << " CQs";
+  if (auto s = system_zone_start()) os << ", system zone starts at " << s->to_string();
+  os << "}";
+  return os.str();
+}
+
+}  // namespace cq::delta

@@ -1,0 +1,51 @@
+// Active delta zones (Section 5.4): the bookkeeping that decides how much
+// of each differential relation is still needed.
+//
+// Each continual query, after executing at time t, only ever reads delta
+// rows with ts > t. Its "active delta zone" therefore starts at its last
+// execution timestamp; the system active delta zone starts at the minimum
+// over all registered CQs, and everything older can be reclaimed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "common/timestamp.hpp"
+
+namespace cq::delta {
+
+/// Identifier of a registered continual query within one registry.
+using CqId = std::uint64_t;
+
+class DeltaZoneRegistry {
+ public:
+  /// Register a CQ whose last execution (or installation) happened at `t`.
+  /// Returns a fresh id.
+  CqId register_cq(common::Timestamp t);
+
+  /// Record that the CQ executed at `t`; its zone start moves forward.
+  /// Moving a zone backwards is a bug and throws InvalidArgument.
+  void advance(CqId id, common::Timestamp t);
+
+  /// Remove a finished CQ (its Stop condition fired).
+  void unregister(CqId id);
+
+  [[nodiscard]] std::size_t active_count() const noexcept { return zones_.size(); }
+
+  /// Zone start of one CQ.
+  [[nodiscard]] common::Timestamp zone_start(CqId id) const;
+
+  /// Start of the system active delta zone: min over registered CQs, or
+  /// nullopt when no CQ is registered (then everything is collectable).
+  [[nodiscard]] std::optional<common::Timestamp> system_zone_start() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::unordered_map<CqId, common::Timestamp> zones_;
+  CqId next_id_ = 1;
+};
+
+}  // namespace cq::delta

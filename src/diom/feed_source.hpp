@@ -1,0 +1,39 @@
+// An append-only information source: a stream of records that are never
+// modified or removed — the world the earlier continuous-query systems
+// (Terry et al., Alert) assumed. Included both as a realistic source kind
+// (news feeds, tickers) and to drive the Terry-baseline benchmark (E7).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "diom/source.hpp"
+
+namespace cq::diom {
+
+class FeedSource final : public InformationSource {
+ public:
+  FeedSource(std::string name, rel::Schema schema,
+             std::shared_ptr<common::Clock> clock = nullptr);
+
+  /// Publish one record to the feed.
+  rel::TupleId publish(std::vector<rel::Value> values);
+
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] const rel::Schema& schema() const override { return schema_; }
+  [[nodiscard]] rel::Relation snapshot() const override { return contents_; }
+  [[nodiscard]] std::vector<delta::DeltaRow> pull_deltas(
+      common::Timestamp since) const override;
+  [[nodiscard]] common::Timestamp now() const override { return clock_->now(); }
+
+ private:
+  std::string name_;
+  rel::Schema schema_;
+  std::shared_ptr<common::Clock> clock_;
+  rel::Relation contents_;
+  delta::DeltaRelation log_;
+};
+
+}  // namespace cq::diom

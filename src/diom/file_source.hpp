@@ -1,0 +1,62 @@
+// A non-relational information source: a simulated flat-file record store
+// whose mutations are observed by middleware and *translated* into
+// differential relations (Section 5.5's file-system example — "file system
+// updates can be captured by either operating system or middleware and
+// translated into a differential relation and fed into DRA").
+//
+// Records are CSV-ish lines ("101088,MAC,117"). The translator parses each
+// line against a declared schema; write/remove/replace operations on lines
+// become insert/delete/modify delta rows stamped by the source's own clock.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "diom/source.hpp"
+
+namespace cq::diom {
+
+class FileSource final : public InformationSource {
+ public:
+  /// `schema` declares how each line's comma-separated fields are typed.
+  FileSource(std::string name, rel::Schema schema,
+             std::shared_ptr<common::Clock> clock = nullptr);
+
+  // ---- the "file system" surface (what applications mutate) ----
+
+  /// Append a new line; returns its stable line number (the tid).
+  std::uint64_t write_line(const std::string& line);
+
+  /// Remove a line by number.
+  void remove_line(std::uint64_t line_number);
+
+  /// Replace a line's contents in place.
+  void replace_line(std::uint64_t line_number, const std::string& line);
+
+  [[nodiscard]] std::size_t line_count() const noexcept { return lines_.size(); }
+
+  // ---- the InformationSource surface (what the mediator consumes) ----
+  [[nodiscard]] const std::string& name() const noexcept override { return name_; }
+  [[nodiscard]] const rel::Schema& schema() const override { return schema_; }
+  [[nodiscard]] rel::Relation snapshot() const override;
+  [[nodiscard]] std::vector<delta::DeltaRow> pull_deltas(
+      common::Timestamp since) const override;
+  [[nodiscard]] common::Timestamp now() const override { return clock_->now(); }
+
+  /// Translate one raw line into typed values per the schema. Exposed for
+  /// tests. Throws ParseError on malformed lines.
+  [[nodiscard]] std::vector<rel::Value> translate(const std::string& line) const;
+
+ private:
+  std::string name_;
+  rel::Schema schema_;
+  std::shared_ptr<common::Clock> clock_;
+  std::map<std::uint64_t, std::string> lines_;  // line number -> raw text
+  std::uint64_t next_line_ = 1;
+  delta::DeltaRelation log_;  // translated change log
+};
+
+}  // namespace cq::diom

@@ -1,0 +1,174 @@
+#include "diom/mediator.hpp"
+
+#include "catalog/transaction.hpp"
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace cq::diom {
+
+Mediator::Mediator(std::string client_name, Network* network)
+    : client_(std::move(client_name)), network_(network), manager_(db_) {}
+
+Mediator::Mediator(std::string client_name, Network* network, cat::Database mirror)
+    : client_(std::move(client_name)),
+      network_(network),
+      db_(std::move(mirror)),
+      manager_(db_) {}
+
+std::vector<Mediator::SourceState> Mediator::export_source_states() const {
+  std::vector<SourceState> out;
+  out.reserve(sources_.size());
+  for (const auto& attached : sources_) {
+    SourceState state;
+    state.source_name = attached.source->name();
+    state.local_table = attached.local_table;
+    state.cursor = attached.cursor;
+    state.tid_map.reserve(attached.tid_map.size());
+    for (const auto& [src, mirror] : attached.tid_map) {
+      state.tid_map.emplace_back(src, mirror.raw());
+    }
+    out.push_back(std::move(state));
+  }
+  return out;
+}
+
+void Mediator::attach_restored(std::shared_ptr<InformationSource> source,
+                               const SourceState& state) {
+  if (!source) throw common::InvalidArgument("Mediator::attach_restored: null source");
+  if (source->name() != state.source_name) {
+    throw common::InvalidArgument("Mediator::attach_restored: source '" +
+                                  source->name() + "' does not match saved state for '" +
+                                  state.source_name + "'");
+  }
+  if (!db_.has_table(state.local_table)) {
+    throw common::NotFound("Mediator::attach_restored: mirror table '" +
+                           state.local_table + "' missing from restored database");
+  }
+  Attached attached;
+  attached.source = std::move(source);
+  attached.local_table = state.local_table;
+  attached.cursor = state.cursor;
+  for (const auto& [src, mirror] : state.tid_map) {
+    attached.tid_map.emplace(src, rel::TupleId(mirror));
+  }
+  common::log_info("mediator '", client_, "' re-attached source '",
+                   attached.source->name(), "' at cursor ",
+                   attached.cursor.to_string());
+  sources_.push_back(std::move(attached));
+}
+
+void Mediator::attach(std::shared_ptr<InformationSource> source,
+                      std::string local_table) {
+  if (!source) throw common::InvalidArgument("Mediator::attach: null source");
+  Attached attached;
+  attached.source = std::move(source);
+  attached.local_table =
+      local_table.empty() ? attached.source->name() : std::move(local_table);
+
+  db_.create_table(attached.local_table, attached.source->schema().unqualified());
+
+  // Initial load: ship the full snapshot once (the analogue of the CQ's
+  // initial complete execution).
+  const rel::Relation snapshot = attached.source->snapshot();
+  const Bytes payload = encode_relation(snapshot);
+  if (network_ != nullptr) {
+    network_->send(attached.source->name(), client_, payload.size());
+  }
+  const rel::Relation received = decode_relation(payload, snapshot.schema());
+
+  auto txn = db_.begin();
+  for (const auto& row : received.rows()) {
+    const rel::TupleId mirror_tid = txn.insert(attached.local_table, row.values());
+    attached.tid_map.emplace(row.tid().raw(), mirror_tid);
+  }
+  txn.commit();
+  attached.cursor = attached.source->now();
+
+  common::log_info("mediator '", client_, "' attached source '",
+                   attached.source->name(), "' as table '", attached.local_table, "' (",
+                   received.size(), " rows)");
+  sources_.push_back(std::move(attached));
+}
+
+void Mediator::apply_deltas(Attached& attached,
+                            const std::vector<delta::DeltaRow>& rows) {
+  if (rows.empty()) return;
+  auto txn = db_.begin();
+  for (const auto& row : rows) {
+    switch (row.kind()) {
+      case delta::ChangeKind::kInsert: {
+        const rel::TupleId mirror_tid =
+            txn.insert(attached.local_table, *row.new_values);
+        attached.tid_map[row.tid.raw()] = mirror_tid;
+        break;
+      }
+      case delta::ChangeKind::kDelete: {
+        auto it = attached.tid_map.find(row.tid.raw());
+        if (it == attached.tid_map.end()) {
+          throw common::InternalError("mediator: delete of unmapped source tid " +
+                                      row.tid.to_string());
+        }
+        txn.erase(attached.local_table, it->second);
+        attached.tid_map.erase(it);
+        break;
+      }
+      case delta::ChangeKind::kModify: {
+        auto it = attached.tid_map.find(row.tid.raw());
+        if (it == attached.tid_map.end()) {
+          throw common::InternalError("mediator: modify of unmapped source tid " +
+                                      row.tid.to_string());
+        }
+        txn.modify(attached.local_table, it->second, *row.new_values);
+        break;
+      }
+    }
+  }
+  txn.commit();
+}
+
+std::size_t Mediator::sync() { return sync_report().rows_applied; }
+
+Mediator::SyncReport Mediator::sync_report() {
+  SyncReport report;
+  for (auto& attached : sources_) {
+    try {
+      // Read the source clock *before* pulling, so nothing committed between
+      // the pull and the cursor update can be skipped, and only advance the
+      // cursor after the deltas were applied — a failure mid-way leaves the
+      // window intact for the next round.
+      const common::Timestamp up_to = attached.source->now();
+      const std::vector<delta::DeltaRow> rows =
+          attached.source->pull_deltas(attached.cursor);
+      if (!rows.empty()) {
+        const Bytes payload = encode_deltas(rows);
+        if (network_ != nullptr) {
+          network_->send(attached.source->name(), client_, payload.size());
+        }
+        const std::vector<delta::DeltaRow> received =
+            decode_deltas(payload, attached.source->schema().size());
+        apply_deltas(attached, received);
+        report.rows_applied += received.size();
+      }
+      attached.cursor = up_to;
+    } catch (const common::Error& e) {
+      common::log_warn("mediator '", client_, "': sync of source '",
+                       attached.source->name(), "' failed: ", e.what());
+      report.failures.emplace_back(attached.source->name(), e.what());
+    }
+  }
+  return report;
+}
+
+std::size_t Mediator::ship_snapshots() {
+  std::size_t total = 0;
+  for (const auto& attached : sources_) {
+    const Bytes payload = encode_relation(attached.source->snapshot());
+    if (network_ != nullptr) {
+      network_->send(attached.source->name(), client_, payload.size());
+    }
+    total += payload.size();
+  }
+  return total;
+}
+
+}  // namespace cq::diom

@@ -1,0 +1,108 @@
+// The DIOM mediator: the client-side component that makes continual
+// queries work across autonomous sources (Sections 1, 5.1). It keeps a
+// local *mirror* database — one table per attached source — refreshed by
+// shipping differential relations (never base data) over the simulated
+// network, and runs the CQ manager + DRA against the mirror. This realizes
+// the paper's scalability argument: processing shifts to the client, and
+// only deltas cross the network.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/database.hpp"
+#include "cq/manager.hpp"
+#include "diom/network.hpp"
+#include "diom/source.hpp"
+#include "diom/wire.hpp"
+
+namespace cq::diom {
+
+class Mediator {
+ public:
+  /// `network` may be null (costs not accounted). The network must outlive
+  /// the mediator.
+  explicit Mediator(std::string client_name, Network* network = nullptr);
+
+  /// Construct around an existing mirror database (a persisted deployment
+  /// being restored). Use attach_restored() to rebind sources.
+  Mediator(std::string client_name, Network* network, cat::Database mirror);
+
+  Mediator(const Mediator&) = delete;
+  Mediator& operator=(const Mediator&) = delete;
+
+  /// Attach a source as local table `local_table` (defaults to the source
+  /// name). Ships the initial snapshot over the network and loads it into
+  /// the mirror. The source must outlive the mediator.
+  void attach(std::shared_ptr<InformationSource> source, std::string local_table = "");
+
+  /// Pull every attached source's deltas (ts > its cursor), ship them,
+  /// decode, and apply to the mirror as transactions. Returns the number of
+  /// differential rows applied.
+  ///
+  /// Sources are autonomous and may fail (network, translator errors): a
+  /// failing source is skipped for this round — its cursor does not move,
+  /// so the next sync re-pulls the same window — and its name is reported.
+  std::size_t sync();
+
+  struct SyncReport {
+    std::size_t rows_applied = 0;
+    /// Sources whose pull or apply failed this round, with the error text.
+    std::vector<std::pair<std::string, std::string>> failures;
+  };
+  SyncReport sync_report();
+
+  /// For cost comparisons (bench E4): ship a fresh full snapshot from every
+  /// source without touching the mirror; returns total bytes moved. This is
+  /// what a client-side *complete* re-evaluation strategy would pay.
+  std::size_t ship_snapshots();
+
+  // ---- persistence of the mediator's own state ----
+
+  /// Resumable position of one attached source: where incremental pulls
+  /// continue from and how source tids map onto mirror tids.
+  struct SourceState {
+    std::string source_name;
+    std::string local_table;
+    common::Timestamp cursor;
+    std::vector<std::pair<rel::TupleId::rep, rel::TupleId::rep>> tid_map;
+  };
+
+  /// States of all attached sources (persist::save_mediator serializes
+  /// these next to the mirror database).
+  [[nodiscard]] std::vector<SourceState> export_source_states() const;
+
+  /// Re-bind `source` to a restored mirror: no snapshot shipping — the
+  /// local table already holds the mirrored rows — and syncs resume at the
+  /// saved cursor with the saved tid mapping. Matched by source name.
+  void attach_restored(std::shared_ptr<InformationSource> source,
+                       const SourceState& state);
+
+  [[nodiscard]] cat::Database& database() noexcept { return db_; }
+  [[nodiscard]] const cat::Database& database() const noexcept { return db_; }
+  [[nodiscard]] core::CqManager& manager() noexcept { return manager_; }
+  [[nodiscard]] const core::CqManager& manager() const noexcept { return manager_; }
+  [[nodiscard]] const std::string& client_name() const noexcept { return client_; }
+  [[nodiscard]] std::size_t source_count() const noexcept { return sources_.size(); }
+
+ private:
+  struct Attached {
+    std::shared_ptr<InformationSource> source;
+    std::string local_table;
+    common::Timestamp cursor = common::Timestamp::min();
+    /// source tid -> mirror tid (sources are autonomous; tids can collide).
+    std::unordered_map<rel::TupleId::rep, rel::TupleId> tid_map;
+  };
+
+  void apply_deltas(Attached& attached, const std::vector<delta::DeltaRow>& rows);
+
+  std::string client_;
+  Network* network_;
+  cat::Database db_;
+  core::CqManager manager_;
+  std::vector<Attached> sources_;
+};
+
+}  // namespace cq::diom

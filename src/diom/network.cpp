@@ -1,0 +1,43 @@
+#include "diom/network.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace cq::diom {
+
+void Network::set_link(const std::string& a, const std::string& b, LinkSpec spec) {
+  if (spec.bandwidth_bytes_per_ms <= 0) {
+    throw common::InvalidArgument("Network: bandwidth must be positive");
+  }
+  links_[{std::min(a, b), std::max(a, b)}] = spec;
+}
+
+const LinkSpec& Network::link(const std::string& a, const std::string& b) const {
+  auto it = links_.find({std::min(a, b), std::max(a, b)});
+  return it == links_.end() ? default_link_ : it->second;
+}
+
+double Network::send(const std::string& from, const std::string& to, std::size_t bytes) {
+  const LinkSpec& spec = link(from, to);
+  const double ms =
+      spec.latency_ms + static_cast<double>(bytes) / spec.bandwidth_bytes_per_ms;
+  total_bytes_ += bytes;
+  ++total_messages_;
+  total_ms_ += ms;
+  by_pair_[from + "->" + to] += bytes;
+  if (metrics_ != nullptr) {
+    metrics_->add(common::metric::kBytesSent, static_cast<std::int64_t>(bytes));
+    metrics_->add(common::metric::kMessagesSent, 1);
+  }
+  return ms;
+}
+
+void Network::reset() noexcept {
+  by_pair_.clear();
+  total_bytes_ = 0;
+  total_messages_ = 0;
+  total_ms_ = 0.0;
+}
+
+}  // namespace cq::diom

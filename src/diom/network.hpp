@@ -1,0 +1,62 @@
+// Simulated network (substitution for the paper's Internet deployment):
+// named nodes connected by links with latency and bandwidth. Message
+// delivery is immediate (the simulation is single-threaded); the *cost* of
+// each transfer — bytes moved and simulated transfer time — is what the
+// benchmarks report, matching the paper's Section 5.1 arguments about
+// communication overhead and network traffic.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/metrics.hpp"
+
+namespace cq::diom {
+
+/// Link characteristics. transfer_time = latency + bytes / bandwidth.
+struct LinkSpec {
+  double latency_ms = 5.0;
+  double bandwidth_bytes_per_ms = 1000.0;  // ~1 MB/s default
+};
+
+class Network {
+ public:
+  /// Set the link used between `a` and `b` (symmetric). Unset pairs use the
+  /// default link.
+  void set_link(const std::string& a, const std::string& b, LinkSpec spec);
+  void set_default_link(LinkSpec spec) noexcept { default_link_ = spec; }
+
+  /// Account one message of `bytes` from `from` to `to`; returns the
+  /// simulated transfer time in milliseconds.
+  double send(const std::string& from, const std::string& to, std::size_t bytes);
+
+  /// Totals since construction / last reset.
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+  [[nodiscard]] std::uint64_t total_messages() const noexcept { return total_messages_; }
+  [[nodiscard]] double total_transfer_ms() const noexcept { return total_ms_; }
+
+  /// Per-endpoint-pair byte counts ("a->b").
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& bytes_by_pair() const noexcept {
+    return by_pair_;
+  }
+
+  void reset() noexcept;
+
+  /// Mirror counters into a Metrics bag as well (optional).
+  void attach_metrics(common::Metrics* metrics) noexcept { metrics_ = metrics; }
+
+ private:
+  [[nodiscard]] const LinkSpec& link(const std::string& a, const std::string& b) const;
+
+  LinkSpec default_link_;
+  std::map<std::pair<std::string, std::string>, LinkSpec> links_;
+  std::map<std::string, std::uint64_t> by_pair_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_messages_ = 0;
+  double total_ms_ = 0.0;
+  common::Metrics* metrics_ = nullptr;
+};
+
+}  // namespace cq::diom

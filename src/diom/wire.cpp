@@ -1,0 +1,190 @@
+#include "diom/wire.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace cq::diom {
+
+using rel::Value;
+using rel::ValueType;
+
+void Encoder::put_u8(std::uint8_t v) { buffer_.push_back(v); }
+
+void Encoder::put_u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buffer_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Encoder::put_i64(std::int64_t v) {
+  auto u = static_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) buffer_.push_back(static_cast<std::uint8_t>(u >> (8 * i)));
+}
+
+void Encoder::put_f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_i64(static_cast<std::int64_t>(bits));
+}
+
+void Encoder::put_string(const std::string& s) {
+  put_u32(static_cast<std::uint32_t>(s.size()));
+  buffer_.insert(buffer_.end(), s.begin(), s.end());
+}
+
+void Encoder::put_value(const Value& v) {
+  put_u8(static_cast<std::uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull: break;
+    case ValueType::kBool: put_u8(v.as_bool() ? 1 : 0); break;
+    case ValueType::kInt: put_i64(v.as_int()); break;
+    case ValueType::kDouble: put_f64(v.as_double()); break;
+    case ValueType::kString: put_string(v.as_string()); break;
+  }
+}
+
+void Encoder::put_tuple(const rel::Tuple& t) {
+  put_i64(static_cast<std::int64_t>(t.tid().raw()));
+  put_u32(static_cast<std::uint32_t>(t.size()));
+  for (const auto& v : t.values()) put_value(v);
+}
+
+void Decoder::check_count(std::size_t count, std::size_t min_bytes_each) const {
+  if (count > remaining() / std::max<std::size_t>(1, min_bytes_each)) {
+    throw common::InvalidArgument("wire: implausible element count (corrupt message?)");
+  }
+}
+
+void Decoder::need(std::size_t n) const {
+  if (pos_ + n > bytes_.size()) {
+    throw common::InvalidArgument("wire: truncated message");
+  }
+}
+
+std::uint8_t Decoder::get_u8() {
+  need(1);
+  return bytes_[pos_++];
+}
+
+std::uint32_t Decoder::get_u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::int64_t Decoder::get_i64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+  return static_cast<std::int64_t>(v);
+}
+
+double Decoder::get_f64() {
+  const auto bits = static_cast<std::uint64_t>(get_i64());
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string Decoder::get_string() {
+  const std::uint32_t n = get_u32();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Value Decoder::get_value() {
+  const auto type = static_cast<ValueType>(get_u8());
+  switch (type) {
+    case ValueType::kNull: return Value::null();
+    case ValueType::kBool: return Value(get_u8() != 0);
+    case ValueType::kInt: return Value(get_i64());
+    case ValueType::kDouble: return Value(get_f64());
+    case ValueType::kString: return Value(get_string());
+  }
+  throw common::InvalidArgument("wire: unknown value tag");
+}
+
+rel::Tuple Decoder::get_tuple() {
+  const auto tid = rel::TupleId(static_cast<rel::TupleId::rep>(get_i64()));
+  const std::uint32_t n = get_u32();
+  check_count(n, 1);  // every value costs at least its tag byte
+  std::vector<Value> values;
+  values.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) values.push_back(get_value());
+  return rel::Tuple(std::move(values), tid);
+}
+
+Bytes encode_relation(const rel::Relation& relation) {
+  Encoder enc;
+  enc.put_u32(static_cast<std::uint32_t>(relation.size()));
+  for (const auto& row : relation.rows()) enc.put_tuple(row);
+  return enc.take();
+}
+
+rel::Relation decode_relation(const Bytes& bytes, rel::Schema schema) {
+  Decoder dec(bytes);
+  const std::uint32_t n = dec.get_u32();
+  dec.check_count(n, 12);  // tid (8) + arity (4)
+  rel::Relation out(std::move(schema));
+  for (std::uint32_t i = 0; i < n; ++i) out.append(dec.get_tuple());
+  if (!dec.done()) throw common::InvalidArgument("wire: trailing bytes after relation");
+  return out;
+}
+
+namespace {
+void put_optional_values(Encoder& enc, const std::optional<std::vector<Value>>& values) {
+  if (!values) {
+    enc.put_u8(0);
+    return;
+  }
+  enc.put_u8(1);
+  enc.put_u32(static_cast<std::uint32_t>(values->size()));
+  for (const auto& v : *values) enc.put_value(v);
+}
+
+std::optional<std::vector<Value>> get_optional_values(Decoder& dec, std::size_t arity) {
+  if (dec.get_u8() == 0) return std::nullopt;
+  const std::uint32_t n = dec.get_u32();
+  if (n != arity) throw common::InvalidArgument("wire: delta arity mismatch");
+  dec.check_count(n, 1);
+  std::vector<Value> values;
+  values.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) values.push_back(dec.get_value());
+  return values;
+}
+}  // namespace
+
+Bytes encode_deltas(const std::vector<delta::DeltaRow>& rows) {
+  Encoder enc;
+  enc.put_u32(static_cast<std::uint32_t>(rows.size()));
+  for (const auto& row : rows) {
+    enc.put_i64(static_cast<std::int64_t>(row.tid.raw()));
+    enc.put_i64(row.ts.ticks());
+    put_optional_values(enc, row.old_values);
+    put_optional_values(enc, row.new_values);
+  }
+  return enc.take();
+}
+
+std::vector<delta::DeltaRow> decode_deltas(const Bytes& bytes, std::size_t arity) {
+  Decoder dec(bytes);
+  const std::uint32_t n = dec.get_u32();
+  dec.check_count(n, 18);  // tid (8) + ts (8) + two presence tags
+  std::vector<delta::DeltaRow> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    delta::DeltaRow row;
+    row.tid = rel::TupleId(static_cast<rel::TupleId::rep>(dec.get_i64()));
+    row.ts = common::Timestamp(dec.get_i64());
+    row.old_values = get_optional_values(dec, arity);
+    row.new_values = get_optional_values(dec, arity);
+    out.push_back(std::move(row));
+  }
+  if (!dec.done()) throw common::InvalidArgument("wire: trailing bytes after deltas");
+  return out;
+}
+
+}  // namespace cq::diom

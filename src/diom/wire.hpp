@@ -1,0 +1,76 @@
+// Wire format: the bytes that actually cross the (simulated) network
+// between information sources and the DIOM mediator. Values, tuples,
+// relations, and delta batches round-trip through a compact length-prefixed
+// binary encoding; every benchmark byte count comes from real encoded
+// sizes, not estimates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "delta/delta_relation.hpp"
+#include "relation/relation.hpp"
+
+namespace cq::diom {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Append-only byte writer.
+class Encoder {
+ public:
+  void put_u8(std::uint8_t v);
+  void put_u32(std::uint32_t v);
+  void put_i64(std::int64_t v);
+  void put_f64(double v);
+  void put_string(const std::string& s);
+  void put_value(const rel::Value& v);
+  void put_tuple(const rel::Tuple& t);
+
+  [[nodiscard]] const Bytes& bytes() const noexcept { return buffer_; }
+  [[nodiscard]] Bytes take() noexcept { return std::move(buffer_); }
+  [[nodiscard]] std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+/// Sequential byte reader; throws InvalidArgument on truncated/garbled input.
+class Decoder {
+ public:
+  explicit Decoder(const Bytes& bytes) : bytes_(bytes) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::int64_t get_i64();
+  double get_f64();
+  std::string get_string();
+  rel::Value get_value();
+  rel::Tuple get_tuple();
+
+  [[nodiscard]] bool done() const noexcept { return pos_ == bytes_.size(); }
+  [[nodiscard]] std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+
+  /// Validate an element count against the bytes left (each element needs at
+  /// least `min_bytes_each`); throws InvalidArgument on an implausible count
+  /// so corrupted length prefixes cannot trigger huge allocations.
+  void check_count(std::size_t count, std::size_t min_bytes_each) const;
+
+ private:
+  void need(std::size_t n) const;
+  const Bytes& bytes_;
+  std::size_t pos_ = 0;
+};
+
+// ---- message payloads ----
+
+/// Encode/decode a whole relation (schema is NOT shipped; both ends know it).
+[[nodiscard]] Bytes encode_relation(const rel::Relation& relation);
+[[nodiscard]] rel::Relation decode_relation(const Bytes& bytes, rel::Schema schema);
+
+/// Encode/decode a batch of differential rows.
+[[nodiscard]] Bytes encode_deltas(const std::vector<delta::DeltaRow>& rows);
+[[nodiscard]] std::vector<delta::DeltaRow> decode_deltas(const Bytes& bytes,
+                                                         std::size_t arity);
+
+}  // namespace cq::diom

@@ -1,0 +1,253 @@
+#include "persist/snapshot.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+
+#include "common/error.hpp"
+
+namespace cq::persist {
+
+using diom::Decoder;
+using diom::Encoder;
+
+namespace {
+
+constexpr const char* kMagic = "CQSNAP1";
+
+void put_schema(Encoder& enc, const rel::Schema& schema) {
+  enc.put_u32(static_cast<std::uint32_t>(schema.size()));
+  for (const auto& attr : schema.attributes()) {
+    enc.put_string(attr.name);
+    enc.put_u8(static_cast<std::uint8_t>(attr.type));
+  }
+}
+
+rel::Schema get_schema(Decoder& dec) {
+  const std::uint32_t n = dec.get_u32();
+  std::vector<rel::Attribute> attrs;
+  attrs.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string name = dec.get_string();
+    const auto type = static_cast<rel::ValueType>(dec.get_u8());
+    attrs.push_back({std::move(name), type});
+  }
+  return rel::Schema(std::move(attrs));
+}
+
+void put_blob(Encoder& enc, const Bytes& blob) {
+  enc.put_u32(static_cast<std::uint32_t>(blob.size()));
+  for (auto b : blob) enc.put_u8(b);
+}
+
+Bytes get_blob(Decoder& dec) {
+  const std::uint32_t n = dec.get_u32();
+  dec.check_count(n, 1);  // corrupted length prefixes must not allocate
+  Bytes out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(dec.get_u8());
+  return out;
+}
+
+}  // namespace
+
+Bytes save_database(const cat::Database& db) {
+  Encoder enc;
+  enc.put_string(kMagic);
+  enc.put_i64(db.clock().now().ticks());
+
+  const auto tables = db.table_names();
+  enc.put_u32(static_cast<std::uint32_t>(tables.size()));
+  for (const auto& name : tables) {
+    enc.put_string(name);
+    const rel::Relation& base = db.table(name);
+    put_schema(enc, base.schema());
+    put_blob(enc, diom::encode_relation(base));
+    put_blob(enc, diom::encode_deltas(db.delta(name).rows()));
+
+    const auto index_names = db.index_names(name);
+    enc.put_u32(static_cast<std::uint32_t>(index_names.size()));
+    for (const auto& index_name : index_names) {
+      enc.put_string(index_name);
+      const auto& columns = db.index(name, index_name).columns();
+      enc.put_u32(static_cast<std::uint32_t>(columns.size()));
+      for (auto c : columns) enc.put_u32(static_cast<std::uint32_t>(c));
+    }
+  }
+  return enc.take();
+}
+
+cat::Database load_database(const Bytes& bytes) {
+  Decoder dec(bytes);
+  if (dec.get_string() != kMagic) {
+    throw common::InvalidArgument("snapshot: bad magic (not a CQ snapshot?)");
+  }
+  const common::Timestamp now(dec.get_i64());
+
+  auto clock = std::make_shared<common::VirtualClock>();
+  clock->advance_to(now);
+  cat::Database db(clock);
+
+  const std::uint32_t table_count = dec.get_u32();
+  for (std::uint32_t t = 0; t < table_count; ++t) {
+    const std::string name = dec.get_string();
+    rel::Schema schema = get_schema(dec);
+    rel::Relation base = diom::decode_relation(get_blob(dec), schema);
+    delta::DeltaRelation log(schema);
+    for (auto& row : diom::decode_deltas(get_blob(dec), schema.size())) {
+      log.append(std::move(row));
+    }
+    db.restore_table(name, std::move(base), std::move(log));
+
+    const std::uint32_t index_count = dec.get_u32();
+    for (std::uint32_t i = 0; i < index_count; ++i) {
+      const std::string index_name = dec.get_string();
+      const std::uint32_t column_count = dec.get_u32();
+      std::vector<std::string> columns;
+      columns.reserve(column_count);
+      for (std::uint32_t c = 0; c < column_count; ++c) {
+        columns.push_back(schema.at(dec.get_u32()).name);
+      }
+      db.create_index(name, index_name, columns);
+    }
+  }
+  if (!dec.done()) throw common::InvalidArgument("snapshot: trailing bytes");
+  return db;
+}
+
+std::vector<CqManifestEntry> manifest(const core::CqManager& manager) {
+  std::vector<CqManifestEntry> out;
+  for (const auto handle : manager.handles()) {
+    const auto& cq = manager.cq(handle);
+    out.push_back({cq.name(), cq.last_execution(), cq.executions()});
+  }
+  return out;
+}
+
+Bytes encode_manifest(const std::vector<CqManifestEntry>& entries) {
+  Encoder enc;
+  enc.put_u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    enc.put_string(e.name);
+    enc.put_i64(e.last_execution.ticks());
+    enc.put_i64(static_cast<std::int64_t>(e.executions));
+  }
+  return enc.take();
+}
+
+std::vector<CqManifestEntry> decode_manifest(const Bytes& bytes) {
+  Decoder dec(bytes);
+  const std::uint32_t n = dec.get_u32();
+  std::vector<CqManifestEntry> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    CqManifestEntry e;
+    e.name = dec.get_string();
+    e.last_execution = common::Timestamp(dec.get_i64());
+    e.executions = static_cast<std::uint64_t>(dec.get_i64());
+    out.push_back(std::move(e));
+  }
+  if (!dec.done()) throw common::InvalidArgument("manifest: trailing bytes");
+  return out;
+}
+
+Bytes encode_snapshot(const cat::Database& db, const core::CqManager& manager) {
+  Encoder enc;
+  put_blob(enc, save_database(db));
+  put_blob(enc, encode_manifest(manifest(manager)));
+  return enc.take();
+}
+
+DecodedSnapshot decode_snapshot(const Bytes& bytes) {
+  Decoder dec(bytes);
+  Bytes db_blob = get_blob(dec);
+  Bytes manifest_blob = get_blob(dec);
+  if (!dec.done()) throw common::InvalidArgument("snapshot: trailing bytes");
+  return DecodedSnapshot{load_database(db_blob), decode_manifest(manifest_blob)};
+}
+
+Bytes save_mediator(const diom::Mediator& mediator) {
+  Encoder enc;
+  put_blob(enc, save_database(mediator.database()));
+  put_blob(enc, encode_manifest(manifest(mediator.manager())));
+  const auto states = mediator.export_source_states();
+  enc.put_u32(static_cast<std::uint32_t>(states.size()));
+  for (const auto& state : states) {
+    enc.put_string(state.source_name);
+    enc.put_string(state.local_table);
+    enc.put_i64(state.cursor.ticks());
+    enc.put_u32(static_cast<std::uint32_t>(state.tid_map.size()));
+    for (const auto& [src, mirror] : state.tid_map) {
+      enc.put_i64(static_cast<std::int64_t>(src));
+      enc.put_i64(static_cast<std::int64_t>(mirror));
+    }
+  }
+  return enc.take();
+}
+
+RestoredMediator restore_mediator(
+    const Bytes& bytes, std::string client_name, diom::Network* network,
+    const std::vector<std::shared_ptr<diom::InformationSource>>& sources) {
+  Decoder dec(bytes);
+  cat::Database mirror = load_database(get_blob(dec));
+  std::vector<CqManifestEntry> cqs = decode_manifest(get_blob(dec));
+
+  RestoredMediator out;
+  out.cqs = std::move(cqs);
+  out.mediator = std::make_unique<diom::Mediator>(std::move(client_name), network,
+                                                  std::move(mirror));
+
+  const std::uint32_t n = dec.get_u32();
+  dec.check_count(n, 20);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    diom::Mediator::SourceState state;
+    state.source_name = dec.get_string();
+    state.local_table = dec.get_string();
+    state.cursor = common::Timestamp(dec.get_i64());
+    const std::uint32_t pairs = dec.get_u32();
+    dec.check_count(pairs, 16);
+    state.tid_map.reserve(pairs);
+    for (std::uint32_t p = 0; p < pairs; ++p) {
+      const auto src = static_cast<rel::TupleId::rep>(dec.get_i64());
+      const auto mir = static_cast<rel::TupleId::rep>(dec.get_i64());
+      state.tid_map.emplace_back(src, mir);
+    }
+
+    std::shared_ptr<diom::InformationSource> match;
+    for (const auto& s : sources) {
+      if (s && s->name() == state.source_name) match = s;
+    }
+    if (!match) {
+      throw common::NotFound("restore_mediator: no source supplied for '" +
+                             state.source_name + "'");
+    }
+    out.mediator->attach_restored(match, state);
+  }
+  if (!dec.done()) throw common::InvalidArgument("mediator snapshot: trailing bytes");
+  return out;
+}
+
+void save_snapshot_file(const std::string& path, const cat::Database& db,
+                        const core::CqManager& manager) {
+  const Bytes blob = encode_snapshot(db, manager);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw common::InvalidArgument("snapshot: cannot open '" + tmp + "'");
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
+    if (!out) throw common::InvalidArgument("snapshot: write failed for '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw common::InvalidArgument("snapshot: rename to '" + path + "' failed");
+  }
+}
+
+DecodedSnapshot load_snapshot_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw common::NotFound("snapshot: cannot open '" + path + "'");
+  Bytes blob((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  return decode_snapshot(blob);
+}
+
+}  // namespace cq::persist

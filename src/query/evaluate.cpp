@@ -1,0 +1,156 @@
+#include "query/evaluate.hpp"
+
+#include "algebra/ops.hpp"
+#include "algebra/predicate.hpp"
+#include "common/error.hpp"
+
+namespace cq::qry {
+
+using alg::ExprPtr;
+using common::Metrics;
+using rel::Relation;
+
+Relation qualified_copy(const Relation& input, const TableRef& ref) {
+  Relation out = input;
+  out.set_schema(qualify(input.schema(), ref));
+  return out;
+}
+
+Relation evaluate_spj_over(const SpjQuery& query,
+                           const std::vector<const Relation*>& inputs,
+                           Metrics* metrics) {
+  query.validate();
+  if (inputs.size() != query.from.size()) {
+    throw common::InvalidArgument("evaluate_spj_over: expected " +
+                                  std::to_string(query.from.size()) + " inputs, got " +
+                                  std::to_string(inputs.size()));
+  }
+  const std::size_t n = inputs.size();
+
+  std::vector<rel::Schema> schemas;
+  std::vector<std::size_t> cards;
+  schemas.reserve(n);
+  cards.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    schemas.push_back(inputs[i]->schema());
+    cards.push_back(inputs[i]->size());
+  }
+  const PlannedQuery planned = plan(query, schemas, cards, &inputs);
+
+  // Select before join (Section 5.2): filter each input first.
+  std::vector<Relation> filtered(n);
+  std::vector<const Relation*> bound(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const ExprPtr f = planned.filter(i);
+    if (alg::is_always_true(f)) {
+      bound[i] = inputs[i];
+    } else {
+      filtered[i] = alg::select(*inputs[i], *f, metrics);
+      bound[i] = &filtered[i];
+    }
+  }
+
+  // Join in planner order, applying join conjuncts as soon as they resolve.
+  std::vector<ExprPtr> pending = planned.join_conjuncts;
+  Relation acc = *bound[planned.join_order[0]];
+  for (std::size_t step = 1; step < n; ++step) {
+    const Relation& next = *bound[planned.join_order[step]];
+    const rel::Schema combined = acc.schema().concat(next.schema());
+    std::vector<ExprPtr> applicable;
+    std::vector<ExprPtr> still_pending;
+    for (const auto& c : pending) {
+      if (c->resolves_in(combined)) {
+        applicable.push_back(c);
+      } else {
+        still_pending.push_back(c);
+      }
+    }
+    pending = std::move(still_pending);
+    acc = alg::join(acc, next, alg::conjoin(applicable), metrics);
+  }
+  if (!pending.empty()) {
+    // Conjuncts that never resolved (e.g. reference unknown columns) —
+    // surface the error through expression evaluation.
+    acc = alg::select(acc, *alg::conjoin(pending), metrics);
+  }
+
+  // Projection.
+  if (!query.projection.empty()) {
+    acc = alg::project(acc, query.projection, query.distinct, metrics);
+  } else {
+    if (n > 1) {
+      // SELECT * over a join: the planner may have joined in any order, so
+      // restore the canonical FROM-order column layout (the DRA and the
+      // Propagate oracle rely on both producing the same schema).
+      std::vector<std::string> canonical;
+      for (const auto& s : schemas) {
+        for (const auto& a : s.attributes()) canonical.push_back(a.name);
+      }
+      acc = alg::project(acc, canonical, false, metrics);
+    }
+    if (query.distinct) acc = alg::distinct(acc);
+  }
+  return acc;
+}
+
+Relation evaluate_spj(const SpjQuery& query, const cat::Database& db, Metrics* metrics) {
+  query.validate();
+  std::vector<Relation> qualified;
+  qualified.reserve(query.from.size());
+  for (const auto& ref : query.from) {
+    qualified.push_back(qualified_copy(db.table(ref.table), ref));
+  }
+  std::vector<const Relation*> inputs;
+  inputs.reserve(qualified.size());
+  for (const auto& r : qualified) inputs.push_back(&r);
+  return evaluate_spj_over(query, inputs, metrics);
+}
+
+Relation apply_aggregates(const SpjQuery& query, const Relation& spj_result,
+                          Metrics* metrics) {
+  if (!query.is_aggregate()) return spj_result;
+  Relation out =
+      alg::group_aggregate(spj_result, query.group_by, query.aggregates, metrics);
+  if (query.having) out = alg::select(out, *query.having, metrics);
+  return out;
+}
+
+Relation apply_order_by(const SpjQuery& query, Relation input) {
+  if (query.order_by.empty()) return input;
+  std::vector<std::size_t> keys;
+  keys.reserve(query.order_by.size());
+  for (const auto& k : query.order_by) keys.push_back(input.schema().index_of(k.column));
+
+  std::vector<rel::Tuple> rows = input.rows();
+  std::stable_sort(rows.begin(), rows.end(), [&](const rel::Tuple& a, const rel::Tuple& b) {
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      const auto c = a.at(keys[i]).compare(b.at(keys[i]));
+      if (c == std::strong_ordering::equal) continue;
+      const bool less = c == std::strong_ordering::less;
+      return query.order_by[i].descending ? !less : less;
+    }
+    return false;
+  });
+  Relation out(input.schema());
+  for (auto& row : rows) out.append(std::move(row));
+  return out;
+}
+
+Relation evaluate(const SpjQuery& query, const cat::Database& db, Metrics* metrics) {
+  // For aggregate queries the SPJ core must keep all columns the aggregates
+  // and group keys reference; the projection list is empty in that case.
+  if (query.is_aggregate()) {
+    SpjQuery core = query;
+    core.projection.clear();
+    core.distinct = false;
+    core.aggregates.clear();
+    core.group_by.clear();
+    core.having = nullptr;
+    core.order_by.clear();
+    Relation spj = evaluate_spj(core, db, metrics);
+    return apply_order_by(query, apply_aggregates(query, spj, metrics));
+  }
+  return apply_order_by(query, evaluate_spj(query, db, metrics));
+}
+
+}  // namespace cq::qry

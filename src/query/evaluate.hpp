@@ -1,0 +1,55 @@
+// Query evaluation. Two entry points:
+//
+//   evaluate(query, db)       — run over a Database's base tables (the
+//                               "complete re-evaluation" of Section 4.2);
+//   evaluate_spj_over(...)    — run the SPJ part over caller-supplied
+//                               relations bound positionally to the FROM
+//                               list. The DRA uses this to substitute
+//                               insertions(ΔR)/deletions(ΔR) for R in each
+//                               truth-table term (Algorithm 1, step 2).
+//
+// Both paths share one physical pipeline: qualify schemas, push selections
+// below joins, join in planner order, project, then aggregate.
+#pragma once
+
+#include <vector>
+
+#include "catalog/database.hpp"
+#include "common/metrics.hpp"
+#include "query/ast.hpp"
+#include "query/planner.hpp"
+#include "relation/relation.hpp"
+
+namespace cq::qry {
+
+/// Copy `input` with its schema alias-qualified for `ref`.
+[[nodiscard]] rel::Relation qualified_copy(const rel::Relation& input,
+                                           const TableRef& ref);
+
+/// Evaluate the SPJ core (joins + selection + projection/distinct; no
+/// aggregates) over `inputs`, which must be alias-qualified and bound
+/// positionally to query.from.
+[[nodiscard]] rel::Relation evaluate_spj_over(const SpjQuery& query,
+                                              const std::vector<const rel::Relation*>& inputs,
+                                              common::Metrics* metrics = nullptr);
+
+/// Evaluate the SPJ core over the database's base tables.
+[[nodiscard]] rel::Relation evaluate_spj(const SpjQuery& query, const cat::Database& db,
+                                         common::Metrics* metrics = nullptr);
+
+/// Full evaluation including aggregation. For aggregate queries the result
+/// has the group-by keys followed by the aggregate columns (one row total
+/// when there is no GROUP BY).
+[[nodiscard]] rel::Relation evaluate(const SpjQuery& query, const cat::Database& db,
+                                     common::Metrics* metrics = nullptr);
+
+/// Apply the aggregate part of `query` (GROUP BY + HAVING) to an
+/// already-computed SPJ result.
+[[nodiscard]] rel::Relation apply_aggregates(const SpjQuery& query,
+                                             const rel::Relation& spj_result,
+                                             common::Metrics* metrics = nullptr);
+
+/// Apply the query's ORDER BY (presentation ordering) to a result.
+[[nodiscard]] rel::Relation apply_order_by(const SpjQuery& query, rel::Relation input);
+
+}  // namespace cq::qry

@@ -1,0 +1,129 @@
+#include "query/lexer.hpp"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace cq::qry {
+
+namespace {
+const std::unordered_set<std::string>& keywords() {
+  static const std::unordered_set<std::string> kw = {
+      "SELECT", "DISTINCT", "FROM", "WHERE",   "GROUP", "BY",   "AS",  "AND",
+      "OR",     "NOT",      "IN",   "BETWEEN", "IS",    "NULL", "LIKE", "TRUE",
+      "FALSE",  "SUM",      "COUNT", "AVG",    "MIN",   "MAX",  "HAVING",
+      "ORDER",  "ASC",      "DESC"};
+  return kw;
+}
+
+std::string upper(std::string s) {
+  for (auto& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& input) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+
+  auto error = [&](const std::string& message) -> void {
+    throw common::ParseError(message + " at offset " + std::to_string(i) + " in: " + input);
+  };
+
+  while (i < n) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_' || input[i] == '.')) {
+        ++i;
+      }
+      std::string word = input.substr(start, i - start);
+      std::string up = upper(word);
+      if (keywords().contains(up)) {
+        tok.kind = TokenKind::kKeyword;
+        tok.text = up;
+      } else {
+        tok.kind = TokenKind::kIdentifier;
+        tok.text = std::move(word);
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      std::size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        is_double = true;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        if (i >= n || !std::isdigit(static_cast<unsigned char>(input[i]))) {
+          error("malformed exponent");
+        }
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      const std::string num = input.substr(start, i - start);
+      if (is_double) {
+        tok.kind = TokenKind::kDouble;
+        tok.real = std::stod(num);
+      } else {
+        tok.kind = TokenKind::kInteger;
+        try {
+          tok.integer = std::stoll(num);
+        } catch (const std::out_of_range&) {
+          error("integer literal out of range");
+        }
+      }
+      tok.text = num;
+    } else if (c == '\'') {
+      ++i;
+      std::string s;
+      for (;;) {
+        if (i >= n) error("unterminated string literal");
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote ''
+            s.push_back('\'');
+            i += 2;
+            continue;
+          }
+          ++i;
+          break;
+        }
+        s.push_back(input[i++]);
+      }
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(s);
+    } else {
+      // symbols, including two-character comparators
+      auto two = input.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        tok.kind = TokenKind::kSymbol;
+        tok.text = two == "!=" ? "<>" : two;
+        i += 2;
+      } else if (std::string("()*,=<>+-/").find(c) != std::string::npos) {
+        tok.kind = TokenKind::kSymbol;
+        tok.text = std::string(1, c);
+        ++i;
+      } else {
+        error(std::string("unexpected character '") + c + "'");
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  out.push_back(Token{});  // kEnd
+  return out;
+}
+
+}  // namespace cq::qry

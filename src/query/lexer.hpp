@@ -1,0 +1,40 @@
+// Tokenizer for the SQL subset. Keywords are case-insensitive; identifiers
+// are case-sensitive and may be qualified ("s.price").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cq::qry {
+
+enum class TokenKind {
+  kIdentifier,  // foo, Stocks.price
+  kInteger,
+  kDouble,
+  kString,      // 'abc'
+  kKeyword,     // normalized upper-case: SELECT, FROM, WHERE, ...
+  kSymbol,      // ( ) , * = <> < <= > >= + - /
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      // normalized: keywords upper-cased, strings unquoted
+  std::int64_t integer = 0;
+  double real = 0.0;
+  std::size_t offset = 0;  // position in the input, for error messages
+
+  [[nodiscard]] bool is_keyword(const char* kw) const noexcept {
+    return kind == TokenKind::kKeyword && text == kw;
+  }
+  [[nodiscard]] bool is_symbol(const char* sym) const noexcept {
+    return kind == TokenKind::kSymbol && text == sym;
+  }
+};
+
+/// Tokenize the whole input. Throws ParseError on malformed input. The
+/// result always ends with a kEnd token.
+[[nodiscard]] std::vector<Token> tokenize(const std::string& input);
+
+}  // namespace cq::qry

@@ -1,0 +1,26 @@
+// Recursive-descent parser for the SQL subset:
+//
+//   SELECT [DISTINCT] * | col[, col...] | AGG(col)[, AGG(col)...]
+//   FROM table [AS alias][, table [AS alias]...]
+//   [WHERE predicate]
+//   [GROUP BY col[, col...]]
+//
+// Predicates support AND/OR/NOT, =, <>, <, <=, >, >=, arithmetic (+ - * /),
+// IS [NOT] NULL, [NOT] IN (literal, ...), BETWEEN lo AND hi, LIKE 'prefix%',
+// parentheses, TRUE/FALSE, and NULL literals.
+#pragma once
+
+#include <string>
+
+#include "algebra/expr.hpp"
+#include "query/ast.hpp"
+
+namespace cq::qry {
+
+/// Parse a full SELECT statement. Throws ParseError on malformed input.
+[[nodiscard]] SpjQuery parse_query(const std::string& sql);
+
+/// Parse a standalone predicate (handy for building triggers and tests).
+[[nodiscard]] alg::ExprPtr parse_predicate(const std::string& sql);
+
+}  // namespace cq::qry

@@ -1,0 +1,146 @@
+#include "query/planner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "algebra/predicate.hpp"
+#include "algebra/simplify.hpp"
+#include "common/error.hpp"
+
+namespace cq::qry {
+
+using alg::ExprPtr;
+
+rel::Schema qualify(const rel::Schema& table_schema, const TableRef& ref) {
+  return table_schema.qualified(ref.effective_alias());
+}
+
+namespace {
+/// Fraction of up to kPlannerSampleSize leading rows satisfying `filter`,
+/// clamped away from 0 so downstream estimates never hit exact zero.
+double sampled_selectivity(const rel::Relation& input, const alg::ExprPtr& filter) {
+  const std::size_t n = std::min(input.size(), kPlannerSampleSize);
+  if (n == 0) return 1.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (filter->eval_bool(input.row(i), input.schema())) ++hits;
+  }
+  return std::max(0.5 / static_cast<double>(n),
+                  static_cast<double>(hits) / static_cast<double>(n));
+}
+}  // namespace
+
+PlannedQuery plan(const SpjQuery& query, const std::vector<rel::Schema>& qualified_schemas,
+                  const std::vector<std::size_t>& cardinalities,
+                  const std::vector<const rel::Relation*>* samples) {
+  if (qualified_schemas.size() != query.from.size() ||
+      cardinalities.size() != query.from.size()) {
+    throw common::InvalidArgument("plan: schema/cardinality count mismatch");
+  }
+  if (samples != nullptr && samples->size() != query.from.size()) {
+    throw common::InvalidArgument("plan: sample count mismatch");
+  }
+  const std::size_t n = query.from.size();
+  PlannedQuery out;
+  out.table_filters.resize(n);
+
+  // 1. Simplify, then classify each conjunct: single-table conjuncts become
+  //    filters (constant folding can also prune entire branches here).
+  for (const auto& conjunct : alg::split_conjuncts(alg::simplify(query.where))) {
+    std::size_t owner = n;  // n = spans multiple / none
+    std::size_t owners = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (conjunct->resolves_in(qualified_schemas[i])) {
+        owner = i;
+        ++owners;
+      }
+    }
+    if (owners == 1) {
+      out.table_filters[owner].push_back(conjunct);
+    } else {
+      out.join_conjuncts.push_back(conjunct);
+    }
+  }
+
+  // 2. Cheapest predicates first within each table filter (Section 5.2).
+  for (auto& filters : out.table_filters) {
+    std::stable_sort(filters.begin(), filters.end(),
+                     [](const ExprPtr& a, const ExprPtr& b) {
+                       return alg::predicate_cost_rank(a) < alg::predicate_cost_rank(b);
+                     });
+  }
+
+  // 3. Join order: greedy by estimated post-filter cardinality, preferring
+  //    tables connected to the already-joined set by some join conjunct.
+  std::vector<double> estimate(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double e = static_cast<double>(cardinalities[i]);
+    if (!out.table_filters[i].empty()) {
+      const alg::ExprPtr filter = alg::conjoin(out.table_filters[i]);
+      if (samples != nullptr && (*samples)[i] != nullptr) {
+        e *= sampled_selectivity(*(*samples)[i], filter);
+      } else {
+        for (const auto& f : out.table_filters[i]) e *= alg::estimate_selectivity(f);
+      }
+    }
+    estimate[i] = e;
+  }
+
+  auto connected = [&](std::size_t candidate, const std::vector<bool>& joined) {
+    // A conjunct connects `candidate` when it references candidate's schema
+    // and at least one already-joined schema.
+    for (const auto& c : out.join_conjuncts) {
+      bool touches_candidate = false;
+      bool touches_joined = false;
+      for (const auto& col : c->columns()) {
+        if (qualified_schemas[candidate].contains(col)) touches_candidate = true;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (joined[j] && qualified_schemas[j].contains(col)) touches_joined = true;
+        }
+      }
+      if (touches_candidate && touches_joined) return true;
+    }
+    return false;
+  };
+
+  std::vector<bool> joined(n, false);
+  for (std::size_t step = 0; step < n; ++step) {
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (joined[i]) continue;
+      const bool i_connected = step > 0 && connected(i, joined);
+      if (best == n) {
+        best = i;
+        continue;
+      }
+      const bool best_connected = step > 0 && connected(best, joined);
+      if (i_connected != best_connected) {
+        if (i_connected) best = i;
+        continue;
+      }
+      if (estimate[i] < estimate[best]) best = i;
+    }
+    joined[best] = true;
+    out.join_order.push_back(best);
+  }
+  return out;
+}
+
+std::string PlannedQuery::to_string(const SpjQuery& query) const {
+  std::ostringstream os;
+  os << "Plan for " << query.to_string() << "\n";
+  os << "  join order:";
+  for (auto i : join_order) os << " " << query.from[i].effective_alias();
+  os << "\n";
+  for (std::size_t i = 0; i < table_filters.size(); ++i) {
+    if (table_filters[i].empty()) continue;
+    os << "  filter[" << query.from[i].effective_alias()
+       << "]: " << alg::conjoin(table_filters[i])->to_string() << "\n";
+  }
+  if (!join_conjuncts.empty()) {
+    os << "  join predicate: " << alg::conjoin(join_conjuncts)->to_string() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cq::qry

@@ -1,0 +1,56 @@
+// Heuristic planner (Section 5.2): decomposes the WHERE clause into
+// per-table filters ("Select before Join"), orders the per-table filter
+// conjuncts cheapest-first, and greedily orders joins smallest-estimate
+// first, preferring equi-connected tables.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.hpp"
+#include "query/ast.hpp"
+#include "relation/relation.hpp"
+#include "relation/schema.hpp"
+
+namespace cq::qry {
+
+struct PlannedQuery {
+  /// One entry per FROM table (same order as SpjQuery::from): the conjuncts
+  /// that reference only that table, cheapest-first. May be empty.
+  std::vector<std::vector<alg::ExprPtr>> table_filters;
+
+  /// Conjuncts spanning two or more tables, applied during joins.
+  std::vector<alg::ExprPtr> join_conjuncts;
+
+  /// FROM indexes in the order tables should be joined.
+  std::vector<std::size_t> join_order;
+
+  /// Filter for table i AND-combined (always_true() when none).
+  [[nodiscard]] alg::ExprPtr filter(std::size_t i) const {
+    return alg::conjoin(table_filters.at(i));
+  }
+
+  /// Human-readable plan, for EXPLAIN-style output.
+  [[nodiscard]] std::string to_string(const SpjQuery& query) const;
+};
+
+/// Plan `query` given the alias-qualified schema of each FROM table and an
+/// estimate of each table's current cardinality. When `samples` is
+/// provided (one relation per FROM entry, alias-qualified), per-table
+/// filter selectivities are *measured* on a bounded row sample instead of
+/// guessed from predicate shape, which materially improves join ordering
+/// on skewed data.
+[[nodiscard]] PlannedQuery plan(const SpjQuery& query,
+                                const std::vector<rel::Schema>& qualified_schemas,
+                                const std::vector<std::size_t>& cardinalities,
+                                const std::vector<const rel::Relation*>* samples =
+                                    nullptr);
+
+/// Number of rows the sampling estimator inspects per table.
+inline constexpr std::size_t kPlannerSampleSize = 100;
+
+/// The alias-qualified schema of one FROM entry.
+[[nodiscard]] rel::Schema qualify(const rel::Schema& table_schema, const TableRef& ref);
+
+}  // namespace cq::qry

@@ -1,0 +1,91 @@
+// Hash index over one or more columns of a relation snapshot. Built on
+// demand by hash joins and by the DRA's differential joins (a ΔR side is
+// usually tiny, so the big side gets the index).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "relation/relation.hpp"
+
+namespace cq::rel {
+
+/// Immutable equi-lookup structure: key = values of the chosen columns.
+class HashIndex {
+ public:
+  /// Build over the given rows. `key_columns` are positions in each tuple.
+  HashIndex(const std::vector<Tuple>& rows, std::vector<std::size_t> key_columns);
+
+  /// Convenience: build over a whole relation.
+  HashIndex(const Relation& relation, std::vector<std::size_t> key_columns)
+      : HashIndex(relation.rows(), std::move(key_columns)) {}
+
+  /// Row positions whose key columns equal the key columns of `probe`
+  /// evaluated at `probe_columns`.
+  [[nodiscard]] const std::vector<std::size_t>& probe(
+      const Tuple& probe, const std::vector<std::size_t>& probe_columns) const;
+
+  [[nodiscard]] std::size_t distinct_keys() const noexcept { return buckets_.size(); }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::vector<Value>& key) const noexcept;
+  };
+  struct KeyEq {
+    bool operator()(const std::vector<Value>& a, const std::vector<Value>& b) const noexcept;
+  };
+
+  static std::vector<Value> extract(const Tuple& t, const std::vector<std::size_t>& cols);
+
+  std::vector<std::size_t> key_columns_;
+  std::unordered_map<std::vector<Value>, std::vector<std::size_t>, KeyHash, KeyEq> buckets_;
+  static const std::vector<std::size_t> kEmpty;
+};
+
+/// A persistent equi-lookup index over a *base* table, maintained
+/// incrementally as the table changes (unlike HashIndex, which is built
+/// per query). The catalog updates it inside every commit; the DRA's
+/// differential joins probe it so a join term costs O(|ΔR| · fanout)
+/// instead of a full base scan.
+class MaintainedIndex {
+ public:
+  /// `columns` are attribute positions in the base schema, in key order.
+  explicit MaintainedIndex(std::vector<std::size_t> columns);
+
+  /// Bulk-build from current contents.
+  void build(const Relation& relation);
+
+  // ---- incremental maintenance (called at commit time) ----
+  void on_insert(const Tuple& row);
+  void on_erase(const Tuple& row);
+  void on_update(const Tuple& old_row, const Tuple& new_row);
+
+  /// Tids whose key columns equal `key` (values in key-column order).
+  [[nodiscard]] const std::vector<TupleId>& probe(const std::vector<Value>& key) const;
+
+  [[nodiscard]] const std::vector<std::size_t>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] std::size_t distinct_keys() const noexcept { return buckets_.size(); }
+  [[nodiscard]] std::size_t entries() const noexcept { return entries_; }
+
+ private:
+  struct KeyHash {
+    std::size_t operator()(const std::vector<Value>& key) const noexcept;
+  };
+  struct KeyEq {
+    bool operator()(const std::vector<Value>& a, const std::vector<Value>& b) const noexcept;
+  };
+
+  [[nodiscard]] std::vector<Value> key_of(const Tuple& row) const;
+  void add(const Tuple& row);
+  void remove(const Tuple& row);
+
+  std::vector<std::size_t> columns_;
+  std::unordered_map<std::vector<Value>, std::vector<TupleId>, KeyHash, KeyEq> buckets_;
+  std::size_t entries_ = 0;
+  static const std::vector<TupleId> kNoTids;
+};
+
+}  // namespace cq::rel

@@ -1,0 +1,117 @@
+#include "relation/schema.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace cq::rel {
+
+std::string bare_name(const std::string& name) {
+  auto dot = name.rfind('.');
+  return dot == std::string::npos ? name : name.substr(dot + 1);
+}
+
+Schema::Schema(std::vector<Attribute> attributes) : attributes_(std::move(attributes)) {
+  rebuild_lookup();
+}
+
+Schema Schema::of(std::initializer_list<Attribute> attributes) {
+  return Schema(std::vector<Attribute>(attributes));
+}
+
+void Schema::rebuild_lookup() {
+  by_name_.clear();
+  by_suffix_.clear();
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    const auto& name = attributes_[i].name;
+    if (name.empty()) throw common::InvalidArgument("Schema: empty attribute name");
+    if (!by_name_.emplace(name, i).second) {
+      throw common::SchemaMismatch("Schema: duplicate attribute name '" + name + "'");
+    }
+    const auto suffix = bare_name(name);
+    if (suffix != name) {
+      auto [it, inserted] = by_suffix_.emplace(suffix, i);
+      if (!inserted) it->second = kAmbiguous;
+    }
+  }
+}
+
+const Attribute& Schema::at(std::size_t i) const {
+  if (i >= attributes_.size()) throw common::InvalidArgument("Schema::at out of range");
+  return attributes_[i];
+}
+
+std::optional<std::size_t> Schema::find(const std::string& name) const {
+  if (auto it = by_name_.find(name); it != by_name_.end()) return it->second;
+  if (auto it = by_suffix_.find(name); it != by_suffix_.end() && it->second != kAmbiguous) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+std::size_t Schema::index_of(const std::string& name) const {
+  if (auto i = find(name)) return *i;
+  if (auto it = by_suffix_.find(name); it != by_suffix_.end() && it->second == kAmbiguous) {
+    throw common::NotFound("Schema: ambiguous attribute '" + name + "' in " + to_string());
+  }
+  throw common::NotFound("Schema: no attribute '" + name + "' in " + to_string());
+}
+
+Schema Schema::concat(const Schema& other) const {
+  std::vector<Attribute> merged = attributes_;
+  merged.insert(merged.end(), other.attributes_.begin(), other.attributes_.end());
+  return Schema(std::move(merged));  // ctor checks duplicates
+}
+
+Schema Schema::project(const std::vector<std::string>& names) const {
+  std::vector<Attribute> out;
+  out.reserve(names.size());
+  for (const auto& n : names) out.push_back(attributes_[index_of(n)]);
+  return Schema(std::move(out));
+}
+
+Schema Schema::qualified(const std::string& qualifier) const {
+  std::vector<Attribute> out;
+  out.reserve(attributes_.size());
+  for (const auto& a : attributes_) {
+    out.push_back({qualifier + "." + bare_name(a.name), a.type});
+  }
+  return Schema(std::move(out));
+}
+
+Schema Schema::unqualified() const {
+  std::vector<Attribute> out;
+  out.reserve(attributes_.size());
+  for (const auto& a : attributes_) out.push_back({bare_name(a.name), a.type});
+  return Schema(std::move(out));
+}
+
+Schema Schema::doubled() const {
+  std::vector<Attribute> out;
+  out.reserve(attributes_.size() * 2);
+  for (const auto& a : attributes_) out.push_back({a.name + "_old", a.type});
+  for (const auto& a : attributes_) out.push_back({a.name + "_new", a.type});
+  return Schema(std::move(out));
+}
+
+bool Schema::union_compatible(const Schema& other) const noexcept {
+  if (size() != other.size()) return false;
+  for (std::size_t i = 0; i < size(); ++i) {
+    if (attributes_[i].type != other.attributes_[i].type) return false;
+  }
+  return true;
+}
+
+std::string Schema::to_string() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << attributes_[i].name << ":" << rel::to_string(attributes_[i].type);
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace cq::rel

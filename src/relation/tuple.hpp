@@ -1,0 +1,84 @@
+// Tuples: a vector of values plus a tuple identifier (tid).
+//
+// The paper's differential relations are keyed by tid (Section 4.1 Example 1
+// shows tids such as 101088); tids survive modification, so a delta row can
+// pair the old and new versions of the same logical tuple.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "relation/value.hpp"
+
+namespace cq::rel {
+
+/// Identifier of a logical tuple within one relation. Stable across
+/// modifications; never reused after deletion within a single Database.
+class TupleId {
+ public:
+  using rep = std::uint64_t;
+
+  constexpr TupleId() noexcept = default;
+  constexpr explicit TupleId(rep id) noexcept : id_(id) {}
+
+  [[nodiscard]] static constexpr TupleId invalid() noexcept { return TupleId(0); }
+  [[nodiscard]] constexpr bool valid() const noexcept { return id_ != 0; }
+  [[nodiscard]] constexpr rep raw() const noexcept { return id_; }
+
+  constexpr auto operator<=>(const TupleId&) const noexcept = default;
+
+  [[nodiscard]] std::string to_string() const { return std::to_string(id_); }
+
+ private:
+  rep id_ = 0;
+};
+
+/// An immutable-by-convention row. Value count must match the schema of the
+/// relation that holds it (enforced by Relation, not by Tuple).
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values, TupleId tid = TupleId::invalid())
+      : values_(std::move(values)), tid_(tid) {}
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+  [[nodiscard]] const Value& at(std::size_t i) const;
+  [[nodiscard]] const std::vector<Value>& values() const noexcept { return values_; }
+  [[nodiscard]] std::vector<Value>& mutable_values() noexcept { return values_; }
+
+  [[nodiscard]] TupleId tid() const noexcept { return tid_; }
+  void set_tid(TupleId tid) noexcept { tid_ = tid; }
+
+  /// Value equality over the fields only (tids are identity, not value).
+  [[nodiscard]] bool same_values(const Tuple& other) const noexcept;
+
+  /// Hash of the field values only.
+  [[nodiscard]] std::size_t value_hash() const noexcept;
+
+  /// Concatenation (for join outputs). The result carries an invalid tid.
+  [[nodiscard]] Tuple concat(const Tuple& other) const;
+
+  /// Projection onto the given column indexes.
+  [[nodiscard]] Tuple project(const std::vector<std::size_t>& indexes) const;
+
+  /// Total serialized size in bytes under the wire cost model.
+  [[nodiscard]] std::size_t byte_size() const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<Value> values_;
+  TupleId tid_;
+};
+
+}  // namespace cq::rel
+
+template <>
+struct std::hash<cq::rel::TupleId> {
+  std::size_t operator()(const cq::rel::TupleId& t) const noexcept {
+    return std::hash<cq::rel::TupleId::rep>{}(t.raw());
+  }
+};

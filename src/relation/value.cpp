@@ -1,0 +1,153 @@
+#include "relation/value.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+
+namespace cq::rel {
+
+const char* to_string(ValueType type) noexcept {
+  switch (type) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kBool: return "BOOL";
+    case ValueType::kInt: return "INT";
+    case ValueType::kDouble: return "DOUBLE";
+    case ValueType::kString: return "STRING";
+  }
+  return "?";
+}
+
+bool Value::as_bool() const {
+  if (auto* p = std::get_if<bool>(&data_)) return *p;
+  throw common::InvalidArgument("Value::as_bool on " + std::string(rel::to_string(type())));
+}
+
+std::int64_t Value::as_int() const {
+  if (auto* p = std::get_if<std::int64_t>(&data_)) return *p;
+  throw common::InvalidArgument("Value::as_int on " + std::string(rel::to_string(type())));
+}
+
+double Value::as_double() const {
+  if (auto* p = std::get_if<double>(&data_)) return *p;
+  throw common::InvalidArgument("Value::as_double on " + std::string(rel::to_string(type())));
+}
+
+const std::string& Value::as_string() const {
+  if (auto* p = std::get_if<std::string>(&data_)) return *p;
+  throw common::InvalidArgument("Value::as_string on " + std::string(rel::to_string(type())));
+}
+
+double Value::numeric() const {
+  if (auto* p = std::get_if<std::int64_t>(&data_)) return static_cast<double>(*p);
+  if (auto* p = std::get_if<double>(&data_)) return *p;
+  throw common::InvalidArgument("Value::numeric on " + std::string(rel::to_string(type())));
+}
+
+namespace {
+std::strong_ordering order_doubles(double a, double b) noexcept {
+  // NaNs are not produced by the library; treat them as equal-largest anyway.
+  if (a < b) return std::strong_ordering::less;
+  if (a > b) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+/// Rank used to order values of different type classes.
+int type_rank(ValueType t) noexcept {
+  switch (t) {
+    case ValueType::kNull: return 0;
+    case ValueType::kBool: return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble: return 2;
+    case ValueType::kString: return 3;
+  }
+  return 4;
+}
+}  // namespace
+
+std::strong_ordering Value::compare(const Value& other) const noexcept {
+  const int ra = type_rank(type());
+  const int rb = type_rank(other.type());
+  if (ra != rb) return ra <=> rb;
+  switch (type()) {
+    case ValueType::kNull:
+      return std::strong_ordering::equal;
+    case ValueType::kBool:
+      return std::get<bool>(data_) <=> std::get<bool>(other.data_);
+    case ValueType::kInt:
+      if (other.type() == ValueType::kInt) {
+        return std::get<std::int64_t>(data_) <=> std::get<std::int64_t>(other.data_);
+      }
+      return order_doubles(numeric(), other.numeric());
+    case ValueType::kDouble:
+      return order_doubles(numeric(), other.numeric());
+    case ValueType::kString:
+      return std::get<std::string>(data_).compare(std::get<std::string>(other.data_)) <=> 0;
+  }
+  return std::strong_ordering::equal;
+}
+
+std::size_t Value::hash() const noexcept {
+  using common::hash_mix;
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x6e756c6cULL;
+    case ValueType::kBool:
+      return hash_mix(1, std::get<bool>(data_) ? 1 : 0);
+    case ValueType::kInt:
+      // INT and DOUBLE with the same numeric value must hash alike, because
+      // compare() treats them as equal.
+      return hash_mix(2, static_cast<std::uint64_t>(std::get<std::int64_t>(data_)));
+    case ValueType::kDouble: {
+      const double d = std::get<double>(data_);
+      const double r = std::nearbyint(d);
+      if (r == d && r >= -9.2e18 && r <= 9.2e18) {
+        return hash_mix(2, static_cast<std::uint64_t>(static_cast<std::int64_t>(r)));
+      }
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      return hash_mix(3, bits);
+    }
+    case ValueType::kString: {
+      std::size_t h = 4;
+      for (char c : std::get<std::string>(data_)) {
+        h = common::hash_combine(h, c);
+      }
+      return h;
+    }
+  }
+  return 0;
+}
+
+std::string Value::to_string() const {
+  switch (type()) {
+    case ValueType::kNull: return "NULL";
+    case ValueType::kBool: return std::get<bool>(data_) ? "true" : "false";
+    case ValueType::kInt: return std::to_string(std::get<std::int64_t>(data_));
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << std::get<double>(data_);
+      return os.str();
+    }
+    case ValueType::kString: return "'" + std::get<std::string>(data_) + "'";
+  }
+  return "?";
+}
+
+std::size_t Value::byte_size() const noexcept {
+  switch (type()) {
+    case ValueType::kNull: return 1;
+    case ValueType::kBool: return 2;
+    case ValueType::kInt: return 9;
+    case ValueType::kDouble: return 9;
+    case ValueType::kString: return 5 + std::get<std::string>(data_).size();
+  }
+  return 1;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) { return os << v.to_string(); }
+
+}  // namespace cq::rel

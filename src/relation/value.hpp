@@ -1,0 +1,83 @@
+// The scalar value domain of the relational model used throughout the
+// library: NULL, BOOL, INT, DOUBLE, STRING. Nulls follow SQL-ish semantics
+// where the differential machinery needs them (differential relations mark
+// insertions/deletions with null halves, Section 4.1), but comparisons used
+// for ordering/indexing are total: NULL sorts first and equals NULL.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+namespace cq::rel {
+
+enum class ValueType : std::uint8_t { kNull = 0, kBool, kInt, kDouble, kString };
+
+/// Printable name of a value type ("INT", "STRING", ...).
+[[nodiscard]] const char* to_string(ValueType type) noexcept;
+
+/// A single scalar value. Cheap to copy for numerics; strings are owned.
+class Value {
+ public:
+  /// NULL value.
+  Value() noexcept : data_(std::monostate{}) {}
+  Value(bool v) noexcept : data_(v) {}                    // NOLINT(google-explicit-constructor)
+  Value(std::int64_t v) noexcept : data_(v) {}            // NOLINT(google-explicit-constructor)
+  Value(int v) noexcept : data_(std::int64_t{v}) {}       // NOLINT(google-explicit-constructor)
+  Value(double v) noexcept : data_(v) {}                  // NOLINT(google-explicit-constructor)
+  Value(std::string v) : data_(std::move(v)) {}           // NOLINT(google-explicit-constructor)
+  Value(const char* v) : data_(std::string(v)) {}         // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Value null() noexcept { return Value(); }
+
+  [[nodiscard]] ValueType type() const noexcept {
+    return static_cast<ValueType>(data_.index());
+  }
+  [[nodiscard]] bool is_null() const noexcept { return type() == ValueType::kNull; }
+
+  /// Typed accessors. Throw InvalidArgument when the type does not match.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+
+  /// Numeric view: INT and DOUBLE both convert; throws otherwise.
+  [[nodiscard]] double numeric() const;
+  /// True for INT or DOUBLE.
+  [[nodiscard]] bool is_numeric() const noexcept {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  /// Total ordering for indexes/sorting: NULL < BOOL < numerics < STRING;
+  /// INT and DOUBLE compare numerically against each other.
+  [[nodiscard]] std::strong_ordering compare(const Value& other) const noexcept;
+
+  bool operator==(const Value& other) const noexcept {
+    return compare(other) == std::strong_ordering::equal;
+  }
+  bool operator<(const Value& other) const noexcept {
+    return compare(other) == std::strong_ordering::less;
+  }
+
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+  /// Rendered form, e.g. 42, 3.5, 'abc', true, NULL.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Approximate serialized size in bytes; used by the wire-format cost model.
+  [[nodiscard]] std::size_t byte_size() const noexcept;
+
+ private:
+  std::variant<std::monostate, bool, std::int64_t, double, std::string> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+}  // namespace cq::rel
+
+template <>
+struct std::hash<cq::rel::Value> {
+  std::size_t operator()(const cq::rel::Value& v) const noexcept { return v.hash(); }
+};

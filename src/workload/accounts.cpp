@@ -1,0 +1,92 @@
+#include "workload/accounts.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "catalog/transaction.hpp"
+#include "common/error.hpp"
+
+namespace cq::wl {
+
+using rel::Value;
+
+namespace {
+constexpr const char* kBranches[] = {"downtown", "airport", "campus", "harbor"};
+}
+
+AccountsWorkload::AccountsWorkload(cat::Database& db, std::string table,
+                                   const AccountsConfig& config, common::Rng& rng)
+    : db_(db), table_(std::move(table)), config_(config), rng_(rng) {
+  db_.create_table(table_, rel::Schema::of({{"account", rel::ValueType::kInt},
+                                            {"branch", rel::ValueType::kString},
+                                            {"amount", rel::ValueType::kInt}}));
+  std::size_t opened = 0;
+  while (opened < config_.accounts) {
+    auto txn = db_.begin();
+    const std::size_t batch = std::min<std::size_t>(config_.accounts - opened, 1024);
+    for (std::size_t i = 0; i < batch; ++i) {
+      open_.push_back(txn.insert(
+          table_,
+          {Value(next_account_++),
+           Value(std::string(kBranches[rng_.index(std::size(kBranches))])),
+           Value(rng_.uniform_int(config_.initial_balance_lo,
+                                  config_.initial_balance_hi))}));
+    }
+    txn.commit();
+    opened += batch;
+  }
+}
+
+std::int64_t AccountsWorkload::step(std::size_t movements, std::size_t batch) {
+  if (batch == 0) throw common::InvalidArgument("AccountsWorkload::step: batch > 0");
+  std::int64_t net = 0;
+  std::size_t done = 0;
+  while (done < movements && !open_.empty()) {
+    auto txn = db_.begin();
+    std::unordered_set<rel::TupleId::rep> touched;
+    const std::size_t end = std::min(movements, done + batch);
+    for (; done < end; ++done) {
+      const rel::TupleId tid = open_[rng_.index(open_.size())];
+      if (touched.contains(tid.raw())) continue;
+      const rel::Tuple* row = db_.table(table_).find(tid);
+      if (row == nullptr) continue;
+      std::vector<Value> values = row->values();
+      const std::int64_t balance = values[2].as_int();
+      std::int64_t amount = rng_.uniform_int(config_.movement_lo, config_.movement_hi);
+      if (rng_.chance(0.5)) amount = -std::min(amount, balance);  // withdrawal
+      values[2] = Value(balance + amount);
+      txn.modify(table_, tid, std::move(values));
+      touched.insert(tid.raw());
+      net += amount;
+    }
+    txn.commit();
+  }
+  return net;
+}
+
+rel::TupleId AccountsWorkload::open_account(std::int64_t balance) {
+  auto txn = db_.begin();
+  const rel::TupleId tid = txn.insert(
+      table_, {Value(next_account_++),
+               Value(std::string(kBranches[rng_.index(std::size(kBranches))])),
+               Value(balance)});
+  txn.commit();
+  open_.push_back(tid);
+  return tid;
+}
+
+std::int64_t AccountsWorkload::close_random_account() {
+  if (open_.empty()) return 0;
+  const std::size_t at = rng_.index(open_.size());
+  const rel::TupleId tid = open_[at];
+  const rel::Tuple* row = db_.table(table_).find(tid);
+  const std::int64_t balance = row != nullptr ? row->at(2).as_int() : 0;
+  auto txn = db_.begin();
+  txn.erase(table_, tid);
+  txn.commit();
+  open_[at] = open_.back();
+  open_.pop_back();
+  return balance;
+}
+
+}  // namespace cq::wl

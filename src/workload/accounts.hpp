@@ -1,0 +1,55 @@
+// Checking-accounts workload: the epsilon-query example of Sections 3.2
+// and 5.3 — "SELECT SUM(amount) FROM CheckingAccounts" with the trigger
+// |Deposits − Withdrawals| >= 0.5M. Deposits and withdrawals are modeled
+// as insertions into / deletions from a CheckingAccounts movements table,
+// so the trigger's differential form reads only ΔCheckingAccounts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/database.hpp"
+#include "common/rng.hpp"
+
+namespace cq::wl {
+
+struct AccountsConfig {
+  std::size_t accounts = 500;
+  std::int64_t initial_balance_lo = 1000;
+  std::int64_t initial_balance_hi = 500000;
+  std::int64_t movement_lo = 10;
+  std::int64_t movement_hi = 20000;
+};
+
+/// Schema: (account INT, branch STRING, amount INT). Each row is one
+/// account's balance; deposits/withdrawals modify the amount, opening and
+/// closing accounts insert/delete rows.
+class AccountsWorkload {
+ public:
+  AccountsWorkload(cat::Database& db, std::string table, const AccountsConfig& config,
+                   common::Rng& rng);
+
+  /// Apply `movements` random deposits/withdrawals (modifications). A
+  /// withdrawal never takes an account below zero. Returns the net amount
+  /// moved (deposits minus withdrawals), so tests can predict the epsilon
+  /// trigger's drift.
+  std::int64_t step(std::size_t movements, std::size_t batch = 4);
+
+  /// Open one account with the given balance; returns its tid.
+  rel::TupleId open_account(std::int64_t balance);
+
+  /// Close a random account; returns its final balance (0 if none open).
+  std::int64_t close_random_account();
+
+  [[nodiscard]] const std::string& table() const noexcept { return table_; }
+
+ private:
+  cat::Database& db_;
+  std::string table_;
+  AccountsConfig config_;
+  common::Rng& rng_;
+  std::vector<rel::TupleId> open_;
+  std::int64_t next_account_ = 0;
+};
+
+}  // namespace cq::wl

@@ -1,0 +1,112 @@
+#include "workload/stocks.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "catalog/transaction.hpp"
+#include "common/error.hpp"
+
+namespace cq::wl {
+
+using rel::Value;
+
+namespace {
+constexpr const char* kExchanges[] = {"NYSE", "NASDAQ", "TSE", "LSE"};
+}
+
+std::string StocksWorkload::symbol_name(std::size_t i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "SYM%06zu", i);
+  return buf;
+}
+
+StocksWorkload::StocksWorkload(cat::Database& db, std::string table,
+                               const StocksConfig& config, common::Rng& rng)
+    : db_(db), table_(std::move(table)), config_(config), rng_(rng),
+      next_symbol_(config.symbols) {
+  db_.create_table(table_, rel::Schema::of({{"symbol", rel::ValueType::kString},
+                                            {"exchange", rel::ValueType::kString},
+                                            {"price", rel::ValueType::kInt},
+                                            {"volume", rel::ValueType::kInt}}));
+  std::size_t listed = 0;
+  while (listed < config_.symbols) {
+    auto txn = db_.begin();
+    const std::size_t batch = std::min<std::size_t>(config_.symbols - listed, 1024);
+    for (std::size_t i = 0; i < batch; ++i) {
+      listed_.push_back(txn.insert(
+          table_, {Value(symbol_name(listed + i)),
+                   Value(std::string(kExchanges[rng_.index(std::size(kExchanges))])),
+                   Value(rng_.uniform_int(config_.price_lo, config_.price_hi)),
+                   Value(rng_.uniform_int(100, 100000))}));
+    }
+    txn.commit();
+    listed += batch;
+  }
+}
+
+void StocksWorkload::step(std::size_t trades, std::size_t listings,
+                          std::size_t delistings, std::size_t batch) {
+  if (batch == 0) throw common::InvalidArgument("StocksWorkload::step: batch must be > 0");
+
+  // Build the op sequence up front, then commit it in transaction batches.
+  enum class Op { kTrade, kList, kDelist };
+  std::vector<Op> ops;
+  ops.reserve(trades + listings + delistings);
+  ops.insert(ops.end(), trades, Op::kTrade);
+  ops.insert(ops.end(), listings, Op::kList);
+  ops.insert(ops.end(), delistings, Op::kDelist);
+  rng_.shuffle(ops);
+
+  std::size_t done = 0;
+  while (done < ops.size()) {
+    auto txn = db_.begin();
+    // Tids already written by this (uncommitted) transaction; touching the
+    // same tid twice in one transaction needs base-state reads we skip.
+    std::unordered_set<rel::TupleId::rep> touched;
+    const std::size_t end = std::min(ops.size(), done + batch);
+    for (; done < end; ++done) {
+      switch (ops[done]) {
+        case Op::kTrade: {
+          if (listed_.empty()) break;
+          const rel::TupleId tid =
+              listed_[rng_.zipf(listed_.size(), config_.zipf_theta)];
+          if (touched.contains(tid.raw())) break;
+          const rel::Tuple* row = db_.table(table_).find(tid);
+          if (row == nullptr) break;  // already delisted
+          std::vector<Value> values = row->values();
+          const std::int64_t move = rng_.uniform_int(-5, 5);
+          values[2] = Value(std::max<std::int64_t>(1, values[2].as_int() + move));
+          values[3] = Value(rng_.uniform_int(100, 100000));
+          txn.modify(table_, tid, std::move(values));
+          touched.insert(tid.raw());
+          break;
+        }
+        case Op::kList: {
+          const rel::TupleId tid = txn.insert(
+              table_,
+              {Value(symbol_name(next_symbol_++)),
+               Value(std::string(kExchanges[rng_.index(std::size(kExchanges))])),
+               Value(rng_.uniform_int(config_.price_lo, config_.price_hi)),
+               Value(rng_.uniform_int(100, 100000))});
+          listed_.push_back(tid);
+          touched.insert(tid.raw());
+          break;
+        }
+        case Op::kDelist: {
+          if (listed_.empty()) break;
+          const std::size_t at = rng_.index(listed_.size());
+          const rel::TupleId tid = listed_[at];
+          if (touched.contains(tid.raw()) || !db_.table(table_).contains(tid)) break;
+          txn.erase(table_, tid);
+          touched.insert(tid.raw());
+          listed_[at] = listed_.back();
+          listed_.pop_back();
+          break;
+        }
+      }
+    }
+    txn.commit();
+  }
+}
+
+}  // namespace cq::wl

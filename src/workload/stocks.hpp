@@ -1,0 +1,49 @@
+// Stock-market workload: the paper's running example (Example 1's Stocks
+// relation and the intro's Q3 "IBM stock transactions that differ by more
+// than $5 from $75"). Generates a Stocks table and a stream of price-tick
+// transactions with a configurable insert/modify/delete mix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/database.hpp"
+#include "common/rng.hpp"
+
+namespace cq::wl {
+
+struct StocksConfig {
+  std::size_t symbols = 1000;         // initial listed symbols
+  std::int64_t price_lo = 10;         // initial price range (dollars)
+  std::int64_t price_hi = 200;
+  double zipf_theta = 0.8;            // trade concentration on hot symbols
+};
+
+/// Schema: (symbol STRING, exchange STRING, price INT, volume INT).
+class StocksWorkload {
+ public:
+  /// Creates table `table` in `db` and lists `config.symbols` symbols.
+  StocksWorkload(cat::Database& db, std::string table, const StocksConfig& config,
+                 common::Rng& rng);
+
+  /// One market step: `trades` price movements (modifications), plus
+  /// `listings` new symbols and `delistings` removals, committed as one
+  /// transaction per `batch` operations.
+  void step(std::size_t trades, std::size_t listings = 0, std::size_t delistings = 0,
+            std::size_t batch = 8);
+
+  /// Deterministic symbol name for index i ("SYM000042").
+  [[nodiscard]] static std::string symbol_name(std::size_t i);
+
+  [[nodiscard]] const std::string& table() const noexcept { return table_; }
+
+ private:
+  cat::Database& db_;
+  std::string table_;
+  StocksConfig config_;
+  common::Rng& rng_;
+  std::vector<rel::TupleId> listed_;
+  std::size_t next_symbol_;
+};
+
+}  // namespace cq::wl

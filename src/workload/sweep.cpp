@@ -1,0 +1,112 @@
+#include "workload/sweep.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "catalog/transaction.hpp"
+#include "common/error.hpp"
+
+namespace cq::wl {
+
+using alg::Expr;
+using rel::Value;
+
+SweepTable::SweepTable(cat::Database& db, std::string name, std::size_t rows,
+                       std::size_t groups, common::Rng& rng, std::size_t payload_width)
+    : db_(db), name_(std::move(name)), groups_(std::max<std::size_t>(1, groups)),
+      rng_(rng), payload_width_(payload_width) {
+  db_.create_table(name_, rel::Schema::of({{"key", rel::ValueType::kInt},
+                                           {"grp", rel::ValueType::kInt},
+                                           {"payload", rel::ValueType::kString}}));
+  std::size_t loaded = 0;
+  while (loaded < rows) {
+    auto txn = db_.begin();
+    const std::size_t batch = std::min<std::size_t>(rows - loaded, 2048);
+    for (std::size_t i = 0; i < batch; ++i) txn.insert(name_, random_row());
+    txn.commit();
+    loaded += batch;
+  }
+  live_.reserve(rows);
+  for (const auto& row : db_.table(name_).rows()) live_.push_back(row.tid());
+}
+
+std::vector<Value> SweepTable::random_row() {
+  return {Value(rng_.uniform_int(0, kSweepKeySpace - 1)),
+          Value(rng_.uniform_int(0, static_cast<std::int64_t>(groups_) - 1)),
+          Value(rng_.string(payload_width_))};
+}
+
+void SweepTable::update(std::size_t count, const SweepMix& mix, std::size_t batch) {
+  if (batch == 0) throw common::InvalidArgument("SweepTable::update: batch > 0");
+  std::size_t done = 0;
+  while (done < count) {
+    auto txn = db_.begin();
+    std::unordered_set<rel::TupleId::rep> touched;
+    const std::size_t end = std::min(count, done + batch);
+    for (; done < end; ++done) {
+      const double roll = rng_.uniform01();
+      if (!live_.empty() && roll < mix.delete_fraction) {
+        const std::size_t at = rng_.index(live_.size());
+        if (touched.contains(live_[at].raw())) continue;
+        touched.insert(live_[at].raw());
+        txn.erase(name_, live_[at]);
+        live_[at] = live_.back();
+        live_.pop_back();
+      } else if (!live_.empty() &&
+                 roll < mix.delete_fraction + mix.modify_fraction) {
+        const rel::TupleId tid = live_[rng_.index(live_.size())];
+        if (touched.contains(tid.raw())) continue;
+        const rel::Tuple* row = db_.table(name_).find(tid);
+        if (row == nullptr) continue;
+        std::vector<Value> values = row->values();
+        values[0] = Value(rng_.uniform_int(0, kSweepKeySpace - 1));
+        txn.modify(name_, tid, std::move(values));
+        touched.insert(tid.raw());
+      } else {
+        const rel::TupleId tid = txn.insert(name_, random_row());
+        live_.push_back(tid);
+        touched.insert(tid.raw());
+      }
+    }
+    txn.commit();
+  }
+}
+
+alg::ExprPtr SweepTable::selection(double s, const std::string& qualifier) const {
+  s = std::clamp(s, 0.0, 1.0);
+  const auto hi = static_cast<std::int64_t>(s * static_cast<double>(kSweepKeySpace));
+  const std::string column = qualifier.empty() ? "key" : qualifier + ".key";
+  return Expr::cmp(alg::CmpOp::kLt, Expr::col(column), Expr::lit(Value(hi)));
+}
+
+qry::SpjQuery SweepTable::selection_query(double s) const {
+  qry::SpjQuery q;
+  q.from.push_back({name_, ""});
+  q.where = selection(s);
+  return q;
+}
+
+qry::SpjQuery join_query(const std::vector<const SweepTable*>& tables,
+                         double per_table_selectivity) {
+  if (tables.size() < 2) throw common::InvalidArgument("join_query: >= 2 tables");
+  qry::SpjQuery q;
+  std::vector<std::string> aliases;
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    std::string alias = "j" + std::to_string(i);
+    q.from.push_back({tables[i]->name(), alias});
+    aliases.push_back(std::move(alias));
+  }
+  std::vector<alg::ExprPtr> conjuncts;
+  for (std::size_t i = 1; i < aliases.size(); ++i) {
+    conjuncts.push_back(Expr::cmp(alg::CmpOp::kEq,
+                                  Expr::col(aliases[i - 1] + ".grp"),
+                                  Expr::col(aliases[i] + ".grp")));
+  }
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    conjuncts.push_back(tables[i]->selection(per_table_selectivity, aliases[i]));
+  }
+  q.where = alg::conjoin(conjuncts);
+  return q;
+}
+
+}  // namespace cq::wl

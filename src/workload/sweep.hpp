@@ -1,0 +1,59 @@
+// Parameter-sweep workload: tables with a uniform integer `key` column so
+// selection predicates of any target selectivity can be constructed
+// analytically, plus a `grp` column with controllable join fan-out. Used by
+// the benchmark harness for the E1/E2/E3 sweeps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "algebra/expr.hpp"
+#include "catalog/database.hpp"
+#include "common/rng.hpp"
+#include "query/ast.hpp"
+
+namespace cq::wl {
+
+inline constexpr std::int64_t kSweepKeySpace = 1'000'000;
+
+struct SweepMix {
+  double modify_fraction = 1.0 / 3;
+  double delete_fraction = 1.0 / 3;  // remainder: inserts
+};
+
+/// Schema: (key INT uniform in [0, kSweepKeySpace), grp INT in [0, groups),
+/// payload STRING of fixed width). `groups` controls equi-join fan-out.
+class SweepTable {
+ public:
+  SweepTable(cat::Database& db, std::string name, std::size_t rows, std::size_t groups,
+             common::Rng& rng, std::size_t payload_width = 16);
+
+  /// Apply `count` uniformly targeted updates with the given mix.
+  void update(std::size_t count, const SweepMix& mix, std::size_t batch = 8);
+
+  /// Selection predicate with exact expected selectivity `s` over `key`.
+  [[nodiscard]] alg::ExprPtr selection(double s, const std::string& qualifier = "") const;
+
+  /// Single-table selection query with selectivity `s`.
+  [[nodiscard]] qry::SpjQuery selection_query(double s) const;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t groups() const noexcept { return groups_; }
+
+ private:
+  std::vector<rel::Value> random_row();
+
+  cat::Database& db_;
+  std::string name_;
+  std::size_t groups_;
+  common::Rng& rng_;
+  std::size_t payload_width_;
+  std::vector<rel::TupleId> live_;
+};
+
+/// Equi-join query over `tables` (joined pairwise on grp), with a
+/// per-table key-selectivity filter.
+[[nodiscard]] qry::SpjQuery join_query(const std::vector<const SweepTable*>& tables,
+                                       double per_table_selectivity);
+
+}  // namespace cq::wl

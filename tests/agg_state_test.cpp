@@ -1,0 +1,193 @@
+// Property: AggregateState maintained through a stream of diffs always
+// equals alg::group_aggregate over the current SPJ result.
+#include "cq/agg_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/aggregate.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "cq/diff.hpp"
+
+namespace cq::core {
+namespace {
+
+using alg::AggKind;
+using alg::AggSpec;
+using rel::Relation;
+using rel::Schema;
+using rel::Tuple;
+using rel::Value;
+using rel::ValueType;
+
+Schema sales_schema() {
+  return Schema::of({{"region", ValueType::kString}, {"amount", ValueType::kInt}});
+}
+
+Tuple row(const char* region, int amount) {
+  return Tuple({Value(region), Value(amount)});
+}
+
+std::vector<AggSpec> all_specs() {
+  return {{AggKind::kSum, "amount", "s"},
+          {AggKind::kCount, "*", "n"},
+          {AggKind::kAvg, "amount", "a"},
+          {AggKind::kMin, "amount", "lo"},
+          {AggKind::kMax, "amount", "hi"}};
+}
+
+TEST(AggregateState, MatchesGroupAggregateAfterInit) {
+  Relation base(sales_schema());
+  base.append(row("e", 10));
+  base.append(row("e", 20));
+  base.append(row("w", 5));
+  AggregateState state(sales_schema(), {"region"}, all_specs());
+  state.initialize(base);
+  const Relation expect = alg::group_aggregate(base, {"region"}, all_specs());
+  EXPECT_TRUE(state.current().equal_multiset(expect));
+}
+
+TEST(AggregateState, InsertAndDeleteUpdateAllAggregates) {
+  Relation base(sales_schema());
+  base.append(row("e", 10));
+  base.append(row("e", 20));
+  AggregateState state(sales_schema(), {"region"}, all_specs());
+  state.initialize(base);
+
+  DiffResult d;
+  d.inserted = Relation(sales_schema());
+  d.deleted = Relation(sales_schema());
+  d.inserted.append(row("e", 30));
+  d.deleted.append(row("e", 10));
+  state.apply(d);
+
+  Relation now(sales_schema());
+  now.append(row("e", 20));
+  now.append(row("e", 30));
+  EXPECT_TRUE(
+      state.current().equal_multiset(alg::group_aggregate(now, {"region"}, all_specs())));
+}
+
+TEST(AggregateState, MinMaxSurviveExtremumDeletion) {
+  Relation base(sales_schema());
+  base.append(row("e", 10));
+  base.append(row("e", 20));
+  base.append(row("e", 30));
+  AggregateState state(sales_schema(), {"region"},
+                       {{AggKind::kMin, "amount", "lo"}, {AggKind::kMax, "amount", "hi"}});
+  state.initialize(base);
+
+  DiffResult d;
+  d.inserted = Relation(sales_schema());
+  d.deleted = Relation(sales_schema());
+  d.deleted.append(row("e", 30));  // remove the max
+  d.deleted.append(row("e", 10));  // remove the min
+  state.apply(d);
+
+  const Relation out = state.current();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.row(0).at(1), Value(20));  // new min
+  EXPECT_EQ(out.row(0).at(2), Value(20));  // new max
+}
+
+TEST(AggregateState, GroupDisappearsAtZeroRows) {
+  Relation base(sales_schema());
+  base.append(row("e", 10));
+  base.append(row("w", 5));
+  AggregateState state(sales_schema(), {"region"}, {{AggKind::kSum, "amount", "s"}});
+  state.initialize(base);
+  DiffResult d;
+  d.inserted = Relation(sales_schema());
+  d.deleted = Relation(sales_schema());
+  d.deleted.append(row("w", 5));
+  state.apply(d);
+  EXPECT_EQ(state.current().size(), 1u);
+}
+
+TEST(AggregateState, ScalarAccessor) {
+  Relation base(sales_schema());
+  base.append(row("e", 10));
+  base.append(row("w", 5));
+  AggregateState state(sales_schema(), {}, {{AggKind::kSum, "amount", "s"}});
+  state.initialize(base);
+  EXPECT_EQ(state.scalar(), Value(15));
+
+  AggregateState empty(sales_schema(), {}, {{AggKind::kSum, "amount", "s"}});
+  empty.initialize(Relation(sales_schema()));
+  EXPECT_TRUE(empty.scalar().is_null());
+
+  AggregateState counted(sales_schema(), {}, {{AggKind::kCount, "*", "n"}});
+  counted.initialize(Relation(sales_schema()));
+  EXPECT_EQ(counted.scalar(), Value(0));
+}
+
+TEST(AggregateState, ScalarRequiresSingleUngroupedAggregate) {
+  AggregateState state(sales_schema(), {"region"}, {{AggKind::kSum, "amount", "s"}});
+  EXPECT_THROW(static_cast<void>(state.scalar()), common::InvalidArgument);
+}
+
+TEST(AggregateState, InconsistentDeletionThrows) {
+  AggregateState state(sales_schema(), {"region"}, {{AggKind::kSum, "amount", "s"}});
+  state.initialize(Relation(sales_schema()));
+  DiffResult d;
+  d.inserted = Relation(sales_schema());
+  d.deleted = Relation(sales_schema());
+  d.deleted.append(row("ghost", 1));
+  EXPECT_THROW(state.apply(d), common::InternalError);
+}
+
+TEST(AggregateState, NullInputsSkipped) {
+  Relation base(sales_schema());
+  base.append(Tuple({Value("e"), Value::null()}));
+  base.append(row("e", 10));
+  AggregateState state(sales_schema(), {"region"}, all_specs());
+  state.initialize(base);
+  const Relation expect = alg::group_aggregate(base, {"region"}, all_specs());
+  EXPECT_TRUE(state.current().equal_multiset(expect));
+}
+
+/// Randomized property sweep: apply K random diffs, compare with recompute.
+class AggStateSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AggStateSweep, AlwaysMatchesRecompute) {
+  common::Rng rng(GetParam());
+  const Schema schema = sales_schema();
+  const char* regions[] = {"a", "b", "c"};
+
+  Relation current(schema);
+  for (int i = 0; i < 30; ++i) {
+    current.append(row(regions[rng.index(3)], static_cast<int>(rng.uniform_int(0, 50))));
+  }
+  AggregateState state(schema, {"region"}, all_specs());
+  state.initialize(current);
+
+  for (int round = 0; round < 20; ++round) {
+    DiffResult d;
+    d.inserted = Relation(schema);
+    d.deleted = Relation(schema);
+    const std::size_t dels = rng.index(std::min<std::size_t>(current.size() + 1, 5));
+    for (std::size_t i = 0; i < dels; ++i) {
+      if (current.empty()) break;
+      const Tuple victim = current.row(rng.index(current.size()));
+      Tuple copy(victim.values());
+      current.remove_one_by_value(copy);
+      d.deleted.append(std::move(copy));
+    }
+    const std::size_t adds = rng.index(5);
+    for (std::size_t i = 0; i < adds; ++i) {
+      Tuple t = row(regions[rng.index(3)], static_cast<int>(rng.uniform_int(0, 50)));
+      current.append(t);
+      d.inserted.append(std::move(t));
+    }
+    state.apply(d);
+    ASSERT_TRUE(state.current().equal_multiset(
+        alg::group_aggregate(current, {"region"}, all_specs())))
+        << "seed=" << GetParam() << " round=" << round;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Randomized, AggStateSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace cq::core

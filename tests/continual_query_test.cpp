@@ -1,0 +1,271 @@
+#include "cq/continual_query.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/aggregate.hpp"
+#include "catalog/transaction.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "cq/propagate.hpp"
+#include "query/parser.hpp"
+
+namespace cq::core {
+namespace {
+
+using rel::Relation;
+using rel::Tuple;
+using rel::Value;
+using rel::ValueType;
+
+cat::Database stocks_db() {
+  cat::Database db;
+  db.create_table("Stocks", rel::Schema::of({{"name", ValueType::kString},
+                                             {"price", ValueType::kInt}}));
+  auto txn = db.begin();
+  txn.insert("Stocks", {Value("DEC"), Value(150)});
+  txn.insert("Stocks", {Value("QLI"), Value(145)});
+  txn.insert("Stocks", {Value("IBM"), Value(80)});
+  txn.commit();
+  return db;
+}
+
+CqSpec spec_for(const std::string& sql, DeliveryMode mode = DeliveryMode::kDifferential,
+                ExecutionStrategy strategy = ExecutionStrategy::kDra) {
+  CqSpec spec = CqSpec::from_sql("test-cq", sql, triggers::on_change(), nullptr, mode);
+  spec.strategy = strategy;
+  return spec;
+}
+
+TEST(ContinualQuery, InitialExecutionDeliversCompleteResult) {
+  cat::Database db = stocks_db();
+  ContinualQuery cq(spec_for("SELECT * FROM Stocks WHERE price > 120"), db);
+  const Notification n = cq.execute_initial(db);
+  EXPECT_EQ(n.sequence, 0u);
+  ASSERT_TRUE(n.complete.has_value());
+  EXPECT_EQ(n.complete->size(), 2u);
+  EXPECT_TRUE(n.delta.empty());
+  EXPECT_EQ(cq.executions(), 1u);
+}
+
+TEST(ContinualQuery, DifferentialModeDeliversBothSides) {
+  cat::Database db = stocks_db();
+  ContinualQuery cq(spec_for("SELECT * FROM Stocks WHERE price > 120"), db);
+  (void)cq.execute_initial(db);
+
+  auto txn = db.begin();
+  txn.insert("Stocks", {Value("MAC"), Value(130)});  // enters
+  txn.commit();
+  const auto tids = db.table("Stocks");
+  // Drop QLI below the threshold: leaves the result.
+  for (const auto& row : tids.rows()) {
+    if (row.at(0) == Value("QLI")) {
+      db.modify("Stocks", row.tid(), {Value("QLI"), Value(100)});
+      break;
+    }
+  }
+
+  const Notification n = cq.execute(db);
+  EXPECT_EQ(n.sequence, 1u);
+  EXPECT_EQ(n.delta.inserted.count_value(Tuple({Value("MAC"), Value(130)})), 1u);
+  EXPECT_EQ(n.delta.deleted.count_value(Tuple({Value("QLI"), Value(145)})), 1u);
+  EXPECT_FALSE(n.complete.has_value());  // differential mode
+}
+
+TEST(ContinualQuery, InsertionsOnlyModeSuppressesDeletions) {
+  cat::Database db = stocks_db();
+  ContinualQuery cq(
+      spec_for("SELECT * FROM Stocks WHERE price > 120", DeliveryMode::kInsertionsOnly),
+      db);
+  (void)cq.execute_initial(db);
+  for (const auto& row : db.table("Stocks").rows()) {
+    if (row.at(0) == Value("QLI")) {
+      db.erase("Stocks", row.tid());
+      break;
+    }
+  }
+  db.insert("Stocks", {Value("MAC"), Value(130)});
+  const Notification n = cq.execute(db);
+  EXPECT_EQ(n.delta.inserted.size(), 1u);
+  EXPECT_TRUE(n.delta.deleted.empty());
+}
+
+TEST(ContinualQuery, DeletionsOnlyModeSuppressesInsertions) {
+  cat::Database db = stocks_db();
+  ContinualQuery cq(
+      spec_for("SELECT * FROM Stocks WHERE price > 120", DeliveryMode::kDeletionsOnly),
+      db);
+  (void)cq.execute_initial(db);
+  for (const auto& row : db.table("Stocks").rows()) {
+    if (row.at(0) == Value("QLI")) {
+      db.erase("Stocks", row.tid());
+      break;
+    }
+  }
+  db.insert("Stocks", {Value("MAC"), Value(130)});
+  const Notification n = cq.execute(db);
+  EXPECT_TRUE(n.delta.inserted.empty());
+  EXPECT_EQ(n.delta.deleted.size(), 1u);
+}
+
+TEST(ContinualQuery, CompleteModeMaintainsFullResult) {
+  cat::Database db = stocks_db();
+  ContinualQuery cq(
+      spec_for("SELECT * FROM Stocks WHERE price > 120", DeliveryMode::kComplete), db);
+  (void)cq.execute_initial(db);
+
+  db.insert("Stocks", {Value("MAC"), Value(130)});
+  const Notification n = cq.execute(db);
+  ASSERT_TRUE(n.complete.has_value());
+  // The maintained complete result equals a fresh recompute.
+  const Relation fresh =
+      recompute(qry::parse_query("SELECT * FROM Stocks WHERE price > 120"), db);
+  EXPECT_TRUE(n.complete->equal_multiset(fresh));
+}
+
+TEST(ContinualQuery, CompleteModeAcrossManyRounds) {
+  cat::Database db = stocks_db();
+  ContinualQuery cq(
+      spec_for("SELECT * FROM Stocks WHERE price > 120", DeliveryMode::kComplete), db);
+  (void)cq.execute_initial(db);
+  common::Rng rng(3);
+  for (int round = 0; round < 10; ++round) {
+    // Random-ish churn.
+    db.insert("Stocks",
+              {Value("N" + std::to_string(round)),
+               Value(rng.uniform_int(50, 250))});
+    if (!db.table("Stocks").empty() && rng.chance(0.5)) {
+      db.erase("Stocks", db.table("Stocks").rows().front().tid());
+    }
+    const Notification n = cq.execute(db);
+    const Relation fresh =
+        recompute(qry::parse_query("SELECT * FROM Stocks WHERE price > 120"), db);
+    ASSERT_TRUE(n.complete->equal_multiset(fresh)) << "round " << round;
+  }
+}
+
+TEST(ContinualQuery, RecomputeStrategyGivesSameDeltas) {
+  cat::Database db1 = stocks_db();
+  cat::Database db2 = stocks_db();
+  ContinualQuery dra_cq(spec_for("SELECT name FROM Stocks WHERE price > 120"), db1);
+  ContinualQuery rec_cq(spec_for("SELECT name FROM Stocks WHERE price > 120",
+                                 DeliveryMode::kDifferential,
+                                 ExecutionStrategy::kRecompute),
+                        db2);
+  (void)dra_cq.execute_initial(db1);
+  (void)rec_cq.execute_initial(db2);
+
+  for (auto* db : {&db1, &db2}) {
+    db->insert("Stocks", {Value("MAC"), Value(130)});
+    for (const auto& row : db->table("Stocks").rows()) {
+      if (row.at(0) == Value("DEC")) {
+        db->modify("Stocks", row.tid(), {Value("DEC"), Value(100)});
+        break;
+      }
+    }
+  }
+  const Notification a = dra_cq.execute(db1);
+  const Notification b = rec_cq.execute(db2);
+  EXPECT_TRUE(a.delta.equivalent(b.delta));
+}
+
+TEST(ContinualQuery, DistinctQueryLiftsDiffs) {
+  cat::Database db;
+  db.create_table("T", rel::Schema::of({{"grp", ValueType::kInt},
+                                        {"val", ValueType::kInt}}));
+  auto txn = db.begin();
+  txn.insert("T", {Value(1), Value(10)});
+  txn.insert("T", {Value(1), Value(20)});
+  txn.insert("T", {Value(2), Value(30)});
+  txn.commit();
+
+  ContinualQuery cq(spec_for("SELECT DISTINCT grp FROM T"), db);
+  const Notification init = cq.execute_initial(db);
+  EXPECT_EQ(init.complete->size(), 2u);
+
+  // Adding another grp=1 row changes the multiset but not the distinct set.
+  db.insert("T", {Value(1), Value(99)});
+  Notification n = cq.execute(db);
+  EXPECT_TRUE(n.delta.empty());
+
+  // Deleting one of the three grp=1 rows: still present -> no distinct diff.
+  db.erase("T", db.table("T").rows().front().tid());
+  n = cq.execute(db);
+  EXPECT_TRUE(n.delta.empty());
+
+  // New grp appears.
+  db.insert("T", {Value(3), Value(1)});
+  n = cq.execute(db);
+  EXPECT_EQ(n.delta.inserted.count_value(Tuple({Value(3)})), 1u);
+}
+
+TEST(ContinualQuery, AggregateQueryMaintainsSum) {
+  cat::Database db;
+  db.create_table("Accounts", rel::Schema::of({{"owner", ValueType::kString},
+                                               {"amount", ValueType::kInt}}));
+  db.insert("Accounts", {Value("a"), Value(100)});
+  db.insert("Accounts", {Value("b"), Value(200)});
+
+  ContinualQuery cq(spec_for("SELECT SUM(amount) FROM Accounts"), db);
+  const Notification init = cq.execute_initial(db);
+  ASSERT_TRUE(init.aggregate.has_value());
+  EXPECT_EQ(init.aggregate->row(0).at(0), Value(300));
+
+  db.insert("Accounts", {Value("c"), Value(50)});
+  const Notification n = cq.execute(db);
+  EXPECT_EQ(n.aggregate->row(0).at(0), Value(350));
+  // The delta reports the aggregate-level change: 300 out, 350 in.
+  EXPECT_EQ(n.delta.deleted.count_value(Tuple({Value(300)})), 1u);
+  EXPECT_EQ(n.delta.inserted.count_value(Tuple({Value(350)})), 1u);
+}
+
+TEST(ContinualQuery, GroupedAggregateCqTracksGroups) {
+  cat::Database db;
+  db.create_table("Sales", rel::Schema::of({{"region", ValueType::kString},
+                                            {"amount", ValueType::kInt}}));
+  db.insert("Sales", {Value("east"), Value(10)});
+
+  ContinualQuery cq(
+      spec_for("SELECT region, SUM(amount) AS total FROM Sales GROUP BY region"), db);
+  (void)cq.execute_initial(db);
+
+  db.insert("Sales", {Value("west"), Value(7)});
+  const Notification n = cq.execute(db);
+  EXPECT_EQ(n.delta.inserted.count_value(Tuple({Value("west"), Value(7)})), 1u);
+  EXPECT_EQ(n.aggregate->size(), 2u);
+}
+
+TEST(ContinualQuery, UnchangedDatabaseYieldsEmptyDelta) {
+  cat::Database db = stocks_db();
+  ContinualQuery cq(spec_for("SELECT * FROM Stocks WHERE price > 120"), db);
+  (void)cq.execute_initial(db);
+  const Notification n = cq.execute(db);
+  EXPECT_TRUE(n.delta.empty());
+  EXPECT_EQ(n.sequence, 1u);
+}
+
+TEST(ContinualQuery, ValidationAtConstruction) {
+  cat::Database db = stocks_db();
+  CqSpec bad = spec_for("SELECT * FROM Missing");
+  EXPECT_THROW(ContinualQuery(bad, db), common::NotFound);
+  CqSpec no_trigger = spec_for("SELECT * FROM Stocks");
+  no_trigger.trigger = nullptr;
+  EXPECT_THROW(ContinualQuery(no_trigger, db), common::InvalidArgument);
+}
+
+TEST(ContinualQuery, DoubleInitialThrows) {
+  cat::Database db = stocks_db();
+  ContinualQuery cq(spec_for("SELECT * FROM Stocks"), db);
+  (void)cq.execute_initial(db);
+  EXPECT_THROW(static_cast<void>(cq.execute_initial(db)), common::InvalidArgument);
+}
+
+TEST(ContinualQuery, ExecuteBeforeInitialRunsInitial) {
+  cat::Database db = stocks_db();
+  ContinualQuery cq(spec_for("SELECT * FROM Stocks"), db);
+  const Notification n = cq.execute(db);
+  EXPECT_EQ(n.sequence, 0u);
+  EXPECT_TRUE(n.complete.has_value());
+}
+
+}  // namespace
+}  // namespace cq::core

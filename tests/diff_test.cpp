@@ -1,0 +1,101 @@
+#include "cq/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace cq::core {
+namespace {
+
+using rel::Relation;
+using rel::Schema;
+using rel::Tuple;
+using rel::TupleId;
+using rel::Value;
+using rel::ValueType;
+
+Schema one_col() { return Schema::of({{"x", ValueType::kInt}}); }
+
+Relation rel_of(std::initializer_list<int> xs) {
+  Relation r(one_col());
+  for (int x : xs) r.append(Tuple({Value(x)}));
+  return r;
+}
+
+TEST(Diff, BasicInsertDelete) {
+  const DiffResult d = diff(rel_of({1, 2, 3}), rel_of({2, 3, 4}));
+  EXPECT_EQ(d.inserted.count_value(Tuple({Value(4)})), 1u);
+  EXPECT_EQ(d.deleted.count_value(Tuple({Value(1)})), 1u);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(Diff, IdenticalRelationsYieldEmpty) {
+  const DiffResult d = diff(rel_of({1, 2}), rel_of({2, 1}));
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(Diff, MultisetMultiplicity) {
+  const DiffResult d = diff(rel_of({1, 1, 2}), rel_of({1, 2, 2}));
+  EXPECT_EQ(d.inserted.count_value(Tuple({Value(2)})), 1u);
+  EXPECT_EQ(d.deleted.count_value(Tuple({Value(1)})), 1u);
+}
+
+TEST(DiffResult, ConsolidatedCancelsCommonRows) {
+  DiffResult d;
+  d.inserted = rel_of({1, 2, 2});
+  d.deleted = rel_of({2, 3});
+  const DiffResult c = d.consolidated();
+  EXPECT_EQ(c.inserted.count_value(Tuple({Value(1)})), 1u);
+  EXPECT_EQ(c.inserted.count_value(Tuple({Value(2)})), 1u);
+  EXPECT_EQ(c.deleted.count_value(Tuple({Value(3)})), 1u);
+  EXPECT_EQ(c.deleted.count_value(Tuple({Value(2)})), 0u);
+}
+
+TEST(DiffResult, EquivalenceIsConsolidationAware) {
+  DiffResult a;
+  a.inserted = rel_of({1, 5});
+  a.deleted = rel_of({5});
+  DiffResult b;
+  b.inserted = rel_of({1});
+  b.deleted = rel_of({});
+  EXPECT_TRUE(a.equivalent(b));
+  DiffResult c;
+  c.inserted = rel_of({2});
+  c.deleted = rel_of({});
+  EXPECT_FALSE(a.equivalent(c));
+}
+
+TEST(ApplyDiff, PatchesResult) {
+  const DiffResult d = diff(rel_of({1, 2, 3}), rel_of({2, 3, 4}));
+  const Relation patched = apply_diff(rel_of({1, 2, 3}), d);
+  EXPECT_TRUE(patched.equal_multiset(rel_of({2, 3, 4})));
+}
+
+TEST(ApplyDiff, MissingDeletedRowThrows) {
+  DiffResult d;
+  d.inserted = rel_of({});
+  d.deleted = rel_of({42});
+  EXPECT_THROW(apply_diff(rel_of({1}), d), common::InternalError);
+}
+
+TEST(Classify, SplitsByTid) {
+  DiffResult d;
+  d.inserted = Relation(one_col());
+  d.deleted = Relation(one_col());
+  // tid 7 on both sides: a modification.
+  d.deleted.append(Tuple({Value(150)}, TupleId(7)));
+  d.inserted.append(Tuple({Value(149)}, TupleId(7)));
+  // tid 8 only deleted; tid-less row only inserted.
+  d.deleted.append(Tuple({Value(1)}, TupleId(8)));
+  d.inserted.append(Tuple({Value(2)}));
+
+  const ClassifiedDiff c = classify(d);
+  ASSERT_EQ(c.modified.size(), 1u);
+  EXPECT_EQ(c.modified[0].first.at(0), Value(150));
+  EXPECT_EQ(c.modified[0].second.at(0), Value(149));
+  EXPECT_EQ(c.pure_deletions.size(), 1u);
+  EXPECT_EQ(c.pure_insertions.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cq::core

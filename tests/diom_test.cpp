@@ -1,0 +1,211 @@
+// Network, sources, translators, and the mediator end to end.
+#include <gtest/gtest.h>
+
+#include "catalog/transaction.hpp"
+#include "common/error.hpp"
+#include "cq/propagate.hpp"
+#include "diom/feed_source.hpp"
+#include "diom/file_source.hpp"
+#include "diom/mediator.hpp"
+#include "diom/network.hpp"
+#include "diom/source.hpp"
+#include "query/parser.hpp"
+
+namespace cq::diom {
+namespace {
+
+using common::Timestamp;
+using rel::Schema;
+using rel::Tuple;
+using rel::Value;
+using rel::ValueType;
+
+TEST(Network, TransferCostModel) {
+  Network net;
+  net.set_default_link({.latency_ms = 10.0, .bandwidth_bytes_per_ms = 100.0});
+  const double ms = net.send("a", "b", 1000);
+  EXPECT_DOUBLE_EQ(ms, 10.0 + 10.0);
+  EXPECT_EQ(net.total_bytes(), 1000u);
+  EXPECT_EQ(net.total_messages(), 1u);
+}
+
+TEST(Network, PerLinkOverride) {
+  Network net;
+  net.set_default_link({.latency_ms = 1.0, .bandwidth_bytes_per_ms = 1000.0});
+  net.set_link("a", "b", {.latency_ms = 50.0, .bandwidth_bytes_per_ms = 10.0});
+  EXPECT_GT(net.send("b", "a", 100), net.send("a", "c", 100));  // symmetric lookup
+  EXPECT_EQ(net.bytes_by_pair().at("b->a"), 100u);
+}
+
+TEST(Network, InvalidBandwidthRejected) {
+  Network net;
+  EXPECT_THROW(net.set_link("a", "b", {.latency_ms = 1.0, .bandwidth_bytes_per_ms = 0.0}),
+               common::InvalidArgument);
+}
+
+TEST(RelationalSource, ExposesTableAndDeltas) {
+  cat::Database db;
+  db.create_table("T", Schema::of({{"x", ValueType::kInt}}));
+  db.insert("T", {Value(1)});
+  RelationalSource src("srcT", db, "T");
+  EXPECT_EQ(src.snapshot().size(), 1u);
+  const Timestamp t0 = src.now();
+  db.insert("T", {Value(2)});
+  const auto deltas = src.pull_deltas(t0);
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].kind(), delta::ChangeKind::kInsert);
+  EXPECT_THROW(RelationalSource("x", db, "Missing"), common::NotFound);
+}
+
+TEST(FileSource, TranslatorParsesTypedFields) {
+  FileSource fs("files", Schema::of({{"sym", ValueType::kString},
+                                     {"price", ValueType::kInt},
+                                     {"rate", ValueType::kDouble}}));
+  const auto values = fs.translate("IBM,75,1.5");
+  EXPECT_EQ(values[0], Value("IBM"));
+  EXPECT_EQ(values[1], Value(75));
+  EXPECT_EQ(values[2], Value(1.5));
+  EXPECT_THROW(static_cast<void>(fs.translate("IBM,75")), common::ParseError);
+  EXPECT_THROW(static_cast<void>(fs.translate("IBM,notanumber,1.0")),
+               common::ParseError);
+}
+
+TEST(FileSource, MutationsBecomeDeltaRows) {
+  FileSource fs("files", Schema::of({{"sym", ValueType::kString},
+                                     {"price", ValueType::kInt}}));
+  const Timestamp t0 = fs.now();
+  const auto line1 = fs.write_line("IBM,75");
+  const auto line2 = fs.write_line("DEC,150");
+  fs.replace_line(line1, "IBM,80");
+  fs.remove_line(line2);
+
+  const auto deltas = fs.pull_deltas(t0);
+  // Net effect: IBM insert (write∘replace composes), DEC write∘remove gone.
+  ASSERT_EQ(deltas.size(), 1u);
+  EXPECT_EQ(deltas[0].kind(), delta::ChangeKind::kInsert);
+  EXPECT_EQ((*deltas[0].new_values)[1], Value(80));
+  EXPECT_EQ(fs.snapshot().size(), 1u);
+  EXPECT_EQ(fs.line_count(), 1u);
+}
+
+TEST(FileSource, ErrorsOnUnknownLines) {
+  FileSource fs("files", Schema::of({{"x", ValueType::kInt}}));
+  EXPECT_THROW(fs.remove_line(7), common::NotFound);
+  EXPECT_THROW(fs.replace_line(7, "1"), common::NotFound);
+  // A malformed write leaves no trace.
+  EXPECT_THROW(static_cast<void>(fs.write_line("oops")), common::ParseError);
+  EXPECT_EQ(fs.line_count(), 0u);
+  EXPECT_TRUE(fs.pull_deltas(Timestamp::min()).empty());
+}
+
+TEST(FeedSource, AppendOnlyStream) {
+  FeedSource feed("ticker", Schema::of({{"sym", ValueType::kString},
+                                        {"px", ValueType::kInt}}));
+  const Timestamp t0 = feed.now();
+  feed.publish({Value("IBM"), Value(75)});
+  feed.publish({Value("DEC"), Value(150)});
+  EXPECT_EQ(feed.snapshot().size(), 2u);
+  const auto deltas = feed.pull_deltas(t0);
+  ASSERT_EQ(deltas.size(), 2u);
+  for (const auto& d : deltas) EXPECT_EQ(d.kind(), delta::ChangeKind::kInsert);
+}
+
+TEST(Mediator, MirrorTracksSourceThroughSyncs) {
+  cat::Database server;
+  server.create_table("Stocks", Schema::of({{"name", ValueType::kString},
+                                            {"price", ValueType::kInt}}));
+  const auto dec = server.insert("Stocks", {Value("DEC"), Value(150)});
+  server.insert("Stocks", {Value("IBM"), Value(80)});
+
+  Network net;
+  Mediator client("client", &net);
+  client.attach(std::make_shared<RelationalSource>("Stocks", server, "Stocks"));
+
+  EXPECT_TRUE(client.database().table("Stocks").equal_multiset(server.table("Stocks")));
+
+  server.modify("Stocks", dec, {Value("DEC"), Value(149)});
+  server.insert("Stocks", {Value("MAC"), Value(117)});
+  server.erase("Stocks", dec);
+  EXPECT_EQ(client.sync(), 2u);  // DEC modify∘delete composes to one delete
+
+  EXPECT_TRUE(client.database().table("Stocks").equal_multiset(server.table("Stocks")));
+  EXPECT_GT(net.total_bytes(), 0u);
+}
+
+TEST(Mediator, SyncWithNoChangesShipsNothing) {
+  cat::Database server;
+  server.create_table("T", Schema::of({{"x", ValueType::kInt}}));
+  Network net;
+  Mediator client("client", &net);
+  client.attach(std::make_shared<RelationalSource>("T", server, "T"));
+  const auto bytes_after_attach = net.total_bytes();
+  EXPECT_EQ(client.sync(), 0u);
+  EXPECT_EQ(net.total_bytes(), bytes_after_attach);
+}
+
+TEST(Mediator, HeterogeneousSourcesDriveOneCq) {
+  // A relational DB, a file store, and a feed — all feeding one mediator;
+  // a CQ over the mirror of the file source sees translated updates.
+  cat::Database server;
+  server.create_table("Db", Schema::of({{"x", ValueType::kInt}}));
+  auto files = std::make_shared<FileSource>(
+      "Files",
+      Schema::of({{"sym", ValueType::kString}, {"price", ValueType::kInt}}));
+  auto feed = std::make_shared<FeedSource>(
+      "Feed", Schema::of({{"sym", ValueType::kString}, {"px", ValueType::kInt}}));
+
+  Mediator client("client");
+  client.attach(std::make_shared<RelationalSource>("Db", server, "Db"));
+  client.attach(files);
+  client.attach(feed);
+  EXPECT_EQ(client.source_count(), 3u);
+
+  auto sink = std::make_shared<core::CollectingSink>();
+  client.manager().install(
+      core::CqSpec::from_sql("watch-files", "SELECT * FROM Files WHERE price > 100",
+                             core::triggers::on_change()),
+      sink);
+
+  const auto l1 = files->write_line("IBM,75");
+  files->write_line("DEC,150");
+  feed->publish({Value("X"), Value(1)});
+  client.sync();
+  client.manager().poll();
+  ASSERT_EQ(sink->notifications().size(), 2u);
+  EXPECT_EQ(sink->notifications()[1].delta.inserted.size(), 1u);  // DEC only
+
+  files->replace_line(l1, "IBM,200");  // IBM enters the result
+  client.sync();
+  client.manager().poll();
+  ASSERT_EQ(sink->notifications().size(), 3u);
+  EXPECT_EQ(sink->notifications()[2].delta.inserted.count_value(
+                Tuple({Value("IBM"), Value(200)})),
+            1u);
+}
+
+TEST(Mediator, ShipSnapshotsCostsMoreThanDeltas) {
+  cat::Database server;
+  server.create_table("Big", Schema::of({{"x", ValueType::kInt},
+                                         {"pad", ValueType::kString}}));
+  auto txn = server.begin();
+  for (int i = 0; i < 500; ++i) {
+    txn.insert("Big", {Value(i), Value(std::string(20, 'p'))});
+  }
+  txn.commit();
+
+  Network net;
+  Mediator client("client", &net);
+  client.attach(std::make_shared<RelationalSource>("Big", server, "Big"));
+  net.reset();
+
+  server.insert("Big", {Value(9999), Value("new")});
+  client.sync();
+  const auto delta_bytes = net.total_bytes();
+  net.reset();
+  client.ship_snapshots();
+  const auto snapshot_bytes = net.total_bytes();
+  EXPECT_LT(delta_bytes * 50, snapshot_bytes);
+}
+
+}  // namespace
+}  // namespace cq::diom

@@ -1,0 +1,203 @@
+// The paper's central theorem (Section 4.2): the DRA is functionally
+// equivalent to the complete re-evaluation solution (Propagate). These
+// property tests exercise that equivalence over randomized databases,
+// update mixes, and query shapes.
+#include <gtest/gtest.h>
+
+#include "cq/dra.hpp"
+#include "cq/propagate.hpp"
+#include "query/parser.hpp"
+#include "testing/random_db.hpp"
+
+namespace cq {
+namespace {
+
+using core::DiffResult;
+using core::DraOptions;
+using core::DraStats;
+
+/// Run one randomized round: build DB, snapshot result, update, and check
+/// DRA == Propagate.
+void check_equivalence(std::uint64_t seed, std::size_t base_rows, std::size_t updates,
+                       const testing::UpdateMix& mix, bool join_query,
+                       const DraOptions& options = {}) {
+  common::Rng rng(seed);
+  cat::Database db;
+  testing::make_stock_table(db, "S", base_rows, rng);
+  testing::make_stock_table(db, "T", base_rows / 2 + 1, rng);
+
+  qry::SpjQuery query = join_query
+                            ? testing::random_join_query({"S", "T"}, rng)
+                            : testing::random_selection_query("S", 0.3, rng);
+
+  const rel::Relation before = core::recompute(query, db);
+  const common::Timestamp t0 = db.clock().now();
+
+  testing::random_updates(db, "S", updates, mix, rng);
+  if (join_query) testing::random_updates(db, "T", updates / 2, mix, rng);
+
+  DraStats stats;
+  const DiffResult via_dra =
+      core::dra_differential(query, db, t0, nullptr, options, &stats);
+  const DiffResult via_oracle = core::propagate(query, db, before);
+
+  EXPECT_TRUE(via_dra.equivalent(via_oracle))
+      << "seed=" << seed << " dra=" << via_dra.to_string()
+      << " oracle=" << via_oracle.to_string();
+
+  // Applying the DRA diff to the old result must reproduce the new result.
+  const rel::Relation after = core::recompute(query, db);
+  const rel::Relation patched = core::apply_diff(before, via_dra.consolidated());
+  EXPECT_TRUE(patched.equal_multiset(after)) << "seed=" << seed;
+}
+
+TEST(DraOracle, SelectionInsertOnly) {
+  check_equivalence(1, 200, 60, {.modify_fraction = 0, .delete_fraction = 0}, false);
+}
+
+TEST(DraOracle, SelectionMixedUpdates) {
+  check_equivalence(2, 200, 80, {.modify_fraction = 0.4, .delete_fraction = 0.3}, false);
+}
+
+TEST(DraOracle, SelectionDeleteHeavy) {
+  check_equivalence(3, 300, 150, {.modify_fraction = 0.1, .delete_fraction = 0.8}, false);
+}
+
+TEST(DraOracle, JoinInsertOnly) {
+  check_equivalence(4, 120, 40, {.modify_fraction = 0, .delete_fraction = 0}, true);
+}
+
+TEST(DraOracle, JoinMixedUpdates) {
+  check_equivalence(5, 120, 60, {.modify_fraction = 0.35, .delete_fraction = 0.25}, true);
+}
+
+TEST(DraOracle, JoinNestedLoopAblation) {
+  check_equivalence(6, 80, 40, {.modify_fraction = 0.3, .delete_fraction = 0.3}, true,
+                    DraOptions{.use_hash_join = false});
+}
+
+TEST(DraOracle, NoIrrelevanceCheck) {
+  check_equivalence(7, 150, 70, {.modify_fraction = 0.3, .delete_fraction = 0.3}, false,
+                    DraOptions{.irrelevance_check = false});
+}
+
+/// Parameterized sweep across seeds and mixes — the main property test.
+struct SweepParam {
+  std::uint64_t seed;
+  bool join;
+  double modify;
+  double erase;
+};
+
+class DraSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DraSweep, MatchesOracle) {
+  const auto& p = GetParam();
+  check_equivalence(p.seed, p.join ? 90 : 250, p.join ? 50 : 100,
+                    {.modify_fraction = p.modify, .delete_fraction = p.erase}, p.join);
+}
+
+std::vector<SweepParam> sweep_params() {
+  std::vector<SweepParam> out;
+  std::uint64_t seed = 100;
+  for (bool join : {false, true}) {
+    for (double modify : {0.0, 0.3, 0.6}) {
+      for (double erase : {0.0, 0.25, 0.5}) {
+        out.push_back({seed++, join, modify, erase});
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Randomized, DraSweep, ::testing::ValuesIn(sweep_params()),
+                         [](const ::testing::TestParamInfo<SweepParam>& info) {
+                           const auto& p = info.param;
+                           return (p.join ? std::string("join") : std::string("sel")) +
+                                  "_s" + std::to_string(p.seed) + "_m" +
+                                  std::to_string(static_cast<int>(p.modify * 100)) +
+                                  "_d" + std::to_string(static_cast<int>(p.erase * 100));
+                         });
+
+/// Three-way join, all three relations changing: exercises the full
+/// 2^3 − 1 = 7-term truth table.
+TEST(DraOracle, ThreeWayJoinAllChanged) {
+  common::Rng rng(42);
+  cat::Database db;
+  testing::make_stock_table(db, "A", 60, rng);
+  testing::make_stock_table(db, "B", 60, rng);
+  testing::make_stock_table(db, "C", 60, rng);
+  qry::SpjQuery query = testing::random_join_query({"A", "B", "C"}, rng);
+
+  const rel::Relation before = core::recompute(query, db);
+  const common::Timestamp t0 = db.clock().now();
+  const testing::UpdateMix mix{.modify_fraction = 0.3, .delete_fraction = 0.3};
+  testing::random_updates(db, "A", 30, mix, rng);
+  testing::random_updates(db, "B", 30, mix, rng);
+  testing::random_updates(db, "C", 30, mix, rng);
+
+  DraStats stats;
+  const DiffResult via_dra = core::dra_differential(query, db, t0, nullptr, {}, &stats);
+  const DiffResult via_oracle = core::propagate(query, db, before);
+  EXPECT_TRUE(via_dra.equivalent(via_oracle))
+      << " dra=" << via_dra.to_string() << " oracle=" << via_oracle.to_string();
+  EXPECT_EQ(stats.changed_relations, 3u);
+  EXPECT_LE(stats.terms_evaluated, 7u);
+}
+
+/// SQL-parsed query end to end.
+TEST(DraOracle, SqlParsedQuery) {
+  common::Rng rng(77);
+  cat::Database db;
+  testing::make_stock_table(db, "Stocks", 200, rng);
+  const qry::SpjQuery query =
+      qry::parse_query("SELECT id, price FROM Stocks WHERE price > 600");
+
+  const rel::Relation before = core::recompute(query, db);
+  const common::Timestamp t0 = db.clock().now();
+  testing::random_updates(db, "Stocks", 90,
+                          {.modify_fraction = 0.4, .delete_fraction = 0.3}, rng);
+
+  const DiffResult via_dra = core::dra_differential(query, db, t0);
+  const DiffResult via_oracle = core::propagate(query, db, before);
+  EXPECT_TRUE(via_dra.equivalent(via_oracle));
+}
+
+/// No updates => empty diff and zero terms evaluated.
+TEST(DraOracle, NoUpdatesNoWork) {
+  common::Rng rng(88);
+  cat::Database db;
+  testing::make_stock_table(db, "S", 100, rng);
+  const qry::SpjQuery query = testing::random_selection_query("S", 0.5, rng);
+  const common::Timestamp t0 = db.clock().now();
+
+  DraStats stats;
+  const DiffResult d = core::dra_differential(query, db, t0, nullptr, {}, &stats);
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(stats.terms_evaluated, 0u);
+  EXPECT_EQ(stats.changed_relations, 0u);
+}
+
+/// Updates that cannot affect the result are skipped entirely (Section 5.2).
+TEST(DraOracle, IrrelevantUpdatesSkipped) {
+  cat::Database db;
+  db.create_table("S", rel::Schema::of({{"id", rel::ValueType::kInt},
+                                        {"price", rel::ValueType::kInt}}));
+  for (int i = 0; i < 50; ++i) {
+    db.insert("S", {rel::Value(i), rel::Value(i * 10)});
+  }
+  const qry::SpjQuery query = qry::parse_query("SELECT * FROM S WHERE price > 10000");
+  const common::Timestamp t0 = db.clock().now();
+  // All inserts fall far below the predicate threshold.
+  for (int i = 0; i < 20; ++i) {
+    db.insert("S", {rel::Value(1000 + i), rel::Value(5)});
+  }
+  DraStats stats;
+  const DiffResult d = core::dra_differential(query, db, t0, nullptr, {}, &stats);
+  EXPECT_TRUE(d.empty());
+  EXPECT_TRUE(stats.skipped_irrelevant);
+  EXPECT_EQ(stats.terms_evaluated, 0u);
+}
+
+}  // namespace
+}  // namespace cq

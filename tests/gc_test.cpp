@@ -1,0 +1,134 @@
+// Garbage collection of differential relations (Section 5.4): safety — GC
+// never removes rows a registered CQ still needs — and effectiveness —
+// delta size stays bounded when every CQ keeps up.
+#include <gtest/gtest.h>
+
+#include "catalog/transaction.hpp"
+#include "cq/manager.hpp"
+#include "cq/propagate.hpp"
+#include "query/parser.hpp"
+#include "testing/random_db.hpp"
+
+namespace cq {
+namespace {
+
+using core::CqHandle;
+using core::CqSpec;
+using core::DeliveryMode;
+using core::Notification;
+
+/// Safety property: interleave updates, executions of staggered CQs, and
+/// aggressive GC after every step; every CQ's complete result must stay
+/// identical to a from-scratch recompute on a GC-free shadow database.
+TEST(GarbageCollection, NeverLosesNeededDeltas) {
+  common::Rng rng(11);
+  cat::Database db;
+  testing::make_stock_table(db, "S", 150, rng);
+  core::CqManager manager(db);
+
+  // Three CQs with different cadences (poll every 1 / 2 / 5 rounds).
+  struct Entry {
+    CqHandle handle;
+    std::shared_ptr<core::CollectingSink> sink;
+    int cadence;
+  };
+  std::vector<Entry> cqs;
+  int cadence = 1;
+  for (const char* name : {"fast", "medium", "slow"}) {
+    auto sink = std::make_shared<core::CollectingSink>();
+    CqSpec spec = CqSpec::from_sql(
+        name, "SELECT id, price FROM S WHERE price > 500", core::triggers::manual(),
+        nullptr, DeliveryMode::kComplete);
+    cqs.push_back({manager.install(std::move(spec), sink), sink, cadence});
+    cadence += cadence + 1;  // 1, 3, 7
+  }
+
+  const testing::UpdateMix mix{.modify_fraction = 0.4, .delete_fraction = 0.3};
+  for (int round = 1; round <= 21; ++round) {
+    testing::random_updates(db, "S", 20, mix, rng);
+    for (auto& cq : cqs) {
+      if (round % cq.cadence == 0) (void)manager.execute_now(cq.handle);
+    }
+    manager.collect_garbage();  // aggressive: after every round
+  }
+  // Final execution of everyone, then compare against recompute.
+  for (auto& cq : cqs) {
+    const Notification last = manager.execute_now(cq.handle);
+    const rel::Relation fresh =
+        core::recompute(qry::parse_query("SELECT id, price FROM S WHERE price > 500"),
+                        db);
+    EXPECT_TRUE(last.complete->equal_multiset(fresh)) << "cq cadence " << cq.cadence;
+  }
+}
+
+TEST(GarbageCollection, BoundedDeltaGrowthWhenCqsKeepUp) {
+  common::Rng rng(12);
+  cat::Database db;
+  testing::make_stock_table(db, "S", 100, rng);
+  core::CqManager manager(db);
+  const CqHandle h = manager.install(
+      CqSpec::from_sql("keeper", "SELECT * FROM S WHERE price > 900",
+                       core::triggers::manual()),
+      nullptr);
+
+  const testing::UpdateMix mix{};
+  std::size_t max_delta_rows = 0;
+  for (int round = 0; round < 30; ++round) {
+    testing::random_updates(db, "S", 25, mix, rng);
+    (void)manager.execute_now(h);
+    manager.collect_garbage();
+    max_delta_rows = std::max(max_delta_rows, db.delta("S").size());
+  }
+  // Without GC there would be 30*25 = 750 rows; with it, never more than
+  // one round's worth survives an execute+collect cycle.
+  EXPECT_LE(max_delta_rows, 25u * 2);
+}
+
+TEST(GarbageCollection, UnboundedGrowthWithoutGc) {
+  common::Rng rng(13);
+  cat::Database db;
+  testing::make_stock_table(db, "S", 100, rng);
+  const testing::UpdateMix mix{};
+  for (int round = 0; round < 10; ++round) testing::random_updates(db, "S", 20, mix, rng);
+  // The bulk load itself also logged 100 inserts. A handful of updates can
+  // compose away inside one transaction (insert+delete of the same tid), so
+  // allow a small shortfall — the point is unbounded growth.
+  EXPECT_GE(db.delta("S").size(), 100u + 190u);
+  EXPECT_LE(db.delta("S").size(), 100u + 200u);
+}
+
+TEST(GarbageCollection, NoCqMeansEverythingCollectable) {
+  common::Rng rng(14);
+  cat::Database db;
+  testing::make_stock_table(db, "S", 50, rng);
+  EXPECT_EQ(db.garbage_collect(), 50u);
+  EXPECT_TRUE(db.delta("S").empty());
+}
+
+TEST(GarbageCollection, SystemZoneIsOldestCq) {
+  common::Rng rng(15);
+  cat::Database db;
+  testing::make_stock_table(db, "S", 10, rng);
+  core::CqManager manager(db);
+
+  const CqHandle slow = manager.install(
+      CqSpec::from_sql("slow", "SELECT * FROM S", core::triggers::manual()), nullptr);
+  testing::random_updates(db, "S", 10, {}, rng);
+  const CqHandle fast = manager.install(
+      CqSpec::from_sql("fast", "SELECT * FROM S", core::triggers::manual()), nullptr);
+  testing::random_updates(db, "S", 10, {}, rng);
+  (void)manager.execute_now(fast);
+
+  // `slow` hasn't executed since install; rows after its install survive.
+  const std::size_t before = db.delta("S").size();
+  manager.collect_garbage();
+  EXPECT_EQ(db.delta("S").size(), 20u);
+  EXPECT_LT(db.delta("S").size(), before);
+
+  (void)manager.execute_now(slow);
+  manager.collect_garbage();
+  EXPECT_TRUE(db.delta("S").empty());
+}
+
+}  // namespace
+}  // namespace cq

@@ -1,0 +1,156 @@
+// HAVING and ORDER BY: parsing, one-shot evaluation, and continual queries
+// whose delivered aggregate is HAVING-filtered (groups entering/leaving the
+// HAVING band differentially).
+#include <gtest/gtest.h>
+
+#include "catalog/transaction.hpp"
+#include "common/error.hpp"
+#include "cq/continual_query.hpp"
+#include "query/evaluate.hpp"
+#include "query/parser.hpp"
+
+namespace cq {
+namespace {
+
+using rel::Relation;
+using rel::Tuple;
+using rel::Value;
+using rel::ValueType;
+
+cat::Database sales_db() {
+  cat::Database db;
+  db.create_table("Sales", rel::Schema::of({{"region", ValueType::kString},
+                                            {"amount", ValueType::kInt}}));
+  auto txn = db.begin();
+  txn.insert("Sales", {Value("east"), Value(10)});
+  txn.insert("Sales", {Value("east"), Value(20)});
+  txn.insert("Sales", {Value("west"), Value(5)});
+  txn.insert("Sales", {Value("north"), Value(40)});
+  txn.commit();
+  return db;
+}
+
+TEST(Having, ParsedAndValidated) {
+  const auto q = qry::parse_query(
+      "SELECT region, SUM(amount) AS total FROM Sales GROUP BY region "
+      "HAVING total > 10");
+  ASSERT_NE(q.having, nullptr);
+  EXPECT_EQ(q.having->to_string(), "(total > 10)");
+  // HAVING without aggregates is rejected.
+  EXPECT_THROW(static_cast<void>(
+                   qry::parse_query("SELECT region FROM Sales HAVING region = 'x'")),
+               common::InvalidArgument);
+}
+
+TEST(Having, FiltersGroups) {
+  const cat::Database db = sales_db();
+  const Relation out = qry::evaluate(
+      qry::parse_query("SELECT region, SUM(amount) AS total FROM Sales "
+                       "GROUP BY region HAVING total > 10"),
+      db);
+  ASSERT_EQ(out.size(), 2u);  // east (30), north (40); west (5) filtered
+  EXPECT_EQ(out.count_value(Tuple({Value("west"), Value(5)})), 0u);
+}
+
+TEST(Having, CanReferenceCountAlias) {
+  const cat::Database db = sales_db();
+  const Relation out = qry::evaluate(
+      qry::parse_query("SELECT region, COUNT(*) AS n FROM Sales GROUP BY region "
+                       "HAVING n >= 2"),
+      db);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.row(0).at(0), Value("east"));
+}
+
+TEST(OrderBy, ParsedWithDirections) {
+  const auto q = qry::parse_query(
+      "SELECT region FROM Sales ORDER BY region DESC, amount ASC");
+  ASSERT_EQ(q.order_by.size(), 2u);
+  EXPECT_TRUE(q.order_by[0].descending);
+  EXPECT_FALSE(q.order_by[1].descending);
+  EXPECT_NE(q.to_string().find("ORDER BY region DESC, amount"), std::string::npos);
+}
+
+TEST(OrderBy, SortsRows) {
+  const cat::Database db = sales_db();
+  const Relation out = qry::evaluate(
+      qry::parse_query("SELECT region, amount FROM Sales ORDER BY amount DESC"), db);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.row(0).at(1), Value(40));
+  EXPECT_EQ(out.row(1).at(1), Value(20));
+  EXPECT_EQ(out.row(3).at(1), Value(5));
+}
+
+TEST(OrderBy, AppliesAfterAggregation) {
+  const cat::Database db = sales_db();
+  const Relation out = qry::evaluate(
+      qry::parse_query("SELECT region, SUM(amount) AS total FROM Sales "
+                       "GROUP BY region ORDER BY total DESC"),
+      db);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.row(0).at(0), Value("north"));
+  EXPECT_EQ(out.row(2).at(0), Value("west"));
+}
+
+TEST(OrderBy, UnknownColumnThrows) {
+  const cat::Database db = sales_db();
+  EXPECT_THROW(static_cast<void>(qry::evaluate(
+                   qry::parse_query("SELECT region FROM Sales ORDER BY bogus"), db)),
+               common::NotFound);
+}
+
+TEST(HavingCq, GroupsEnterAndLeaveTheBand) {
+  cat::Database db = sales_db();
+  core::CqSpec spec = core::CqSpec::from_sql(
+      "big-regions",
+      "SELECT region, SUM(amount) AS total FROM Sales GROUP BY region "
+      "HAVING total > 25",
+      core::triggers::manual(), nullptr, core::DeliveryMode::kComplete);
+  core::ContinualQuery cq(std::move(spec), db);
+  const core::Notification init = cq.execute_initial(db);
+  // east=30, north=40 qualify.
+  EXPECT_EQ(init.aggregate->size(), 2u);
+
+  // west gains 30 -> total 35: enters the HAVING band.
+  db.insert("Sales", {Value("west"), Value(30)});
+  core::Notification n = cq.execute(db);
+  EXPECT_EQ(n.delta.inserted.count_value(Tuple({Value("west"), Value(35)})), 1u);
+  EXPECT_EQ(n.aggregate->size(), 3u);
+
+  // east loses a 20-sale -> total 10: leaves the band.
+  for (const auto& row : db.table("Sales").rows()) {
+    if (row.at(0) == Value("east") && row.at(1) == Value(20)) {
+      db.erase("Sales", row.tid());
+      break;
+    }
+  }
+  n = cq.execute(db);
+  EXPECT_EQ(n.delta.deleted.count_value(Tuple({Value("east"), Value(30)})), 1u);
+  EXPECT_EQ(n.aggregate->size(), 2u);
+
+  // The delivered aggregate always equals a fresh HAVING-filtered recompute.
+  const Relation fresh = qry::evaluate(
+      qry::parse_query("SELECT region, SUM(amount) AS total FROM Sales "
+                       "GROUP BY region HAVING total > 25"),
+      db);
+  EXPECT_TRUE(n.aggregate->equal_multiset(fresh));
+}
+
+TEST(HavingCq, GroupBelowBandStaysInvisible) {
+  cat::Database db = sales_db();
+  core::CqSpec spec = core::CqSpec::from_sql(
+      "q",
+      "SELECT region, SUM(amount) AS total FROM Sales GROUP BY region "
+      "HAVING total > 1000",
+      core::triggers::manual());
+  core::ContinualQuery cq(std::move(spec), db);
+  const core::Notification init = cq.execute_initial(db);
+  EXPECT_TRUE(init.aggregate->empty());
+  db.insert("Sales", {Value("east"), Value(50)});  // still only 80 total
+  const core::Notification n = cq.execute(db);
+  EXPECT_TRUE(n.delta.empty());
+  EXPECT_TRUE(n.aggregate->empty());
+}
+
+}  // namespace
+}  // namespace cq

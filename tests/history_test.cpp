@@ -1,0 +1,145 @@
+// ResultHistory: the CQ result *sequence* (Section 3.1) with random access
+// and time travel, validated against independently recorded full results.
+#include "cq/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include "catalog/transaction.hpp"
+#include "common/error.hpp"
+#include "cq/manager.hpp"
+#include "cq/propagate.hpp"
+#include "query/parser.hpp"
+#include "testing/random_db.hpp"
+
+namespace cq {
+namespace {
+
+using core::CqHandle;
+using core::CqSpec;
+using core::DeliveryMode;
+using core::ResultHistory;
+using rel::Relation;
+using rel::Value;
+
+TEST(ResultHistory, RandomAccessMatchesRecordedResults) {
+  common::Rng rng(71);
+  cat::Database db;
+  testing::make_stock_table(db, "S", 80, rng);
+  core::CqManager manager(db);
+
+  auto history = std::make_shared<ResultHistory>(/*checkpoint_every=*/4);
+  const CqHandle h = manager.install(
+      CqSpec::from_sql("hist", "SELECT id, price FROM S WHERE price > 400",
+                       core::triggers::manual(), nullptr, DeliveryMode::kDifferential),
+      history);
+
+  // Record ground truth independently after every execution.
+  std::vector<Relation> truth;
+  std::vector<common::Timestamp> times;
+  truth.push_back(core::recompute(
+      qry::parse_query("SELECT id, price FROM S WHERE price > 400"), db));
+  times.push_back(manager.cq(h).last_execution());
+
+  const testing::UpdateMix mix{.modify_fraction = 0.4, .delete_fraction = 0.25};
+  for (int round = 0; round < 13; ++round) {
+    testing::random_updates(db, "S", 10, mix, rng);
+    (void)manager.execute_now(h);
+    truth.push_back(core::recompute(
+        qry::parse_query("SELECT id, price FROM S WHERE price > 400"), db));
+    times.push_back(manager.cq(h).last_execution());
+  }
+
+  ASSERT_EQ(history->size(), truth.size());
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_TRUE(history->at(i).equal_multiset(truth[i])) << "execution " << i;
+    EXPECT_EQ(history->timestamp(i), times[i]);
+  }
+}
+
+TEST(ResultHistory, AsOfTimeTravel) {
+  common::Rng rng(72);
+  cat::Database db;
+  testing::make_stock_table(db, "S", 40, rng);
+  core::CqManager manager(db);
+  auto history = std::make_shared<ResultHistory>();
+  const CqHandle h = manager.install(
+      CqSpec::from_sql("h", "SELECT id FROM S WHERE price > 500",
+                       core::triggers::manual()),
+      history);
+
+  std::vector<common::Timestamp> times{manager.cq(h).last_execution()};
+  for (int round = 0; round < 5; ++round) {
+    testing::random_updates(db, "S", 8, {}, rng);
+    (void)manager.execute_now(h);
+    times.push_back(manager.cq(h).last_execution());
+  }
+
+  // Exactly at an execution instant -> that execution's result.
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_TRUE(history->as_of(times[i]).equal_multiset(history->at(i)));
+  }
+  // Between executions -> the earlier one.
+  EXPECT_TRUE(history->as_of(times[2] + common::Duration(0))
+                  .equal_multiset(history->at(2)));
+  // Far in the future -> the latest.
+  EXPECT_TRUE(history->as_of(common::Timestamp::max())
+                  .equal_multiset(history->at(times.size() - 1)));
+  // Before history began -> NotFound.
+  EXPECT_THROW(static_cast<void>(history->as_of(common::Timestamp::min())),
+               common::NotFound);
+}
+
+TEST(ResultHistory, AggregateSequencesStoredDirectly) {
+  cat::Database db;
+  db.create_table("T", rel::Schema::of({{"x", rel::ValueType::kInt}}));
+  db.insert("T", {Value(5)});
+  core::CqManager manager(db);
+  auto history = std::make_shared<ResultHistory>();
+  const CqHandle h = manager.install(
+      CqSpec::from_sql("agg", "SELECT SUM(x) FROM T", core::triggers::manual()),
+      history);
+  db.insert("T", {Value(7)});
+  (void)manager.execute_now(h);
+  db.insert("T", {Value(1)});
+  (void)manager.execute_now(h);
+
+  ASSERT_EQ(history->size(), 3u);
+  EXPECT_EQ(history->at(0).row(0).at(0), Value(5));
+  EXPECT_EQ(history->at(1).row(0).at(0), Value(12));
+  EXPECT_EQ(history->at(2).row(0).at(0), Value(13));
+}
+
+TEST(ResultHistory, CheckpointsBoundStorage) {
+  common::Rng rng(73);
+  cat::Database db;
+  testing::make_stock_table(db, "S", 200, rng);
+  core::CqManager manager(db);
+  auto dense = std::make_shared<ResultHistory>(/*checkpoint_every=*/1);
+  auto sparse = std::make_shared<ResultHistory>(/*checkpoint_every=*/64);
+  manager.install(CqSpec::from_sql("d", "SELECT id FROM S WHERE price > 100",
+                                   core::triggers::on_change()),
+                  dense);
+  manager.install(CqSpec::from_sql("s", "SELECT id FROM S WHERE price > 100",
+                                   core::triggers::on_change()),
+                  sparse);
+  for (int round = 0; round < 10; ++round) {
+    testing::random_updates(db, "S", 5, {}, rng);
+    manager.poll();
+  }
+  ASSERT_EQ(dense->size(), sparse->size());
+  EXPECT_GT(dense->stored_rows(), sparse->stored_rows() * 3);
+  // Both reconstruct identically.
+  const std::size_t last = dense->size() - 1;
+  EXPECT_TRUE(dense->at(last).equal_multiset(sparse->at(last)));
+}
+
+TEST(ResultHistory, OutOfRangeThrows) {
+  ResultHistory history;
+  EXPECT_TRUE(history.empty());
+  EXPECT_THROW(static_cast<void>(history.at(0)), common::NotFound);
+  EXPECT_THROW(static_cast<void>(history.timestamp(0)), common::NotFound);
+  EXPECT_THROW(static_cast<void>(history.delta(0)), common::NotFound);
+}
+
+}  // namespace
+}  // namespace cq

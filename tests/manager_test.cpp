@@ -1,0 +1,192 @@
+#include "cq/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "catalog/transaction.hpp"
+#include "common/error.hpp"
+#include "query/parser.hpp"
+
+namespace cq::core {
+namespace {
+
+using common::Duration;
+using common::Timestamp;
+using rel::Tuple;
+using rel::Value;
+using rel::ValueType;
+
+struct Fixture {
+  cat::Database db;
+  CqManager manager{db};
+  std::shared_ptr<CollectingSink> sink = std::make_shared<CollectingSink>();
+
+  Fixture() {
+    db.create_table("Stocks", rel::Schema::of({{"name", ValueType::kString},
+                                               {"price", ValueType::kInt}}));
+    db.insert("Stocks", {Value("DEC"), Value(150)});
+    db.insert("Stocks", {Value("IBM"), Value(80)});
+  }
+
+  CqSpec spec(const std::string& name, TriggerPtr trigger, StopPtr stop = nullptr) {
+    return CqSpec::from_sql(name, "SELECT * FROM Stocks WHERE price > 120",
+                            std::move(trigger), std::move(stop));
+  }
+};
+
+TEST(CqManager, InstallRunsInitialExecution) {
+  Fixture f;
+  const CqHandle h = f.manager.install(f.spec("q", triggers::on_change()), f.sink);
+  EXPECT_TRUE(f.manager.contains(h));
+  ASSERT_EQ(f.sink->notifications().size(), 1u);
+  EXPECT_EQ(f.sink->notifications()[0].sequence, 0u);
+  EXPECT_EQ(f.sink->notifications()[0].complete->size(), 1u);
+  EXPECT_EQ(f.db.zones().active_count(), 1u);
+}
+
+TEST(CqManager, PollExecutesFiredTriggers) {
+  Fixture f;
+  f.manager.install(f.spec("q", triggers::on_change()), f.sink);
+  EXPECT_EQ(f.manager.poll(), 0u);  // nothing changed yet
+  f.db.insert("Stocks", {Value("MAC"), Value(130)});
+  EXPECT_EQ(f.manager.poll(), 1u);
+  ASSERT_EQ(f.sink->notifications().size(), 2u);
+  EXPECT_EQ(f.sink->notifications()[1].delta.inserted.size(), 1u);
+  EXPECT_EQ(f.manager.poll(), 0u);  // consumed
+}
+
+TEST(CqManager, EagerModeExecutesOnCommit) {
+  Fixture f;
+  f.manager.install(f.spec("q", triggers::on_change()), f.sink);
+  f.manager.set_eager(true);
+  f.db.insert("Stocks", {Value("MAC"), Value(130)});
+  // No poll needed: the commit hook drove the execution.
+  ASSERT_EQ(f.sink->notifications().size(), 2u);
+  EXPECT_EQ(f.sink->notifications()[1].delta.inserted.size(), 1u);
+}
+
+TEST(CqManager, EagerIgnoresIrrelevantTables) {
+  Fixture f;
+  f.db.create_table("Other", rel::Schema::of({{"x", ValueType::kInt}}));
+  f.manager.install(f.spec("q", triggers::on_change()), f.sink);
+  f.manager.set_eager(true);
+  f.db.insert("Other", {Value(1)});
+  EXPECT_EQ(f.sink->notifications().size(), 1u);  // only the initial one
+}
+
+TEST(CqManager, PeriodicTriggerViaVirtualClock) {
+  Fixture f;
+  auto& clock = dynamic_cast<common::VirtualClock&>(f.db.clock());
+  f.manager.install(f.spec("q", triggers::periodic(Duration(100))), f.sink);
+  f.db.insert("Stocks", {Value("MAC"), Value(130)});
+  EXPECT_EQ(f.manager.poll(), 0u);  // interval not yet elapsed
+  clock.advance(Duration(100));
+  EXPECT_EQ(f.manager.poll(), 1u);
+}
+
+TEST(CqManager, StopConditionUninstallsCq) {
+  Fixture f;
+  const CqHandle h = f.manager.install(
+      f.spec("q", triggers::on_change(), stop::after_executions(2)), f.sink);
+  f.db.insert("Stocks", {Value("MAC"), Value(130)});
+  f.manager.poll();  // second execution -> stop fires
+  EXPECT_FALSE(f.manager.contains(h));
+  EXPECT_EQ(f.manager.active_count(), 0u);
+  EXPECT_EQ(f.db.zones().active_count(), 0u);
+}
+
+TEST(CqManager, ExecuteNowBypassesTrigger) {
+  Fixture f;
+  const CqHandle h = f.manager.install(f.spec("q", triggers::manual()), f.sink);
+  f.db.insert("Stocks", {Value("MAC"), Value(130)});
+  EXPECT_EQ(f.manager.poll(), 0u);  // manual trigger never fires
+  const Notification n = f.manager.execute_now(h);
+  EXPECT_EQ(n.delta.inserted.size(), 1u);
+}
+
+TEST(CqManager, RemoveReleasesZone) {
+  Fixture f;
+  const CqHandle h = f.manager.install(f.spec("q", triggers::on_change()), f.sink);
+  f.manager.remove(h);
+  EXPECT_EQ(f.db.zones().active_count(), 0u);
+  EXPECT_THROW(f.manager.remove(h), common::NotFound);
+  EXPECT_THROW(static_cast<void>(f.manager.execute_now(h)), common::NotFound);
+  EXPECT_THROW(static_cast<void>(f.manager.cq(h)), common::NotFound);
+}
+
+TEST(CqManager, MultipleCqsIndependentCursors) {
+  Fixture f;
+  auto sink_a = std::make_shared<CollectingSink>();
+  auto sink_b = std::make_shared<CollectingSink>();
+  f.manager.install(f.spec("a", triggers::on_change()), sink_a);
+  f.db.insert("Stocks", {Value("MAC"), Value(130)});
+  f.manager.poll();  // only A exists; consumes the change
+  f.manager.install(f.spec("b", triggers::on_change()), sink_b);
+  f.db.insert("Stocks", {Value("SUN"), Value(140)});
+  f.manager.poll();
+  // A saw both changes across two executions; B only the second.
+  EXPECT_EQ(sink_a->notifications().size(), 3u);
+  EXPECT_EQ(sink_b->notifications().size(), 2u);
+  EXPECT_EQ(sink_b->notifications()[1].delta.inserted.size(), 1u);
+}
+
+TEST(CqManager, GarbageCollectionRespectsSlowestCq) {
+  Fixture f;
+  // Fast CQ re-executes on every poll; slow CQ never fires.
+  f.manager.install(f.spec("fast", triggers::on_change()), nullptr);
+  f.manager.install(f.spec("slow", triggers::manual()), nullptr);
+  for (int i = 0; i < 10; ++i) {
+    f.db.insert("Stocks", {Value("S" + std::to_string(i)), Value(130)});
+    f.manager.poll();
+  }
+  // The slow CQ still needs everything since its installation: only the
+  // two fixture rows loaded *before* any CQ existed are reclaimable.
+  EXPECT_EQ(f.manager.collect_garbage(), 2u);
+  EXPECT_EQ(f.db.delta("Stocks").size(), 10u);
+}
+
+TEST(CqManager, GarbageCollectionReclaimsAfterAllCqsAdvance) {
+  Fixture f;
+  const CqHandle h = f.manager.install(f.spec("only", triggers::on_change()), nullptr);
+  for (int i = 0; i < 10; ++i) {
+    f.db.insert("Stocks", {Value("S" + std::to_string(i)), Value(130)});
+  }
+  f.manager.poll();  // CQ consumes all 10 changes; its zone advances
+  // 10 new rows + the 2 fixture rows predating the CQ.
+  EXPECT_EQ(f.manager.collect_garbage(), 12u);
+  EXPECT_TRUE(f.db.delta("Stocks").empty());
+  // And the CQ still works after GC.
+  f.db.insert("Stocks", {Value("NEW"), Value(200)});
+  EXPECT_EQ(f.manager.poll(), 1u);
+  EXPECT_TRUE(f.manager.contains(h));
+}
+
+TEST(CqManager, MetricsAccumulate) {
+  Fixture f;
+  f.manager.install(f.spec("q", triggers::on_change()), nullptr);
+  f.db.insert("Stocks", {Value("MAC"), Value(130)});
+  f.manager.poll();
+  EXPECT_GE(f.manager.metrics().get(common::metric::kQueryExecutions), 2);
+  EXPECT_GE(f.manager.metrics().get(common::metric::kTriggerChecks), 1);
+}
+
+TEST(CqManager, LastDraStatsExposed) {
+  Fixture f;
+  const CqHandle h = f.manager.install(f.spec("q", triggers::manual()), nullptr);
+  f.db.insert("Stocks", {Value("MAC"), Value(130)});
+  (void)f.manager.execute_now(h);
+  EXPECT_EQ(f.manager.last_dra_stats().changed_relations, 1u);
+}
+
+TEST(CqManager, EagerToPeriodicSwitch) {
+  Fixture f;
+  f.manager.install(f.spec("q", triggers::on_change()), f.sink);
+  f.manager.set_eager(true);
+  EXPECT_TRUE(f.manager.eager());
+  f.manager.set_eager(false);
+  f.db.insert("Stocks", {Value("MAC"), Value(130)});
+  EXPECT_EQ(f.sink->notifications().size(), 1u);  // no eager dispatch
+  EXPECT_EQ(f.manager.poll(), 1u);                // but poll still works
+}
+
+}  // namespace
+}  // namespace cq::core

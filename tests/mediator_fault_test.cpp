@@ -1,0 +1,102 @@
+// Source autonomy includes the right to be unavailable: a failing source
+// must not lose updates (its cursor stays put) nor block the other sources.
+#include <gtest/gtest.h>
+
+#include "catalog/transaction.hpp"
+#include "common/error.hpp"
+#include "diom/mediator.hpp"
+#include "diom/source.hpp"
+
+namespace cq::diom {
+namespace {
+
+using rel::Schema;
+using rel::Value;
+using rel::ValueType;
+
+/// Wraps a RelationalSource; fails pull_deltas while `down` is set.
+class FlakySource final : public InformationSource {
+ public:
+  FlakySource(std::shared_ptr<InformationSource> inner) : inner_(std::move(inner)) {}
+
+  bool down = false;
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return inner_->name();
+  }
+  [[nodiscard]] const Schema& schema() const override { return inner_->schema(); }
+  [[nodiscard]] rel::Relation snapshot() const override { return inner_->snapshot(); }
+  [[nodiscard]] std::vector<delta::DeltaRow> pull_deltas(
+      common::Timestamp since) const override {
+    if (down) throw common::Unsupported("source unreachable");
+    return inner_->pull_deltas(since);
+  }
+  [[nodiscard]] common::Timestamp now() const override { return inner_->now(); }
+
+ private:
+  std::shared_ptr<InformationSource> inner_;
+};
+
+struct Fixture {
+  cat::Database stocks_db;
+  cat::Database news_db;
+  std::shared_ptr<FlakySource> stocks;
+  std::shared_ptr<InformationSource> news;
+  Mediator client{"client"};
+
+  Fixture() {
+    stocks_db.create_table("Stocks", Schema::of({{"sym", ValueType::kString},
+                                                 {"px", ValueType::kInt}}));
+    news_db.create_table("News", Schema::of({{"headline", ValueType::kString}}));
+    stocks = std::make_shared<FlakySource>(
+        std::make_shared<RelationalSource>("Stocks", stocks_db, "Stocks"));
+    news = std::make_shared<RelationalSource>("News", news_db, "News");
+    client.attach(stocks);
+    client.attach(news);
+  }
+};
+
+TEST(MediatorFault, FailedSourceDoesNotBlockOthers) {
+  Fixture f;
+  f.stocks->down = true;
+  f.stocks_db.insert("Stocks", {Value("IBM"), Value(75)});
+  f.news_db.insert("News", {Value("markets open")});
+
+  const auto report = f.client.sync_report();
+  EXPECT_EQ(report.rows_applied, 1u);  // the news row
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].first, "Stocks");
+  EXPECT_TRUE(f.client.database().table("Stocks").empty());
+  EXPECT_EQ(f.client.database().table("News").size(), 1u);
+}
+
+TEST(MediatorFault, RecoveredSourceDeliversTheMissedWindow) {
+  Fixture f;
+  f.stocks->down = true;
+  f.stocks_db.insert("Stocks", {Value("IBM"), Value(75)});
+  (void)f.client.sync_report();  // fails; cursor must not move
+
+  f.stocks_db.insert("Stocks", {Value("DEC"), Value(150)});
+  f.stocks->down = false;
+  const auto report = f.client.sync_report();
+  EXPECT_TRUE(report.failures.empty());
+  EXPECT_EQ(report.rows_applied, 2u);  // both rows, nothing lost
+  EXPECT_TRUE(f.client.database().table("Stocks").equal_multiset(
+      f.stocks_db.table("Stocks")));
+}
+
+TEST(MediatorFault, RepeatedFailuresStayIdempotent) {
+  Fixture f;
+  f.stocks_db.insert("Stocks", {Value("IBM"), Value(75)});
+  f.stocks->down = true;
+  for (int i = 0; i < 5; ++i) {
+    const auto report = f.client.sync_report();
+    EXPECT_EQ(report.failures.size(), 1u);
+  }
+  f.stocks->down = false;
+  EXPECT_EQ(f.client.sync(), 1u);   // applied exactly once
+  EXPECT_EQ(f.client.sync(), 0u);   // and not again
+}
+
+}  // namespace
+}  // namespace cq::diom

@@ -1,0 +1,161 @@
+#include "query/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "algebra/predicate.hpp"
+#include "common/error.hpp"
+#include "query/lexer.hpp"
+
+namespace cq::qry {
+namespace {
+
+using common::ParseError;
+
+TEST(Lexer, TokenKinds) {
+  const auto toks = tokenize("SELECT a.b, 42 3.5 'str''x' <= <> !=");
+  EXPECT_TRUE(toks[0].is_keyword("SELECT"));
+  EXPECT_EQ(toks[1].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[1].text, "a.b");
+  EXPECT_TRUE(toks[2].is_symbol(","));
+  EXPECT_EQ(toks[3].integer, 42);
+  EXPECT_DOUBLE_EQ(toks[4].real, 3.5);
+  EXPECT_EQ(toks[5].text, "str'x");  // '' unescapes to '
+  EXPECT_TRUE(toks[6].is_symbol("<="));
+  EXPECT_TRUE(toks[7].is_symbol("<>"));
+  EXPECT_TRUE(toks[8].is_symbol("<>"));  // != normalizes
+  EXPECT_EQ(toks.back().kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, KeywordsCaseInsensitive) {
+  const auto toks = tokenize("select From wHeRe");
+  EXPECT_TRUE(toks[0].is_keyword("SELECT"));
+  EXPECT_TRUE(toks[1].is_keyword("FROM"));
+  EXPECT_TRUE(toks[2].is_keyword("WHERE"));
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_THROW(tokenize("'unterminated"), ParseError);
+  EXPECT_THROW(tokenize("a @ b"), ParseError);
+  EXPECT_THROW(tokenize("1e"), ParseError);
+}
+
+TEST(Parser, SelectStar) {
+  const SpjQuery q = parse_query("SELECT * FROM Stocks");
+  EXPECT_TRUE(q.projection.empty());
+  EXPECT_FALSE(q.distinct);
+  ASSERT_EQ(q.from.size(), 1u);
+  EXPECT_EQ(q.from[0].table, "Stocks");
+  EXPECT_TRUE(alg::is_always_true(q.where));
+}
+
+TEST(Parser, ProjectionAndWhere) {
+  const SpjQuery q =
+      parse_query("SELECT name, price FROM Stocks WHERE price > 120");
+  EXPECT_EQ(q.projection, (std::vector<std::string>{"name", "price"}));
+  EXPECT_EQ(q.where->to_string(), "(price > 120)");
+}
+
+TEST(Parser, Distinct) {
+  EXPECT_TRUE(parse_query("SELECT DISTINCT name FROM S").distinct);
+}
+
+TEST(Parser, AliasesBothForms) {
+  const SpjQuery q = parse_query("SELECT * FROM Stocks AS s, Quotes q");
+  ASSERT_EQ(q.from.size(), 2u);
+  EXPECT_EQ(q.from[0].alias, "s");
+  EXPECT_EQ(q.from[1].alias, "q");
+  EXPECT_EQ(q.from[1].effective_alias(), "q");
+}
+
+TEST(Parser, OperatorPrecedence) {
+  const SpjQuery q = parse_query(
+      "SELECT * FROM S WHERE a > 1 AND b < 2 OR c = 3");
+  // AND binds tighter than OR.
+  EXPECT_EQ(q.where->to_string(), "(((a > 1) AND (b < 2)) OR (c = 3))");
+}
+
+TEST(Parser, ArithmeticPrecedence) {
+  const SpjQuery q = parse_query("SELECT * FROM S WHERE a + b * 2 > 10");
+  EXPECT_EQ(q.where->to_string(), "((a + (b * 2)) > 10)");
+}
+
+TEST(Parser, ParenthesesOverride) {
+  const SpjQuery q = parse_query("SELECT * FROM S WHERE (a + b) * 2 > 10");
+  EXPECT_EQ(q.where->to_string(), "(((a + b) * 2) > 10)");
+}
+
+TEST(Parser, NotInBetweenLikeIsNull) {
+  const SpjQuery q = parse_query(
+      "SELECT * FROM S WHERE a IN (1, 2, 3) AND b NOT IN (4) AND "
+      "c BETWEEN 5 AND 10 AND d LIKE 'ab%' AND e IS NOT NULL AND NOT f = 1");
+  const auto conjuncts = alg::split_conjuncts(q.where);
+  EXPECT_EQ(conjuncts.size(), 6u);
+}
+
+TEST(Parser, NegativeLiteralsAndUnaryMinus) {
+  const SpjQuery q =
+      parse_query("SELECT * FROM S WHERE a BETWEEN -5 AND 5 AND b > -1");
+  EXPECT_NE(q.where, nullptr);
+}
+
+TEST(Parser, Aggregates) {
+  const SpjQuery q = parse_query(
+      "SELECT region, SUM(amount) AS total, COUNT(*) FROM Accounts "
+      "WHERE amount > 0 GROUP BY region");
+  EXPECT_TRUE(q.is_aggregate());
+  ASSERT_EQ(q.aggregates.size(), 2u);
+  EXPECT_EQ(q.aggregates[0].kind, alg::AggKind::kSum);
+  EXPECT_EQ(q.aggregates[0].alias, "total");
+  EXPECT_EQ(q.aggregates[1].column, "*");
+  EXPECT_EQ(q.group_by, std::vector<std::string>{"region"});
+  EXPECT_EQ(q.projection, std::vector<std::string>{"region"});
+}
+
+TEST(Parser, ScalarAggregate) {
+  const SpjQuery q = parse_query("SELECT SUM(amount) FROM CheckingAccounts");
+  EXPECT_TRUE(q.is_aggregate());
+  EXPECT_TRUE(q.group_by.empty());
+}
+
+TEST(Parser, ValidationErrors) {
+  // Non-grouped plain column next to an aggregate.
+  EXPECT_THROW(parse_query("SELECT region, SUM(amount) FROM A"),
+               common::InvalidArgument);
+  // GROUP BY without aggregate.
+  EXPECT_THROW(parse_query("SELECT a FROM T GROUP BY a"), common::InvalidArgument);
+  // Duplicate alias.
+  EXPECT_THROW(parse_query("SELECT * FROM T AS x, U AS x"), common::InvalidArgument);
+}
+
+TEST(Parser, SyntaxErrors) {
+  EXPECT_THROW(parse_query("SELECT"), ParseError);
+  EXPECT_THROW(parse_query("SELECT * FROM"), ParseError);
+  EXPECT_THROW(parse_query("SELECT * FROM T WHERE"), ParseError);
+  EXPECT_THROW(parse_query("SELECT * FROM T trailing junk ,"), ParseError);
+  EXPECT_THROW(parse_query("SELECT SUM(*) FROM T"), ParseError);  // only COUNT(*)
+  EXPECT_THROW(parse_query("SELECT * FROM T WHERE a LIKE '%suffix'"), ParseError);
+  EXPECT_THROW(parse_query("SELECT * FROM T WHERE a LIKE 'a_b%'"), ParseError);
+}
+
+TEST(Parser, StandalonePredicate) {
+  const auto p = parse_predicate("price > 120 AND name = 'IBM'");
+  EXPECT_EQ(p->to_string(), "((price > 120) AND (name = 'IBM'))");
+  EXPECT_THROW(parse_predicate("price >"), ParseError);
+}
+
+TEST(Parser, BooleanAndNullLiterals) {
+  const auto p = parse_predicate("a = TRUE OR b IS NULL AND FALSE");
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(Parser, ToStringRoundTrip) {
+  // Not asserting exact text; re-parsing the render must succeed and match.
+  const SpjQuery q = parse_query("SELECT name, price FROM Stocks s WHERE price > 120");
+  const SpjQuery q2 = parse_query(q.to_string());
+  EXPECT_EQ(q2.projection, q.projection);
+  EXPECT_EQ(q2.from[0].alias, q.from[0].alias);
+  EXPECT_EQ(q2.where->to_string(), q.where->to_string());
+}
+
+}  // namespace
+}  // namespace cq::qry

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "catalog/database.hpp"
+#include "catalog/transaction.hpp"
+#include "common/error.hpp"
+#include "query/evaluate.hpp"
+#include "query/parser.hpp"
+#include "query/planner.hpp"
+
+namespace cq::qry {
+namespace {
+
+using rel::Relation;
+using rel::Tuple;
+using rel::Value;
+using rel::ValueType;
+
+cat::Database company_db() {
+  cat::Database db;
+  db.create_table("Emp", rel::Schema::of({{"name", ValueType::kString},
+                                          {"dept", ValueType::kInt},
+                                          {"salary", ValueType::kInt}}));
+  db.create_table("Dept", rel::Schema::of({{"id", ValueType::kInt},
+                                           {"label", ValueType::kString}}));
+  auto txn = db.begin();
+  txn.insert("Emp", {Value("ann"), Value(1), Value(100)});
+  txn.insert("Emp", {Value("bob"), Value(2), Value(200)});
+  txn.insert("Emp", {Value("cat"), Value(1), Value(300)});
+  txn.insert("Emp", {Value("dan"), Value(3), Value(400)});
+  txn.insert("Dept", {Value(1), Value("eng")});
+  txn.insert("Dept", {Value(2), Value("ops")});
+  txn.commit();
+  return db;
+}
+
+TEST(Planner, PushesSingleTableConjunctsDown) {
+  const SpjQuery q = parse_query(
+      "SELECT * FROM Emp e, Dept d WHERE e.dept = d.id AND e.salary > 150 AND "
+      "d.label = 'eng'");
+  const std::vector<rel::Schema> schemas = {
+      qualify(rel::Schema::of({{"name", ValueType::kString},
+                               {"dept", ValueType::kInt},
+                               {"salary", ValueType::kInt}}),
+              q.from[0]),
+      qualify(rel::Schema::of({{"id", ValueType::kInt}, {"label", ValueType::kString}}),
+              q.from[1])};
+  const PlannedQuery plan_result = plan(q, schemas, {100, 10});
+  EXPECT_EQ(plan_result.table_filters[0].size(), 1u);  // e.salary > 150
+  EXPECT_EQ(plan_result.table_filters[1].size(), 1u);  // d.label = 'eng'
+  EXPECT_EQ(plan_result.join_conjuncts.size(), 1u);    // e.dept = d.id
+  EXPECT_EQ(plan_result.join_order.size(), 2u);
+}
+
+TEST(Planner, JoinOrderPrefersSmallerEstimate) {
+  SpjQuery q = parse_query("SELECT * FROM Big b, Small s WHERE b.k = s.k");
+  const std::vector<rel::Schema> schemas = {
+      qualify(rel::Schema::of({{"k", ValueType::kInt}}), q.from[0]),
+      qualify(rel::Schema::of({{"k", ValueType::kInt}}), q.from[1])};
+  const PlannedQuery p = plan(q, schemas, {1000000, 3});
+  EXPECT_EQ(p.join_order[0], 1u);  // Small first
+}
+
+TEST(Evaluate, SingleTableSelection) {
+  const cat::Database db = company_db();
+  const Relation out =
+      evaluate(parse_query("SELECT name FROM Emp WHERE salary > 150"), db);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.schema().at(0).name, "Emp.name");
+}
+
+TEST(Evaluate, JoinWithQualifiedColumns) {
+  const cat::Database db = company_db();
+  const Relation out = evaluate(
+      parse_query("SELECT e.name, d.label FROM Emp e, Dept d WHERE e.dept = d.id"),
+      db);
+  EXPECT_EQ(out.size(), 3u);  // dan's dept 3 has no match
+}
+
+TEST(Evaluate, SelectStarJoinHasCanonicalColumnOrder) {
+  const cat::Database db = company_db();
+  const Relation out = evaluate(
+      parse_query("SELECT * FROM Emp e, Dept d WHERE e.dept = d.id"), db);
+  ASSERT_EQ(out.schema().size(), 5u);
+  EXPECT_EQ(out.schema().at(0).name, "e.name");
+  EXPECT_EQ(out.schema().at(3).name, "d.id");
+}
+
+TEST(Evaluate, CrossProductWhenNoJoinPredicate) {
+  const cat::Database db = company_db();
+  const Relation out = evaluate(parse_query("SELECT * FROM Emp e, Dept d"), db);
+  EXPECT_EQ(out.size(), 8u);
+}
+
+TEST(Evaluate, SelfJoinWithAliases) {
+  const cat::Database db = company_db();
+  const Relation out = evaluate(
+      parse_query("SELECT a.name, b.name FROM Emp a, Emp b "
+                  "WHERE a.dept = b.dept AND a.salary < b.salary"),
+      db);
+  EXPECT_EQ(out.size(), 1u);  // (ann, cat)
+  EXPECT_EQ(out.row(0).at(0), Value("ann"));
+}
+
+TEST(Evaluate, Distinct) {
+  const cat::Database db = company_db();
+  const Relation all = evaluate(parse_query("SELECT dept FROM Emp"), db);
+  EXPECT_EQ(all.size(), 4u);
+  const Relation unique = evaluate(parse_query("SELECT DISTINCT dept FROM Emp"), db);
+  EXPECT_EQ(unique.size(), 3u);
+}
+
+TEST(Evaluate, ScalarAggregate) {
+  const cat::Database db = company_db();
+  const Relation out = evaluate(parse_query("SELECT SUM(salary) FROM Emp"), db);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.row(0).at(0), Value(1000));
+}
+
+TEST(Evaluate, GroupedAggregate) {
+  const cat::Database db = company_db();
+  const Relation out = evaluate(
+      parse_query("SELECT dept, SUM(salary) AS total FROM Emp GROUP BY dept"), db);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out.row(0).at(0), Value(1));
+  EXPECT_EQ(out.row(0).at(1), Value(400));
+}
+
+TEST(Evaluate, AggregateOverJoin) {
+  const cat::Database db = company_db();
+  const Relation out = evaluate(
+      parse_query("SELECT SUM(e.salary) FROM Emp e, Dept d WHERE e.dept = d.id"), db);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.row(0).at(0), Value(600));
+}
+
+TEST(Evaluate, UnknownColumnThrows) {
+  const cat::Database db = company_db();
+  EXPECT_THROW(evaluate(parse_query("SELECT * FROM Emp WHERE bogus > 1"), db),
+               common::NotFound);
+}
+
+TEST(Evaluate, UnknownTableThrows) {
+  const cat::Database db = company_db();
+  EXPECT_THROW(evaluate(parse_query("SELECT * FROM Nope"), db), common::NotFound);
+}
+
+TEST(Evaluate, InputCountMismatchThrows) {
+  const SpjQuery q = parse_query("SELECT * FROM A, B");
+  EXPECT_THROW(evaluate_spj_over(q, {}), common::InvalidArgument);
+}
+
+TEST(Evaluate, BareColumnResolvesAgainstAlias) {
+  const cat::Database db = company_db();
+  // "salary" is unambiguous even though the schema is qualified "Emp.salary".
+  const Relation out =
+      evaluate(parse_query("SELECT salary FROM Emp WHERE name = 'ann'"), db);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.row(0).at(0), Value(100));
+}
+
+}  // namespace
+}  // namespace cq::qry

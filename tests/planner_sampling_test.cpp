@@ -1,0 +1,81 @@
+// Sample-based selectivity estimation: the planner measures filters on
+// actual rows when they're available, fixing join orders the shape-based
+// heuristic gets wrong on skewed data.
+#include <gtest/gtest.h>
+
+#include "catalog/transaction.hpp"
+#include "common/error.hpp"
+#include "query/evaluate.hpp"
+#include "query/parser.hpp"
+#include "query/planner.hpp"
+
+namespace cq::qry {
+namespace {
+
+using rel::Relation;
+using rel::Value;
+using rel::ValueType;
+
+/// Two tables of equal size; the filter on Big matches almost everything,
+/// the filter on Small almost nothing — but both are `=` comparisons, so
+/// the shape heuristic scores them identically. Sampling must order Small
+/// (post-filter tiny) first.
+TEST(PlannerSampling, MeasuredSelectivityOrdersJoins) {
+  cat::Database db;
+  db.create_table("A", rel::Schema::of({{"flag", ValueType::kInt},
+                                        {"grp", ValueType::kInt}}));
+  db.create_table("B", rel::Schema::of({{"flag", ValueType::kInt},
+                                        {"grp", ValueType::kInt}}));
+  auto txn = db.begin();
+  for (int i = 0; i < 400; ++i) {
+    txn.insert("A", {Value(1), Value(i % 20)});              // flag=1 always
+    txn.insert("B", {Value(i % 100 == 0 ? 1 : 0), Value(i % 20)});  // flag=1 rare
+  }
+  txn.commit();
+
+  const SpjQuery q = parse_query(
+      "SELECT * FROM A a, B b WHERE a.grp = b.grp AND a.flag = 1 AND b.flag = 1");
+
+  const Relation qa = qualified_copy(db.table("A"), q.from[0]);
+  const Relation qb = qualified_copy(db.table("B"), q.from[1]);
+  const std::vector<rel::Schema> schemas = {qa.schema(), qb.schema()};
+  const std::vector<std::size_t> cards = {qa.size(), qb.size()};
+
+  // Without samples the heuristic sees two identical `=` filters: tie.
+  // With samples, B's measured selectivity (~1%) puts it first.
+  const std::vector<const Relation*> samples = {&qa, &qb};
+  const PlannedQuery sampled = plan(q, schemas, cards, &samples);
+  EXPECT_EQ(sampled.join_order[0], 1u) << "B (rare flag) should be joined first";
+}
+
+TEST(PlannerSampling, SampleCountMismatchThrows) {
+  const SpjQuery q = parse_query("SELECT * FROM A, B");
+  const std::vector<rel::Schema> schemas = {
+      rel::Schema::of({{"A.x", ValueType::kInt}}),
+      rel::Schema::of({{"B.x", ValueType::kInt}})};
+  const std::vector<const Relation*> samples = {nullptr};  // only one entry
+  EXPECT_THROW(static_cast<void>(plan(q, schemas, {1, 1}, &samples)),
+               common::InvalidArgument);
+}
+
+TEST(PlannerSampling, EmptySampleFallsBackGracefully) {
+  cat::Database db;
+  db.create_table("A", rel::Schema::of({{"x", ValueType::kInt}}));
+  const SpjQuery q = parse_query("SELECT * FROM A WHERE x > 5");
+  const Relation qa = qualified_copy(db.table("A"), q.from[0]);
+  const std::vector<const Relation*> samples = {&qa};
+  const PlannedQuery p = plan(q, {qa.schema()}, {0}, &samples);
+  EXPECT_EQ(p.join_order.size(), 1u);  // no crash on empty input
+}
+
+TEST(PlannerSampling, NullEntriesUseHeuristics) {
+  const SpjQuery q = parse_query("SELECT * FROM A WHERE x = 1");
+  const std::vector<rel::Schema> schemas = {
+      rel::Schema::of({{"A.x", ValueType::kInt}})};
+  const std::vector<const Relation*> samples = {nullptr};
+  const PlannedQuery p = plan(q, schemas, {100}, &samples);
+  EXPECT_EQ(p.table_filters[0].size(), 1u);
+}
+
+}  // namespace
+}  // namespace cq::qry

@@ -1,0 +1,92 @@
+#include "algebra/predicate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cq::alg {
+namespace {
+
+using rel::Schema;
+using rel::Value;
+using rel::ValueType;
+
+const Schema kLeft = Schema::of({{"a.id", ValueType::kInt}, {"a.grp", ValueType::kInt}});
+const Schema kRight = Schema::of({{"b.id", ValueType::kInt}, {"b.grp", ValueType::kInt}});
+
+TEST(SplitConjuncts, FlattensNestedAnds) {
+  const auto e = Expr::logical_and(
+      Expr::logical_and(Expr::col_cmp("x", CmpOp::kGt, Value(1)),
+                        Expr::col_cmp("y", CmpOp::kLt, Value(2))),
+      Expr::col_cmp("z", CmpOp::kEq, Value(3)));
+  EXPECT_EQ(split_conjuncts(e).size(), 3u);
+}
+
+TEST(SplitConjuncts, OrIsOpaque) {
+  const auto e = Expr::logical_or(Expr::col_cmp("x", CmpOp::kGt, Value(1)),
+                                  Expr::col_cmp("y", CmpOp::kLt, Value(2)));
+  EXPECT_EQ(split_conjuncts(e).size(), 1u);
+}
+
+TEST(SplitConjuncts, TrueYieldsEmpty) {
+  EXPECT_TRUE(split_conjuncts(Expr::always_true()).empty());
+  EXPECT_TRUE(split_conjuncts(nullptr).empty());
+}
+
+TEST(AnalyzeJoin, ExtractsEquiPairs) {
+  const auto pred = Expr::cmp(CmpOp::kEq, Expr::col("a.grp"), Expr::col("b.grp"));
+  const JoinAnalysis ja = analyze_join(pred, kLeft, kRight);
+  ASSERT_EQ(ja.equi_pairs.size(), 1u);
+  EXPECT_EQ(ja.equi_pairs[0].first, 1u);   // a.grp
+  EXPECT_EQ(ja.equi_pairs[0].second, 1u);  // b.grp
+  EXPECT_TRUE(ja.left_only.empty());
+  EXPECT_TRUE(ja.residual.empty());
+}
+
+TEST(AnalyzeJoin, EquiPairReversedOrder) {
+  const auto pred = Expr::cmp(CmpOp::kEq, Expr::col("b.id"), Expr::col("a.id"));
+  const JoinAnalysis ja = analyze_join(pred, kLeft, kRight);
+  ASSERT_EQ(ja.equi_pairs.size(), 1u);
+  EXPECT_EQ(ja.equi_pairs[0].first, 0u);
+  EXPECT_EQ(ja.equi_pairs[0].second, 0u);
+}
+
+TEST(AnalyzeJoin, ClassifiesSingleSideConjuncts) {
+  const auto pred = conjoin({
+      Expr::cmp(CmpOp::kEq, Expr::col("a.grp"), Expr::col("b.grp")),
+      Expr::col_cmp("a.id", CmpOp::kGt, Value(10)),
+      Expr::col_cmp("b.id", CmpOp::kLt, Value(20)),
+  });
+  const JoinAnalysis ja = analyze_join(pred, kLeft, kRight);
+  EXPECT_EQ(ja.equi_pairs.size(), 1u);
+  EXPECT_EQ(ja.left_only.size(), 1u);
+  EXPECT_EQ(ja.right_only.size(), 1u);
+  EXPECT_TRUE(ja.residual.empty());
+}
+
+TEST(AnalyzeJoin, NonEquiCrossConjunctIsResidual) {
+  const auto pred = Expr::cmp(CmpOp::kLt, Expr::col("a.id"), Expr::col("b.id"));
+  const JoinAnalysis ja = analyze_join(pred, kLeft, kRight);
+  EXPECT_TRUE(ja.equi_pairs.empty());
+  EXPECT_EQ(ja.residual.size(), 1u);
+}
+
+TEST(Selectivity, OrderedByRestrictiveness) {
+  const auto eq = Expr::col_cmp("x", CmpOp::kEq, Value(1));
+  const auto ne = Expr::col_cmp("x", CmpOp::kNe, Value(1));
+  EXPECT_LT(estimate_selectivity(eq), estimate_selectivity(ne));
+  const auto both = Expr::logical_and(eq, eq);
+  EXPECT_LT(estimate_selectivity(both), estimate_selectivity(eq));
+  const auto either = Expr::logical_or(eq, eq);
+  EXPECT_GT(estimate_selectivity(either), estimate_selectivity(eq));
+  EXPECT_DOUBLE_EQ(estimate_selectivity(Expr::always_true()), 1.0);
+}
+
+TEST(CostRank, SimpleComparisonsAreCheap) {
+  const auto simple = Expr::col_cmp("x", CmpOp::kEq, Value(1));
+  const auto arithmetic = Expr::cmp(
+      CmpOp::kGt, Expr::arith(ArithOp::kMul, Expr::col("x"), Expr::lit(Value(2))),
+      Expr::lit(Value(10)));
+  EXPECT_LT(predicate_cost_rank(simple), predicate_cost_rank(arithmetic));
+}
+
+}  // namespace
+}  // namespace cq::alg

@@ -1,0 +1,103 @@
+#include "relation/schema.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace cq::rel {
+namespace {
+
+Schema stocks() {
+  return Schema::of({{"name", ValueType::kString}, {"price", ValueType::kInt}});
+}
+
+TEST(Schema, BasicLookup) {
+  const Schema s = stocks();
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.index_of("name"), 0u);
+  EXPECT_EQ(s.index_of("price"), 1u);
+  EXPECT_FALSE(s.find("volume").has_value());
+  EXPECT_THROW(s.index_of("volume"), common::NotFound);
+}
+
+TEST(Schema, DuplicateNamesRejected) {
+  EXPECT_THROW(Schema::of({{"a", ValueType::kInt}, {"a", ValueType::kInt}}),
+               common::SchemaMismatch);
+}
+
+TEST(Schema, EmptyNameRejected) {
+  EXPECT_THROW(Schema::of({{"", ValueType::kInt}}), common::InvalidArgument);
+}
+
+TEST(Schema, QualifiedLookupBySuffix) {
+  const Schema q = stocks().qualified("S");
+  EXPECT_EQ(q.at(0).name, "S.name");
+  // Bare suffix resolves when unambiguous.
+  EXPECT_EQ(q.index_of("price"), 1u);
+  EXPECT_EQ(q.index_of("S.price"), 1u);
+}
+
+TEST(Schema, AmbiguousSuffixThrows) {
+  const Schema joined = stocks().qualified("a").concat(stocks().qualified("b"));
+  EXPECT_EQ(joined.size(), 4u);
+  EXPECT_THROW(joined.index_of("price"), common::NotFound);  // ambiguous
+  EXPECT_EQ(joined.index_of("a.price"), 1u);
+  EXPECT_EQ(joined.index_of("b.price"), 3u);
+}
+
+TEST(Schema, RequalifyReplacesQualifier) {
+  const Schema q = stocks().qualified("S").qualified("T");
+  EXPECT_EQ(q.at(0).name, "T.name");
+}
+
+TEST(Schema, Unqualified) {
+  const Schema q = stocks().qualified("S").unqualified();
+  EXPECT_EQ(q.at(0).name, "name");
+  EXPECT_EQ(q.at(1).name, "price");
+}
+
+TEST(Schema, ConcatRejectsCollision) {
+  EXPECT_THROW(stocks().concat(stocks()), common::SchemaMismatch);
+}
+
+TEST(Schema, Project) {
+  const Schema p = stocks().project({"price"});
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.at(0).name, "price");
+  EXPECT_EQ(p.at(0).type, ValueType::kInt);
+  EXPECT_THROW(stocks().project({"nope"}), common::NotFound);
+}
+
+TEST(Schema, DoubledForDeltaRelations) {
+  const Schema d = stocks().doubled();
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_EQ(d.at(0).name, "name_old");
+  EXPECT_EQ(d.at(1).name, "price_old");
+  EXPECT_EQ(d.at(2).name, "name_new");
+  EXPECT_EQ(d.at(3).name, "price_new");
+  EXPECT_EQ(d.at(1).type, ValueType::kInt);
+}
+
+TEST(Schema, UnionCompatibility) {
+  const Schema a = stocks();
+  const Schema renamed =
+      Schema::of({{"n", ValueType::kString}, {"p", ValueType::kInt}});
+  const Schema reordered =
+      Schema::of({{"price", ValueType::kInt}, {"name", ValueType::kString}});
+  EXPECT_TRUE(a.union_compatible(renamed));     // names may differ
+  EXPECT_FALSE(a.union_compatible(reordered));  // types positional
+  EXPECT_FALSE(a.union_compatible(Schema::of({{"x", ValueType::kInt}})));
+}
+
+TEST(Schema, ToString) {
+  EXPECT_EQ(stocks().to_string(), "(name:STRING, price:INT)");
+}
+
+TEST(BareName, StripsQualifier) {
+  EXPECT_EQ(bare_name("S.price"), "price");
+  EXPECT_EQ(bare_name("price"), "price");
+  EXPECT_EQ(bare_name("a.b.c"), "c");
+}
+
+}  // namespace
+}  // namespace cq::rel

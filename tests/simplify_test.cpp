@@ -1,0 +1,146 @@
+#include "algebra/simplify.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "query/parser.hpp"
+
+namespace cq::alg {
+namespace {
+
+using rel::Schema;
+using rel::Tuple;
+using rel::Value;
+using rel::ValueType;
+
+ExprPtr simp(const std::string& predicate) {
+  return simplify(qry::parse_predicate(predicate));
+}
+
+std::string rendered(const std::string& predicate) { return simp(predicate)->to_string(); }
+
+TEST(Simplify, ConstantFolding) {
+  EXPECT_EQ(rendered("1 + 2 * 3"), "7");
+  EXPECT_EQ(rendered("10 / 4"), "2");        // integer division
+  EXPECT_EQ(rendered("10.0 / 4"), "2.5");
+  EXPECT_EQ(rendered("3 > 2"), "true");
+  EXPECT_EQ(rendered("'a' = 'b'"), "false");
+  EXPECT_EQ(rendered("1 / 0"), "NULL");      // folds like evaluation would
+  EXPECT_EQ(rendered("NULL IS NULL"), "true");
+  EXPECT_EQ(rendered("5 IN (1, 5, 9)"), "true");
+  EXPECT_EQ(rendered("2 BETWEEN 3 AND 10"), "false");
+}
+
+TEST(Simplify, BooleanIdentities) {
+  EXPECT_EQ(rendered("price > 5 AND TRUE"), "(price > 5)");
+  EXPECT_EQ(rendered("TRUE AND price > 5"), "(price > 5)");
+  EXPECT_EQ(rendered("price > 5 AND FALSE"), "false");
+  EXPECT_EQ(rendered("price > 5 OR TRUE"), "true");
+  EXPECT_EQ(rendered("price > 5 OR FALSE"), "(price > 5)");
+  EXPECT_EQ(rendered("NOT TRUE"), "false");
+}
+
+TEST(Simplify, FoldedConstantSubtreePrunesBranch) {
+  // The constant conjunct folds away entirely.
+  EXPECT_EQ(rendered("price > 5 AND 2 < 3"), "(price > 5)");
+  EXPECT_EQ(rendered("price > 5 AND 2 > 3"), "false");
+}
+
+TEST(Simplify, DoubleNegation) {
+  EXPECT_EQ(rendered("NOT NOT price > 5"), "(price > 5)");
+}
+
+TEST(Simplify, DeMorgan) {
+  EXPECT_EQ(rendered("NOT (a > 1 AND b > 2)"), "(NOT (a > 1) OR NOT (b > 2))");
+  EXPECT_EQ(rendered("NOT (a > 1 OR b > 2)"), "(NOT (a > 1) AND NOT (b > 2))");
+}
+
+TEST(Simplify, BetweenWithInvertedBoundsIsFalse) {
+  EXPECT_EQ(rendered("price BETWEEN 10 AND 3"), "false");
+  EXPECT_NE(rendered("price BETWEEN 3 AND 10"), "false");
+}
+
+TEST(Simplify, Idempotent) {
+  for (const char* pred :
+       {"NOT (a > 1 AND (b < 2 OR TRUE))", "x + 0 * 3 > 2 AND y IS NULL",
+        "NOT NOT NOT a = 1"}) {
+    const ExprPtr once = simp(pred);
+    const ExprPtr twice = simplify(once);
+    EXPECT_EQ(once->to_string(), twice->to_string()) << pred;
+  }
+}
+
+TEST(Simplify, LeavesColumnsAlone) {
+  EXPECT_EQ(rendered("price > qty"), "(price > qty)");
+  EXPECT_EQ(rendered("name LIKE 'ab%'"), "name LIKE 'ab%'");
+  EXPECT_EQ(rendered("v IS NOT NULL"), "v IS NOT NULL");
+}
+
+/// Property: simplify preserves eval_bool on randomized expressions and
+/// tuples (including NULLs — the reason comparisons are never inverted).
+TEST(Simplify, PreservesPredicateSemantics) {
+  common::Rng rng(0x51);
+  const Schema schema = Schema::of(
+      {{"a", ValueType::kInt}, {"b", ValueType::kInt}, {"s", ValueType::kString}});
+
+  // Random expression generator over {a, b, s} with bounded depth.
+  std::function<ExprPtr(int)> gen = [&](int depth) -> ExprPtr {
+    if (depth <= 0 || rng.chance(0.3)) {
+      switch (rng.index(4)) {
+        case 0: return Expr::col(rng.chance(0.5) ? "a" : "b");
+        case 1: return Expr::lit(Value(rng.uniform_int(-3, 3)));
+        case 2: return Expr::lit(rng.chance(0.5) ? Value(true) : Value(false));
+        default: return Expr::lit(Value::null());
+      }
+    }
+    switch (rng.index(7)) {
+      case 0:
+        return Expr::cmp(static_cast<CmpOp>(rng.index(6)), gen(depth - 1),
+                         gen(depth - 1));
+      case 1:
+        return Expr::arith(static_cast<ArithOp>(rng.index(4)), gen(depth - 1),
+                           gen(depth - 1));
+      case 2: return Expr::logical_and(gen(depth - 1), gen(depth - 1));
+      case 3: return Expr::logical_or(gen(depth - 1), gen(depth - 1));
+      case 4: return Expr::logical_not(gen(depth - 1));
+      case 5: return Expr::is_null(gen(depth - 1), rng.chance(0.5));
+      default:
+        return Expr::between(gen(depth - 1), Value(rng.uniform_int(-3, 3)),
+                             Value(rng.uniform_int(-3, 3)));
+    }
+  };
+
+  // Error behaviour is not part of the predicate contract (as in standard
+  // SQL optimizers): pruning `X AND false` to `false` is allowed even when
+  // X would raise a type error. So: when the original evaluates cleanly,
+  // the simplified form must match it; when the original throws, the
+  // simplified form may either throw or produce a value.
+  auto outcome = [&](const ExprPtr& e, const Tuple& row) -> std::optional<bool> {
+    try {
+      return e->eval_bool(row, schema);
+    } catch (const common::Error&) {
+      return std::nullopt;
+    }
+  };
+
+  for (int round = 0; round < 2000; ++round) {
+    const ExprPtr original = gen(4);
+    const ExprPtr simplified = simplify(original);
+    for (int probe = 0; probe < 5; ++probe) {
+      const Tuple row({rng.chance(0.2) ? Value::null() : Value(rng.uniform_int(-3, 3)),
+                       rng.chance(0.2) ? Value::null() : Value(rng.uniform_int(-3, 3)),
+                       Value(rng.string(2))});
+      const std::optional<bool> expected = outcome(original, row);
+      if (!expected.has_value()) continue;  // original errored: unconstrained
+      ASSERT_EQ(expected, outcome(simplified, row))
+          << "round " << round << "\noriginal:   " << original->to_string()
+          << "\nsimplified: " << simplified->to_string() << "\nrow " << row.to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cq::alg

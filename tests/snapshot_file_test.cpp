@@ -1,0 +1,43 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/error.hpp"
+#include "persist/snapshot.hpp"
+#include "testing/random_db.hpp"
+
+namespace cq::persist {
+namespace {
+
+TEST(SnapshotFile, RoundTrip) {
+  common::Rng rng(81);
+  cat::Database db;
+  testing::make_stock_table(db, "S", 30, rng);
+  core::CqManager manager(db);
+  manager.install(core::CqSpec::from_sql("q", "SELECT * FROM S",
+                                         core::triggers::manual()),
+                  nullptr);
+
+  const std::string path = ::testing::TempDir() + "cq_snapshot_test.bin";
+  save_snapshot_file(path, db, manager);
+  const DecodedSnapshot snap = load_snapshot_file(path);
+  EXPECT_TRUE(snap.db.table("S").equal_multiset(db.table("S")));
+  ASSERT_EQ(snap.cqs.size(), 1u);
+  EXPECT_EQ(snap.cqs[0].name, "q");
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFile, MissingFileThrows) {
+  EXPECT_THROW(static_cast<void>(load_snapshot_file("/nonexistent/nope.bin")),
+               common::NotFound);
+}
+
+TEST(SnapshotFile, UnwritablePathThrows) {
+  cat::Database db;
+  core::CqManager manager(db);
+  EXPECT_THROW(save_snapshot_file("/nonexistent/dir/x.bin", db, manager),
+               common::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace cq::persist

@@ -1,0 +1,133 @@
+#include "testing/random_db.hpp"
+
+#include "algebra/expr.hpp"
+#include "catalog/transaction.hpp"
+#include "common/error.hpp"
+
+namespace cq::testing {
+
+using common::Rng;
+using rel::Value;
+
+namespace {
+constexpr const char* kCategories[] = {"tech", "bank", "auto", "food", "mine",
+                                       "chem", "tele", "util"};
+constexpr std::size_t kNumCategories = std::size(kCategories);
+
+std::vector<Value> random_row(Rng& rng, std::int64_t price_lo, std::int64_t price_hi) {
+  return {Value(rng.uniform_int(0, 1'000'000)),
+          Value(std::string(kCategories[rng.index(kNumCategories)])),
+          Value(rng.uniform_int(price_lo, price_hi)),
+          Value(rng.uniform_int(1, 100))};
+}
+}  // namespace
+
+void make_stock_table(cat::Database& db, const std::string& name, std::size_t rows,
+                      Rng& rng, std::int64_t price_lo, std::int64_t price_hi) {
+  db.create_table(name, rel::Schema::of({{"id", rel::ValueType::kInt},
+                                         {"category", rel::ValueType::kString},
+                                         {"price", rel::ValueType::kInt},
+                                         {"qty", rel::ValueType::kInt}}));
+  // Bulk-load in batches so the delta log isn't one giant transaction.
+  std::size_t remaining = rows;
+  while (remaining > 0) {
+    auto txn = db.begin();
+    const std::size_t batch = std::min<std::size_t>(remaining, 1024);
+    for (std::size_t i = 0; i < batch; ++i) {
+      txn.insert(name, random_row(rng, price_lo, price_hi));
+    }
+    txn.commit();
+    remaining -= batch;
+  }
+}
+
+std::vector<rel::TupleId> live_tids(const cat::Database& db, const std::string& table) {
+  std::vector<rel::TupleId> tids;
+  tids.reserve(db.table(table).size());
+  for (const auto& row : db.table(table).rows()) tids.push_back(row.tid());
+  return tids;
+}
+
+void random_updates(cat::Database& db, const std::string& table, std::size_t count,
+                    const UpdateMix& mix, Rng& rng, std::size_t txn_size) {
+  if (txn_size == 0) throw common::InvalidArgument("random_updates: txn_size must be > 0");
+  std::vector<rel::TupleId> tids = live_tids(db, table);
+  const auto& schema = db.table(table).schema();
+  const std::size_t price_idx = schema.index_of("price");
+
+  std::size_t done = 0;
+  while (done < count) {
+    auto txn = db.begin();
+    const std::size_t batch = std::min(txn_size, count - done);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const double roll = rng.uniform01();
+      if (!tids.empty() && roll < mix.delete_fraction) {
+        const std::size_t pick = rng.index(tids.size());
+        txn.erase(table, tids[pick]);
+        tids[pick] = tids.back();
+        tids.pop_back();
+      } else if (!tids.empty() && roll < mix.delete_fraction + mix.modify_fraction) {
+        const rel::TupleId tid = tids[rng.index(tids.size())];
+        // Perturb the price, keep the other fields. A tid inserted earlier
+        // in this (still uncommitted) transaction is not readable from the
+        // base table yet; give it fresh random values instead.
+        const rel::Tuple* current = db.table(table).find(tid);
+        std::vector<Value> values =
+            current != nullptr ? current->values() : random_row(rng, 0, 1000);
+        values[price_idx] =
+            Value(values[price_idx].as_int() + rng.uniform_int(-50, 50));
+        txn.modify(table, tid, std::move(values));
+      } else {
+        tids.push_back(txn.insert(table, random_row(rng, 0, 1000)));
+      }
+    }
+    txn.commit();
+    done += batch;
+  }
+}
+
+qry::SpjQuery random_selection_query(const std::string& table, double selectivity,
+                                     Rng& rng) {
+  // price is uniform in [0, 1000]; a range of width selectivity*1000 gives
+  // roughly the requested selectivity.
+  const auto width = static_cast<std::int64_t>(selectivity * 1000.0);
+  const std::int64_t lo = rng.uniform_int(0, std::max<std::int64_t>(1, 1000 - width));
+  qry::SpjQuery q;
+  q.from.push_back({table, ""});
+  q.where = alg::Expr::between(alg::Expr::col("price"), Value(lo), Value(lo + width));
+  if (rng.chance(0.5)) {
+    q.projection = {"id", "category", "price"};
+  }
+  return q;
+}
+
+qry::SpjQuery random_join_query(const std::vector<std::string>& tables, Rng& rng) {
+  if (tables.size() < 2) {
+    throw common::InvalidArgument("random_join_query needs >= 2 tables");
+  }
+  qry::SpjQuery q;
+  std::vector<std::string> aliases;
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    std::string alias = "t" + std::to_string(i);
+    q.from.push_back({tables[i], alias});
+    aliases.push_back(std::move(alias));
+  }
+  std::vector<alg::ExprPtr> conjuncts;
+  // Chain equi-joins on category.
+  for (std::size_t i = 1; i < aliases.size(); ++i) {
+    conjuncts.push_back(alg::Expr::cmp(alg::CmpOp::kEq,
+                                       alg::Expr::col(aliases[i - 1] + ".category"),
+                                       alg::Expr::col(aliases[i] + ".category")));
+  }
+  // Per-table price filters to keep join outputs bounded.
+  for (const auto& alias : aliases) {
+    const std::int64_t lo = rng.uniform_int(0, 700);
+    conjuncts.push_back(alg::Expr::between(alg::Expr::col(alias + ".price"), Value(lo),
+                                           Value(lo + rng.uniform_int(50, 300))));
+  }
+  q.where = alg::conjoin(conjuncts);
+  q.projection = {aliases[0] + ".id", aliases[0] + ".price", aliases[1] + ".id"};
+  return q;
+}
+
+}  // namespace cq::testing

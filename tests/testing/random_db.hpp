@@ -1,0 +1,47 @@
+// Shared test/bench helpers: randomized databases, update streams, and
+// random SPJ queries, all fully deterministic given a seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "catalog/database.hpp"
+#include "common/rng.hpp"
+#include "query/ast.hpp"
+
+namespace cq::testing {
+
+/// Mix of update kinds, as fractions summing to <= 1 (remainder = inserts).
+struct UpdateMix {
+  double modify_fraction = 0.3;
+  double delete_fraction = 0.2;
+};
+
+/// Create table `name` with schema (id INT, category STRING, price INT,
+/// qty INT) and fill it with `rows` random rows. Categories are drawn from
+/// a small alphabet so joins/selections have controllable selectivity.
+void make_stock_table(cat::Database& db, const std::string& name, std::size_t rows,
+                      common::Rng& rng, std::int64_t price_lo = 0,
+                      std::int64_t price_hi = 1000);
+
+/// Apply `count` random updates to `table` using the given mix, batched
+/// into transactions of `txn_size` ops. Tids are picked uniformly from the
+/// live set for modify/delete; inserts draw fresh random rows.
+void random_updates(cat::Database& db, const std::string& table, std::size_t count,
+                    const UpdateMix& mix, common::Rng& rng, std::size_t txn_size = 4);
+
+/// A random single-table selection query over `table` with roughly the
+/// given selectivity (price range predicate).
+[[nodiscard]] qry::SpjQuery random_selection_query(const std::string& table,
+                                                   double selectivity, common::Rng& rng);
+
+/// A random 2- or 3-way equi-join query over the given tables (joined on
+/// category), with per-table price filters.
+[[nodiscard]] qry::SpjQuery random_join_query(const std::vector<std::string>& tables,
+                                              common::Rng& rng);
+
+/// Tids currently live in `table`.
+[[nodiscard]] std::vector<rel::TupleId> live_tids(const cat::Database& db,
+                                                  const std::string& table);
+
+}  // namespace cq::testing

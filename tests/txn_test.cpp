@@ -1,0 +1,239 @@
+#include "catalog/transaction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "catalog/database.hpp"
+#include "common/error.hpp"
+
+namespace cq::cat {
+namespace {
+
+using common::Timestamp;
+using delta::ChangeKind;
+using rel::Tuple;
+using rel::TupleId;
+using rel::Value;
+using rel::ValueType;
+
+Database make_db() {
+  Database db;
+  db.create_table("T", rel::Schema::of({{"k", ValueType::kInt}, {"v", ValueType::kString}}));
+  return db;
+}
+
+TEST(Transaction, NothingVisibleUntilCommit) {
+  Database db = make_db();
+  auto txn = db.begin();
+  txn.insert("T", {Value(1), Value("a")});
+  EXPECT_EQ(db.table("T").size(), 0u);
+  EXPECT_TRUE(db.delta("T").empty());
+  txn.commit();
+  EXPECT_EQ(db.table("T").size(), 1u);
+  EXPECT_EQ(db.delta("T").size(), 1u);
+}
+
+TEST(Transaction, SingleTimestampPerCommit) {
+  Database db = make_db();
+  auto txn = db.begin();
+  txn.insert("T", {Value(1), Value("a")});
+  txn.insert("T", {Value(2), Value("b")});
+  const Timestamp ts = txn.commit();
+  for (const auto& row : db.delta("T").rows()) EXPECT_EQ(row.ts, ts);
+}
+
+TEST(Transaction, AbortDiscardsEverything) {
+  Database db = make_db();
+  auto txn = db.begin();
+  txn.insert("T", {Value(1), Value("a")});
+  txn.abort();
+  EXPECT_EQ(db.table("T").size(), 0u);
+  EXPECT_TRUE(db.delta("T").empty());
+  EXPECT_THROW(txn.commit(), common::InvalidArgument);
+}
+
+TEST(Transaction, DestructorAborts) {
+  Database db = make_db();
+  {
+    auto txn = db.begin();
+    txn.insert("T", {Value(1), Value("a")});
+  }
+  EXPECT_EQ(db.table("T").size(), 0u);
+}
+
+TEST(Transaction, PaperExample1Shape) {
+  // Begin Transaction T: Insert; Modify; Delete; End — one delta row each.
+  Database db = make_db();
+  const TupleId dec = db.insert("T", {Value(120992), Value("DEC")});
+  const TupleId qli = db.insert("T", {Value(92394), Value("QLI")});
+  const Timestamp before = db.clock().now();
+
+  auto txn = db.begin();
+  txn.insert("T", {Value(101088), Value("MAC")});
+  txn.modify("T", dec, {Value(120992), Value("DEC-149")});
+  txn.erase("T", qli);
+  txn.commit();
+
+  const auto net = db.delta("T").net_effect(before);
+  ASSERT_EQ(net.size(), 3u);
+  int inserts = 0;
+  int modifies = 0;
+  int deletes = 0;
+  for (const auto& row : net) {
+    switch (row.kind()) {
+      case ChangeKind::kInsert: ++inserts; break;
+      case ChangeKind::kModify: ++modifies; break;
+      case ChangeKind::kDelete: ++deletes; break;
+    }
+  }
+  EXPECT_EQ(inserts, 1);
+  EXPECT_EQ(modifies, 1);
+  EXPECT_EQ(deletes, 1);
+}
+
+TEST(Transaction, InsertThenModifySameTidIsNetInsert) {
+  Database db = make_db();
+  auto txn = db.begin();
+  const TupleId tid = txn.insert("T", {Value(1), Value("a")});
+  txn.modify("T", tid, {Value(1), Value("b")});
+  const Timestamp ts = txn.commit();
+  (void)ts;
+  const auto net = db.delta("T").net_effect(Timestamp::min());
+  ASSERT_EQ(net.size(), 1u);
+  EXPECT_EQ(net[0].kind(), ChangeKind::kInsert);
+  EXPECT_EQ((*net[0].new_values)[1], Value("b"));
+}
+
+TEST(Transaction, InsertThenDeleteSameTidHasNoNetEffect) {
+  Database db = make_db();
+  auto txn = db.begin();
+  const TupleId tid = txn.insert("T", {Value(1), Value("a")});
+  txn.erase("T", tid);
+  txn.commit();
+  EXPECT_EQ(db.table("T").size(), 0u);
+  EXPECT_TRUE(db.delta("T").empty());  // not even logged
+}
+
+TEST(Transaction, ModifyThenDeleteIsNetDelete) {
+  Database db = make_db();
+  const TupleId tid = db.insert("T", {Value(1), Value("orig")});
+  const Timestamp before = db.clock().now();
+  auto txn = db.begin();
+  txn.modify("T", tid, {Value(1), Value("changed")});
+  txn.erase("T", tid);
+  txn.commit();
+  const auto net = db.delta("T").net_effect(before);
+  ASSERT_EQ(net.size(), 1u);
+  EXPECT_EQ(net[0].kind(), ChangeKind::kDelete);
+  EXPECT_EQ((*net[0].old_values)[1], Value("orig"));  // pre-transaction value
+}
+
+TEST(Transaction, ValidationFailureLeavesDatabaseUntouched) {
+  Database db = make_db();
+  db.insert("T", {Value(1), Value("a")});
+  const std::size_t size_before = db.table("T").size();
+  const std::size_t delta_before = db.delta("T").size();
+
+  auto txn = db.begin();
+  txn.insert("T", {Value(2), Value("b")});
+  txn.erase("T", TupleId(9999));  // queued fine; fails validation at commit
+  EXPECT_THROW(txn.commit(), common::NotFound);
+  EXPECT_EQ(db.table("T").size(), size_before);
+  EXPECT_EQ(db.delta("T").size(), delta_before);
+}
+
+TEST(Transaction, DoubleDeleteRejected) {
+  Database db = make_db();
+  const TupleId tid = db.insert("T", {Value(1), Value("a")});
+  auto txn = db.begin();
+  txn.erase("T", tid);
+  txn.erase("T", tid);
+  EXPECT_THROW(txn.commit(), common::NotFound);
+}
+
+TEST(Transaction, ModifyAfterDeleteRejected) {
+  Database db = make_db();
+  const TupleId tid = db.insert("T", {Value(1), Value("a")});
+  auto txn = db.begin();
+  txn.erase("T", tid);
+  txn.modify("T", tid, {Value(1), Value("b")});
+  EXPECT_THROW(txn.commit(), common::NotFound);
+}
+
+TEST(Transaction, UnknownTableRejectedAtQueueTime) {
+  Database db = make_db();
+  auto txn = db.begin();
+  EXPECT_THROW(txn.insert("Nope", {Value(1)}), common::NotFound);
+  EXPECT_THROW(txn.erase("Nope", TupleId(1)), common::NotFound);
+}
+
+TEST(Transaction, ArityCheckedAtQueueTime) {
+  Database db = make_db();
+  auto txn = db.begin();
+  EXPECT_THROW(txn.insert("T", {Value(1)}), common::SchemaMismatch);
+}
+
+TEST(Transaction, MultiTableCommit) {
+  Database db = make_db();
+  db.create_table("U", rel::Schema::of({{"x", ValueType::kInt}}));
+  auto txn = db.begin();
+  txn.insert("T", {Value(1), Value("a")});
+  txn.insert("U", {Value(2)});
+  const Timestamp ts = txn.commit();
+  EXPECT_EQ(db.delta("T").rows().back().ts, ts);
+  EXPECT_EQ(db.delta("U").rows().back().ts, ts);
+}
+
+TEST(Database, CommitHookFiresWithTouchedTables) {
+  Database db = make_db();
+  db.create_table("U", rel::Schema::of({{"x", ValueType::kInt}}));
+  std::vector<std::string> seen;
+  db.set_commit_hook([&](const std::vector<std::string>& tables, Timestamp) {
+    seen = tables;
+  });
+  auto txn = db.begin();
+  txn.insert("T", {Value(1), Value("a")});
+  txn.insert("U", {Value(2)});
+  txn.commit();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "T");
+  EXPECT_EQ(seen[1], "U");
+}
+
+TEST(Database, CommitHookSkipsNetNoopTables) {
+  Database db = make_db();
+  std::size_t calls = 0;
+  std::size_t tables_seen = 0;
+  db.set_commit_hook([&](const std::vector<std::string>& tables, Timestamp) {
+    ++calls;
+    tables_seen += tables.size();
+  });
+  auto txn = db.begin();
+  const TupleId tid = txn.insert("T", {Value(1), Value("a")});
+  txn.erase("T", tid);  // net no-op
+  txn.commit();
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(tables_seen, 0u);
+}
+
+TEST(Database, SingleStatementConveniences) {
+  Database db = make_db();
+  const TupleId tid = db.insert("T", {Value(1), Value("a")});
+  db.modify("T", tid, {Value(1), Value("b")});
+  EXPECT_EQ(db.table("T").find(tid)->at(1), Value("b"));
+  db.erase("T", tid);
+  EXPECT_EQ(db.table("T").size(), 0u);
+  EXPECT_EQ(db.delta("T").size(), 3u);
+}
+
+TEST(Database, TableManagement) {
+  Database db = make_db();
+  EXPECT_TRUE(db.has_table("T"));
+  EXPECT_FALSE(db.has_table("X"));
+  EXPECT_THROW(db.create_table("T", rel::Schema::of({{"x", ValueType::kInt}})),
+               common::InvalidArgument);
+  EXPECT_THROW(static_cast<void>(db.table("X")), common::NotFound);
+  EXPECT_EQ(db.table_names(), std::vector<std::string>{"T"});
+}
+
+}  // namespace
+}  // namespace cq::cat

@@ -1,0 +1,90 @@
+#include "relation/value.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/error.hpp"
+
+namespace cq::rel {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v, Value::null());
+}
+
+TEST(Value, TypedConstructionAndAccess) {
+  EXPECT_EQ(Value(true).as_bool(), true);
+  EXPECT_EQ(Value(std::int64_t{42}).as_int(), 42);
+  EXPECT_EQ(Value(7).as_int(), 7);  // int promotes to int64
+  EXPECT_DOUBLE_EQ(Value(3.5).as_double(), 3.5);
+  EXPECT_EQ(Value("abc").as_string(), "abc");
+  EXPECT_EQ(Value(std::string("xyz")).as_string(), "xyz");
+}
+
+TEST(Value, WrongTypeAccessThrows) {
+  EXPECT_THROW(Value(1).as_bool(), common::InvalidArgument);
+  EXPECT_THROW(Value("s").as_int(), common::InvalidArgument);
+  EXPECT_THROW(Value(true).as_double(), common::InvalidArgument);
+  EXPECT_THROW(Value(1.0).as_string(), common::InvalidArgument);
+  EXPECT_THROW(Value::null().numeric(), common::InvalidArgument);
+}
+
+TEST(Value, NumericBridgesIntAndDouble) {
+  EXPECT_DOUBLE_EQ(Value(4).numeric(), 4.0);
+  EXPECT_DOUBLE_EQ(Value(4.25).numeric(), 4.25);
+  EXPECT_TRUE(Value(1).is_numeric());
+  EXPECT_TRUE(Value(1.0).is_numeric());
+  EXPECT_FALSE(Value("1").is_numeric());
+  EXPECT_FALSE(Value::null().is_numeric());
+}
+
+TEST(Value, OrderingWithinTypes) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value(1.5), Value(2));
+  EXPECT_LT(Value(1), Value(1.5));
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_LT(Value(false), Value(true));
+  EXPECT_EQ(Value(2), Value(2.0));  // cross numeric equality
+}
+
+TEST(Value, OrderingAcrossTypeClasses) {
+  // NULL < BOOL < numeric < STRING (total order for indexes).
+  EXPECT_LT(Value::null(), Value(false));
+  EXPECT_LT(Value(true), Value(0));
+  EXPECT_LT(Value(999999), Value(""));
+}
+
+TEST(Value, NullEqualsNullInTotalOrder) {
+  EXPECT_EQ(Value::null(), Value::null());
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  // INT 2 == DOUBLE 2.0 must hash alike (used by hash joins).
+  EXPECT_EQ(Value(2).hash(), Value(2.0).hash());
+  EXPECT_EQ(Value("k").hash(), Value(std::string("k")).hash());
+  // Distinct values should usually hash differently.
+  std::unordered_set<std::size_t> hashes;
+  for (int i = 0; i < 1000; ++i) hashes.insert(Value(i).hash());
+  EXPECT_GT(hashes.size(), 990u);
+}
+
+TEST(Value, ToString) {
+  EXPECT_EQ(Value::null().to_string(), "NULL");
+  EXPECT_EQ(Value(true).to_string(), "true");
+  EXPECT_EQ(Value(42).to_string(), "42");
+  EXPECT_EQ(Value("hi").to_string(), "'hi'");
+}
+
+TEST(Value, ByteSizeModel) {
+  EXPECT_EQ(Value::null().byte_size(), 1u);
+  EXPECT_EQ(Value(1).byte_size(), 9u);
+  EXPECT_EQ(Value(1.0).byte_size(), 9u);
+  EXPECT_EQ(Value("abcd").byte_size(), 9u);  // 5 + len
+}
+
+}  // namespace
+}  // namespace cq::rel
