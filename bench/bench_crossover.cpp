@@ -74,4 +74,4 @@ BENCHMARK(BM_Recompute_Selectivity)->Apply(selectivity_args);
 }  // namespace
 }  // namespace cq::bench
 
-BENCHMARK_MAIN();
+CQ_BENCH_MAIN()

@@ -55,4 +55,4 @@ BENCHMARK(BM_RecomputeSelection)->Apply(configure);
 }  // namespace
 }  // namespace cq::bench
 
-BENCHMARK_MAIN();
+CQ_BENCH_MAIN()

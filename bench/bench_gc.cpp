@@ -6,6 +6,7 @@
 // time, so we report the net/raw ratio).
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
 #include "common/rng.hpp"
 #include "cq/manager.hpp"
 #include "workload/sweep.hpp"
@@ -90,4 +91,4 @@ BENCHMARK(BM_NetEffectCompaction)->Arg(1000)->Arg(5000)
 }  // namespace
 }  // namespace cq::bench
 
-BENCHMARK_MAIN();
+CQ_BENCH_MAIN()

@@ -102,4 +102,4 @@ BENCHMARK(BM_DraJoinScan)->Apply(base_size_args);
 }  // namespace
 }  // namespace cq::bench
 
-BENCHMARK_MAIN();
+CQ_BENCH_MAIN()

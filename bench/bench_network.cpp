@@ -160,4 +160,4 @@ BENCHMARK(BM_ServerBytes_ResultShipping)->Apply(client_args);
 }  // namespace
 }  // namespace cq::bench
 
-BENCHMARK_MAIN();
+CQ_BENCH_MAIN()

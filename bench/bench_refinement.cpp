@@ -103,4 +103,4 @@ BENCHMARK(BM_RecomputeIrrelevant)->Unit(benchmark::kMicrosecond);
 }  // namespace
 }  // namespace cq::bench
 
-BENCHMARK_MAIN();
+CQ_BENCH_MAIN()

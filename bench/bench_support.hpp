@@ -12,11 +12,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <string>
+#include <string_view>
 #include <tuple>
+#include <vector>
 
 #include "catalog/database.hpp"
+#include "common/observability.hpp"
 #include "common/rng.hpp"
 #include "cq/dra.hpp"
 #include "cq/propagate.hpp"
@@ -108,7 +114,9 @@ inline const JoinScenario& join_scenario(std::size_t n_tables, std::size_t rows,
   return *it->second;
 }
 
-/// Attach the paper's cost quantities from a metrics bag to the state.
+/// Attach the paper's cost quantities from a metrics bag to the state, and
+/// fold them into the process-wide observability registry so a final
+/// --stats-json export sees the cumulative engine work of the whole run.
 inline void export_metrics(benchmark::State& state, const common::Metrics& metrics) {
   state.counters["delta_rows"] = benchmark::Counter(
       static_cast<double>(metrics.get(common::metric::kDeltaRowsScanned)),
@@ -119,6 +127,50 @@ inline void export_metrics(benchmark::State& state, const common::Metrics& metri
   state.counters["rows_scanned"] = benchmark::Counter(
       static_cast<double>(metrics.get(common::metric::kRowsScanned)),
       benchmark::Counter::kAvgIterations);
+  common::obs::global().metrics().merge(metrics);
+}
+
+/// BENCHMARK_MAIN() body plus one extra flag the Google Benchmark flag
+/// parser would otherwise reject: `--stats-json <path>` (or
+/// `--stats-json=<path>`) turns observability on for the run and writes
+/// the counters + latency-histogram JSON document there on exit.
+inline int run_benchmarks_with_stats(int argc, char** argv) {
+  std::string stats_path;
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--stats-json" && i + 1 < argc) {
+      stats_path = argv[++i];
+    } else if (arg.rfind("--stats-json=", 0) == 0) {
+      stats_path = arg.substr(std::string_view("--stats-json=").size());
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (!stats_path.empty()) common::obs::set_enabled(true);
+
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (!stats_path.empty()) {
+    std::ofstream out(stats_path);
+    out << common::obs::export_json(common::obs::global(), {}) << "\n";
+    if (!out) {
+      std::fprintf(stderr, "failed to write stats JSON to %s\n", stats_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
 }
 
 }  // namespace cq::bench
+
+/// Use instead of BENCHMARK_MAIN() in every bench binary.
+#define CQ_BENCH_MAIN()                                          \
+  int main(int argc, char** argv) {                              \
+    return ::cq::bench::run_benchmarks_with_stats(argc, argv);   \
+  }

@@ -116,4 +116,4 @@ BENCHMARK(BM_AppendOnlyApplicability)->Apply(applicability_args);
 }  // namespace
 }  // namespace cq::bench
 
-BENCHMARK_MAIN();
+CQ_BENCH_MAIN()

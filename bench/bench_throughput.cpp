@@ -6,6 +6,7 @@
 // the monitoring-scale scenario the paper's Internet motivation implies.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
 #include "common/rng.hpp"
 #include "cq/manager.hpp"
 #include "workload/sweep.hpp"
@@ -80,4 +81,4 @@ BENCHMARK(BM_SystemRecompute)->Apply(throughput_args);
 }  // namespace
 }  // namespace cq::bench
 
-BENCHMARK_MAIN();
+CQ_BENCH_MAIN()

@@ -5,6 +5,7 @@
 // Also ablation A3: eager (per-commit) vs periodic trigger checking.
 #include <benchmark/benchmark.h>
 
+#include "bench_support.hpp"
 #include "catalog/transaction.hpp"
 #include "common/rng.hpp"
 #include "cq/manager.hpp"
@@ -117,4 +118,4 @@ BENCHMARK(BM_PeriodicChecking)->Arg(500)->Unit(benchmark::kMillisecond)->Iterati
 }  // namespace
 }  // namespace cq::bench
 
-BENCHMARK_MAIN();
+CQ_BENCH_MAIN()

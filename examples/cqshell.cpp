@@ -24,6 +24,7 @@
 #include "catalog/database.hpp"
 #include "catalog/transaction.hpp"
 #include "common/error.hpp"
+#include "common/observability.hpp"
 #include "cq/manager.hpp"
 #include "persist/snapshot.hpp"
 #include "query/evaluate.hpp"
@@ -49,6 +50,12 @@ const char* kHelp = R"(commands:
   POLL                                check triggers, run fired CQs
   ADVANCE <ticks>                     move the virtual clock forward
   EXPLAIN <cq-name>                   plan + pending deltas + staleness
+  EXPLAIN SELECT ...                  run the query; plan tree with
+                                      estimated vs. actual row counts
+  STATS [JSON]                        engine counters, latency histograms,
+                                      per-CQ statistics (JSON: one document)
+  TRACE ON | OFF | DUMP <path>        span tracing (DUMP writes a
+                                      chrome://tracing JSON file)
   STALENESS <cq-name>
   REMOVE <cq-name>
   GC                                  collect delta garbage
@@ -122,7 +129,11 @@ class Shell {
       clock.advance(common::Duration(std::stoll(args)));
       std::cout << "clock now at t=" << db_->clock().now().to_string() << "\n";
     } else if (cmd == "EXPLAIN") {
-      std::cout << manager_->cq(handle_of(trim(args))).explain(*db_);
+      do_explain(trim(args));
+    } else if (cmd == "STATS") {
+      do_stats(upper_word(trim(args)) == "JSON");
+    } else if (cmd == "TRACE") {
+      do_trace(trim(args));
     } else if (cmd == "STALENESS") {
       const auto s = manager_->cq(handle_of(trim(args))).staleness(*db_);
       std::cout << s.pending_changes << " pending / " << s.relevant_changes
@@ -158,6 +169,62 @@ class Shell {
       std::cout << "unknown command '" << cmd << "' (try HELP)\n";
     }
     return true;
+  }
+
+  // EXPLAIN SELECT ... runs the statement and prints the plan tree with
+  // estimated vs. actual row counts; EXPLAIN <cq-name> keeps the original
+  // CQ inspection (plan + pending deltas + staleness).
+  void do_explain(const std::string& args) {
+    if (upper_word(args) == "SELECT") {
+      const qry::QueryExplain ex = qry::explain_query(qry::parse_query(args), *db_);
+      std::cout << ex.to_string();
+      std::cout << ex.result.size() << " row(s)\n";
+      return;
+    }
+    std::cout << manager_->cq(handle_of(args)).explain(*db_);
+  }
+
+  void do_stats(bool as_json) {
+    if (as_json) {
+      std::cout << common::obs::export_json(manager_->metrics(),
+                                            common::obs::global().histogram_snapshot(),
+                                            {manager_->stats_section()})
+                << "\n";
+      return;
+    }
+    const std::string counters = manager_->metrics().to_string();
+    std::cout << "counters:\n" << (counters.empty() ? "  (none)\n" : counters);
+    for (const auto& [name, h] : common::obs::global().histogram_snapshot()) {
+      std::cout << "hist " << name << ": " << h.to_string() << "\n";
+    }
+    for (const auto& [name, s] : manager_->cq_stats()) {
+      std::cout << "cq " << name << ": " << s.executions << " execution(s), "
+                << s.trigger_checks << " trigger check(s) (" << s.fired << " fired, "
+                << s.suppressed << " suppressed), " << s.delta_rows_consumed
+                << " delta row(s) consumed, " << s.rows_delivered
+                << " row(s) delivered, last exec " << s.last_exec_ns / 1000 << " us"
+                << (s.finished ? " [finished]" : "") << "\n";
+    }
+  }
+
+  void do_trace(const std::string& args) {
+    std::size_t rest = 0;
+    const std::string verb = upper_word(args, &rest);
+    if (verb == "ON") {
+      common::obs::set_enabled(true);
+      std::cout << "tracing on\n";
+    } else if (verb == "OFF") {
+      common::obs::set_enabled(false);
+      std::cout << "tracing off\n";
+    } else if (verb == "DUMP") {
+      const std::string path = trim(args.substr(rest));
+      if (path.empty()) throw common::ParseError("TRACE DUMP <path>");
+      common::obs::global().traces().write_chrome_trace(path);
+      std::cout << "wrote " << common::obs::global().traces().size()
+                << " span(s) to " << path << "\n";
+    } else {
+      throw common::ParseError("TRACE ON | OFF | DUMP <path>");
+    }
   }
 
   // CREATE TABLE t (a INT, b STRING) | CREATE INDEX i ON t (a, b)

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "catalog/transaction.hpp"
+#include "common/observability.hpp"
 #include "common/rng.hpp"
 #include "diom/feed_source.hpp"
 #include "diom/file_source.hpp"
@@ -20,6 +21,7 @@ int main() {
   using rel::ValueType;
 
   common::Rng rng(99);
+  common::obs::set_enabled(true);  // trace the whole run
 
   // --- autonomous producers -------------------------------------------
   cat::Database exchange;  // a relational DBMS somewhere on the net
@@ -95,5 +97,18 @@ int main() {
             << incremental_total << "\n";
   std::cout << "Simulated transfer time spent: " << net.total_transfer_ms()
             << " ms (per-link latency " << 25.0 << " ms)\n";
+
+  // --- observability dump ----------------------------------------------
+  const char* trace_path = "trace_internet_monitor.json";
+  common::obs::global().traces().write_chrome_trace(trace_path);
+  std::cout << "\nWrote " << common::obs::global().traces().size()
+            << " spans to " << trace_path
+            << " (load in chrome://tracing or https://ui.perfetto.dev)\n";
+  std::cout << "Stats JSON:\n"
+            << common::obs::export_json(
+                   client.manager().metrics(),
+                   common::obs::global().histogram_snapshot(),
+                   {client.manager().stats_section(), client.stats_section()})
+            << "\n";
   return 0;
 }

@@ -11,10 +11,13 @@ cmake --build build
 
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# Each bench also drops a BENCH_<name>.json stats document (engine
+# counters + p50/p95/p99 latency histograms) at the repo root.
 {
   for b in build/bench/bench_*; do
+    name=$(basename "$b")
     echo "===== $b ====="
-    "$b"
+    "$b" --stats-json "BENCH_${name#bench_}.json"
   done
 } 2>&1 | tee bench_output.txt
 

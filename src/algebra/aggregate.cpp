@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "common/observability.hpp"
 
 namespace cq::alg {
 
@@ -144,6 +145,7 @@ Value scalar_aggregate(const Relation& input, AggKind kind, const std::string& c
 Relation group_aggregate(const Relation& input,
                          const std::vector<std::string>& group_columns,
                          const std::vector<AggSpec>& specs, common::Metrics* metrics) {
+  common::obs::Span span("alg.group_aggregate");
   std::vector<std::size_t> group_idx;
   group_idx.reserve(group_columns.size());
   for (const auto& c : group_columns) group_idx.push_back(input.schema().index_of(c));

@@ -2,6 +2,7 @@
 
 #include "algebra/predicate.hpp"
 #include "common/error.hpp"
+#include "common/observability.hpp"
 #include "relation/index.hpp"
 
 namespace cq::alg {
@@ -11,12 +12,13 @@ using rel::Relation;
 using rel::Tuple;
 
 namespace {
-void count(Metrics* m, const char* name, std::int64_t v) {
-  if (m != nullptr && v != 0) m->add(name, v);
+void count(Metrics* m, common::metric::Id id, std::int64_t v) {
+  if (m != nullptr && v != 0) m->add(id, v);
 }
 }  // namespace
 
 Relation select(const Relation& input, const Expr& predicate, Metrics* metrics) {
+  common::obs::Span span("alg.select");
   Relation out(input.schema());
   for (const auto& row : input.rows()) {
     if (predicate.eval_bool(row, input.schema())) out.append(row);
@@ -28,6 +30,7 @@ Relation select(const Relation& input, const Expr& predicate, Metrics* metrics) 
 
 Relation project(const Relation& input, const std::vector<std::string>& columns,
                  bool dedup, Metrics* metrics) {
+  common::obs::Span span("alg.project");
   std::vector<std::size_t> indexes;
   indexes.reserve(columns.size());
   for (const auto& c : columns) indexes.push_back(input.schema().index_of(c));
@@ -45,6 +48,7 @@ Relation project(const Relation& input, const std::vector<std::string>& columns,
 
 Relation nested_loop_join(const Relation& left, const Relation& right,
                           const Expr* predicate, Metrics* metrics) {
+  common::obs::Span span("alg.nested_loop_join");
   const rel::Schema schema = left.schema().concat(right.schema());
   Relation out(schema);
   for (const auto& l : left.rows()) {
@@ -68,6 +72,7 @@ Relation hash_join(const Relation& left, const Relation& right,
   if (equi_pairs.empty()) {
     throw common::InvalidArgument("hash_join requires at least one equi pair");
   }
+  common::obs::Span span("alg.hash_join");
   const rel::Schema schema = left.schema().concat(right.schema());
   Relation out(schema);
 

@@ -45,6 +45,12 @@ class Unsupported : public Error {
   using Error::Error;
 };
 
+/// A filesystem operation (trace dump, stats export) failed.
+class IoError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// A library invariant was violated; indicates a bug in this library.
 class InternalError : public Error {
  public:

@@ -1,49 +1,103 @@
 // Lightweight counters used by operators, the DRA, and the simulated
 // network to account for work done (rows scanned, bytes shipped, ...).
 // Benchmarks read these to report the paper's cost quantities directly.
+//
+// Well-known counters are pre-interned: metric::Id is an enum indexing a
+// flat array, so hot-path `add(metric::kRowsScanned, n)` is one array
+// store — no string hashing or map lookup. The string-keyed API remains
+// for ad-hoc counters (slow path, ordered map).
+//
+// Thread safety: a Metrics bag is NOT internally synchronized. The engine
+// is single-threaded by design (the mediator sync loop, the CQ manager and
+// the benches all run on one thread); callers that share a bag across
+// threads must synchronize externally. The trace collector — which *is*
+// shared by observability consumers — carries its own mutex (see
+// observability.hpp).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <string>
 
 namespace cq::common {
 
+/// Well-known counter ids, so producers and consumers agree on spelling
+/// and the hot paths pay one array index instead of a string lookup.
+/// The catalog of names (metric::name) is documented in
+/// docs/observability.md.
+namespace metric {
+enum Id : std::uint16_t {
+  kRowsScanned = 0,
+  kRowsOutput,
+  kTuplesCompared,
+  kBytesSent,
+  kMessagesSent,
+  kDeltaRowsScanned,
+  kBaseRowsScanned,
+  kQueryExecutions,
+  kTriggerChecks,
+  kTriggersFired,
+  kTriggersSuppressed,
+  kGcRuns,
+  kGcRowsReclaimed,
+  kSyncRounds,
+  kSyncFailures,
+  kSyncRowsApplied,
+  kIndexProbes,
+  kDraInvocations,
+  kDraTermsEvaluated,
+  kDraSkippedIrrelevant,
+  kIdCount  // sentinel; not a counter
+};
+
+/// Canonical spelling of a well-known counter ("rows_scanned", ...).
+[[nodiscard]] const char* name(Id id) noexcept;
+
+/// Reverse lookup; returns kIdCount when `name` is not well-known.
+[[nodiscard]] Id from_name(const std::string& name) noexcept;
+}  // namespace metric
+
 /// A named bag of monotonically increasing counters.
 class Metrics {
  public:
-  /// Add delta to the named counter (creating it at zero).
-  void add(const std::string& name, std::int64_t delta = 1);
-
-  /// Current value, or 0 if never touched.
-  [[nodiscard]] std::int64_t get(const std::string& name) const noexcept;
-
-  /// All counters in name order.
-  [[nodiscard]] const std::map<std::string, std::int64_t>& all() const noexcept {
-    return counters_;
+  /// Add delta to a well-known counter. O(1), no allocation.
+  void add(metric::Id id, std::int64_t delta = 1) noexcept {
+    wellknown_[static_cast<std::size_t>(id)] += delta;
   }
 
-  /// Reset every counter to zero.
-  void reset() noexcept { counters_.clear(); }
+  /// Add delta to the named counter (creating it at zero). Resolves
+  /// well-known names to their interned slot so both APIs agree.
+  void add(const std::string& name, std::int64_t delta = 1);
 
-  /// Human-readable one-line-per-counter dump.
+  /// Current value of a well-known counter.
+  [[nodiscard]] std::int64_t get(metric::Id id) const noexcept {
+    return wellknown_[static_cast<std::size_t>(id)];
+  }
+
+  /// Current value by name, or 0 if never touched.
+  [[nodiscard]] std::int64_t get(const std::string& name) const noexcept;
+
+  /// All non-zero counters in name order (well-known and custom merged).
+  [[nodiscard]] std::map<std::string, std::int64_t> all() const;
+
+  /// Fold every counter of `other` into this bag.
+  void merge(const Metrics& other);
+
+  /// Reset every counter to zero.
+  void reset() noexcept {
+    wellknown_.fill(0);
+    custom_.clear();
+  }
+
+  /// Human-readable dump: one `name=value` line per non-zero counter,
+  /// sorted by name — deterministic across runs for scripted consumers
+  /// (cqshell STATS, golden tests).
   [[nodiscard]] std::string to_string() const;
 
  private:
-  std::map<std::string, std::int64_t> counters_;
+  std::array<std::int64_t, metric::kIdCount> wellknown_{};
+  std::map<std::string, std::int64_t> custom_;
 };
-
-/// Well-known counter names, so producers and consumers agree on spelling.
-namespace metric {
-inline constexpr const char* kRowsScanned = "rows_scanned";
-inline constexpr const char* kRowsOutput = "rows_output";
-inline constexpr const char* kTuplesCompared = "tuples_compared";
-inline constexpr const char* kBytesSent = "bytes_sent";
-inline constexpr const char* kMessagesSent = "messages_sent";
-inline constexpr const char* kDeltaRowsScanned = "delta_rows_scanned";
-inline constexpr const char* kBaseRowsScanned = "base_rows_scanned";
-inline constexpr const char* kQueryExecutions = "query_executions";
-inline constexpr const char* kTriggerChecks = "trigger_checks";
-}  // namespace metric
 
 }  // namespace cq::common

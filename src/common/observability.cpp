@@ -1,0 +1,375 @@
+#include "common/observability.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace cq::common::obs {
+
+std::uint64_t now_ns() noexcept {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point origin = clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - origin)
+          .count());
+}
+
+// ------------------------------------------------------------- Histogram --
+
+void Histogram::record(std::uint64_t value) noexcept {
+  ++buckets_[static_cast<std::size_t>(std::bit_width(value))];
+  ++count_;
+  sum_ += value;
+  if (count_ == 1 || value < min_) min_ = value;
+  if (value > max_) max_ = value;
+}
+
+double Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (p <= 0) return static_cast<double>(min_);
+  if (p >= 100) return static_cast<double>(max_);
+  // 1-based rank of the sample at percentile p (nearest-rank).
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    if (cum + buckets_[b] < rank) {
+      cum += buckets_[b];
+      continue;
+    }
+    // Bucket b holds values with bit_width == b: [2^(b-1), 2^b - 1] (b>=1),
+    // or exactly 0 (b==0). Interpolate by rank position within the bucket.
+    const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+    const double hi = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b)) - 1.0;
+    const double frac = buckets_[b] <= 1
+                            ? 0.0
+                            : static_cast<double>(rank - cum - 1) /
+                                  static_cast<double>(buckets_[b] - 1);
+    double v = lo + frac * (hi - lo);
+    // Clamp to observed range: makes single-sample and tail estimates exact.
+    v = std::max(v, static_cast<double>(min_));
+    v = std::min(v, static_cast<double>(max_));
+    return v;
+  }
+  return static_cast<double>(max_);
+}
+
+void Histogram::reset() noexcept {
+  buckets_.fill(0);
+  count_ = sum_ = min_ = max_ = 0;
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " mean=" << mean() << " p50=" << p50()
+     << " p95=" << p95() << " p99=" << p99() << " max=" << max_;
+  return os.str();
+}
+
+// --------------------------------------------------------- TraceCollector --
+
+TraceCollector::TraceCollector(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void TraceCollector::record(std::string name, std::uint64_t start_ns,
+                            std::uint64_t dur_ns, std::uint32_t depth) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TraceEvent event{std::move(name), start_ns, dur_ns, depth};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_ % capacity_] = std::move(event);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<TraceEvent> TraceCollector::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Oldest event sits at next_ once the ring has wrapped.
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return out;
+}
+
+std::size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::size_t TraceCollector::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+std::uint64_t TraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - ring_.size();
+}
+
+void TraceCollector::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+void TraceCollector::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string TraceCollector::to_chrome_json() const {
+  const std::vector<TraceEvent> events = snapshot();
+  JsonWriter w;
+  w.begin_array();
+  for (const auto& e : events) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("ph", "X");
+    w.kv("pid", std::int64_t{1});
+    // chrome://tracing stacks same-tid "X" events by time containment;
+    // depth is informative only.
+    w.kv("tid", std::int64_t{1});
+    w.kv("ts", static_cast<double>(e.start_ns) / 1000.0);
+    w.kv("dur", static_cast<double>(e.dur_ns) / 1000.0);
+    w.key("args").begin_object().kv("depth", std::uint64_t{e.depth}).end_object();
+    w.end_object();
+  }
+  w.end_array();
+  return w.str();
+}
+
+void TraceCollector::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw IoError("trace dump: cannot open '" + path + "' for writing");
+  out << to_chrome_json() << "\n";
+  if (!out) throw IoError("trace dump: write to '" + path + "' failed");
+}
+
+// ------------------------------------------------------------------ Span --
+
+namespace {
+thread_local std::uint32_t t_span_depth = 0;
+}  // namespace
+
+Span::Span(const char* name, Histogram* latency_us) noexcept
+    : name_(name), latency_us_(latency_us), active_(enabled()) {
+  if (active_) {
+    start_ns_ = now_ns();
+    depth_ = t_span_depth++;
+  }
+}
+
+void Span::close() noexcept {
+  if (!active_) return;
+  active_ = false;
+  --t_span_depth;
+  const std::uint64_t dur = now_ns() - start_ns_;
+  try {
+    global().traces().record(name_, start_ns_, dur, depth_);
+    if (latency_us_ != nullptr) latency_us_->record(dur / 1000);
+  } catch (...) {
+    // Tracing must never take the process down (allocation failure, ...).
+  }
+}
+
+// -------------------------------------------------------------- Registry --
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_[name];
+}
+
+std::map<std::string, Histogram> Registry::histogram_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_;
+}
+
+void Registry::reset() {
+  metrics_.reset();
+  traces_.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+Registry& global() noexcept {
+  static Registry registry;
+  return registry;
+}
+
+// ------------------------------------------------------------ JsonWriter --
+
+std::string JsonWriter::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // value completes a "key": pair; no comma
+  }
+  if (!first_.empty()) {
+    if (first_.back()) {
+      first_.back() = false;
+    } else {
+      out_ += ',';
+    }
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  comma();
+  out_ += '"';
+  out_ += escape(k);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma();
+  out_ += '"';
+  out_ += escape(v);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return *this;
+  }
+  std::ostringstream os;
+  os << v;
+  out_ += os.str();
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+// ---------------------------------------------------------------- export --
+
+void write_histogram_json(JsonWriter& w, const Histogram& h) {
+  w.begin_object();
+  w.kv("count", h.count());
+  w.kv("sum", h.sum());
+  w.kv("min", h.min());
+  w.kv("max", h.max());
+  w.kv("mean", h.mean());
+  w.kv("p50", h.p50());
+  w.kv("p95", h.p95());
+  w.kv("p99", h.p99());
+  w.end_object();
+}
+
+std::string export_json(const Metrics& counters,
+                        const std::map<std::string, Histogram>& histograms,
+                        const std::vector<Section>& sections) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : counters.all()) w.kv(name, value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms) {
+    w.key(name);
+    write_histogram_json(w, h);
+  }
+  w.end_object();
+  for (const auto& section : sections) {
+    w.key(section.key);
+    section.write(w);
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string export_json(const Registry& registry, const std::vector<Section>& sections) {
+  return export_json(registry.metrics(), registry.histogram_snapshot(), sections);
+}
+
+}  // namespace cq::common::obs

@@ -1,0 +1,271 @@
+// Observability: tracing spans, latency histograms, a process-global
+// registry, and a JSON exporter.
+//
+// Design goals (in order):
+//   1. *Disabled is free.* Every hot-path instrumentation site compiles to
+//      one relaxed atomic load and a branch when tracing is off — no clock
+//      reads, no allocation, no locking. Benchmarks therefore run at seed
+//      speed unless --stats-json / set_enabled(true) opts in.
+//   2. *Bounded memory.* Completed spans land in a fixed-capacity ring
+//      buffer; old events are overwritten, never accumulated.
+//   3. *One exporter.* export_json() serializes counters + histograms +
+//      caller-supplied sections (per-CQ stats, per-source sync stats) into
+//      a single JSON document, and the trace ring dumps to a
+//      chrome://tracing-compatible event array.
+//
+// Thread safety: the enable flag is atomic and the TraceCollector and the
+// Registry's histogram map are mutex-guarded (the multi-source sync path
+// may one day run sources on worker threads). Histogram::record and the
+// Metrics bag are NOT internally synchronized — see metrics.hpp.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.hpp"
+
+namespace cq::common::obs {
+
+// ---------------------------------------------------------------- enable --
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+/// Is span/histogram collection on? One relaxed load — safe to call in the
+/// innermost loops.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+inline void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+/// Monotonic nanoseconds since the first call in this process.
+[[nodiscard]] std::uint64_t now_ns() noexcept;
+
+// ------------------------------------------------------------- Histogram --
+
+/// Fixed log2-bucketed histogram of non-negative integer samples (the
+/// engine records latencies in microseconds). Sample v lands in bucket
+/// bit_width(v): [0], [1], [2,3], [4,7], ... so 64 buckets cover the full
+/// uint64 range with <2x relative error, refined by linear interpolation
+/// inside the winning bucket and clamped to the observed [min, max].
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // bit_width in [0, 64]
+
+  void record(std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Estimated value at percentile p in [0, 100]. 0 when empty; exact for
+  /// a single sample (interpolation clamps to [min, max]).
+  [[nodiscard]] double percentile(double p) const noexcept;
+  [[nodiscard]] double p50() const noexcept { return percentile(50); }
+  [[nodiscard]] double p95() const noexcept { return percentile(95); }
+  [[nodiscard]] double p99() const noexcept { return percentile(99); }
+
+  void reset() noexcept;
+
+  /// One-line summary: count/mean/p50/p95/p99/max.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+// ----------------------------------------------------------------- trace --
+
+/// One completed span, steady-clock nanoseconds.
+struct TraceEvent {
+  std::string name;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t depth = 0;  // nesting depth at span open (0 = top level)
+};
+
+/// Fixed-capacity ring buffer of completed spans. Mutex-guarded: spans may
+/// finish on any thread. When full, the oldest events are overwritten and
+/// counted in dropped().
+class TraceCollector {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit TraceCollector(std::size_t capacity = kDefaultCapacity);
+
+  void record(std::string name, std::uint64_t start_ns, std::uint64_t dur_ns,
+              std::uint32_t depth);
+
+  /// Events in chronological (insertion) order.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const;
+  /// Events overwritten because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Drop all events (capacity unchanged).
+  void clear();
+  /// Resize the ring; clears collected events.
+  void set_capacity(std::size_t capacity);
+
+  /// The ring as a chrome://tracing "trace event" JSON array: complete
+  /// ("ph":"X") events with microsecond ts/dur. Load via chrome://tracing
+  /// or https://ui.perfetto.dev.
+  [[nodiscard]] std::string to_chrome_json() const;
+
+  /// Write to_chrome_json() to `path`; throws common::IoError on failure.
+  void write_chrome_trace(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;  // ring index of the next write
+  std::uint64_t total_ = 0;  // events ever recorded
+};
+
+/// RAII span: opens at construction, records into the global trace
+/// collector at destruction (or close()). When obs::enabled() is false the
+/// constructor is one branch and the span records nothing. Optionally
+/// feeds its duration (µs) into a Histogram.
+class Span {
+ public:
+  explicit Span(const char* name, Histogram* latency_us = nullptr) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { close(); }
+
+  /// End the span early (idempotent).
+  void close() noexcept;
+
+ private:
+  const char* name_;
+  Histogram* latency_us_;
+  std::uint64_t start_ns_ = 0;
+  std::uint32_t depth_ = 0;
+  bool active_;
+};
+
+// -------------------------------------------------------------- registry --
+
+/// Process-global home of the trace ring, the shared counter bag and the
+/// named histograms. Layers that own their own Metrics (CqManager, bench
+/// bags) keep doing so; the registry is where cross-layer latency
+/// histograms and the trace ring live.
+class Registry {
+ public:
+  [[nodiscard]] Metrics& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const Metrics& metrics() const noexcept { return metrics_; }
+  [[nodiscard]] TraceCollector& traces() noexcept { return traces_; }
+  [[nodiscard]] const TraceCollector& traces() const noexcept { return traces_; }
+
+  /// The named histogram, created empty on first use. The reference stays
+  /// valid for the registry's lifetime (node-stable map). Hot paths should
+  /// resolve once:  static auto& h = obs::global().histogram("dra_exec_us");
+  [[nodiscard]] Histogram& histogram(const std::string& name);
+
+  /// Name → copy of every histogram, for export (the live map can grow
+  /// concurrently).
+  [[nodiscard]] std::map<std::string, Histogram> histogram_snapshot() const;
+
+  /// Zero counters and histograms, drop trace events.
+  void reset();
+
+ private:
+  Metrics metrics_;
+  TraceCollector traces_;
+  mutable std::mutex mu_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+[[nodiscard]] Registry& global() noexcept;
+
+/// Well-known histogram names (all record microseconds).
+namespace hist {
+inline constexpr const char* kDraExecUs = "dra_exec_us";
+inline constexpr const char* kCqExecUs = "cq_exec_us";
+inline constexpr const char* kPollUs = "poll_us";
+inline constexpr const char* kGcUs = "gc_us";
+inline constexpr const char* kSyncUs = "sync_us";
+inline constexpr const char* kNetTransferUs = "net_transfer_us";  // simulated
+}  // namespace hist
+
+// ------------------------------------------------------------------ JSON --
+
+/// Minimal streaming JSON writer (objects, arrays, scalars; correct
+/// escaping and comma placement). Enough for stats export — not a general
+/// serializer.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+  JsonWriter& key(const std::string& k);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+
+  /// key + scalar in one call.
+  template <typename T>
+  JsonWriter& kv(const std::string& k, T v) {
+    key(k);
+    return value(v);
+  }
+
+  [[nodiscard]] std::string str() const { return out_; }
+
+  [[nodiscard]] static std::string escape(const std::string& s);
+
+ private:
+  void comma();
+  std::string out_;
+  std::vector<bool> first_;  // per open scope: no element emitted yet
+  bool pending_key_ = false;
+};
+
+/// Serialize a histogram summary as a JSON object (count, sum, min, max,
+/// mean, p50, p95, p99) into `w` (caller supplies the key).
+void write_histogram_json(JsonWriter& w, const Histogram& h);
+
+/// A named top-level entry contributed by a higher layer (per-CQ registry,
+/// per-source sync stats). `write` must emit exactly one JSON value.
+struct Section {
+  std::string key;
+  std::function<void(JsonWriter&)> write;
+};
+
+/// The single stats document:
+///   { "counters": {...}, "histograms": {...}, <section.key>: ..., ... }
+[[nodiscard]] std::string export_json(const Metrics& counters,
+                                      const std::map<std::string, Histogram>& histograms,
+                                      const std::vector<Section>& sections = {});
+
+/// Convenience: export the global registry's counters + histograms.
+[[nodiscard]] std::string export_json(const Registry& registry,
+                                      const std::vector<Section>& sections = {});
+
+}  // namespace cq::common::obs

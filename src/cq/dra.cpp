@@ -5,8 +5,11 @@
 #include "algebra/ops.hpp"
 #include "algebra/predicate.hpp"
 #include "common/error.hpp"
+#include "common/observability.hpp"
 #include "query/evaluate.hpp"
 #include "query/planner.hpp"
+
+namespace obs = cq::common::obs;
 
 namespace cq::core {
 
@@ -96,6 +99,13 @@ DiffResult dra_differential(const qry::SpjQuery& query, const cat::Database& db,
   DraStats& st = stats != nullptr ? *stats : local_stats;
   st = DraStats{};
 
+  // One branch when tracing is off; with it on, the whole invocation is a
+  // span and its latency feeds the dra_exec_us histogram.
+  static obs::Histogram* const dra_hist =
+      &obs::global().histogram(obs::hist::kDraExecUs);
+  obs::Span span("dra.differential", dra_hist);
+  if (metrics != nullptr) metrics->add(common::metric::kDraInvocations, 1);
+
   // ---- bind inputs: current base + signed delta per FROM entry ----
   std::vector<rel::Schema> schemas;
   schemas.reserve(n);
@@ -161,6 +171,7 @@ DiffResult dra_differential(const qry::SpjQuery& query, const cat::Database& db,
     // and unchanged-side base states still get bound).
     if (!any_relevant) {
       st.skipped_irrelevant = true;
+      if (metrics != nullptr) metrics->add(common::metric::kDraSkippedIrrelevant, 1);
       return result;
     }
     changed.erase(std::remove_if(changed.begin(), changed.end(),
@@ -168,6 +179,7 @@ DiffResult dra_differential(const qry::SpjQuery& query, const cat::Database& db,
                   changed.end());
     if (changed.empty()) {
       st.skipped_irrelevant = true;
+      if (metrics != nullptr) metrics->add(common::metric::kDraSkippedIrrelevant, 1);
       return result;
     }
     st.changed_relations = changed.size();
@@ -319,6 +331,7 @@ DiffResult dra_differential(const qry::SpjQuery& query, const cat::Database& db,
     }
     if (term_zero) continue;
     ++st.terms_evaluated;
+    obs::Span term_span("dra.term");
 
     // Join order for this term: plan with the term's own cardinalities so
     // the (tiny) delta sides are joined first.
@@ -401,6 +414,12 @@ DiffResult dra_differential(const qry::SpjQuery& query, const cat::Database& db,
   DiffResult raw;
   raw.inserted = std::move(sum_pos);
   raw.deleted = std::move(sum_neg);
+  if (metrics != nullptr) {
+    metrics->add(common::metric::kDraTermsEvaluated,
+                 static_cast<std::int64_t>(st.terms_evaluated));
+    metrics->add(common::metric::kIndexProbes,
+                 static_cast<std::int64_t>(st.index_probes));
+  }
   return raw.consolidated();
 }
 

@@ -7,10 +7,38 @@
 
 namespace cq::core {
 
+namespace obs = common::obs;
+
+namespace {
+
+/// Rows in a notification's payload, as the sink sees it.
+std::uint64_t rows_delivered(const Notification& note) {
+  if (note.sequence == 0 || note.aggregate) {
+    const auto& payload = note.aggregate ? note.aggregate : note.complete;
+    return payload ? payload->size() : 0;
+  }
+  std::uint64_t rows = note.delta.inserted.size() + note.delta.deleted.size();
+  if (note.complete) rows += note.complete->size();
+  return rows;
+}
+
+obs::Histogram& cq_exec_histogram() {
+  static obs::Histogram& h = obs::global().histogram(obs::hist::kCqExecUs);
+  return h;
+}
+
+}  // namespace
+
 CqManager::CqManager(cat::Database& db) : db_(db) {}
 
 CqManager::~CqManager() {
   if (eager_) db_.set_commit_hook(nullptr);
+}
+
+CqStats& CqManager::stats_of(const Entry& entry) {
+  CqStats& s = stats_[entry.query->name()];
+  s.name = entry.query->name();
+  return s;
 }
 
 CqHandle CqManager::install(CqSpec spec, std::shared_ptr<ResultSink> sink) {
@@ -18,9 +46,21 @@ CqHandle CqManager::install(CqSpec spec, std::shared_ptr<ResultSink> sink) {
   entry.query = std::make_unique<ContinualQuery>(std::move(spec), db_);
   entry.sink = std::move(sink);
 
+  obs::Span span("cq.install");
+  const std::uint64_t t0 = obs::now_ns();
   const Notification initial = entry.query->execute_initial(db_, &metrics_);
+  const std::uint64_t elapsed = obs::now_ns() - t0;
   entry.zone_id = db_.zones().register_cq(entry.query->last_execution());
   if (entry.sink) entry.sink->on_result(initial);
+
+  CqStats& s = stats_of(entry);
+  s.executions = 1;
+  s.finished = false;
+  s.last_exec_ns = elapsed;
+  s.total_exec_ns += elapsed;
+  s.rows_delivered += rows_delivered(initial);
+  s.last_execution = entry.query->last_execution();
+  if (obs::enabled()) cq_exec_histogram().record(elapsed / 1000);
 
   common::log_info("installed CQ '", entry.query->name(), "' trigger=",
                    entry.query->spec().trigger->describe());
@@ -39,6 +79,11 @@ CqHandle CqManager::install_restored(CqSpec spec, std::shared_ptr<ResultSink> si
   entry.query->restore(db_, last_execution, executions);
   entry.zone_id = db_.zones().register_cq(last_execution);
 
+  CqStats& s = stats_of(entry);
+  s.executions = executions;
+  s.finished = false;
+  s.last_execution = last_execution;
+
   common::log_info("restored CQ '", entry.query->name(), "' at t=",
                    last_execution.to_string(), " after ", executions, " executions");
 
@@ -52,6 +97,7 @@ void CqManager::remove(CqHandle handle) {
   if (it == entries_.end()) {
     throw common::NotFound("CqManager: unknown handle " + std::to_string(handle));
   }
+  stats_of(it->second).finished = true;
   db_.zones().unregister(it->second.zone_id);
   entries_.erase(it);
 }
@@ -60,14 +106,40 @@ void CqManager::finish(CqHandle handle) {
   auto it = entries_.find(handle);
   if (it == entries_.end()) return;
   common::log_info("CQ '", it->second.query->name(), "' reached its Stop condition");
+  stats_of(it->second).finished = true;
   db_.zones().unregister(it->second.zone_id);
   entries_.erase(it);
 }
 
+void CqManager::record_check(const Entry& entry, bool fired) {
+  CqStats& s = stats_of(entry);
+  ++s.trigger_checks;
+  if (fired) {
+    ++s.fired;
+    metrics_.add(common::metric::kTriggersFired, 1);
+  } else {
+    ++s.suppressed;
+    metrics_.add(common::metric::kTriggersSuppressed, 1);
+  }
+}
+
 void CqManager::run(CqHandle handle, Entry& entry) {
+  obs::Span span("cq.run");
   DraStats stats;
+  const std::uint64_t t0 = obs::now_ns();
   const Notification note = entry.query->execute(db_, &metrics_, &stats);
+  const std::uint64_t elapsed = obs::now_ns() - t0;
   last_stats_ = stats;
+
+  CqStats& s = stats_of(entry);
+  ++s.executions;
+  s.last_exec_ns = elapsed;
+  s.total_exec_ns += elapsed;
+  s.delta_rows_consumed += stats.delta_rows_read;
+  s.rows_delivered += rows_delivered(note);
+  s.last_execution = entry.query->last_execution();
+  if (obs::enabled()) cq_exec_histogram().record(elapsed / 1000);
+
   db_.zones().advance(entry.zone_id, entry.query->last_execution());
   if (entry.sink) entry.sink->on_result(note);
   if (entry.query->should_stop(db_)) {
@@ -77,6 +149,8 @@ void CqManager::run(CqHandle handle, Entry& entry) {
 }
 
 std::size_t CqManager::poll() {
+  static obs::Histogram& poll_hist = obs::global().histogram(obs::hist::kPollUs);
+  obs::Span span("cq.poll", &poll_hist);
   std::size_t executed = 0;
   // Snapshot handles: run() may erase finished entries.
   std::vector<CqHandle> handles;
@@ -93,7 +167,9 @@ std::size_t CqManager::poll() {
       finish(h);
       continue;
     }
-    if (entry.query->should_fire(db_)) {
+    const bool fire = entry.query->should_fire(db_);
+    record_check(entry, fire);
+    if (fire) {
       run(h, entry);
       ++executed;
     }
@@ -135,7 +211,9 @@ void CqManager::on_commit(const std::vector<std::string>& tables, common::Timest
       finish(h);
       continue;
     }
-    if (entry.query->should_fire(db_)) run(h, entry);
+    const bool fire = entry.query->should_fire(db_);
+    record_check(entry, fire);
+    if (fire) run(h, entry);
   }
   in_dispatch_ = false;
 }
@@ -145,19 +223,40 @@ Notification CqManager::execute_now(CqHandle handle) {
   if (it == entries_.end()) {
     throw common::NotFound("CqManager: unknown handle " + std::to_string(handle));
   }
+  Entry& entry = it->second;
+  obs::Span span("cq.run");
   DraStats stats;
-  const Notification note = it->second.query->execute(db_, &metrics_, &stats);
+  const std::uint64_t t0 = obs::now_ns();
+  const Notification note = entry.query->execute(db_, &metrics_, &stats);
+  const std::uint64_t elapsed = obs::now_ns() - t0;
   last_stats_ = stats;
-  db_.zones().advance(it->second.zone_id, it->second.query->last_execution());
-  if (it->second.sink) it->second.sink->on_result(note);
-  if (it->second.query->should_stop(db_)) {
-    it->second.query->mark_finished();
+
+  CqStats& s = stats_of(entry);
+  ++s.executions;
+  s.last_exec_ns = elapsed;
+  s.total_exec_ns += elapsed;
+  s.delta_rows_consumed += stats.delta_rows_read;
+  s.rows_delivered += rows_delivered(note);
+  s.last_execution = entry.query->last_execution();
+  if (obs::enabled()) cq_exec_histogram().record(elapsed / 1000);
+
+  db_.zones().advance(entry.zone_id, entry.query->last_execution());
+  if (entry.sink) entry.sink->on_result(note);
+  if (entry.query->should_stop(db_)) {
+    entry.query->mark_finished();
     finish(handle);
   }
   return note;
 }
 
-std::size_t CqManager::collect_garbage() { return db_.garbage_collect(); }
+std::size_t CqManager::collect_garbage() {
+  static obs::Histogram& gc_hist = obs::global().histogram(obs::hist::kGcUs);
+  obs::Span span("cq.gc", &gc_hist);
+  const std::size_t reclaimed = db_.garbage_collect();
+  metrics_.add(common::metric::kGcRuns, 1);
+  metrics_.add(common::metric::kGcRowsReclaimed, static_cast<std::int64_t>(reclaimed));
+  return reclaimed;
+}
 
 const ContinualQuery& CqManager::cq(CqHandle handle) const {
   auto it = entries_.find(handle);
@@ -167,11 +266,44 @@ const ContinualQuery& CqManager::cq(CqHandle handle) const {
   return *it->second.query;
 }
 
+const CqStats& CqManager::stats(CqHandle handle) const {
+  auto it = entries_.find(handle);
+  if (it == entries_.end()) {
+    throw common::NotFound("CqManager: unknown handle " + std::to_string(handle));
+  }
+  auto stats_it = stats_.find(it->second.query->name());
+  CQ_ASSERT(stats_it != stats_.end());
+  return stats_it->second;
+}
+
 std::vector<CqHandle> CqManager::handles() const {
   std::vector<CqHandle> out;
   out.reserve(entries_.size());
   for (const auto& [h, e] : entries_) out.push_back(h);
   return out;
+}
+
+void CqManager::write_stats_json(common::obs::JsonWriter& w) const {
+  w.begin_object();
+  for (const auto& [name, s] : stats_) {
+    w.key(name).begin_object();
+    w.kv("executions", s.executions);
+    w.kv("trigger_checks", s.trigger_checks);
+    w.kv("fired", s.fired);
+    w.kv("suppressed", s.suppressed);
+    w.kv("delta_rows_consumed", s.delta_rows_consumed);
+    w.kv("rows_delivered", s.rows_delivered);
+    w.kv("last_exec_us", s.last_exec_ns / 1000);
+    w.kv("total_exec_us", s.total_exec_ns / 1000);
+    w.kv("last_execution_at", s.last_execution.ticks());
+    w.kv("finished", s.finished);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+common::obs::Section CqManager::stats_section() const {
+  return {"cqs", [this](common::obs::JsonWriter& w) { write_stats_json(w); }};
 }
 
 }  // namespace cq::core

@@ -13,12 +13,30 @@
 
 #include "catalog/database.hpp"
 #include "common/metrics.hpp"
+#include "common/observability.hpp"
 #include "cq/continual_query.hpp"
 
 namespace cq::core {
 
 /// Handle to an installed CQ.
 using CqHandle = std::uint64_t;
+
+/// Per-CQ statistics, kept by name in the manager's registry. Entries
+/// survive removal / Stop so a whole deployment's history is inspectable
+/// (cqshell STATS, observability export).
+struct CqStats {
+  std::string name;
+  std::uint64_t executions = 0;       // including the initial E_0
+  std::uint64_t trigger_checks = 0;   // poll/eager evaluations of T_CQ
+  std::uint64_t fired = 0;            // checks where the trigger held
+  std::uint64_t suppressed = 0;       // checks where it did not
+  std::uint64_t delta_rows_consumed = 0;  // net-effect rows read by the DRA
+  std::uint64_t rows_delivered = 0;       // notification payload rows
+  std::uint64_t last_exec_ns = 0;     // wall time of the latest execution
+  std::uint64_t total_exec_ns = 0;    // cumulative execution wall time
+  common::Timestamp last_execution;   // logical instant of latest execution
+  bool finished = false;              // removed or Stop condition reached
+};
 
 class CqManager {
  public:
@@ -73,9 +91,24 @@ class CqManager {
   /// Work counters accumulated across all executions (rows scanned, delta
   /// rows read, trigger checks, ...).
   [[nodiscard]] common::Metrics& metrics() noexcept { return metrics_; }
+  [[nodiscard]] const common::Metrics& metrics() const noexcept { return metrics_; }
 
   /// Stats of the most recent DRA invocation (for EXPLAIN-style output).
   [[nodiscard]] const DraStats& last_dra_stats() const noexcept { return last_stats_; }
+
+  /// Per-CQ statistics for a live handle.
+  [[nodiscard]] const CqStats& stats(CqHandle handle) const;
+
+  /// The whole registry, keyed by CQ name; includes finished/removed CQs.
+  [[nodiscard]] const std::map<std::string, CqStats>& cq_stats() const noexcept {
+    return stats_;
+  }
+
+  /// Emit the registry as a JSON object {cq_name: {...}} into `w`.
+  void write_stats_json(common::obs::JsonWriter& w) const;
+
+  /// The registry packaged for observability::export_json (key "cqs").
+  [[nodiscard]] common::obs::Section stats_section() const;
 
  private:
   struct Entry {
@@ -88,6 +121,9 @@ class CqManager {
   void run(CqHandle handle, Entry& entry);
   void finish(CqHandle handle);
   void on_commit(const std::vector<std::string>& tables, common::Timestamp ts);
+  /// Trigger-check bookkeeping shared by poll() and on_commit().
+  void record_check(const Entry& entry, bool fired);
+  CqStats& stats_of(const Entry& entry);
 
   cat::Database& db_;
   std::map<CqHandle, Entry> entries_;
@@ -96,6 +132,7 @@ class CqManager {
   bool in_dispatch_ = false;  // guards against reentrant commit hooks
   common::Metrics metrics_;
   DraStats last_stats_;
+  std::map<std::string, CqStats> stats_;
 };
 
 }  // namespace cq::core

@@ -6,6 +6,8 @@
 
 namespace cq::diom {
 
+namespace obs = common::obs;
+
 Mediator::Mediator(std::string client_name, Network* network)
     : client_(std::move(client_name)), network_(network), manager_(db_) {}
 
@@ -48,6 +50,8 @@ void Mediator::attach_restored(std::shared_ptr<InformationSource> source,
   attached.source = std::move(source);
   attached.local_table = state.local_table;
   attached.cursor = state.cursor;
+  attached.stats.source_name = attached.source->name();
+  attached.stats.local_table = attached.local_table;
   for (const auto& [src, mirror] : state.tid_map) {
     attached.tid_map.emplace(src, rel::TupleId(mirror));
   }
@@ -69,10 +73,18 @@ void Mediator::attach(std::shared_ptr<InformationSource> source,
 
   // Initial load: ship the full snapshot once (the analogue of the CQ's
   // initial complete execution).
+  obs::Span span("diom.attach");
   const rel::Relation snapshot = attached.source->snapshot();
   const Bytes payload = encode_relation(snapshot);
+  attached.stats.source_name = attached.source->name();
+  attached.stats.local_table = attached.local_table;
+  attached.stats.snapshot_bytes = payload.size();
+  attached.stats.bytes_shipped = payload.size();
   if (network_ != nullptr) {
-    network_->send(attached.source->name(), client_, payload.size());
+    attached.stats.total_transfer_ms =
+        network_->send(attached.source->name(), client_, payload.size());
+    attached.stats.last_transfer_ms = attached.stats.total_transfer_ms;
+    ++attached.stats.messages;
   }
   const rel::Relation received = decode_relation(payload, snapshot.schema());
 
@@ -129,8 +141,15 @@ void Mediator::apply_deltas(Attached& attached,
 std::size_t Mediator::sync() { return sync_report().rows_applied; }
 
 Mediator::SyncReport Mediator::sync_report() {
+  static obs::Histogram& sync_hist = obs::global().histogram(obs::hist::kSyncUs);
+  obs::Span span("diom.sync", &sync_hist);
+  const std::uint64_t round_t0 = obs::now_ns();
   SyncReport report;
+  report.round = ++sync_rounds_;
+  common::Metrics& metrics = manager_.metrics();
+  metrics.add(common::metric::kSyncRounds, 1);
   for (auto& attached : sources_) {
+    ++attached.stats.rounds;
     try {
       // Read the source clock *before* pulling, so nothing committed between
       // the pull and the cursor update can be skipped, and only advance the
@@ -142,21 +161,81 @@ Mediator::SyncReport Mediator::sync_report() {
       if (!rows.empty()) {
         const Bytes payload = encode_deltas(rows);
         if (network_ != nullptr) {
-          network_->send(attached.source->name(), client_, payload.size());
+          const double ms =
+              network_->send(attached.source->name(), client_, payload.size());
+          attached.stats.last_transfer_ms = ms;
+          attached.stats.total_transfer_ms += ms;
+          ++attached.stats.messages;
+          report.transfer_ms += ms;
         }
         const std::vector<delta::DeltaRow> received =
             decode_deltas(payload, attached.source->schema().size());
         apply_deltas(attached, received);
         report.rows_applied += received.size();
+        report.bytes_shipped += payload.size();
+        attached.stats.bytes_shipped += payload.size();
+        attached.stats.rows_applied += received.size();
       }
       attached.cursor = up_to;
     } catch (const common::Error& e) {
       common::log_warn("mediator '", client_, "': sync of source '",
                        attached.source->name(), "' failed: ", e.what());
       report.failures.emplace_back(attached.source->name(), e.what());
+      ++attached.stats.failures;
+      metrics.add(common::metric::kSyncFailures, 1);
     }
   }
+  metrics.add(common::metric::kSyncRowsApplied,
+              static_cast<std::int64_t>(report.rows_applied));
+  report.wall_ns = obs::now_ns() - round_t0;
+  history_.push_back(report);
+  if (history_.size() > kSyncHistoryLimit) history_.pop_front();
   return report;
+}
+
+std::vector<Mediator::SourceStats> Mediator::source_stats() const {
+  std::vector<SourceStats> out;
+  out.reserve(sources_.size());
+  for (const auto& attached : sources_) out.push_back(attached.stats);
+  return out;
+}
+
+void Mediator::write_stats_json(common::obs::JsonWriter& w) const {
+  w.begin_object();
+  w.key("sources").begin_array();
+  for (const auto& attached : sources_) {
+    const SourceStats& s = attached.stats;
+    w.begin_object();
+    w.kv("source", s.source_name);
+    w.kv("local_table", s.local_table);
+    w.kv("rounds", s.rounds);
+    w.kv("failures", s.failures);
+    w.kv("messages", s.messages);
+    w.kv("bytes_shipped", s.bytes_shipped);
+    w.kv("snapshot_bytes", s.snapshot_bytes);
+    w.kv("rows_applied", s.rows_applied);
+    w.kv("last_transfer_ms", s.last_transfer_ms);
+    w.kv("total_transfer_ms", s.total_transfer_ms);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("rounds").begin_array();
+  for (const auto& r : history_) {
+    w.begin_object();
+    w.kv("round", r.round);
+    w.kv("rows_applied", std::uint64_t{r.rows_applied});
+    w.kv("bytes_shipped", std::uint64_t{r.bytes_shipped});
+    w.kv("failures", std::uint64_t{r.failures.size()});
+    w.kv("transfer_ms", r.transfer_ms);
+    w.kv("wall_us", r.wall_ns / 1000);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+common::obs::Section Mediator::stats_section() const {
+  return {"sync", [this](common::obs::JsonWriter& w) { write_stats_json(w); }};
 }
 
 std::size_t Mediator::ship_snapshots() {

@@ -7,12 +7,14 @@
 // only deltas cross the network.
 #pragma once
 
+#include <deque>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/database.hpp"
+#include "common/observability.hpp"
 #include "cq/manager.hpp"
 #include "diom/network.hpp"
 #include "diom/source.hpp"
@@ -51,8 +53,45 @@ class Mediator {
     std::size_t rows_applied = 0;
     /// Sources whose pull or apply failed this round, with the error text.
     std::vector<std::pair<std::string, std::string>> failures;
+    /// Differential bytes shipped this round (all sources).
+    std::size_t bytes_shipped = 0;
+    /// Simulated transfer time spent this round, milliseconds.
+    double transfer_ms = 0.0;
+    /// Host wall time of the round, nanoseconds.
+    std::uint64_t wall_ns = 0;
+    /// 1-based sequence number of the round.
+    std::uint64_t round = 0;
   };
   SyncReport sync_report();
+
+  /// Cumulative shipping statistics of one attached source.
+  struct SourceStats {
+    std::string source_name;
+    std::string local_table;
+    std::uint64_t rounds = 0;          // sync rounds that touched the source
+    std::uint64_t failures = 0;        // rounds that failed for the source
+    std::uint64_t messages = 0;        // network messages shipped
+    std::uint64_t bytes_shipped = 0;   // incl. the initial snapshot
+    std::uint64_t snapshot_bytes = 0;  // the initial snapshot alone
+    std::uint64_t rows_applied = 0;    // differential rows applied
+    double last_transfer_ms = 0.0;     // simulated, latest round with traffic
+    double total_transfer_ms = 0.0;    // simulated, cumulative
+  };
+  [[nodiscard]] std::vector<SourceStats> source_stats() const;
+
+  /// The most recent sync rounds, oldest first (bounded; see
+  /// kSyncHistoryLimit).
+  [[nodiscard]] const std::deque<SyncReport>& sync_history() const noexcept {
+    return history_;
+  }
+  static constexpr std::size_t kSyncHistoryLimit = 128;
+
+  /// Emit {"sources": [...], "rounds": [...]} into `w`.
+  void write_stats_json(common::obs::JsonWriter& w) const;
+
+  /// Per-source stats + round history packaged for observability
+  /// export_json (key "sync").
+  [[nodiscard]] common::obs::Section stats_section() const;
 
   /// For cost comparisons (bench E4): ship a fresh full snapshot from every
   /// source without touching the mirror; returns total bytes moved. This is
@@ -94,6 +133,7 @@ class Mediator {
     common::Timestamp cursor = common::Timestamp::min();
     /// source tid -> mirror tid (sources are autonomous; tids can collide).
     std::unordered_map<rel::TupleId::rep, rel::TupleId> tid_map;
+    SourceStats stats;
   };
 
   void apply_deltas(Attached& attached, const std::vector<delta::DeltaRow>& rows);
@@ -103,6 +143,8 @@ class Mediator {
   cat::Database db_;
   core::CqManager manager_;
   std::vector<Attached> sources_;
+  std::deque<SyncReport> history_;
+  std::uint64_t sync_rounds_ = 0;
 };
 
 }  // namespace cq::diom

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/observability.hpp"
 
 namespace cq::diom {
 
@@ -19,6 +20,8 @@ const LinkSpec& Network::link(const std::string& a, const std::string& b) const 
 }
 
 double Network::send(const std::string& from, const std::string& to, std::size_t bytes) {
+  namespace obs = common::obs;
+  obs::Span span("net.send");
   const LinkSpec& spec = link(from, to);
   const double ms =
       spec.latency_ms + static_cast<double>(bytes) / spec.bandwidth_bytes_per_ms;
@@ -29,6 +32,12 @@ double Network::send(const std::string& from, const std::string& to, std::size_t
   if (metrics_ != nullptr) {
     metrics_->add(common::metric::kBytesSent, static_cast<std::int64_t>(bytes));
     metrics_->add(common::metric::kMessagesSent, 1);
+  }
+  if (obs::enabled()) {
+    // Histogram of *simulated* transfer time — what the paper's network
+    // argument is about — not host wall time.
+    static obs::Histogram& h = obs::global().histogram(obs::hist::kNetTransferUs);
+    h.record(static_cast<std::uint64_t>(ms * 1000.0));
   }
   return ms;
 }

@@ -28,14 +28,17 @@ namespace cq::qry {
 
 /// Evaluate the SPJ core (joins + selection + projection/distinct; no
 /// aggregates) over `inputs`, which must be alias-qualified and bound
-/// positionally to query.from.
+/// positionally to query.from. When `trace` is non-null it is overwritten
+/// with the chosen plan and per-operator row counts (EXPLAIN support).
 [[nodiscard]] rel::Relation evaluate_spj_over(const SpjQuery& query,
                                               const std::vector<const rel::Relation*>& inputs,
-                                              common::Metrics* metrics = nullptr);
+                                              common::Metrics* metrics = nullptr,
+                                              SpjExecTrace* trace = nullptr);
 
 /// Evaluate the SPJ core over the database's base tables.
 [[nodiscard]] rel::Relation evaluate_spj(const SpjQuery& query, const cat::Database& db,
-                                         common::Metrics* metrics = nullptr);
+                                         common::Metrics* metrics = nullptr,
+                                         SpjExecTrace* trace = nullptr);
 
 /// Full evaluation including aggregation. For aggregate queries the result
 /// has the group-by keys followed by the aggregate columns (one row total
@@ -51,5 +54,25 @@ namespace cq::qry {
 
 /// Apply the query's ORDER BY (presentation ordering) to a result.
 [[nodiscard]] rel::Relation apply_order_by(const SpjQuery& query, rel::Relation input);
+
+/// Everything EXPLAIN needs: the chosen plan, the operator tree with
+/// estimated (and, when executed, actual) row counts, and — when executed —
+/// the query result itself.
+struct QueryExplain {
+  PlannedQuery plan;
+  ExplainNode root;
+  rel::Relation result;  // final rows; empty unless `executed`
+  bool executed = false;
+
+  /// Indented one-operator-per-line rendering of the tree.
+  [[nodiscard]] std::string to_string() const { return render_plan_tree(root); }
+};
+
+/// Plan `query` against `db` and build its EXPLAIN tree. With
+/// `execute == true` (EXPLAIN ANALYZE semantics) the query actually runs
+/// and every operator is annotated with the row count it produced;
+/// otherwise only the planner's estimates are shown.
+[[nodiscard]] QueryExplain explain_query(const SpjQuery& query, const cat::Database& db,
+                                         bool execute = true);
 
 }  // namespace cq::qry

@@ -85,6 +85,7 @@ PlannedQuery plan(const SpjQuery& query, const std::vector<rel::Schema>& qualifi
     }
     estimate[i] = e;
   }
+  out.scan_estimates = estimate;
 
   auto connected = [&](std::size_t candidate, const std::vector<bool>& joined) {
     // A conjunct connects `candidate` when it references candidate's schema
@@ -124,6 +125,154 @@ PlannedQuery plan(const SpjQuery& query, const std::vector<rel::Schema>& qualifi
     out.join_order.push_back(best);
   }
   return out;
+}
+
+namespace {
+/// "12" for whole numbers, "12.3" otherwise — keeps EXPLAIN lines tidy.
+std::string format_estimate(double rows) {
+  std::ostringstream os;
+  if (rows == static_cast<double>(static_cast<long long>(rows))) {
+    os << static_cast<long long>(rows);
+  } else {
+    os.precision(1);
+    os << std::fixed << rows;
+  }
+  return os.str();
+}
+
+std::string join_names(const std::vector<std::string>& names) {
+  std::string out;
+  for (const auto& name : names) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+void render_node(const ExplainNode& node, std::size_t depth, std::ostringstream& os) {
+  os << std::string(depth * 2, ' ') << node.label << "  (est~";
+  if (node.estimated_rows >= 0) {
+    os << format_estimate(node.estimated_rows);
+  } else {
+    os << "?";
+  }
+  os << ", actual=";
+  if (node.actual_rows >= 0) {
+    os << node.actual_rows;
+  } else {
+    os << "?";
+  }
+  os << ")\n";
+  for (const auto& child : node.children) render_node(child, depth + 1, os);
+}
+}  // namespace
+
+ExplainNode build_plan_tree(const SpjQuery& query, const PlannedQuery& planned,
+                            const std::vector<rel::Schema>& qualified_schemas,
+                            const SpjExecTrace* trace) {
+  const std::size_t n = query.from.size();
+  if (planned.join_order.size() != n || qualified_schemas.size() != n) {
+    throw common::InvalidArgument("build_plan_tree: plan/schema count mismatch");
+  }
+
+  auto scan_node = [&](std::size_t idx) {
+    ExplainNode node;
+    const TableRef& ref = query.from[idx];
+    node.label = "Scan " + ref.table;
+    if (ref.effective_alias() != ref.table) {
+      node.label += " AS " + ref.effective_alias();
+    }
+    const ExprPtr filter = planned.filter(idx);
+    if (!alg::is_always_true(filter)) {
+      node.label += " [" + filter->to_string() + "]";
+    }
+    if (idx < planned.scan_estimates.size()) {
+      node.estimated_rows = planned.scan_estimates[idx];
+    }
+    if (trace != nullptr && idx < trace->scan_rows.size()) {
+      node.actual_rows = static_cast<std::int64_t>(trace->scan_rows[idx]);
+    }
+    return node;
+  };
+
+  // Left-deep spine: same walk as evaluate_spj_over, conjuncts applied at
+  // the first join whose combined schema resolves them.
+  ExplainNode acc = scan_node(planned.join_order[0]);
+  double est = acc.estimated_rows;
+  rel::Schema combined = qualified_schemas[planned.join_order[0]];
+  std::vector<ExprPtr> pending = planned.join_conjuncts;
+  for (std::size_t step = 1; step < n; ++step) {
+    const std::size_t idx = planned.join_order[step];
+    ExplainNode right = scan_node(idx);
+    combined = combined.concat(qualified_schemas[idx]);
+    std::vector<ExprPtr> applicable;
+    std::vector<ExprPtr> still_pending;
+    for (const auto& c : pending) {
+      (c->resolves_in(combined) ? applicable : still_pending).push_back(c);
+    }
+    pending = std::move(still_pending);
+
+    ExplainNode join;
+    join.label = applicable.empty()
+                     ? "Join (cross)"
+                     : "Join [" + alg::conjoin(applicable)->to_string() + "]";
+    if (est >= 0 && right.estimated_rows >= 0) {
+      double e = est * right.estimated_rows;
+      for (const auto& c : applicable) e *= alg::estimate_selectivity(c);
+      join.estimated_rows = e;
+    }
+    if (trace != nullptr && step - 1 < trace->join_rows.size()) {
+      join.actual_rows = static_cast<std::int64_t>(trace->join_rows[step - 1]);
+    }
+    est = join.estimated_rows;
+    join.children.push_back(std::move(acc));
+    join.children.push_back(std::move(right));
+    acc = std::move(join);
+  }
+
+  if (!pending.empty()) {
+    ExplainNode filter;
+    filter.label = "Filter [" + alg::conjoin(pending)->to_string() + "]";
+    if (est >= 0) {
+      double e = est;
+      for (const auto& c : pending) e *= alg::estimate_selectivity(c);
+      filter.estimated_rows = e;
+      est = e;
+    }
+    if (trace != nullptr && trace->has_residual) {
+      filter.actual_rows = static_cast<std::int64_t>(trace->residual_rows);
+    }
+    filter.children.push_back(std::move(acc));
+    acc = std::move(filter);
+  }
+
+  // The output operator, when one materially exists: an explicit projection,
+  // the canonical SELECT-* reordering over a join, or a distinct pass.
+  if (!query.projection.empty() || n > 1 || query.distinct) {
+    ExplainNode proj;
+    if (!query.projection.empty()) {
+      proj.label = std::string(query.distinct ? "Project DISTINCT [" : "Project [") +
+                   join_names(query.projection) + "]";
+    } else if (n > 1) {
+      proj.label = query.distinct ? "Project DISTINCT *" : "Project *";
+    } else {
+      proj.label = "Distinct";
+    }
+    // Projection preserves cardinality; distinct makes it unknowable here.
+    proj.estimated_rows = query.distinct ? -1 : est;
+    if (trace != nullptr) {
+      proj.actual_rows = static_cast<std::int64_t>(trace->output_rows);
+    }
+    proj.children.push_back(std::move(acc));
+    acc = std::move(proj);
+  }
+  return acc;
+}
+
+std::string render_plan_tree(const ExplainNode& node) {
+  std::ostringstream os;
+  render_node(node, 0, os);
+  return os.str();
 }
 
 std::string PlannedQuery::to_string(const SpjQuery& query) const {

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,10 @@ struct PlannedQuery {
   /// FROM indexes in the order tables should be joined.
   std::vector<std::size_t> join_order;
 
+  /// Estimated post-filter cardinality per FROM entry (same order as
+  /// SpjQuery::from) — the numbers the greedy join ordering ranked by.
+  std::vector<double> scan_estimates;
+
   /// Filter for table i AND-combined (always_true() when none).
   [[nodiscard]] alg::ExprPtr filter(std::size_t i) const {
     return alg::conjoin(table_filters.at(i));
@@ -34,6 +39,43 @@ struct PlannedQuery {
   /// Human-readable plan, for EXPLAIN-style output.
   [[nodiscard]] std::string to_string(const SpjQuery& query) const;
 };
+
+/// One operator of the chosen plan tree, for EXPLAIN: the planner's row
+/// estimate next to the count actually observed when the plan ran.
+struct ExplainNode {
+  std::string label;
+  double estimated_rows = -1;     // < 0: no estimate available
+  std::int64_t actual_rows = -1;  // < 0: not executed
+  std::vector<ExplainNode> children;
+};
+
+/// Per-operator row counts observed while evaluate_spj_over ran a plan;
+/// indexes mirror PlannedQuery (FROM order for scans, join order for join
+/// steps). Filled when a trace pointer is passed to evaluate_spj_over.
+struct SpjExecTrace {
+  std::vector<std::size_t> input_rows;  // per FROM entry, before filters
+  std::vector<std::size_t> scan_rows;   // per FROM entry, after pushed filters
+  std::vector<std::size_t> join_rows;   // per join step (join_order[1..])
+  bool has_residual = false;            // a leftover-conjunct Filter ran
+  std::size_t residual_rows = 0;
+  std::size_t output_rows = 0;  // after projection / distinct
+  PlannedQuery plan;            // the plan actually used
+};
+
+/// Build the left-deep operator tree the planner chose: scans (with
+/// pushed-down filters) joined in plan order, topped by the projection.
+/// When `trace` is given (from an execution), actual_rows is filled from
+/// it; otherwise actual_rows stays unset (see qry::explain_query in
+/// evaluate.hpp for the end-to-end path).
+[[nodiscard]] ExplainNode build_plan_tree(const SpjQuery& query,
+                                          const PlannedQuery& planned,
+                                          const std::vector<rel::Schema>& qualified_schemas,
+                                          const SpjExecTrace* trace = nullptr);
+
+/// Render `node` and its subtree with indentation, one operator per line:
+///   Project [sym, price]  (est~12, actual=15)
+///     Join [s.sym = n.sym]  ...
+[[nodiscard]] std::string render_plan_tree(const ExplainNode& node);
 
 /// Plan `query` given the alias-qualified schema of each FROM table and an
 /// estimate of each table's current cardinality. When `samples` is

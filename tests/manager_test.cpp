@@ -169,6 +169,27 @@ TEST(CqManager, MetricsAccumulate) {
   EXPECT_GE(f.manager.metrics().get(common::metric::kTriggerChecks), 1);
 }
 
+TEST(CqManager, CountsSuppressedVersusFiredTriggerChecks) {
+  Fixture f;
+  const CqHandle h =
+      f.manager.install(f.spec("q", triggers::periodic(Duration(100))), f.sink);
+  f.db.insert("Stocks", {Value("MAC"), Value(130)});
+  EXPECT_EQ(f.manager.poll(), 0u);  // interval not elapsed: suppressed
+  EXPECT_EQ(f.manager.stats(h).trigger_checks, 1u);
+  EXPECT_EQ(f.manager.stats(h).suppressed, 1u);
+  EXPECT_EQ(f.manager.stats(h).fired, 0u);
+  EXPECT_GE(f.manager.metrics().get(common::metric::kTriggersSuppressed), 1);
+
+  auto& clock = dynamic_cast<common::VirtualClock&>(f.db.clock());
+  clock.advance(Duration(100));
+  EXPECT_EQ(f.manager.poll(), 1u);  // now it fires
+  EXPECT_EQ(f.manager.stats(h).trigger_checks, 2u);
+  EXPECT_EQ(f.manager.stats(h).suppressed, 1u);
+  EXPECT_EQ(f.manager.stats(h).fired, 1u);
+  EXPECT_EQ(f.manager.stats(h).executions, 2u);
+  EXPECT_GE(f.manager.metrics().get(common::metric::kTriggersFired), 1);
+}
+
 TEST(CqManager, LastDraStatsExposed) {
   Fixture f;
   const CqHandle h = f.manager.install(f.spec("q", triggers::manual()), nullptr);
