@@ -18,13 +18,16 @@
 #include <unistd.h>
 
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 
 #include "catalog/database.hpp"
 #include "catalog/transaction.hpp"
 #include "common/error.hpp"
+#include "common/introspect_server.hpp"
 #include "common/observability.hpp"
+#include "common/prometheus.hpp"
 #include "cq/manager.hpp"
 #include "persist/snapshot.hpp"
 #include "query/evaluate.hpp"
@@ -54,6 +57,13 @@ const char* kHelp = R"(commands:
                                       estimated vs. actual row counts
   STATS [JSON]                        engine counters, latency histograms,
                                       per-CQ statistics (JSON: one document)
+  STATS RESET                         zero counters, histograms, gauges and
+                                      per-CQ statistics
+  SERVE <port>                        start the introspection HTTP server
+                                      (/metrics /stats /healthz /trace
+                                      /events); port 0 picks one
+  EVENTS [n]                          last n journal events as NDJSON
+                                      (default 20; needs TRACE ON)
   TRACE ON | OFF | DUMP <path>        span tracing (DUMP writes a
                                       chrome://tracing JSON file)
   STALENESS <cq-name>
@@ -71,10 +81,12 @@ class Shell {
       : db_(std::make_unique<cat::Database>()),
         manager_(std::make_unique<core::CqManager>(*db_)) {}
 
-  /// Process one command line; returns false on QUIT.
+  /// Process one command line; returns false on QUIT. Serialized against
+  /// the introspection server's handlers via mu_.
   bool handle(const std::string& line) {
     const std::string trimmed = trim(line);
     if (trimmed.empty() || trimmed[0] == '#') return true;
+    const std::lock_guard<std::mutex> lock(mu_);
     try {
       return dispatch(trimmed);
     } catch (const common::Error& e) {
@@ -131,7 +143,16 @@ class Shell {
     } else if (cmd == "EXPLAIN") {
       do_explain(trim(args));
     } else if (cmd == "STATS") {
-      do_stats(upper_word(trim(args)) == "JSON");
+      const std::string verb = upper_word(trim(args));
+      if (verb == "RESET") {
+        do_stats_reset();
+      } else {
+        do_stats(verb == "JSON");
+      }
+    } else if (cmd == "SERVE") {
+      do_serve(trim(args));
+    } else if (cmd == "EVENTS") {
+      do_events(trim(args));
     } else if (cmd == "TRACE") {
       do_trace(trim(args));
     } else if (cmd == "STALENESS") {
@@ -205,6 +226,95 @@ class Shell {
                 << " row(s) delivered, last exec " << s.last_exec_ns / 1000 << " us"
                 << (s.finished ? " [finished]" : "") << "\n";
     }
+  }
+
+  void do_stats_reset() {
+    manager_->reset_stats();
+    common::obs::global().reset();
+    std::cout << "stats reset\n";
+  }
+
+  static std::uint64_t parse_count(const std::string& args, const char* what) {
+    if (args.find_first_not_of("0123456789") != std::string::npos) {
+      throw common::InvalidArgument(std::string("expected a number for ") +
+                                    what + ", got '" + args + "'");
+    }
+    try {
+      return std::stoull(args);
+    } catch (const std::exception&) {
+      throw common::InvalidArgument(std::string("expected a number for ") +
+                                    what + ", got '" + args + "'");
+    }
+  }
+
+  void do_events(const std::string& args) {
+    std::size_t n = 20;
+    if (!args.empty()) n = static_cast<std::size_t>(parse_count(args, "EVENTS"));
+    const std::string out = common::obs::global().events().to_ndjson(n);
+    if (out.empty()) {
+      std::cout << "(no events; enable the journal with TRACE ON)\n";
+    } else {
+      std::cout << out;
+    }
+  }
+
+  // SERVE <port>: expose /metrics /stats /healthz /trace /events on
+  // 127.0.0.1. Handlers run on the server thread and take mu_, so scrapes
+  // serialize with the command loop. The shell has no attached sources, so
+  // /healthz always reports ok.
+  void do_serve(const std::string& args) {
+    if (server_.running()) {
+      std::cout << "already serving on port " << server_.port() << "\n";
+      return;
+    }
+    std::uint16_t port = 0;
+    if (!args.empty()) {
+      const std::uint64_t parsed = parse_count(args, "SERVE");
+      if (parsed > 65535) {
+        throw common::InvalidArgument("port out of range: " + args);
+      }
+      port = static_cast<std::uint16_t>(parsed);
+    }
+    namespace obs = common::obs;
+    server_.route("/metrics", [this](const obs::HttpRequest&) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      db_->refresh_resource_gauges();
+      obs::HttpResponse resp;
+      resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+      resp.body = obs::render_prometheus(manager_->metrics(), obs::global(),
+                                         {manager_->prometheus_section()});
+      return resp;
+    });
+    server_.route("/stats", [this](const obs::HttpRequest&) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      return obs::HttpResponse::json(
+          obs::export_json(manager_->metrics(), obs::global().histogram_snapshot(),
+                           {manager_->stats_section()}));
+    });
+    server_.route("/healthz", [this](const obs::HttpRequest&) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      obs::JsonWriter w;
+      w.begin_object();
+      w.kv("status", "ok");
+      w.kv("active_cqs", static_cast<std::uint64_t>(manager_->active_count()));
+      w.end_object();
+      return obs::HttpResponse::json(w.str());
+    });
+    server_.route("/trace", [this](const obs::HttpRequest&) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      return obs::HttpResponse::json(obs::global().traces().to_chrome_json());
+    });
+    server_.route("/events", [this](const obs::HttpRequest& req) {
+      const std::lock_guard<std::mutex> lock(mu_);
+      obs::HttpResponse resp;
+      resp.content_type = "application/x-ndjson; charset=utf-8";
+      resp.body = obs::global().events().to_ndjson(
+          static_cast<std::size_t>(req.query_u64("n", 100)));
+      return resp;
+    });
+    server_.start(port);
+    std::cout << "serving introspection on http://127.0.0.1:" << server_.port()
+              << " (/metrics /stats /healthz /trace /events)\n";
   }
 
   void do_trace(const std::string& args) {
@@ -542,6 +652,8 @@ class Shell {
   std::unique_ptr<core::CqManager> manager_;
   std::map<std::string, core::CqHandle> handles_;
   std::map<std::string, SavedSpec> specs_;  // for RESTORE
+  std::mutex mu_;  // serializes the command loop with server handlers
+  common::obs::IntrospectServer server_;
 };
 
 }  // namespace

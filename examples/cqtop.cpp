@@ -1,0 +1,361 @@
+// cqtop — a terminal dashboard for a live continual-query engine.
+//
+// Two modes:
+//
+//   cqtop [--frames N] [--interval-ms M]
+//     Local demo: runs a mediator with two update-generating sources and a
+//     few CQs in-process and renders the engine's own registry — per-CQ
+//     execution rates, p95 latency, delta backlog, source health. This is
+//     the no-setup way to see the dashboard move.
+//
+//   cqtop <host:port> [--frames N] [--interval-ms M]
+//     Remote: polls http://host:port/metrics (a cqshell SERVE or
+//     diom::serve_introspection endpoint) and renders the Prometheus
+//     exposition — counters become rates across frames.
+//
+// On a TTY it redraws in place forever (Ctrl-C to quit); piped or with
+// --frames it emits a bounded number of frames and exits, so it is safe in
+// scripts and CI.
+#include <netdb.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "common/observability.hpp"
+#include "cq/manager.hpp"
+#include "cq/trigger.hpp"
+#include "diom/mediator.hpp"
+#include "diom/network.hpp"
+#include "diom/source.hpp"
+
+namespace {
+
+using namespace cq;
+
+struct Options {
+  std::string endpoint;      // empty = local demo
+  std::size_t frames = 0;    // 0 = forever (TTY) / 5 (non-TTY)
+  std::size_t interval_ms = 1000;
+};
+
+Options parse_args(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--frames" && i + 1 < argc) {
+      opt.frames = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (arg == "--interval-ms" && i + 1 < argc) {
+      opt.interval_ms = static_cast<std::size_t>(std::stoull(argv[++i]));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: cqtop [host:port] [--frames N] [--interval-ms M]\n";
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] != '-') {
+      opt.endpoint = arg;
+    } else {
+      std::cerr << "unknown option " << arg << "\n";
+      std::exit(2);
+    }
+  }
+  if (opt.frames == 0 && isatty(1) == 0) opt.frames = 5;  // bounded when piped
+  return opt;
+}
+
+// ------------------------------------------------------------- rendering --
+
+const char* kClear = "\x1b[2J\x1b[H";
+
+std::string fmt_rate(double per_s) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << per_s << "/s";
+  return os.str();
+}
+
+std::string bar(double fraction, std::size_t width = 20) {
+  if (fraction < 0) fraction = 0;
+  if (fraction > 1) fraction = 1;
+  const std::size_t filled = static_cast<std::size_t>(fraction * width + 0.5);
+  std::string out;
+  for (std::size_t i = 0; i < width; ++i) out += i < filled ? '#' : '.';
+  return out;
+}
+
+// ------------------------------------------------------------ local mode --
+
+/// A source that mutates itself on demand — the demo's "autonomous"
+/// producer: its own database, its own clock.
+struct DemoSource {
+  std::shared_ptr<cat::Database> db = std::make_shared<cat::Database>();
+  std::shared_ptr<diom::RelationalSource> source;
+  std::string table;
+  std::uint64_t seq = 0;
+
+  DemoSource(const std::string& name, const std::string& table_name) : table(table_name) {
+    db->create_table(table, rel::Schema({{"id", rel::ValueType::kInt},
+                                         {"load", rel::ValueType::kInt}}));
+    source = std::make_shared<diom::RelationalSource>(name, *db, table);
+  }
+
+  void churn(std::size_t frame) {
+    auto& clock = dynamic_cast<common::VirtualClock&>(db->clock());
+    clock.advance(common::Duration(1));
+    // A deterministic mix of inserts and updates keyed off the frame.
+    for (int i = 0; i < 3; ++i) {
+      db->insert(table, {rel::Value(static_cast<std::int64_t>(seq++)),
+                         rel::Value(static_cast<std::int64_t>((frame * 7 + i * 13) % 100))});
+    }
+  }
+};
+
+int run_local(const Options& opt) {
+  common::set_log_level(common::LogLevel::kWarn);  // keep the dashboard clean
+  common::obs::set_enabled(true);
+
+  diom::Network net;
+  diom::Mediator mediator("cqtop-demo", &net);
+  DemoSource routers("routers", "Routers");
+  DemoSource links("links", "Links");
+  mediator.attach(routers.source, "Routers");
+  mediator.attach(links.source, "Links");
+  mediator.set_staleness_threshold(common::Duration(10));
+
+  core::CqManager& manager = mediator.manager();
+  core::CqSpec hot = core::CqSpec::from_sql(
+      "hot_routers", "SELECT * FROM Routers WHERE load > 50",
+      core::triggers::on_change(), nullptr, core::DeliveryMode::kDifferential);
+  manager.install(std::move(hot), nullptr);
+  core::CqSpec busy = core::CqSpec::from_sql(
+      "busy_links", "SELECT * FROM Links WHERE load > 80",
+      core::triggers::on_change(), nullptr, core::DeliveryMode::kDifferential);
+  manager.install(std::move(busy), nullptr);
+
+  const bool tty = isatty(1) != 0;
+  std::map<std::string, std::uint64_t> prev_execs;
+  for (std::size_t frame = 0; opt.frames == 0 || frame < opt.frames; ++frame) {
+    routers.churn(frame);
+    links.churn(frame);
+    mediator.sync();
+    manager.poll();
+    if (frame % 8 == 7) manager.collect_garbage();
+
+    std::ostringstream out;
+    if (tty) out << kClear;
+    out << "cqtop — local demo  frame " << frame + 1 << "\n\n";
+
+    out << "CQ                 execs     rate      p95(us)   delivered\n";
+    const double secs = static_cast<double>(opt.interval_ms) / 1000.0;
+    static common::obs::Histogram& h =
+        common::obs::global().histogram(common::obs::hist::kCqExecUs);
+    for (const auto& [name, s] : manager.cq_stats()) {
+      const std::uint64_t d = s.executions - prev_execs[name];
+      prev_execs[name] = s.executions;
+      out << std::left << std::setw(18) << name << " " << std::setw(9)
+          << s.executions << " " << std::setw(9)
+          << fmt_rate(static_cast<double>(d) / secs) << " " << std::setw(9)
+          << static_cast<std::uint64_t>(h.p95()) << " " << s.rows_delivered << "\n";
+    }
+
+    out << "\nTABLE              rows      delta backlog\n";
+    const cat::Database& db = mediator.database();
+    for (const auto& t : db.table_names()) {
+      const std::size_t backlog = db.delta(t).size();
+      out << std::left << std::setw(18) << t << " " << std::setw(9)
+          << db.table(t).size() << " " << std::setw(6) << backlog << " "
+          << bar(static_cast<double>(backlog) / 64.0) << "\n";
+    }
+
+    out << "\nSOURCE             staleness  failures  health\n";
+    for (const auto& s : mediator.health()) {
+      out << std::left << std::setw(18) << s.source_name << " " << std::setw(10)
+          << s.staleness_ticks << " " << std::setw(9) << s.failures << " "
+          << (s.healthy ? "ok" : "STALE") << "\n";
+    }
+    std::cout << out.str() << std::flush;
+
+    if (opt.frames == 0 || frame + 1 < opt.frames) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(opt.interval_ms));
+    }
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------- remote mode --
+
+/// Blocking GET http://host:port/path; returns the body. Throws IoError.
+std::string http_get(const std::string& host, const std::string& port,
+                     const std::string& path) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (getaddrinfo(host.c_str(), port.c_str(), &hints, &res) != 0 || res == nullptr) {
+    throw common::IoError("cqtop: cannot resolve " + host + ":" + port);
+  }
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  freeaddrinfo(res);
+  if (fd < 0) throw common::IoError("cqtop: cannot connect to " + host + ":" + port);
+
+  const std::string req = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                          "\r\nConnection: close\r\n\r\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + off, req.size() - off, 0);
+    if (n <= 0) {
+      ::close(fd);
+      throw common::IoError("cqtop: send failed");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const auto split = raw.find("\r\n\r\n");
+  if (split == std::string::npos) throw common::IoError("cqtop: malformed response");
+  return raw.substr(split + 4);
+}
+
+/// One parsed Prometheus sample: name, sorted label text, value.
+struct Sample {
+  std::string name;
+  std::string labels;  // raw inner text: cq="watch"
+  double value = 0;
+};
+
+std::vector<Sample> parse_prometheus(const std::string& body) {
+  std::vector<Sample> out;
+  std::istringstream lines(body);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto sp = line.rfind(' ');
+    if (sp == std::string::npos) continue;
+    Sample s;
+    s.value = std::strtod(line.c_str() + sp + 1, nullptr);
+    std::string head = line.substr(0, sp);
+    const auto brace = head.find('{');
+    if (brace != std::string::npos) {
+      s.name = head.substr(0, brace);
+      const auto end = head.rfind('}');
+      s.labels = head.substr(brace + 1, end - brace - 1);
+    } else {
+      s.name = head;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+/// Value of the label `key` inside a raw label string, or "".
+std::string label_of(const std::string& labels, const std::string& key) {
+  const std::string needle = key + "=\"";
+  const auto at = labels.find(needle);
+  if (at == std::string::npos) return "";
+  const auto end = labels.find('"', at + needle.size());
+  return labels.substr(at + needle.size(), end - at - needle.size());
+}
+
+int run_remote(const Options& opt) {
+  const auto colon = opt.endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    std::cerr << "cqtop: endpoint must be host:port\n";
+    return 2;
+  }
+  const std::string host = opt.endpoint.substr(0, colon);
+  const std::string port = opt.endpoint.substr(colon + 1);
+  const bool tty = isatty(1) != 0;
+
+  std::map<std::string, double> prev;  // name{labels} -> value, for rates
+  for (std::size_t frame = 0; opt.frames == 0 || frame < opt.frames; ++frame) {
+    std::vector<Sample> samples;
+    try {
+      samples = parse_prometheus(http_get(host, port, "/metrics"));
+    } catch (const common::Error& e) {
+      std::cerr << e.what() << "\n";
+      return 1;
+    }
+
+    const double secs = static_cast<double>(opt.interval_ms) / 1000.0;
+    std::ostringstream out;
+    if (tty) out << kClear;
+    out << "cqtop — " << opt.endpoint << "  frame " << frame + 1 << "\n\n";
+
+    out << "CQ                 execs     rate      delivered\n";
+    std::map<std::string, std::pair<double, double>> cqs;  // name -> execs, delivered
+    for (const auto& s : samples) {
+      const std::string cq = label_of(s.labels, "cq");
+      if (cq.empty()) continue;
+      if (s.name == "cq_executions_total") cqs[cq].first = s.value;
+      if (s.name == "cq_rows_delivered_total") cqs[cq].second = s.value;
+    }
+    for (const auto& [name, v] : cqs) {
+      const std::string key = "exec{" + name + "}";
+      const double rate = (v.first - prev[key]) / secs;
+      prev[key] = v.first;
+      out << std::left << std::setw(18) << name << " " << std::setw(9) << v.first
+          << " " << std::setw(9) << fmt_rate(rate < 0 ? 0 : rate) << " " << v.second
+          << "\n";
+    }
+
+    out << "\nTABLE              rows      delta backlog\n";
+    std::map<std::string, std::pair<double, double>> tables;  // rows, delta rows
+    for (const auto& s : samples) {
+      const std::string t = label_of(s.labels, "table");
+      if (t.empty()) continue;
+      if (s.name == "cq_relation_rows") tables[t].first = s.value;
+      if (s.name == "cq_delta_rows") tables[t].second = s.value;
+    }
+    for (const auto& [name, v] : tables) {
+      out << std::left << std::setw(18) << name << " " << std::setw(9) << v.first
+          << " " << std::setw(6) << v.second << " " << bar(v.second / 64.0) << "\n";
+    }
+
+    out << "\nSOURCE             staleness  up\n";
+    std::map<std::string, std::pair<double, double>> sources;  // staleness, up
+    for (const auto& s : samples) {
+      const std::string src = label_of(s.labels, "source");
+      if (src.empty()) continue;
+      if (s.name == "cq_source_staleness_ticks_live") sources[src].first = s.value;
+      if (s.name == "cq_source_up") sources[src].second = s.value;
+    }
+    for (const auto& [name, v] : sources) {
+      out << std::left << std::setw(18) << name << " " << std::setw(10) << v.first
+          << " " << (v.second > 0 ? "ok" : "DOWN") << "\n";
+    }
+    std::cout << out.str() << std::flush;
+
+    if (opt.frames == 0 || frame + 1 < opt.frames) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(opt.interval_ms));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opt = parse_args(argc, argv);
+  return opt.endpoint.empty() ? run_local(opt) : run_remote(opt);
+}

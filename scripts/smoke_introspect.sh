@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# Smoke-test the introspection HTTP server end to end: start a scripted
+# cqshell with SERVE, scrape /metrics and /healthz with curl, and
+# regex-validate the Prometheus exposition (>=1 counter, >=1 gauge, a
+# histogram family with a +Inf bucket). Used by run_all.sh and CI.
+set -eu
+
+cd "$(dirname "$0")/.."
+BIN=build/examples/cqshell
+[ -x "$BIN" ] || { echo "smoke_introspect: $BIN not built" >&2; exit 1; }
+
+LOG=$(mktemp)
+PORT_FILE=$(mktemp)
+trap 'kill $FEED_PID 2>/dev/null || true; rm -f "$LOG" "$PORT_FILE"' EXIT
+
+# Keep stdin open after SERVE so the shell (and its server thread) stays
+# alive while we scrape; port 0 lets the OS pick a free port.
+(
+  printf 'TRACE ON\n'
+  printf 'CREATE TABLE Stocks (name STRING, price INT)\n'
+  printf "INSERT INTO Stocks VALUES ('DEC', 150)\n"
+  printf 'INSTALL watch TRIGGER ONCHANGE AS SELECT * FROM Stocks WHERE price > 120\n'
+  printf "INSERT INTO Stocks VALUES ('MAC', 130)\n"
+  printf 'POLL\n'
+  printf 'SERVE 0\n'
+  sleep 15
+) | "$BIN" > "$LOG" 2>&1 &
+FEED_PID=$!
+
+PORT=""
+i=0
+while [ $i -lt 100 ]; do
+  PORT=$(sed -n 's|.*serving introspection on http://127\.0\.0\.1:\([0-9]*\).*|\1|p' "$LOG" | head -n 1)
+  [ -n "$PORT" ] && break
+  i=$((i + 1))
+  sleep 0.1
+done
+if [ -z "$PORT" ]; then
+  echo "smoke_introspect: server never announced a port; log:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+echo "smoke_introspect: scraping http://127.0.0.1:$PORT"
+
+METRICS=$(curl -sf "http://127.0.0.1:$PORT/metrics")
+
+fail() {
+  echo "smoke_introspect: FAIL — $1" >&2
+  printf '%s\n' "$METRICS" | head -n 40 >&2
+  exit 1
+}
+
+printf '%s\n' "$METRICS" | grep -Eq '^# TYPE cq_[a-z0-9_]+ counter$' \
+  || fail "no counter family in /metrics"
+printf '%s\n' "$METRICS" | grep -Eq '^cq_[a-z0-9_]+_total(\{[^}]*\})? [0-9]+$' \
+  || fail "no counter sample in /metrics"
+printf '%s\n' "$METRICS" | grep -Eq '^cq_delta_rows\{table="Stocks"\} [0-9]+$' \
+  || fail "no cq_delta_rows gauge for table Stocks"
+printf '%s\n' "$METRICS" | grep -Eq '^# TYPE cq_[a-z0-9_]+ histogram$' \
+  || fail "no histogram family in /metrics"
+printf '%s\n' "$METRICS" | grep -Eq '^cq_[a-z0-9_]+_bucket\{le="\+Inf"\} [0-9]+$' \
+  || fail "no +Inf histogram bucket in /metrics"
+
+HEALTH=$(curl -sf "http://127.0.0.1:$PORT/healthz")
+printf '%s\n' "$HEALTH" | grep -q '"status":"ok"' \
+  || { echo "smoke_introspect: FAIL — /healthz not ok: $HEALTH" >&2; exit 1; }
+
+EVENTS=$(curl -sf "http://127.0.0.1:$PORT/events?n=5")
+printf '%s\n' "$EVENTS" | head -n 1 | grep -q '"kind"' \
+  || { echo "smoke_introspect: FAIL — /events returned no journal lines" >&2; exit 1; }
+
+curl -sf "http://127.0.0.1:$PORT/stats" > /dev/null \
+  || { echo "smoke_introspect: FAIL — /stats unreachable" >&2; exit 1; }
+
+echo "smoke_introspect: OK (metrics, healthz, events, stats)"

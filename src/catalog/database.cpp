@@ -52,12 +52,14 @@ const delta::DeltaRelation& Database::delta(const std::string& name) const {
 }
 
 void Table::apply_insert(rel::Tuple row) {
+  base_bytes += row.byte_size();
   base.insert(row);
   for (auto& [name, index] : indexes) index.on_insert(row);
 }
 
 rel::Tuple Table::apply_erase(rel::TupleId tid) {
   rel::Tuple old = base.erase(tid);
+  base_bytes -= old.byte_size();
   for (auto& [name, index] : indexes) index.on_erase(old);
   return old;
 }
@@ -65,8 +67,25 @@ rel::Tuple Table::apply_erase(rel::TupleId tid) {
 rel::Tuple Table::apply_update(rel::TupleId tid, std::vector<rel::Value> values) {
   rel::Tuple replacement(values, tid);
   rel::Tuple old = base.update(tid, std::move(values));
+  base_bytes += replacement.byte_size();
+  base_bytes -= old.byte_size();
   for (auto& [name, index] : indexes) index.on_update(old, replacement);
   return old;
+}
+
+void Table::publish_gauges(const std::string& name) const {
+  namespace obs = common::obs;
+  if (gauges_.rows == nullptr) {
+    const obs::Labels labels{{"table", name}};
+    gauges_.rows = &obs::global().gauge(obs::gauge::kRelationRows, labels);
+    gauges_.bytes = &obs::global().gauge(obs::gauge::kRelationBytes, labels);
+    gauges_.delta_rows = &obs::global().gauge(obs::gauge::kDeltaRows, labels);
+    gauges_.delta_bytes = &obs::global().gauge(obs::gauge::kDeltaBytes, labels);
+  }
+  gauges_.rows->set(static_cast<std::int64_t>(base.size()));
+  gauges_.bytes->set(static_cast<std::int64_t>(base_bytes));
+  gauges_.delta_rows->set(static_cast<std::int64_t>(delta.size()));
+  gauges_.delta_bytes->set(static_cast<std::int64_t>(delta.byte_size()));
 }
 
 void Database::create_index(const std::string& table, const std::string& index_name,
@@ -129,6 +148,7 @@ void Database::restore_table(const std::string& name, rel::Relation base,
   Table table(base.schema());
   table.base = std::move(base);
   table.delta = std::move(log);
+  table.base_bytes = table.base.byte_size();  // one O(n) pass at restore
   tables_.emplace(name, std::move(table));
 }
 
@@ -163,11 +183,17 @@ void Database::modify(const std::string& table, rel::TupleId tid,
 }
 
 std::size_t Database::garbage_collect() {
+  namespace obs = common::obs;
   const common::Timestamp cutoff = zones_.system_zone_start().value_or(clock_->now());
   std::size_t reclaimed = 0;
   for (auto& [name, table] : tables_) {
     reclaimed += table.delta.truncate_before(cutoff);
+    if (obs::enabled()) table.publish_gauges(name);
   }
+  obs::event(obs::Severity::kInfo, "gc_pass", "database",
+             "reclaimed " + std::to_string(reclaimed) + " delta row(s), cutoff " +
+                 cutoff.to_string(),
+             clock_->now().ticks());
   if (reclaimed > 0) {
     common::log_debug("Database GC reclaimed ", reclaimed, " delta rows (cutoff ",
                       cutoff.to_string(), ")");
@@ -181,8 +207,20 @@ std::size_t Database::delta_bytes() const noexcept {
   return total;
 }
 
+void Database::refresh_resource_gauges() const {
+  for (const auto& [name, table] : tables_) table.publish_gauges(name);
+}
+
 void Database::notify_commit(const std::vector<std::string>& tables,
                              common::Timestamp ts) {
+  if (common::obs::enabled()) {
+    // Keep the touched tables' resource gauges fresh: one O(1) publish per
+    // table per commit (sizes and byte totals are maintained incrementally).
+    for (const auto& name : tables) {
+      auto it = tables_.find(name);
+      if (it != tables_.end()) it->second.publish_gauges(name);
+    }
+  }
   if (commit_hook_) commit_hook_(tables, ts);
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/observability.hpp"
 #include "delta/delta_relation.hpp"
 #include "delta/delta_zone.hpp"
 #include "relation/index.hpp"
@@ -27,13 +28,31 @@ struct Table {
   delta::DeltaRelation delta;
   /// Indexes by name, kept in sync by the commit apply pass.
   std::map<std::string, rel::MaintainedIndex> indexes;
+  /// Wire-cost bytes of `base`, maintained by the apply_* mutations so the
+  /// resource gauges never rescan the relation.
+  std::size_t base_bytes = 0;
 
   explicit Table(rel::Schema schema) : base(schema), delta(schema) {}
 
-  // Mutations that keep base and indexes consistent (used by Transaction).
+  // Mutations that keep base, indexes, and byte accounting consistent
+  // (used by Transaction).
   void apply_insert(rel::Tuple row);
   rel::Tuple apply_erase(rel::TupleId tid);
   rel::Tuple apply_update(rel::TupleId tid, std::vector<rel::Value> values);
+
+  /// Publish this table's row/byte levels to the global observability
+  /// registry (gauge families relation_rows/relation_bytes/delta_rows/
+  /// delta_bytes, label table=`name`). Gauge refs resolve once.
+  void publish_gauges(const std::string& name) const;
+
+ private:
+  struct GaugeRefs {
+    common::obs::Gauge* rows = nullptr;
+    common::obs::Gauge* bytes = nullptr;
+    common::obs::Gauge* delta_rows = nullptr;
+    common::obs::Gauge* delta_bytes = nullptr;
+  };
+  mutable GaugeRefs gauges_;  // lazily resolved; stable for registry lifetime
 };
 
 class Database {
@@ -108,6 +127,12 @@ class Database {
 
   /// Total bytes held by all differential relations.
   [[nodiscard]] std::size_t delta_bytes() const noexcept;
+
+  /// Publish every table's resource gauges to the global observability
+  /// registry. Commits keep the gauges of the tables they touch fresh;
+  /// scrape paths call this to cover tables untouched since enabling
+  /// collection. O(#tables).
+  void refresh_resource_gauges() const;
 
   /// Hook invoked after every commit (used for eager trigger evaluation,
   /// Section 5.3 strategy 1). Receives the names of the tables the commit

@@ -1,0 +1,105 @@
+#include "common/event_log.hpp"
+
+#include "common/observability.hpp"
+
+namespace cq::common::obs {
+
+const char* to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kDebug: return "debug";
+    case Severity::kInfo: return "info";
+    case Severity::kWarn: return "warn";
+    case Severity::kError: return "error";
+  }
+  return "info";
+}
+
+EventLog::EventLog(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(std::min<std::size_t>(capacity_, 256));
+}
+
+void EventLog::record(Severity severity, std::string kind, std::string subject,
+                      std::string detail, std::int64_t logical) {
+  const std::uint64_t at = now_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  Event event{++total_, at,       logical,           severity,
+              std::move(kind),    std::move(subject), std::move(detail)};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_ % capacity_] = std::move(event);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<Event> EventLog::tail(std::size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  const std::size_t have = ring_.size();
+  const std::size_t want = std::min(n, have);
+  out.reserve(want);
+  // Chronological start of the ring: index next_ once it has wrapped.
+  const std::size_t base = have < capacity_ ? 0 : next_;
+  for (std::size_t i = have - want; i < have; ++i) {
+    out.push_back(ring_[(base + i) % have]);
+  }
+  return out;
+}
+
+std::size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::size_t EventLog::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+std::uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - ring_.size();
+}
+
+std::uint64_t EventLog::total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void EventLog::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+void EventLog::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.clear();
+  ring_.shrink_to_fit();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::string EventLog::to_ndjson(std::size_t n) const {
+  const std::vector<Event> events = tail(n);
+  std::string out;
+  for (const Event& e : events) {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("seq", e.seq);
+    w.kv("wall_ns", e.wall_ns);
+    w.kv("logical", e.logical);
+    w.kv("severity", to_string(e.severity));
+    w.kv("kind", e.kind);
+    w.kv("subject", e.subject);
+    w.kv("detail", e.detail);
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace cq::common::obs

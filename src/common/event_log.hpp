@@ -1,0 +1,74 @@
+// Structured event journal: a bounded ring of engine lifecycle events —
+// CQ installed / trigger fired / suppressed / delivered / terminated, sync
+// rounds, GC passes — each carrying a severity, a host timestamp
+// (obs::now_ns) and the engine's *logical* clock instant, so journal lines
+// correlate with commit timestamps and trace spans.
+//
+// Like the trace ring, the journal is mutex-guarded (the introspection
+// HTTP server reads it from its own thread) and bounded: when full, the
+// oldest events rotate out and are counted in dropped(). Producers guard
+// on obs::enabled() — a disabled engine performs no journal writes.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cq::common::obs {
+
+enum class Severity : std::uint8_t { kDebug = 0, kInfo, kWarn, kError };
+
+[[nodiscard]] const char* to_string(Severity s) noexcept;
+
+/// One journal entry. `kind` is a stable machine-readable tag
+/// ("cq_installed", "sync_round", ...); `subject` names the entity (CQ
+/// name, source name); `detail` is free-form human text.
+struct Event {
+  std::uint64_t seq = 0;       // 1-based, process-lifetime ordinal
+  std::uint64_t wall_ns = 0;   // obs::now_ns() at record time
+  std::int64_t logical = 0;    // engine logical-clock ticks
+  Severity severity = Severity::kInfo;
+  std::string kind;
+  std::string subject;
+  std::string detail;
+};
+
+class EventLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit EventLog(std::size_t capacity = kDefaultCapacity);
+
+  /// Append one event; assigns seq and wall_ns. Thread-safe.
+  void record(Severity severity, std::string kind, std::string subject,
+              std::string detail, std::int64_t logical = 0);
+
+  /// The newest `n` events, oldest first (all events when n >= size).
+  [[nodiscard]] std::vector<Event> tail(std::size_t n) const;
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const;
+  /// Events rotated out because the ring was full.
+  [[nodiscard]] std::uint64_t dropped() const;
+  /// Events ever recorded.
+  [[nodiscard]] std::uint64_t total() const;
+
+  void clear();
+  /// Resize the ring; drops collected events.
+  void set_capacity(std::size_t capacity);
+
+  /// Newest `n` events as NDJSON — one JSON object per line:
+  ///   {"seq":1,"wall_ns":...,"logical":...,"severity":"info",
+  ///    "kind":"cq_installed","subject":"watch","detail":"..."}
+  [[nodiscard]] std::string to_ndjson(std::size_t n) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Event> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;      // ring index of the next write
+  std::uint64_t total_ = 0;   // events ever recorded
+};
+
+}  // namespace cq::common::obs

@@ -1,0 +1,208 @@
+#include "common/introspect_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace cq::common::obs {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 16 * 1024;
+constexpr int kIoTimeoutMs = 5000;
+
+const char* reason_phrase(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+    default: return "Internal Server Error";
+  }
+}
+
+/// Blocking full write with a poll guard; best-effort (the peer may close).
+void write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    pollfd pfd{fd, POLLOUT, 0};
+    if (::poll(&pfd, 1, kIoTimeoutMs) <= 0) return;
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::uint64_t HttpRequest::query_u64(const std::string& key,
+                                     std::uint64_t fallback) const {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key) {
+      const std::string v = pair.substr(eq + 1);
+      if (!v.empty() && v.find_first_not_of("0123456789") == std::string::npos) {
+        return std::stoull(v);
+      }
+      return fallback;
+    }
+    pos = amp + 1;
+  }
+  return fallback;
+}
+
+HttpResponse HttpResponse::text(std::string body, int status) {
+  return {status, "text/plain; charset=utf-8", std::move(body)};
+}
+
+HttpResponse HttpResponse::json(std::string body, int status) {
+  return {status, "application/json", std::move(body)};
+}
+
+IntrospectServer::~IntrospectServer() { stop(); }
+
+void IntrospectServer::route(std::string path, Handler handler) {
+  routes_[std::move(path)] = std::move(handler);
+}
+
+void IntrospectServer::start(std::uint16_t port) {
+  if (running_.load()) throw InvalidArgument("IntrospectServer: already running");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw IoError("IntrospectServer: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("IntrospectServer: bind to port " + std::to_string(port) +
+                  " failed: " + err);
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("IntrospectServer: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::pipe(stop_pipe_) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw IoError("IntrospectServer: pipe() failed");
+  }
+
+  running_.store(true);
+  thread_ = std::thread([this] { serve_loop(); });
+  log_info("introspection server listening on http://127.0.0.1:", port_, "/");
+}
+
+void IntrospectServer::stop() {
+  if (!running_.exchange(false)) return;
+  // Wake the poll loop.
+  const char byte = 'q';
+  [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+  if (thread_.joinable()) thread_.join();
+  ::close(stop_pipe_[0]);
+  ::close(stop_pipe_[1]);
+  stop_pipe_[0] = stop_pipe_[1] = -1;
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void IntrospectServer::serve_loop() {
+  while (running_.load()) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int ready = ::poll(fds, 2, -1);
+    if (ready <= 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & POLLIN) != 0 || !running_.load()) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int conn = ::accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    handle_connection(conn);
+    ::close(conn);
+  }
+}
+
+void IntrospectServer::handle_connection(int fd) {
+  // Read until the end of the header block (we never accept bodies).
+  std::string raw;
+  while (raw.size() < kMaxRequestBytes && raw.find("\r\n\r\n") == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, kIoTimeoutMs) <= 0) return;
+    char buf[2048];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) return;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+
+  HttpRequest req;
+  HttpResponse resp;
+  const std::size_t line_end = raw.find("\r\n");
+  const std::string line = raw.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    resp = HttpResponse::text("malformed request line\n", 400);
+  } else {
+    req.method = line.substr(0, sp1);
+    std::string target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const std::size_t qmark = target.find('?');
+    if (qmark != std::string::npos) {
+      req.query = target.substr(qmark + 1);
+      target.resize(qmark);
+    }
+    req.path = target;
+
+    if (req.method != "GET" && req.method != "HEAD") {
+      resp = HttpResponse::text("only GET is supported\n", 405);
+    } else if (auto it = routes_.find(req.path); it != routes_.end()) {
+      try {
+        resp = it->second(req);
+      } catch (const std::exception& e) {
+        resp = HttpResponse::text(std::string("handler error: ") + e.what() + "\n", 500);
+      }
+    } else if (req.path == "/") {
+      std::string index = "cq introspection endpoints:\n";
+      for (const auto& [path, h] : routes_) index += "  " + path + "\n";
+      resp = HttpResponse::text(std::move(index));
+    } else {
+      resp = HttpResponse::text("no such endpoint: " + req.path + "\n", 404);
+    }
+  }
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    reason_phrase(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  if (req.method != "HEAD") out += resp.body;
+  write_all(fd, out);
+}
+
+}  // namespace cq::common::obs

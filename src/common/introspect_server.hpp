@@ -1,0 +1,91 @@
+// A tiny dependency-free HTTP/1.1 server for live introspection: POSIX
+// sockets, one background thread running a single-threaded accept loop,
+// one request per connection (Connection: close). Deliberately minimal —
+// enough for curl, Prometheus scrapes, and the cqtop dashboard, not a
+// general web server.
+//
+// Usage:
+//   obs::IntrospectServer server;
+//   server.route("/metrics", [&](const obs::HttpRequest&) {
+//     return obs::HttpResponse::text(render_prometheus(...));
+//   });
+//   server.start(9090);      // port 0 picks an ephemeral port
+//   ... server.port() ...
+//   server.stop();           // also runs at destruction
+//
+// Handlers run on the server thread: wire handlers that touch engine
+// state through a mutex shared with the engine loop (see
+// diom::serve_introspection and cqshell SERVE).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+namespace cq::common::obs {
+
+struct HttpRequest {
+  std::string method;  // "GET", "HEAD", ...
+  std::string path;    // "/metrics" (query string stripped)
+  std::string query;   // "n=100" (no leading '?')
+
+  /// Integer query parameter `key`, or `fallback` when absent/malformed.
+  [[nodiscard]] std::uint64_t query_u64(const std::string& key,
+                                        std::uint64_t fallback) const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  [[nodiscard]] static HttpResponse text(std::string body, int status = 200);
+  [[nodiscard]] static HttpResponse json(std::string body, int status = 200);
+};
+
+class IntrospectServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  IntrospectServer() = default;
+  ~IntrospectServer();
+
+  IntrospectServer(const IntrospectServer&) = delete;
+  IntrospectServer& operator=(const IntrospectServer&) = delete;
+
+  /// Register the handler for an exact path. Must be called before
+  /// start(). Unrouted paths answer 404; "/" answers with a plain-text
+  /// index of the routed paths.
+  void route(std::string path, Handler handler);
+
+  /// Bind 127.0.0.1:`port` (0 = ephemeral) and serve on a background
+  /// thread. Throws common::IoError on socket/bind failure.
+  void start(std::uint16_t port);
+
+  /// Stop the loop and join the thread. Idempotent.
+  void stop();
+
+  [[nodiscard]] bool running() const noexcept { return running_.load(); }
+  /// The bound port (useful after start(0)).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept {
+    return requests_.load();
+  }
+
+ private:
+  void serve_loop();
+  void handle_connection(int fd);
+
+  std::map<std::string, Handler> routes_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};  // self-pipe: stop() wakes the poll loop
+};
+
+}  // namespace cq::common::obs

@@ -205,11 +205,36 @@ std::map<std::string, Histogram> Registry::histogram_snapshot() const {
   return histograms_;
 }
 
+Gauge& Registry::gauge(const std::string& name, Labels labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[{name, std::move(labels)}];
+}
+
+std::vector<GaugeSample> Registry::gauge_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GaugeSample> out;
+  out.reserve(gauges_.size());
+  for (const auto& [key, g] : gauges_) {
+    out.push_back({key.first, key.second, g.get()});
+  }
+  return out;
+}
+
 void Registry::reset() {
   metrics_.reset();
   traces_.clear();
+  events_.clear();
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, h] : histograms_) h.reset();
+  for (auto& [key, g] : gauges_) g.set(0);
+}
+
+void refresh_registry_gauges() {
+  Registry& r = global();
+  r.gauge(gauge::kTraceRingEvents).set(static_cast<std::int64_t>(r.traces().size()));
+  r.gauge(gauge::kTraceRingDropped).set(static_cast<std::int64_t>(r.traces().dropped()));
+  r.gauge(gauge::kEventLogEvents).set(static_cast<std::int64_t>(r.events().size()));
+  r.gauge(gauge::kEventLogDropped).set(static_cast<std::int64_t>(r.events().dropped()));
 }
 
 Registry& global() noexcept {

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/event_log.hpp"
 #include "common/metrics.hpp"
 
 namespace cq::common::obs {
@@ -67,6 +68,10 @@ class Histogram {
 
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  /// Raw count of bucket b (samples with bit_width == b).
+  [[nodiscard]] std::uint64_t bucket(std::size_t b) const noexcept {
+    return b < kBuckets ? buckets_[b] : 0;
+  }
   [[nodiscard]] std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
   [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
   [[nodiscard]] double mean() const noexcept {
@@ -92,6 +97,50 @@ class Histogram {
   std::uint64_t min_ = 0;
   std::uint64_t max_ = 0;
 };
+
+// ----------------------------------------------------------------- gauge --
+
+/// A value that can go up and down: resource levels (relation rows/bytes,
+/// delta backlog, queue depths, staleness). Atomic so the introspection
+/// HTTP server can read gauges from its own thread while the engine
+/// updates them.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) noexcept { value_.fetch_add(d, std::memory_order_relaxed); }
+  void sub(std::int64_t d) noexcept { value_.fetch_sub(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t get() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Prometheus-style label set: (key, value) pairs, e.g. {{"table","Stocks"}}.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// One gauge reading, for export.
+struct GaugeSample {
+  std::string name;
+  Labels labels;
+  std::int64_t value = 0;
+};
+
+/// Well-known gauge family names (labels in parentheses).
+namespace gauge {
+inline constexpr const char* kRelationRows = "relation_rows";      // (table)
+inline constexpr const char* kRelationBytes = "relation_bytes";    // (table)
+inline constexpr const char* kDeltaRows = "delta_rows";            // (table)
+inline constexpr const char* kDeltaBytes = "delta_bytes";          // (table)
+inline constexpr const char* kActiveCqs = "active_cqs";
+inline constexpr const char* kTraceRingEvents = "trace_ring_events";
+inline constexpr const char* kTraceRingDropped = "trace_ring_dropped";
+inline constexpr const char* kEventLogEvents = "event_log_events";
+inline constexpr const char* kEventLogDropped = "event_log_dropped";
+inline constexpr const char* kSourceStalenessTicks = "source_staleness_ticks";  // (source)
+inline constexpr const char* kSourcePendingRows = "source_pending_rows";        // (source)
+}  // namespace gauge
 
 // ----------------------------------------------------------------- trace --
 
@@ -188,14 +237,28 @@ class Registry {
   /// concurrently).
   [[nodiscard]] std::map<std::string, Histogram> histogram_snapshot() const;
 
-  /// Zero counters and histograms, drop trace events.
+  /// The gauge for (family, labels), created at zero on first use. Like
+  /// histogram(), the reference stays valid for the registry's lifetime —
+  /// hot paths resolve once and keep the pointer.
+  [[nodiscard]] Gauge& gauge(const std::string& name, Labels labels = {});
+
+  /// Every gauge reading, sorted by (name, labels).
+  [[nodiscard]] std::vector<GaugeSample> gauge_snapshot() const;
+
+  /// The structured event journal (see event_log.hpp).
+  [[nodiscard]] EventLog& events() noexcept { return events_; }
+  [[nodiscard]] const EventLog& events() const noexcept { return events_; }
+
+  /// Zero counters, histograms and gauges; drop trace and journal events.
   void reset();
 
  private:
   Metrics metrics_;
   TraceCollector traces_;
+  EventLog events_;
   mutable std::mutex mu_;
   std::map<std::string, Histogram> histograms_;
+  std::map<std::pair<std::string, Labels>, Gauge> gauges_;
 };
 
 [[nodiscard]] Registry& global() noexcept;
@@ -209,6 +272,20 @@ inline constexpr const char* kGcUs = "gc_us";
 inline constexpr const char* kSyncUs = "sync_us";
 inline constexpr const char* kNetTransferUs = "net_transfer_us";  // simulated
 }  // namespace hist
+
+/// Append one event to the global journal — a no-op when collection is
+/// disabled, so lifecycle call sites need no guard of their own. `logical`
+/// is the engine's logical-clock instant (ticks).
+inline void event(Severity severity, std::string kind, std::string subject,
+                  std::string detail = "", std::int64_t logical = 0) {
+  if (!enabled()) return;  // "disabled is free": no journal writes
+  global().events().record(severity, std::move(kind), std::move(subject),
+                           std::move(detail), logical);
+}
+
+/// Refresh the registry's self-describing gauges (trace-ring occupancy and
+/// drops, journal occupancy and drops). Called before each export/scrape.
+void refresh_registry_gauges();
 
 // ------------------------------------------------------------------ JSON --
 

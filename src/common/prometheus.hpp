@@ -1,0 +1,81 @@
+// Prometheus text exposition (format version 0.0.4) for the observability
+// registry: counters, gauges and log2 latency histograms rendered as
+// `name{label="value"} 123` sample lines with `# TYPE` headers, the
+// document a Prometheus server (or promtool) scrapes from the /metrics
+// endpoint of the introspection HTTP server.
+//
+// Conventions: every family is prefixed "cq_"; counters get the
+// "_total" suffix; histograms render cumulative `_bucket{le="..."}` lines
+// at the log2 bucket upper bounds (1, 3, 7, ..., 2^k-1, "+Inf") plus
+// `_sum` and `_count`. Family lines are grouped and sorted, as the format
+// requires.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/observability.hpp"
+
+namespace cq::common::obs {
+
+/// Accumulates sample lines grouped by metric family; str() renders the
+/// final exposition. Samples of one family may be added in any order and
+/// interleaved with other families — grouping happens at render time.
+class PromWriter {
+ public:
+  /// Add one counter sample. `family` is the raw name ("rows_scanned");
+  /// the rendered family is cq_<family>_total.
+  void counter(const std::string& family, std::int64_t value, const Labels& labels = {});
+
+  /// Add one gauge sample, rendered as cq_<family>.
+  void gauge(const std::string& family, std::int64_t value, const Labels& labels = {});
+
+  /// Add one histogram (all of its _bucket/_sum/_count lines), rendered
+  /// under family cq_<family>.
+  void histogram(const std::string& family, const Histogram& h, const Labels& labels = {});
+
+  /// The complete exposition: families sorted by name, each preceded by
+  /// its `# TYPE` line, terminated by a trailing newline.
+  [[nodiscard]] std::string str() const;
+
+  /// Clamp `raw` to the metric-name alphabet [a-zA-Z0-9_:]; invalid
+  /// characters become '_', and a leading digit gains a '_' prefix.
+  [[nodiscard]] static std::string sanitize_name(const std::string& raw);
+
+  /// Escape a label value: backslash, double quote and newline.
+  [[nodiscard]] static std::string escape_label_value(const std::string& v);
+
+ private:
+  struct Family {
+    std::string type;
+    std::vector<std::string> lines;
+  };
+
+  Family& family(const std::string& name, const char* type);
+  static void append_sample(Family& fam, const std::string& name, const Labels& labels,
+                            const std::string& value);
+
+  std::map<std::string, Family> families_;
+};
+
+/// Render an exposition from explicit parts (no registry access): the
+/// counter bag, gauge readings, and histogram families, plus any
+/// caller-supplied sections.
+[[nodiscard]] std::string render_prometheus(
+    const Metrics& counters, const std::vector<GaugeSample>& gauges,
+    const std::map<std::string, Histogram>& histograms,
+    const std::vector<std::function<void(PromWriter&)>>& sections = {});
+
+/// Render the standard engine document from `registry`: refreshes the
+/// registry's self-describing gauges, then renders `counters` (the
+/// caller's merged Metrics bags), every registry gauge and histogram, and
+/// any caller sections (per-CQ counters from the manager, per-source
+/// gauges from the mediator).
+[[nodiscard]] std::string render_prometheus(
+    const Metrics& counters, Registry& registry,
+    const std::vector<std::function<void(PromWriter&)>>& sections = {});
+
+}  // namespace cq::common::obs

@@ -27,6 +27,11 @@ obs::Histogram& cq_exec_histogram() {
   return h;
 }
 
+obs::Gauge& active_cq_gauge() {
+  static obs::Gauge& g = obs::global().gauge(obs::gauge::kActiveCqs);
+  return g;
+}
+
 }  // namespace
 
 CqManager::CqManager(cat::Database& db) : db_(db) {}
@@ -64,9 +69,13 @@ CqHandle CqManager::install(CqSpec spec, std::shared_ptr<ResultSink> sink) {
 
   common::log_info("installed CQ '", entry.query->name(), "' trigger=",
                    entry.query->spec().trigger->describe());
+  obs::event(obs::Severity::kInfo, "cq_installed", entry.query->name(),
+             "trigger=" + entry.query->spec().trigger->describe(),
+             db_.clock().now().ticks());
 
   const CqHandle handle = next_handle_++;
   entries_.emplace(handle, std::move(entry));
+  active_cq_gauge().set(static_cast<std::int64_t>(entries_.size()));
   return handle;
 }
 
@@ -89,6 +98,7 @@ CqHandle CqManager::install_restored(CqSpec spec, std::shared_ptr<ResultSink> si
 
   const CqHandle handle = next_handle_++;
   entries_.emplace(handle, std::move(entry));
+  active_cq_gauge().set(static_cast<std::int64_t>(entries_.size()));
   return handle;
 }
 
@@ -97,18 +107,24 @@ void CqManager::remove(CqHandle handle) {
   if (it == entries_.end()) {
     throw common::NotFound("CqManager: unknown handle " + std::to_string(handle));
   }
+  obs::event(obs::Severity::kInfo, "cq_terminated", it->second.query->name(),
+             "removed", db_.clock().now().ticks());
   stats_of(it->second).finished = true;
   db_.zones().unregister(it->second.zone_id);
   entries_.erase(it);
+  active_cq_gauge().set(static_cast<std::int64_t>(entries_.size()));
 }
 
 void CqManager::finish(CqHandle handle) {
   auto it = entries_.find(handle);
   if (it == entries_.end()) return;
   common::log_info("CQ '", it->second.query->name(), "' reached its Stop condition");
+  obs::event(obs::Severity::kInfo, "cq_terminated", it->second.query->name(),
+             "stop condition reached", db_.clock().now().ticks());
   stats_of(it->second).finished = true;
   db_.zones().unregister(it->second.zone_id);
   entries_.erase(it);
+  active_cq_gauge().set(static_cast<std::int64_t>(entries_.size()));
 }
 
 void CqManager::record_check(const Entry& entry, bool fired) {
@@ -117,9 +133,17 @@ void CqManager::record_check(const Entry& entry, bool fired) {
   if (fired) {
     ++s.fired;
     metrics_.add(common::metric::kTriggersFired, 1);
+    if (obs::enabled()) {
+      obs::event(obs::Severity::kInfo, "trigger_fired", entry.query->name(), "",
+                 db_.clock().now().ticks());
+    }
   } else {
     ++s.suppressed;
     metrics_.add(common::metric::kTriggersSuppressed, 1);
+    if (obs::enabled()) {
+      obs::event(obs::Severity::kDebug, "trigger_suppressed", entry.query->name(), "",
+                 db_.clock().now().ticks());
+    }
   }
 }
 
@@ -138,7 +162,12 @@ void CqManager::run(CqHandle handle, Entry& entry) {
   s.delta_rows_consumed += stats.delta_rows_read;
   s.rows_delivered += rows_delivered(note);
   s.last_execution = entry.query->last_execution();
-  if (obs::enabled()) cq_exec_histogram().record(elapsed / 1000);
+  if (obs::enabled()) {
+    cq_exec_histogram().record(elapsed / 1000);
+    obs::event(obs::Severity::kInfo, "cq_delivered", entry.query->name(),
+               std::to_string(rows_delivered(note)) + " row(s)",
+               entry.query->last_execution().ticks());
+  }
 
   db_.zones().advance(entry.zone_id, entry.query->last_execution());
   if (entry.sink) entry.sink->on_result(note);
@@ -238,7 +267,12 @@ Notification CqManager::execute_now(CqHandle handle) {
   s.delta_rows_consumed += stats.delta_rows_read;
   s.rows_delivered += rows_delivered(note);
   s.last_execution = entry.query->last_execution();
-  if (obs::enabled()) cq_exec_histogram().record(elapsed / 1000);
+  if (obs::enabled()) {
+    cq_exec_histogram().record(elapsed / 1000);
+    obs::event(obs::Severity::kInfo, "cq_delivered", entry.query->name(),
+               std::to_string(rows_delivered(note)) + " row(s)",
+               entry.query->last_execution().ticks());
+  }
 
   db_.zones().advance(entry.zone_id, entry.query->last_execution());
   if (entry.sink) entry.sink->on_result(note);
@@ -304,6 +338,43 @@ void CqManager::write_stats_json(common::obs::JsonWriter& w) const {
 
 common::obs::Section CqManager::stats_section() const {
   return {"cqs", [this](common::obs::JsonWriter& w) { write_stats_json(w); }};
+}
+
+void CqManager::write_prometheus(common::obs::PromWriter& w) const {
+  // active_cqs itself lives in the registry (maintained at install/remove),
+  // so it is not re-emitted here — one sample per (name, labels).
+  for (const auto& [name, s] : stats_) {
+    const obs::Labels labels{{"cq", name}};
+    w.counter("executions", static_cast<std::int64_t>(s.executions), labels);
+    w.counter("trigger_checks", static_cast<std::int64_t>(s.trigger_checks), labels);
+    w.counter("triggers_fired", static_cast<std::int64_t>(s.fired), labels);
+    w.counter("triggers_suppressed", static_cast<std::int64_t>(s.suppressed), labels);
+    w.counter("delta_rows_consumed", static_cast<std::int64_t>(s.delta_rows_consumed),
+              labels);
+    w.counter("rows_delivered", static_cast<std::int64_t>(s.rows_delivered), labels);
+    w.counter("exec_time_us", static_cast<std::int64_t>(s.total_exec_ns / 1000), labels);
+  }
+}
+
+std::function<void(common::obs::PromWriter&)> CqManager::prometheus_section() const {
+  return [this](common::obs::PromWriter& w) { write_prometheus(w); };
+}
+
+void CqManager::reset_stats() {
+  metrics_.reset();
+  last_stats_ = DraStats{};
+  // Zero in place: stats(handle) relies on every installed CQ keeping its
+  // record, and the name/finished fields describe identity, not work.
+  for (auto& [name, s] : stats_) {
+    s.executions = 0;
+    s.trigger_checks = 0;
+    s.fired = 0;
+    s.suppressed = 0;
+    s.delta_rows_consumed = 0;
+    s.rows_delivered = 0;
+    s.last_exec_ns = 0;
+    s.total_exec_ns = 0;
+  }
 }
 
 }  // namespace cq::core

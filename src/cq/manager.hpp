@@ -14,6 +14,7 @@
 #include "catalog/database.hpp"
 #include "common/metrics.hpp"
 #include "common/observability.hpp"
+#include "common/prometheus.hpp"
 #include "cq/continual_query.hpp"
 
 namespace cq::core {
@@ -109,6 +110,19 @@ class CqManager {
 
   /// The registry packaged for observability::export_json (key "cqs").
   [[nodiscard]] common::obs::Section stats_section() const;
+
+  /// Emit per-CQ counters (executions, fired, suppressed, delta rows
+  /// consumed, rows delivered — label cq="name") and the active-CQ gauge
+  /// into a Prometheus exposition.
+  void write_prometheus(common::obs::PromWriter& w) const;
+
+  /// write_prometheus packaged for render_prometheus's section list.
+  [[nodiscard]] std::function<void(common::obs::PromWriter&)> prometheus_section() const;
+
+  /// Zero the work counters and every per-CQ stats record (executions,
+  /// checks, timings) so an interactive measurement window starts from a
+  /// clean slate. Installed CQs stay installed; name/finished survive.
+  void reset_stats();
 
  private:
   struct Entry {

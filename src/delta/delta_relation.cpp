@@ -55,6 +55,7 @@ void DeltaRelation::append(DeltaRow row) {
         "DeltaRelation: timestamps must be non-decreasing (got " + row.ts.to_string() +
         " after " + rows_.back().ts.to_string() + ")");
   }
+  bytes_ += row.byte_size();
   rows_.push_back(std::move(row));
 }
 
@@ -170,20 +171,18 @@ std::size_t DeltaRelation::truncate_before(Timestamp before) {
       rows_.begin(), rows_.end(), before,
       [](const DeltaRow& r, Timestamp t) { return r.ts <= t; });
   const std::size_t dropped = static_cast<std::size_t>(keep_from - rows_.begin());
+  for (auto it = rows_.begin(); it != keep_from; ++it) bytes_ -= it->byte_size();
   rows_.erase(rows_.begin(), keep_from);
   return dropped;
 }
 
-std::size_t DeltaRelation::byte_size() const noexcept {
-  std::size_t total = 0;
-  for (const auto& row : rows_) {
-    total += 16;  // tid + ts
-    if (row.old_values) {
-      for (const auto& v : *row.old_values) total += v.byte_size();
-    }
-    if (row.new_values) {
-      for (const auto& v : *row.new_values) total += v.byte_size();
-    }
+std::size_t DeltaRow::byte_size() const noexcept {
+  std::size_t total = 16;  // tid + ts
+  if (old_values) {
+    for (const auto& v : *old_values) total += v.byte_size();
+  }
+  if (new_values) {
+    for (const auto& v : *new_values) total += v.byte_size();
   }
   return total;
 }

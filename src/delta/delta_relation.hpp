@@ -42,6 +42,9 @@ struct DeltaRow {
     if (!new_values) return ChangeKind::kDelete;
     return ChangeKind::kModify;
   }
+
+  /// Serialized size under the wire cost model (tid + ts + both halves).
+  [[nodiscard]] std::size_t byte_size() const noexcept;
 };
 
 class DeltaRelation {
@@ -104,8 +107,10 @@ class DeltaRelation {
   /// Drop every row with ts <= `before`. Returns how many rows were dropped.
   std::size_t truncate_before(common::Timestamp before);
 
-  /// Approximate memory footprint in bytes (wire cost model).
-  [[nodiscard]] std::size_t byte_size() const noexcept;
+  /// Approximate memory footprint in bytes (wire cost model). O(1):
+  /// maintained incrementally by append/truncate_before, so resource
+  /// gauges and Database::delta_bytes never rescan the log.
+  [[nodiscard]] std::size_t byte_size() const noexcept { return bytes_; }
 
   [[nodiscard]] std::string to_string(std::size_t max_rows = 50) const;
 
@@ -115,6 +120,7 @@ class DeltaRelation {
   rel::Schema base_schema_;
   rel::Schema wide_schema_;
   std::vector<DeltaRow> rows_;  // ts-ordered
+  std::size_t bytes_ = 0;       // sum of rows_[i].byte_size()
 };
 
 }  // namespace cq::delta

@@ -1,0 +1,107 @@
+#include "diom/introspect.hpp"
+
+#include "common/observability.hpp"
+#include "common/prometheus.hpp"
+
+namespace cq::diom {
+
+namespace obs = cq::common::obs;
+
+namespace {
+
+/// Lock `mu` when provided; handlers must not touch engine state unlocked.
+class MaybeLock {
+ public:
+  explicit MaybeLock(std::mutex* mu) : mu_(mu) {
+    if (mu_ != nullptr) mu_->lock();
+  }
+  ~MaybeLock() {
+    if (mu_ != nullptr) mu_->unlock();
+  }
+  MaybeLock(const MaybeLock&) = delete;
+  MaybeLock& operator=(const MaybeLock&) = delete;
+
+ private:
+  std::mutex* mu_;
+};
+
+obs::HttpResponse metrics_handler(Mediator& mediator, std::mutex* mu) {
+  MaybeLock lock(mu);
+  mediator.database().refresh_resource_gauges();
+  std::string body = obs::render_prometheus(
+      mediator.manager().metrics(), obs::global(),
+      {mediator.manager().prometheus_section(), mediator.prometheus_section()});
+  obs::HttpResponse resp;
+  resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  resp.body = std::move(body);
+  return resp;
+}
+
+obs::HttpResponse stats_handler(Mediator& mediator, std::mutex* mu) {
+  MaybeLock lock(mu);
+  return obs::HttpResponse::json(obs::export_json(
+      mediator.manager().metrics(), obs::global().histogram_snapshot(),
+      {mediator.manager().stats_section(), mediator.stats_section()}));
+}
+
+obs::HttpResponse healthz_handler(Mediator& mediator, std::mutex* mu) {
+  MaybeLock lock(mu);
+  const std::vector<Mediator::SourceHealth> health = mediator.health();
+  bool ok = true;
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("sources").begin_array();
+  for (const auto& h : health) {
+    ok = ok && h.healthy;
+    w.begin_object();
+    w.kv("source", h.source_name);
+    w.kv("local_table", h.local_table);
+    w.kv("staleness_ticks", h.staleness_ticks);
+    w.kv("failures", h.failures);
+    w.kv("healthy", h.healthy);
+    if (!h.error.empty()) w.kv("error", h.error);
+    w.end_object();
+  }
+  w.end_array();
+  w.kv("staleness_threshold_ticks", mediator.staleness_threshold().ticks());
+  w.kv("status", ok ? "ok" : "stale");
+  w.end_object();
+  return obs::HttpResponse::json(w.str(), ok ? 200 : 503);
+}
+
+obs::HttpResponse events_handler(const obs::HttpRequest& req, std::mutex* mu) {
+  MaybeLock lock(mu);
+  const std::uint64_t n = req.query_u64("n", 100);
+  obs::HttpResponse resp;
+  resp.content_type = "application/x-ndjson; charset=utf-8";
+  resp.body = obs::global().events().to_ndjson(static_cast<std::size_t>(n));
+  return resp;
+}
+
+obs::HttpResponse trace_handler(std::mutex* mu) {
+  MaybeLock lock(mu);
+  return obs::HttpResponse::json(obs::global().traces().to_chrome_json());
+}
+
+}  // namespace
+
+void serve_introspection(common::obs::IntrospectServer& server, Mediator& mediator,
+                         std::mutex* engine_mu) {
+  server.route("/metrics", [&mediator, engine_mu](const obs::HttpRequest&) {
+    return metrics_handler(mediator, engine_mu);
+  });
+  server.route("/stats", [&mediator, engine_mu](const obs::HttpRequest&) {
+    return stats_handler(mediator, engine_mu);
+  });
+  server.route("/healthz", [&mediator, engine_mu](const obs::HttpRequest&) {
+    return healthz_handler(mediator, engine_mu);
+  });
+  server.route("/events", [engine_mu](const obs::HttpRequest& req) {
+    return events_handler(req, engine_mu);
+  });
+  server.route("/trace", [engine_mu](const obs::HttpRequest&) {
+    return trace_handler(engine_mu);
+  });
+}
+
+}  // namespace cq::diom

@@ -1,0 +1,26 @@
+// Wires a mediator (mirror database + CQ manager + attached sources) to
+// the introspection HTTP server: /metrics (Prometheus text exposition),
+// /stats (the JSON stats document), /healthz (per-source staleness,
+// 200/503), /trace (chrome://tracing JSON) and /events (NDJSON journal
+// tail, ?n=<count>).
+//
+// Handlers run on the server's background thread while the engine runs on
+// the caller's; pass the mutex your engine loop holds so scrapes serialize
+// with engine work. A null mutex is fine for single-threaded tests that
+// only scrape while the engine is idle.
+#pragma once
+
+#include <mutex>
+
+#include "common/introspect_server.hpp"
+#include "diom/mediator.hpp"
+
+namespace cq::diom {
+
+/// Register the standard endpoint set on `server` (route() only; the
+/// caller decides when to start()). `mediator` and `engine_mu` must
+/// outlive the server.
+void serve_introspection(common::obs::IntrospectServer& server, Mediator& mediator,
+                         std::mutex* engine_mu = nullptr);
+
+}  // namespace cq::diom

@@ -80,11 +80,14 @@ void Mediator::attach(std::shared_ptr<InformationSource> source,
   attached.stats.local_table = attached.local_table;
   attached.stats.snapshot_bytes = payload.size();
   attached.stats.bytes_shipped = payload.size();
+  manager_.metrics().add(common::metric::kBytesSent,
+                         static_cast<std::int64_t>(payload.size()));
   if (network_ != nullptr) {
     attached.stats.total_transfer_ms =
         network_->send(attached.source->name(), client_, payload.size());
     attached.stats.last_transfer_ms = attached.stats.total_transfer_ms;
     ++attached.stats.messages;
+    manager_.metrics().add(common::metric::kMessagesSent, 1);
   }
   const rel::Relation received = decode_relation(payload, snapshot.schema());
 
@@ -99,6 +102,10 @@ void Mediator::attach(std::shared_ptr<InformationSource> source,
   common::log_info("mediator '", client_, "' attached source '",
                    attached.source->name(), "' as table '", attached.local_table, "' (",
                    received.size(), " rows)");
+  obs::event(obs::Severity::kInfo, "source_attached", attached.source->name(),
+             std::to_string(received.size()) + " snapshot row(s) as table '" +
+                 attached.local_table + "'",
+             attached.cursor.ticks());
   sources_.push_back(std::move(attached));
 }
 
@@ -150,6 +157,7 @@ Mediator::SyncReport Mediator::sync_report() {
   metrics.add(common::metric::kSyncRounds, 1);
   for (auto& attached : sources_) {
     ++attached.stats.rounds;
+    std::size_t pulled = 0;  // rows pulled this round, for the pending gauge
     try {
       // Read the source clock *before* pulling, so nothing committed between
       // the pull and the cursor update can be skipped, and only advance the
@@ -158,14 +166,18 @@ Mediator::SyncReport Mediator::sync_report() {
       const common::Timestamp up_to = attached.source->now();
       const std::vector<delta::DeltaRow> rows =
           attached.source->pull_deltas(attached.cursor);
+      pulled = rows.size();
       if (!rows.empty()) {
         const Bytes payload = encode_deltas(rows);
+        metrics.add(common::metric::kBytesSent,
+                    static_cast<std::int64_t>(payload.size()));
         if (network_ != nullptr) {
           const double ms =
               network_->send(attached.source->name(), client_, payload.size());
           attached.stats.last_transfer_ms = ms;
           attached.stats.total_transfer_ms += ms;
           ++attached.stats.messages;
+          metrics.add(common::metric::kMessagesSent, 1);
           report.transfer_ms += ms;
         }
         const std::vector<delta::DeltaRow> received =
@@ -177,20 +189,105 @@ Mediator::SyncReport Mediator::sync_report() {
         attached.stats.rows_applied += received.size();
       }
       attached.cursor = up_to;
+      publish_source_gauges(attached, 0, 0);
     } catch (const common::Error& e) {
       common::log_warn("mediator '", client_, "': sync of source '",
                        attached.source->name(), "' failed: ", e.what());
       report.failures.emplace_back(attached.source->name(), e.what());
       ++attached.stats.failures;
       metrics.add(common::metric::kSyncFailures, 1);
+      obs::event(obs::Severity::kWarn, "sync_failure", attached.source->name(),
+                 e.what(), attached.cursor.ticks());
+      // The cursor did not advance; report the live lag and whatever we
+      // pulled but could not apply.
+      std::int64_t staleness = 0;
+      try {
+        staleness = (attached.source->now() - attached.cursor).ticks();
+      } catch (const common::Error&) {
+        staleness = -1;  // source clock unreachable
+      }
+      publish_source_gauges(attached, staleness, static_cast<std::int64_t>(pulled));
     }
   }
   metrics.add(common::metric::kSyncRowsApplied,
               static_cast<std::int64_t>(report.rows_applied));
   report.wall_ns = obs::now_ns() - round_t0;
+  if (obs::enabled()) {
+    obs::event(report.failures.empty() ? obs::Severity::kInfo : obs::Severity::kWarn,
+               "sync_round", client_,
+               std::to_string(report.rows_applied) + " row(s), " +
+                   std::to_string(report.bytes_shipped) + " byte(s), " +
+                   std::to_string(report.failures.size()) + " failure(s)",
+               static_cast<std::int64_t>(report.round));
+  }
   history_.push_back(report);
   if (history_.size() > kSyncHistoryLimit) history_.pop_front();
   return report;
+}
+
+void Mediator::publish_source_gauges(Attached& attached, std::int64_t staleness,
+                                     std::int64_t pending) {
+  if (!obs::enabled()) return;
+  if (attached.staleness_gauge == nullptr) {
+    const obs::Labels labels{{"source", attached.source->name()}};
+    attached.staleness_gauge =
+        &obs::global().gauge(obs::gauge::kSourceStalenessTicks, labels);
+    attached.pending_gauge =
+        &obs::global().gauge(obs::gauge::kSourcePendingRows, labels);
+  }
+  attached.staleness_gauge->set(staleness);
+  attached.pending_gauge->set(pending);
+}
+
+std::vector<Mediator::SourceHealth> Mediator::health() const {
+  std::vector<SourceHealth> out;
+  out.reserve(sources_.size());
+  for (const auto& attached : sources_) {
+    SourceHealth h;
+    h.source_name = attached.source->name();
+    h.local_table = attached.local_table;
+    h.failures = attached.stats.failures;
+    try {
+      h.staleness_ticks = (attached.source->now() - attached.cursor).ticks();
+      h.healthy = staleness_threshold_.ticks() <= 0 ||
+                  h.staleness_ticks <= staleness_threshold_.ticks();
+    } catch (const common::Error& e) {
+      h.healthy = false;
+      h.staleness_ticks = -1;
+      h.error = e.what();
+    }
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+bool Mediator::healthy() const {
+  for (const auto& h : health()) {
+    if (!h.healthy) return false;
+  }
+  return true;
+}
+
+void Mediator::write_prometheus(common::obs::PromWriter& w) const {
+  for (const auto& h : health()) {
+    const obs::Labels labels{{"source", h.source_name}};
+    w.gauge("source_up", h.healthy ? 1 : 0, labels);
+    w.gauge("source_staleness_ticks_live", h.staleness_ticks, labels);
+  }
+  for (const auto& attached : sources_) {
+    const SourceStats& s = attached.stats;
+    const obs::Labels labels{{"source", s.source_name}};
+    w.counter("source_sync_rounds", static_cast<std::int64_t>(s.rounds), labels);
+    w.counter("source_sync_failures", static_cast<std::int64_t>(s.failures), labels);
+    w.counter("source_messages", static_cast<std::int64_t>(s.messages), labels);
+    w.counter("source_bytes_shipped", static_cast<std::int64_t>(s.bytes_shipped),
+              labels);
+    w.counter("source_rows_applied", static_cast<std::int64_t>(s.rows_applied), labels);
+  }
+}
+
+std::function<void(common::obs::PromWriter&)> Mediator::prometheus_section() const {
+  return [this](common::obs::PromWriter& w) { write_prometheus(w); };
 }
 
 std::vector<Mediator::SourceStats> Mediator::source_stats() const {

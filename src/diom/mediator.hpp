@@ -15,6 +15,7 @@
 
 #include "catalog/database.hpp"
 #include "common/observability.hpp"
+#include "common/prometheus.hpp"
 #include "cq/manager.hpp"
 #include "diom/network.hpp"
 #include "diom/source.hpp"
@@ -93,6 +94,45 @@ class Mediator {
   /// export_json (key "sync").
   [[nodiscard]] common::obs::Section stats_section() const;
 
+  // ---- health & introspection ----
+
+  /// Liveness of one attached source, computed on demand: how far its
+  /// mirror cursor lags the source clock, and whether that lag is within
+  /// the staleness threshold. A source whose clock cannot even be read is
+  /// unhealthy with `error` set.
+  struct SourceHealth {
+    std::string source_name;
+    std::string local_table;
+    std::int64_t staleness_ticks = 0;  // source->now() - cursor
+    std::uint64_t failures = 0;        // cumulative failed sync rounds
+    bool healthy = true;
+    std::string error;  // set when the source could not be probed
+  };
+
+  /// Probe every attached source (never throws; failures mark the source
+  /// unhealthy instead).
+  [[nodiscard]] std::vector<SourceHealth> health() const;
+
+  /// True when every attached source is healthy. A mediator with no
+  /// sources is vacuously healthy.
+  [[nodiscard]] bool healthy() const;
+
+  /// Maximum cursor lag (in clock ticks) a source may accumulate before
+  /// health() declares it unhealthy. Zero (the default) disables the
+  /// check: only unreachable sources are then unhealthy.
+  void set_staleness_threshold(common::Duration d) noexcept { staleness_threshold_ = d; }
+  [[nodiscard]] common::Duration staleness_threshold() const noexcept {
+    return staleness_threshold_;
+  }
+
+  /// Emit per-source sync counters (rounds, failures, messages, bytes,
+  /// rows — label source="name") and per-source health gauges into a
+  /// Prometheus exposition.
+  void write_prometheus(common::obs::PromWriter& w) const;
+
+  /// write_prometheus packaged for render_prometheus's section list.
+  [[nodiscard]] std::function<void(common::obs::PromWriter&)> prometheus_section() const;
+
   /// For cost comparisons (bench E4): ship a fresh full snapshot from every
   /// source without touching the mirror; returns total bytes moved. This is
   /// what a client-side *complete* re-evaluation strategy would pay.
@@ -134,9 +174,17 @@ class Mediator {
     /// source tid -> mirror tid (sources are autonomous; tids can collide).
     std::unordered_map<rel::TupleId::rep, rel::TupleId> tid_map;
     SourceStats stats;
+    /// Registry gauges (label source="name"), lazily resolved; pointers are
+    /// stable for the registry's lifetime.
+    common::obs::Gauge* staleness_gauge = nullptr;
+    common::obs::Gauge* pending_gauge = nullptr;
   };
 
   void apply_deltas(Attached& attached, const std::vector<delta::DeltaRow>& rows);
+  /// Publish one source's staleness/pending gauges (no-op when collection
+  /// is disabled).
+  static void publish_source_gauges(Attached& attached, std::int64_t staleness,
+                                    std::int64_t pending);
 
   std::string client_;
   Network* network_;
@@ -145,6 +193,7 @@ class Mediator {
   std::vector<Attached> sources_;
   std::deque<SyncReport> history_;
   std::uint64_t sync_rounds_ = 0;
+  common::Duration staleness_threshold_{0};
 };
 
 }  // namespace cq::diom

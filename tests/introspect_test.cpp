@@ -1,0 +1,503 @@
+// Tests for the live-introspection subsystem: gauges and their resource
+// accounting, the structured event journal, Prometheus text exposition
+// (escaping, histogram bucket shape), the introspection HTTP server, and
+// mediator health (/healthz semantics).
+#include "diom/introspect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "catalog/database.hpp"
+#include "catalog/transaction.hpp"
+#include "common/error.hpp"
+#include "common/event_log.hpp"
+#include "common/introspect_server.hpp"
+#include "common/observability.hpp"
+#include "common/prometheus.hpp"
+#include "cq/manager.hpp"
+#include "cq/trigger.hpp"
+#include "diom/mediator.hpp"
+#include "diom/source.hpp"
+#include "query/parser.hpp"
+
+namespace cq {
+namespace {
+
+namespace obs = common::obs;
+using rel::Value;
+using rel::ValueType;
+
+/// Enables collection for the duration of a test and resets the global
+/// registry on both sides, so tests do not see each other's samples.
+class IntrospectScope : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::global().reset();
+    obs::set_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::global().reset();
+  }
+};
+
+// ------------------------------------------------------------------ gauge --
+
+TEST(Gauge, SetAddSubGet) {
+  obs::Gauge g;
+  EXPECT_EQ(g.get(), 0);
+  g.set(10);
+  g.add(5);
+  g.sub(3);
+  EXPECT_EQ(g.get(), 12);
+  g.set(-4);
+  EXPECT_EQ(g.get(), -4);
+}
+
+TEST_F(IntrospectScope, RegistryGaugeIsStableAndKeyedByLabels) {
+  obs::Gauge& a = obs::global().gauge("delta_rows", {{"table", "A"}});
+  obs::Gauge& b = obs::global().gauge("delta_rows", {{"table", "B"}});
+  EXPECT_NE(&a, &b);
+  // Same (name, labels) resolves to the same gauge.
+  EXPECT_EQ(&a, &obs::global().gauge("delta_rows", {{"table", "A"}}));
+  a.set(7);
+  b.set(9);
+
+  const auto snapshot = obs::global().gauge_snapshot();
+  std::map<std::string, std::int64_t> by_label;
+  for (const auto& s : snapshot) {
+    if (s.name == "delta_rows") by_label[s.labels.at(0).second] = s.value;
+  }
+  EXPECT_EQ(by_label.at("A"), 7);
+  EXPECT_EQ(by_label.at("B"), 9);
+}
+
+TEST_F(IntrospectScope, RegistryResetZeroesGaugesAndClearsJournal) {
+  obs::global().gauge("delta_rows").set(42);
+  obs::event(obs::Severity::kInfo, "test", "x");
+  ASSERT_EQ(obs::global().events().size(), 1u);
+  obs::global().reset();
+  EXPECT_EQ(obs::global().gauge("delta_rows").get(), 0);
+  EXPECT_EQ(obs::global().events().size(), 0u);
+}
+
+// ---------------------------------------------- resource gauge accounting --
+
+cat::Database make_db() {
+  cat::Database db;
+  db.create_table("T", rel::Schema({{"id", ValueType::kInt}, {"s", ValueType::kString}}));
+  return db;
+}
+
+std::int64_t gauge_value(const std::string& name, const std::string& table) {
+  for (const auto& s : obs::global().gauge_snapshot()) {
+    if (s.name == name && !s.labels.empty() && s.labels[0].second == table) {
+      return s.value;
+    }
+  }
+  return -1;
+}
+
+TEST_F(IntrospectScope, GaugesFollowInsertsDeletesAndGc) {
+  cat::Database db = make_db();
+  const auto t1 = db.insert("T", {Value(std::int64_t{1}), Value(std::string("a"))});
+  db.insert("T", {Value(std::int64_t{2}), Value(std::string("bb"))});
+
+  EXPECT_EQ(gauge_value("relation_rows", "T"), 2);
+  EXPECT_EQ(gauge_value("delta_rows", "T"), 2);
+  const std::int64_t bytes_2 = gauge_value("relation_bytes", "T");
+  EXPECT_GT(bytes_2, 0);
+  EXPECT_EQ(bytes_2, static_cast<std::int64_t>(db.table("T").byte_size()));
+  EXPECT_EQ(gauge_value("delta_bytes", "T"),
+            static_cast<std::int64_t>(db.delta("T").byte_size()));
+
+  db.erase("T", t1);
+  EXPECT_EQ(gauge_value("relation_rows", "T"), 1);
+  EXPECT_EQ(gauge_value("delta_rows", "T"), 3);  // the delete is a delta row
+  EXPECT_LT(gauge_value("relation_bytes", "T"), bytes_2);
+  EXPECT_EQ(gauge_value("relation_bytes", "T"),
+            static_cast<std::int64_t>(db.table("T").byte_size()));
+
+  // GC with no registered CQ reclaims the whole log and republishes.
+  db.garbage_collect();
+  EXPECT_EQ(gauge_value("delta_rows", "T"), 0);
+  EXPECT_EQ(gauge_value("delta_bytes", "T"), 0);
+  EXPECT_EQ(gauge_value("relation_rows", "T"), 1);
+}
+
+TEST_F(IntrospectScope, RefreshCoversTablesUntouchedSinceEnabling) {
+  obs::set_enabled(false);
+  // A table name no other test publishes: gauges must be absent (or stale
+  // zero from a registry reset) until refresh_resource_gauges runs.
+  cat::Database db;
+  db.create_table("Untouched", rel::Schema({{"id", ValueType::kInt}}));
+  db.insert("Untouched", {Value(std::int64_t{1})});
+  obs::set_enabled(true);
+  // Nothing published yet — the insert committed while disabled.
+  EXPECT_LE(gauge_value("relation_rows", "Untouched"), 0);
+  db.refresh_resource_gauges();
+  EXPECT_EQ(gauge_value("relation_rows", "Untouched"), 1);
+  EXPECT_EQ(gauge_value("delta_rows", "Untouched"), 1);
+}
+
+TEST(DeltaBytes, IncrementalMatchesRecount) {
+  // byte_size() is maintained incrementally; it must equal a fresh scan
+  // after appends and truncation, with collection disabled throughout.
+  cat::Database db = make_db();
+  for (int i = 0; i < 10; ++i) {
+    db.insert("T", {Value(std::int64_t{i}), Value(std::string(i, 'x'))});
+  }
+  const delta::DeltaRelation& d = db.delta("T");
+  std::size_t recount = 0;
+  for (const auto& row : d.rows()) recount += row.byte_size();
+  EXPECT_EQ(d.byte_size(), recount);
+  db.garbage_collect();
+  EXPECT_EQ(d.byte_size(), 0u);
+}
+
+// -------------------------------------------------------------- event log --
+
+TEST(EventLog, RecordTailAndRotation) {
+  obs::EventLog log;
+  log.set_capacity(4);
+  for (int i = 0; i < 6; ++i) {
+    log.record(obs::Severity::kInfo, "kind", "subject", "detail " + std::to_string(i),
+               i);
+  }
+  EXPECT_EQ(log.size(), 4u);
+  EXPECT_EQ(log.total(), 6u);
+  EXPECT_EQ(log.dropped(), 2u);
+  const auto tail = log.tail(2);
+  ASSERT_EQ(tail.size(), 2u);
+  // Newest last; the oldest two rotated out.
+  EXPECT_EQ(tail[0].detail, "detail 4");
+  EXPECT_EQ(tail[1].detail, "detail 5");
+  EXPECT_EQ(tail[1].seq, 6u);
+  log.clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(EventLog, NdjsonOneValidObjectPerLine) {
+  obs::EventLog log;
+  log.record(obs::Severity::kWarn, "sync_failure", "src\"quoted\"", "line1\nline2", 3);
+  log.record(obs::Severity::kError, "x", "y", "", 4);
+  const std::string nd = log.to_ndjson(10);
+  std::istringstream lines(nd);
+  std::string line;
+  std::size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"severity\""), std::string::npos);
+    // Raw newlines must have been escaped — each record is one line.
+    EXPECT_EQ(line.find('\n'), std::string::npos);
+  }
+  EXPECT_EQ(n, 2u);
+  EXPECT_NE(nd.find("sync_failure"), std::string::npos);
+  EXPECT_NE(nd.find("\\\"quoted\\\""), std::string::npos);
+}
+
+TEST_F(IntrospectScope, EventHelperIsGatedOnEnabled) {
+  obs::set_enabled(false);
+  obs::event(obs::Severity::kInfo, "k", "s");
+  EXPECT_EQ(obs::global().events().size(), 0u);
+  obs::set_enabled(true);
+  obs::event(obs::Severity::kInfo, "k", "s");
+  EXPECT_EQ(obs::global().events().size(), 1u);
+}
+
+// -------------------------------------------------------------- prometheus --
+
+TEST(PromWriter, SanitizeNameAndEscapeLabelValue) {
+  EXPECT_EQ(obs::PromWriter::sanitize_name("rows_scanned"), "rows_scanned");
+  EXPECT_EQ(obs::PromWriter::sanitize_name("bad-name.with space"),
+            "bad_name_with_space");
+  EXPECT_EQ(obs::PromWriter::sanitize_name("9lives"), "_9lives");
+  EXPECT_EQ(obs::PromWriter::escape_label_value("plain"), "plain");
+  EXPECT_EQ(obs::PromWriter::escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+TEST(PromWriter, CounterGaugeRendering) {
+  obs::PromWriter w;
+  w.counter("rows_scanned", 5);
+  w.gauge("delta_rows", 3, {{"table", "T"}});
+  const std::string out = w.str();
+  EXPECT_NE(out.find("# TYPE cq_rows_scanned_total counter"), std::string::npos);
+  EXPECT_NE(out.find("cq_rows_scanned_total 5"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE cq_delta_rows gauge"), std::string::npos);
+  EXPECT_NE(out.find("cq_delta_rows{table=\"T\"} 3"), std::string::npos);
+}
+
+TEST(PromWriter, HistogramBucketsAreCumulativeAndEndAtCount) {
+  obs::Histogram h;
+  h.record(1);
+  h.record(5);
+  h.record(5);
+  h.record(100);
+  obs::PromWriter w;
+  w.histogram("lat_us", h);
+  const std::string out = w.str();
+
+  // Parse every _bucket line; they must be non-decreasing and finish with
+  // +Inf == _count.
+  std::istringstream lines(out);
+  std::string line;
+  std::uint64_t prev = 0;
+  std::uint64_t inf = 0;
+  std::size_t buckets = 0;
+  bool saw_inf = false;
+  while (std::getline(lines, line)) {
+    if (line.rfind("cq_lat_us_bucket", 0) != 0) continue;
+    ++buckets;
+    const std::uint64_t v = std::stoull(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(v, prev) << line;
+    prev = v;
+    if (line.find("le=\"+Inf\"") != std::string::npos) {
+      saw_inf = true;
+      inf = v;
+    }
+  }
+  EXPECT_GE(buckets, 3u);
+  EXPECT_TRUE(saw_inf);
+  EXPECT_EQ(inf, h.count());
+  EXPECT_NE(out.find("cq_lat_us_sum 111"), std::string::npos);
+  EXPECT_NE(out.find("cq_lat_us_count 4"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE cq_lat_us histogram"), std::string::npos);
+}
+
+TEST_F(IntrospectScope, RenderPrometheusHasCounterGaugeAndHistogram) {
+  common::Metrics m;
+  m.add(common::metric::kRowsScanned, 7);
+  obs::global().gauge("delta_rows", {{"table", "T"}}).set(2);
+  obs::global().histogram("cq_exec_us").record(10);
+  const std::string out = obs::render_prometheus(m, obs::global());
+  EXPECT_NE(out.find("cq_rows_scanned_total 7"), std::string::npos);
+  EXPECT_NE(out.find("cq_delta_rows{table=\"T\"} 2"), std::string::npos);
+  EXPECT_NE(out.find("cq_cq_exec_us_bucket"), std::string::npos);
+  // The registry's self-describing gauges were refreshed into the render.
+  EXPECT_NE(out.find("cq_event_log_events"), std::string::npos);
+  EXPECT_NE(out.find("cq_trace_ring_events"), std::string::npos);
+}
+
+// ------------------------------------------------------------- per-CQ stats --
+
+core::CqSpec watch_spec(const std::string& name) {
+  return core::CqSpec::from_sql(name, "SELECT * FROM T WHERE id > 0",
+                                core::triggers::on_change(), nullptr,
+                                core::DeliveryMode::kDifferential);
+}
+
+TEST_F(IntrospectScope, ManagerPrometheusSectionAndResetStats) {
+  cat::Database db = make_db();
+  core::CqManager manager(db);
+  manager.install(watch_spec("watch"), nullptr);
+  db.insert("T", {Value(std::int64_t{1}), Value(std::string("a"))});
+  manager.poll();
+
+  obs::PromWriter w;
+  manager.write_prometheus(w);
+  const std::string out = w.str();
+  EXPECT_NE(out.find("cq_executions_total{cq=\"watch\"} 2"), std::string::npos);
+  EXPECT_NE(out.find("cq_rows_delivered_total{cq=\"watch\"}"), std::string::npos);
+
+  // The registry active-CQ gauge tracks install/remove.
+  EXPECT_EQ(obs::global().gauge("active_cqs").get(), 1);
+
+  manager.reset_stats();
+  EXPECT_EQ(manager.metrics().get(common::metric::kTriggersFired), 0);
+  const auto& s = manager.cq_stats().at("watch");
+  EXPECT_EQ(s.executions, 0u);
+  EXPECT_EQ(s.rows_delivered, 0u);
+  EXPECT_FALSE(s.finished);
+  // stats(handle) still resolves after a reset.
+  for (const auto h : manager.handles()) EXPECT_EQ(manager.stats(h).executions, 0u);
+}
+
+TEST_F(IntrospectScope, LifecycleEventsLandInJournal) {
+  cat::Database db = make_db();
+  core::CqManager manager(db);
+  const auto h = manager.install(watch_spec("watch"), nullptr);
+  db.insert("T", {Value(std::int64_t{1}), Value(std::string("a"))});
+  manager.poll();
+  manager.remove(h);
+
+  std::map<std::string, int> kinds;
+  for (const auto& e : obs::global().events().tail(100)) ++kinds[e.kind];
+  EXPECT_EQ(kinds["cq_installed"], 1);
+  EXPECT_EQ(kinds["trigger_fired"], 1);
+  EXPECT_EQ(kinds["cq_delivered"], 1);
+  EXPECT_EQ(kinds["cq_terminated"], 1);
+  EXPECT_EQ(obs::global().gauge("active_cqs").get(), 0);
+}
+
+// ------------------------------------------------------------ HTTP server --
+
+/// Minimal loopback HTTP GET for exercising the server.
+std::string raw_get(std::uint16_t port, const std::string& target,
+                    int* status_out = nullptr) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  const std::string req =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (status_out != nullptr && raw.size() > 12) {
+    *status_out = std::stoi(raw.substr(9, 3));
+  }
+  const auto split = raw.find("\r\n\r\n");
+  return split == std::string::npos ? "" : raw.substr(split + 4);
+}
+
+TEST(IntrospectServer, ServesRoutesAndErrors) {
+  obs::IntrospectServer server;
+  server.route("/ping", [](const obs::HttpRequest& req) {
+    return obs::HttpResponse::text("pong n=" + std::to_string(req.query_u64("n", 7)));
+  });
+  server.start(0);  // ephemeral port
+  ASSERT_TRUE(server.running());
+  ASSERT_GT(server.port(), 0);
+
+  int status = 0;
+  EXPECT_EQ(raw_get(server.port(), "/ping", &status), "pong n=7");
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(raw_get(server.port(), "/ping?n=42", &status), "pong n=42");
+  raw_get(server.port(), "/nope", &status);
+  EXPECT_EQ(status, 404);
+  const std::string index = raw_get(server.port(), "/", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(index.find("/ping"), std::string::npos);
+  EXPECT_GE(server.requests_served(), 4u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+  server.stop();  // idempotent
+}
+
+// --------------------------------------------------------- mediator health --
+
+/// A source whose pulls always fail — the autonomous-source failure mode.
+class FailingSource final : public diom::InformationSource {
+ public:
+  FailingSource(std::string name, const cat::Database& db, std::string table)
+      : inner_(std::move(name), db, table), table_(std::move(table)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept override {
+    return inner_.name();
+  }
+  [[nodiscard]] const rel::Schema& schema() const override { return inner_.schema(); }
+  [[nodiscard]] rel::Relation snapshot() const override { return inner_.snapshot(); }
+  [[nodiscard]] std::vector<delta::DeltaRow> pull_deltas(
+      common::Timestamp /*since*/) const override {
+    throw common::IoError("source offline");
+  }
+  [[nodiscard]] common::Timestamp now() const override { return inner_.now(); }
+
+ private:
+  diom::RelationalSource inner_;
+  std::string table_;
+};
+
+TEST_F(IntrospectScope, HealthzFlipsTo503OnStaleness) {
+  cat::Database source_db;
+  source_db.create_table("S", rel::Schema({{"id", ValueType::kInt}}));
+  auto source = std::make_shared<diom::RelationalSource>("src", source_db, "S");
+
+  diom::Mediator mediator("client");
+  mediator.attach(source, "S");
+  mediator.set_staleness_threshold(common::Duration(5));
+  ASSERT_TRUE(mediator.healthy());
+
+  obs::IntrospectServer server;
+  diom::serve_introspection(server, mediator);
+  server.start(0);
+
+  int status = 0;
+  std::string body = raw_get(server.port(), "/healthz", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"status\":\"ok\""), std::string::npos);
+
+  // The source moves on; the mediator does not sync. Past the threshold the
+  // endpoint must flip to 503.
+  auto& clock = dynamic_cast<common::VirtualClock&>(source_db.clock());
+  clock.advance(common::Duration(20));
+  EXPECT_FALSE(mediator.healthy());
+  body = raw_get(server.port(), "/healthz", &status);
+  EXPECT_EQ(status, 503);
+  EXPECT_NE(body.find("\"status\":\"stale\""), std::string::npos);
+  EXPECT_NE(body.find("\"staleness_ticks\":20"), std::string::npos);
+
+  // A sync catches up and health recovers.
+  mediator.sync();
+  body = raw_get(server.port(), "/healthz", &status);
+  EXPECT_EQ(status, 200);
+
+  // /metrics from the same wiring: counters, gauges, histogram families.
+  body = raw_get(server.port(), "/metrics", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("cq_source_up{source=\"src\"} 1"), std::string::npos);
+  EXPECT_NE(body.find("cq_relation_rows{table=\"S\"}"), std::string::npos);
+  EXPECT_NE(body.find("_total"), std::string::npos);
+  server.stop();
+}
+
+TEST_F(IntrospectScope, FailingSourceIsReportedAndPendingGaugesPublish) {
+  cat::Database source_db;
+  source_db.create_table("S", rel::Schema({{"id", ValueType::kInt}}));
+  auto source = std::make_shared<FailingSource>("flaky", source_db, "S");
+
+  diom::Mediator mediator("client");
+  mediator.attach(source, "S");
+  source_db.insert("S", {Value(std::int64_t{1})});
+
+  const auto report = mediator.sync_report();
+  ASSERT_EQ(report.failures.size(), 1u);
+  EXPECT_EQ(report.failures[0].first, "flaky");
+
+  const auto health = mediator.health();
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_EQ(health[0].failures, 1u);
+  // No staleness threshold set: a reachable-but-failing source is still
+  // "healthy" by the staleness rule, but its failure count and the
+  // sync_failure journal entry surface the problem.
+  bool saw_failure_event = false;
+  for (const auto& e : obs::global().events().tail(50)) {
+    saw_failure_event = saw_failure_event || e.kind == "sync_failure";
+  }
+  EXPECT_TRUE(saw_failure_event);
+
+  // The staleness gauge reflects the stuck cursor.
+  bool found = false;
+  for (const auto& s : obs::global().gauge_snapshot()) {
+    if (s.name == "source_staleness_ticks" && !s.labels.empty() &&
+        s.labels[0].second == "flaky") {
+      found = true;
+      EXPECT_GE(s.value, 1);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace cq
