@@ -18,7 +18,6 @@
 #include <unistd.h>
 
 #include <iostream>
-#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -26,6 +25,7 @@
 #include "catalog/transaction.hpp"
 #include "common/error.hpp"
 #include "common/introspect_server.hpp"
+#include "common/sync.hpp"
 #include "common/observability.hpp"
 #include "common/prometheus.hpp"
 #include "cq/manager.hpp"
@@ -86,7 +86,7 @@ class Shell {
   bool handle(const std::string& line) {
     const std::string trimmed = trim(line);
     if (trimmed.empty() || trimmed[0] == '#') return true;
-    const std::lock_guard<std::mutex> lock(mu_);
+    const common::LockGuard lock(mu_);
     try {
       return dispatch(trimmed);
     } catch (const common::Error& e) {
@@ -277,7 +277,7 @@ class Shell {
     }
     namespace obs = common::obs;
     server_.route("/metrics", [this](const obs::HttpRequest&) {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const common::LockGuard lock(mu_);
       db_->refresh_resource_gauges();
       obs::HttpResponse resp;
       resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
@@ -286,13 +286,13 @@ class Shell {
       return resp;
     });
     server_.route("/stats", [this](const obs::HttpRequest&) {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const common::LockGuard lock(mu_);
       return obs::HttpResponse::json(
           obs::export_json(manager_->metrics(), obs::global().histogram_snapshot(),
                            {manager_->stats_section()}));
     });
     server_.route("/healthz", [this](const obs::HttpRequest&) {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const common::LockGuard lock(mu_);
       obs::JsonWriter w;
       w.begin_object();
       w.kv("status", "ok");
@@ -301,11 +301,11 @@ class Shell {
       return obs::HttpResponse::json(w.str());
     });
     server_.route("/trace", [this](const obs::HttpRequest&) {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const common::LockGuard lock(mu_);
       return obs::HttpResponse::json(obs::global().traces().to_chrome_json());
     });
     server_.route("/events", [this](const obs::HttpRequest& req) {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const common::LockGuard lock(mu_);
       obs::HttpResponse resp;
       resp.content_type = "application/x-ndjson; charset=utf-8";
       resp.body = obs::global().events().to_ndjson(
@@ -652,7 +652,7 @@ class Shell {
   std::unique_ptr<core::CqManager> manager_;
   std::map<std::string, core::CqHandle> handles_;
   std::map<std::string, SavedSpec> specs_;  // for RESTORE
-  std::mutex mu_;  // serializes the command loop with server handlers
+  common::Mutex mu_;  // serializes the command loop with server handlers
   common::obs::IntrospectServer server_;
 };
 

@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""Repository invariant linter — the rules the compiler cannot enforce.
+
+Rules (scoped to src/ and examples/ unless noted):
+
+  raw-mutex       No raw std::mutex / std::lock_guard / std::unique_lock /
+                  std::scoped_lock outside src/common/sync.hpp. Lock state
+                  must use the annotated cq::common::Mutex / LockGuard so
+                  Clang's thread-safety analysis sees every acquisition.
+                  (tests/ may use raw primitives to *construct* race
+                  scenarios; the library may not.)
+
+  string-counter  No string-keyed Metrics::add("...") calls in library or
+                  example code. Hot-path counters must use the interned
+                  metric::Id table (common/metrics.hpp) so producers and
+                  consumers agree on spelling and the add is O(1).
+
+  pragma-once     Every header (src/, tests/, examples/, bench/) starts its
+                  include-guard life with #pragma once.
+
+  iostream        Library code (src/) neither includes <iostream> nor
+                  writes to std::cout/cerr/clog — logging goes through
+                  cq::log (common/logging.hpp), whose implementation file
+                  is the single sanctioned exception. Examples and tests
+                  are programs and may print.
+
+Usage:
+  scripts/lint_invariants.py             lint the tree; exit 0 clean, 1 dirty
+  scripts/lint_invariants.py --self-test seed violations, assert detection
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+RAW_MUTEX_RE = re.compile(
+    r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|lock_guard|"
+    r"unique_lock|scoped_lock|shared_lock)\b"
+)
+STRING_COUNTER_RE = re.compile(r"\.add\(\s*\"")
+IOSTREAM_RE = re.compile(r"#include\s*<iostream>|std::(cout|cerr|clog)\b")
+COMMENT_RE = re.compile(r"^\s*(//|\*|/\*)")
+
+RAW_MUTEX_ALLOWED = {"src/common/sync.hpp"}
+IOSTREAM_ALLOWED = {"src/common/logging.cpp"}
+
+
+def strip_line_comment(line: str) -> str:
+    """Cut a trailing // comment (good enough: no multiline strings here)."""
+    idx = line.find("//")
+    return line if idx < 0 else line[:idx]
+
+
+def lint_tree(repo: Path) -> list[str]:
+    errors: list[str] = []
+
+    def rel(p: Path) -> str:
+        return p.relative_to(repo).as_posix()
+
+    def iter_files(*roots: str, suffixes: tuple[str, ...]) -> list[Path]:
+        out: list[Path] = []
+        for root in roots:
+            base = repo / root
+            if base.is_dir():
+                out.extend(
+                    p for p in sorted(base.rglob("*")) if p.suffix in suffixes
+                )
+        return out
+
+    # raw-mutex + string-counter: src/ and examples/.
+    for path in iter_files("src", "examples", suffixes=(".hpp", ".cpp", ".h")):
+        rp = rel(path)
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if COMMENT_RE.match(line):
+                continue
+            code = strip_line_comment(line)
+            if rp not in RAW_MUTEX_ALLOWED and (m := RAW_MUTEX_RE.search(code)):
+                errors.append(
+                    f"{rp}:{lineno}: raw-mutex: std::{m.group(1)} outside "
+                    "src/common/sync.hpp — use cq::common::Mutex/LockGuard"
+                )
+            if STRING_COUNTER_RE.search(code):
+                errors.append(
+                    f"{rp}:{lineno}: string-counter: string-keyed .add(\"...\") — "
+                    "intern the counter in metric::Id (common/metrics.hpp)"
+                )
+
+    # pragma-once: every header anywhere we compile from.
+    for path in iter_files("src", "tests", "examples", "bench", suffixes=(".hpp", ".h")):
+        text = path.read_text()
+        if "#pragma once" not in text:
+            errors.append(f"{rel(path)}:1: pragma-once: header lacks #pragma once")
+
+    # iostream: library code only.
+    for path in iter_files("src", suffixes=(".hpp", ".cpp", ".h")):
+        rp = rel(path)
+        if rp in IOSTREAM_ALLOWED:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if COMMENT_RE.match(line):
+                continue
+            if IOSTREAM_RE.search(strip_line_comment(line)):
+                errors.append(
+                    f"{rp}:{lineno}: iostream: library code writes to iostreams — "
+                    "log through cq::log (common/logging.hpp)"
+                )
+
+    return errors
+
+
+def self_test() -> int:
+    """Seed one violation per rule into a scratch tree; every rule must fire."""
+    cases = {
+        "raw-mutex": ("src/bad_mutex.cpp", "static std::mutex mu;\n"),
+        "string-counter": ("src/bad_counter.cpp", 'void f(M& m) { m.add("ad_hoc", 1); }\n'),
+        "pragma-once": ("src/bad_header.hpp", "struct NoGuard {};\n"),
+        "iostream": ("src/bad_print.cpp", "#include <iostream>\n"),
+    }
+    failures = 0
+    for rule, (relpath, content) in cases.items():
+        with tempfile.TemporaryDirectory() as tmp:
+            scratch = Path(tmp)
+            target = scratch / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            if rule != "pragma-once" and target.suffix == ".hpp":
+                content = "#pragma once\n" + content
+            target.write_text(content)
+            hits = [e for e in lint_tree(scratch) if f" {rule}:" in e]
+            if hits:
+                print(f"self-test: {rule}: detected ({hits[0]})")
+            else:
+                print(f"self-test: {rule}: NOT DETECTED", file=sys.stderr)
+                failures += 1
+    # A clean scratch tree must produce no findings.
+    with tempfile.TemporaryDirectory() as tmp:
+        clean = Path(tmp)
+        (clean / "src").mkdir()
+        (clean / "src" / "ok.hpp").write_text("#pragma once\nstruct Ok {};\n")
+        leftovers = lint_tree(clean)
+        if leftovers:
+            print(f"self-test: clean tree flagged: {leftovers}", file=sys.stderr)
+            failures += 1
+        else:
+            print("self-test: clean tree: no findings")
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    if "--self-test" in argv:
+        return self_test()
+    errors = lint_tree(REPO)
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"lint_invariants: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print("lint_invariants: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

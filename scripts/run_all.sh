@@ -53,5 +53,11 @@ STATS RESET
 QUIT
 EOF
 
+echo "===== repository invariants (lint) ====="
+python3 scripts/lint_invariants.py
+
+echo "===== concurrency stress (plain mode) ====="
+build/tests/concurrency_test --gtest_brief=1
+
 echo "===== introspection smoke (SERVE + curl) ====="
 sh scripts/smoke_introspect.sh

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Run the clang-tidy baseline (.clang-tidy) over the library, test, bench
+# and example sources against the exported compilation database.
+#
+#   scripts/run_tidy.sh [--require] [build-dir]
+#
+# Exits 0 on a warning-clean tree, nonzero on any finding (WarningsAsErrors
+# is '*' in .clang-tidy). Without clang-tidy installed the script SKIPS
+# with exit 0 so developer machines without LLVM stay usable; pass
+# --require (CI does) to turn the missing tool into a failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+require=0
+build_dir=build
+for arg in "$@"; do
+  case "$arg" in
+    --require) require=1 ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+
+tidy=""
+for cand in clang-tidy clang-tidy-20 clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+            clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    tidy="$cand"
+    break
+  fi
+done
+if [[ -z "$tidy" ]]; then
+  if [[ "$require" == 1 ]]; then
+    echo "run_tidy: clang-tidy not found and --require given" >&2
+    exit 1
+  fi
+  echo "run_tidy: clang-tidy not installed; skipping (pass --require to fail instead)"
+  exit 0
+fi
+
+if [[ ! -f "$build_dir/compile_commands.json" ]]; then
+  echo "run_tidy: $build_dir/compile_commands.json missing; configuring..."
+  cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+# Everything with an entry in the compilation database except third-party
+# and generated code.
+mapfile -t sources < <(find src tests bench examples -name '*.cpp' | sort)
+
+echo "run_tidy: $tidy over ${#sources[@]} files (db: $build_dir)"
+
+runner=""
+for cand in run-clang-tidy "run-clang-tidy-${tidy##*-}"; do
+  if command -v "$cand" >/dev/null 2>&1; then
+    runner="$cand"
+    break
+  fi
+done
+
+if [[ -n "$runner" ]]; then
+  # run-clang-tidy parallelizes and already exits nonzero on findings.
+  "$runner" -clang-tidy-binary "$tidy" -p "$build_dir" -quiet \
+    '^(?!.*(/_deps/|/build)).*/(src|tests|bench|examples)/.*\.cpp$'
+else
+  status=0
+  for f in "${sources[@]}"; do
+    "$tidy" -p "$build_dir" --quiet "$f" || status=1
+  done
+  exit "$status"
+fi

@@ -73,3 +73,16 @@ curl -sf "http://127.0.0.1:$PORT/stats" > /dev/null \
   || { echo "smoke_introspect: FAIL — /stats unreachable" >&2; exit 1; }
 
 echo "smoke_introspect: OK (metrics, healthz, events, stats)"
+
+# One plain (non-TSan) pass of the concurrency stress binary: multi-thread
+# scrapes against a live engine loop, torn-JSON and counter checks. The
+# TSan lane runs the same binary instrumented; this catches logic-level
+# breakage cheaply.
+STRESS=build/tests/concurrency_test
+if [ -x "$STRESS" ]; then
+  echo "smoke_introspect: running concurrency stress (plain mode)"
+  "$STRESS" --gtest_brief=1 \
+    || { echo "smoke_introspect: FAIL — concurrency stress failed" >&2; exit 1; }
+else
+  echo "smoke_introspect: $STRESS not built; skipping concurrency stress"
+fi

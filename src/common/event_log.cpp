@@ -21,7 +21,7 @@ EventLog::EventLog(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacit
 void EventLog::record(Severity severity, std::string kind, std::string subject,
                       std::string detail, std::int64_t logical) {
   const std::uint64_t at = now_ns();
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   Event event{++total_, at,       logical,           severity,
               std::move(kind),    std::move(subject), std::move(detail)};
   if (ring_.size() < capacity_) {
@@ -33,7 +33,7 @@ void EventLog::record(Severity severity, std::string kind, std::string subject,
 }
 
 std::vector<Event> EventLog::tail(std::size_t n) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::vector<Event> out;
   const std::size_t have = ring_.size();
   const std::size_t want = std::min(n, have);
@@ -47,34 +47,34 @@ std::vector<Event> EventLog::tail(std::size_t n) const {
 }
 
 std::size_t EventLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return ring_.size();
 }
 
 std::size_t EventLog::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return capacity_;
 }
 
 std::uint64_t EventLog::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return total_ - ring_.size();
 }
 
 std::uint64_t EventLog::total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return total_;
 }
 
 void EventLog::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   ring_.clear();
   next_ = 0;
   total_ = 0;
 }
 
 void EventLog::set_capacity(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   capacity_ = capacity == 0 ? 1 : capacity;
   ring_.clear();
   ring_.shrink_to_fit();

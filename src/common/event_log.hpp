@@ -11,9 +11,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace cq::common::obs {
 
@@ -64,11 +65,11 @@ class EventLog {
   [[nodiscard]] std::string to_ndjson(std::size_t n) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Event> ring_;
-  std::size_t capacity_;
-  std::size_t next_ = 0;      // ring index of the next write
-  std::uint64_t total_ = 0;   // events ever recorded
+  mutable Mutex mu_;
+  std::vector<Event> ring_ CQ_GUARDED_BY(mu_);
+  std::size_t capacity_ CQ_GUARDED_BY(mu_);
+  std::size_t next_ CQ_GUARDED_BY(mu_) = 0;     // ring index of the next write
+  std::uint64_t total_ CQ_GUARDED_BY(mu_) = 0;  // events ever recorded
 };
 
 }  // namespace cq::common::obs

@@ -76,6 +76,13 @@ HttpResponse HttpResponse::json(std::string body, int status) {
 IntrospectServer::~IntrospectServer() { stop(); }
 
 void IntrospectServer::route(std::string path, Handler handler) {
+  // The serve thread reads routes_ without a lock; that is only race-free
+  // because every write happens-before the thread is created in start().
+  // Registering a route on a live server would be a data race — refuse.
+  if (running_.load()) {
+    throw InvalidArgument("IntrospectServer: route() after start() would race "
+                          "the serve thread; register routes before starting");
+  }
   routes_[std::move(path)] = std::move(handler);
 }
 

@@ -57,8 +57,9 @@ class IntrospectServer {
   IntrospectServer& operator=(const IntrospectServer&) = delete;
 
   /// Register the handler for an exact path. Must be called before
-  /// start(). Unrouted paths answer 404; "/" answers with a plain-text
-  /// index of the routed paths.
+  /// start() — the serve thread reads the route table without a lock, so
+  /// routing on a live server throws InvalidArgument. Unrouted paths
+  /// answer 404; "/" answers with a plain-text index of the routed paths.
   void route(std::string path, Handler handler);
 
   /// Bind 127.0.0.1:`port` (0 = ephemeral) and serve on a background
@@ -79,6 +80,10 @@ class IntrospectServer {
   void serve_loop();
   void handle_connection(int fd);
 
+  // routes_ is written only before start() (enforced there) and read by
+  // the serve thread; thread creation orders the writes before the reads,
+  // so no mutex is needed. requests_ is atomic: handler threads increment
+  // while /stats-style callers read requests_served().
   std::map<std::string, Handler> routes_;
   std::thread thread_;
   std::atomic<bool> running_{false};

@@ -81,7 +81,7 @@ TraceCollector::TraceCollector(std::size_t capacity)
 
 void TraceCollector::record(std::string name, std::uint64_t start_ns,
                             std::uint64_t dur_ns, std::uint32_t depth) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   TraceEvent event{std::move(name), start_ns, dur_ns, depth};
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
@@ -93,7 +93,7 @@ void TraceCollector::record(std::string name, std::uint64_t start_ns,
 }
 
 std::vector<TraceEvent> TraceCollector::snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());
   if (ring_.size() < capacity_) {
@@ -108,29 +108,29 @@ std::vector<TraceEvent> TraceCollector::snapshot() const {
 }
 
 std::size_t TraceCollector::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return ring_.size();
 }
 
 std::size_t TraceCollector::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return capacity_;
 }
 
 std::uint64_t TraceCollector::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return total_ - ring_.size();
 }
 
 void TraceCollector::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   ring_.clear();
   next_ = 0;
   total_ = 0;
 }
 
 void TraceCollector::set_capacity(std::size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   capacity_ = capacity == 0 ? 1 : capacity;
   ring_.clear();
   ring_.shrink_to_fit();
@@ -196,22 +196,22 @@ void Span::close() noexcept {
 // -------------------------------------------------------------- Registry --
 
 Histogram& Registry::histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return histograms_[name];
 }
 
 std::map<std::string, Histogram> Registry::histogram_snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return histograms_;
 }
 
 Gauge& Registry::gauge(const std::string& name, Labels labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   return gauges_[{name, std::move(labels)}];
 }
 
 std::vector<GaugeSample> Registry::gauge_snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   std::vector<GaugeSample> out;
   out.reserve(gauges_.size());
   for (const auto& [key, g] : gauges_) {
@@ -224,7 +224,7 @@ void Registry::reset() {
   metrics_.reset();
   traces_.clear();
   events_.clear();
-  std::lock_guard<std::mutex> lock(mu_);
+  LockGuard lock(mu_);
   for (auto& [name, h] : histograms_) h.reset();
   for (auto& [key, g] : gauges_) g.set(0);
 }

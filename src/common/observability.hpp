@@ -24,13 +24,13 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/event_log.hpp"
 #include "common/metrics.hpp"
+#include "common/sync.hpp"
 
 namespace cq::common::obs {
 
@@ -186,11 +186,11 @@ class TraceCollector {
   void write_chrome_trace(const std::string& path) const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;
-  std::size_t capacity_;
-  std::size_t next_ = 0;  // ring index of the next write
-  std::uint64_t total_ = 0;  // events ever recorded
+  mutable Mutex mu_;
+  std::vector<TraceEvent> ring_ CQ_GUARDED_BY(mu_);
+  std::size_t capacity_ CQ_GUARDED_BY(mu_);
+  std::size_t next_ CQ_GUARDED_BY(mu_) = 0;  // ring index of the next write
+  std::uint64_t total_ CQ_GUARDED_BY(mu_) = 0;  // events ever recorded
 };
 
 /// RAII span: opens at construction, records into the global trace
@@ -256,9 +256,13 @@ class Registry {
   Metrics metrics_;
   TraceCollector traces_;
   EventLog events_;
-  mutable std::mutex mu_;
-  std::map<std::string, Histogram> histograms_;
-  std::map<std::pair<std::string, Labels>, Gauge> gauges_;
+  mutable Mutex mu_;
+  // mu_ guards the *map structure* (growth on first use). The Histogram
+  // and Gauge values a lookup hands out stay referenced by hot paths and
+  // are serialized by the caller's engine mutex (Histogram) or internally
+  // atomic (Gauge) — see the threading notes in docs/static-analysis.md.
+  std::map<std::string, Histogram> histograms_ CQ_GUARDED_BY(mu_);
+  std::map<std::pair<std::string, Labels>, Gauge> gauges_ CQ_GUARDED_BY(mu_);
 };
 
 [[nodiscard]] Registry& global() noexcept;

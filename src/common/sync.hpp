@@ -1,0 +1,107 @@
+// Compile-time lock discipline for the CQ engine.
+//
+// The engine runs most work on one thread, but the introspection HTTP
+// server (src/common/introspect_server.hpp) answers scrapes on its own
+// thread, and the observability rings are written from wherever a span or
+// journal event completes. Every mutex in the tree therefore uses the
+// annotated types below instead of raw std::mutex, and every field a
+// mutex guards says so with CQ_GUARDED_BY. Under Clang (-Wthread-safety,
+// see scripts/check_thread_safety.sh) violating the discipline — touching
+// a guarded field without the lock, calling a CQ_REQUIRES method unlocked
+// — is a compile error. Under GCC the macros expand to nothing and the
+// types behave exactly like std::mutex / std::lock_guard.
+//
+//   class Cache {
+//    public:
+//     void put(int k, int v) {
+//       cq::LockGuard lock(mu_);
+//       map_[k] = v;                    // ok: lock held
+//     }
+//    private:
+//     mutable cq::Mutex mu_;
+//     std::map<int, int> map_ CQ_GUARDED_BY(mu_);
+//   };
+//
+// scripts/lint_invariants.py enforces that library and example code never
+// reaches for raw std::mutex / std::lock_guard directly.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define CQ_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef CQ_THREAD_ANNOTATION
+#define CQ_THREAD_ANNOTATION(x)  // no-op: GCC has no thread-safety analysis
+#endif
+
+/// Marks a type as a lockable capability ("mutex").
+#define CQ_CAPABILITY(x) CQ_THREAD_ANNOTATION(capability(x))
+/// Marks an RAII type that acquires in its constructor, releases in its
+/// destructor.
+#define CQ_SCOPED_CAPABILITY CQ_THREAD_ANNOTATION(scoped_lockable)
+/// Field `x` may only be read/written while holding the named mutex.
+#define CQ_GUARDED_BY(x) CQ_THREAD_ANNOTATION(guarded_by(x))
+/// Pointee of field `x` may only be dereferenced while holding the mutex.
+#define CQ_PT_GUARDED_BY(x) CQ_THREAD_ANNOTATION(pt_guarded_by(x))
+/// The function may only be called while already holding the mutex(es).
+#define CQ_REQUIRES(...) CQ_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// The function acquires the mutex(es) and does not release them.
+#define CQ_ACQUIRE(...) CQ_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// The function releases the mutex(es).
+#define CQ_RELEASE(...) CQ_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// The function acquires the mutex iff it returns the first argument
+/// (e.g. CQ_TRY_ACQUIRE(true)); further arguments name the capability.
+#define CQ_TRY_ACQUIRE(...) CQ_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// The function must NOT be called while holding the mutex(es)
+/// (deadlock guard for methods that lock internally).
+#define CQ_EXCLUDES(...) CQ_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// The function returns a reference to the named mutex.
+#define CQ_RETURN_CAPABILITY(x) CQ_THREAD_ANNOTATION(lock_returned(x))
+/// Declared lock-ordering edges.
+#define CQ_ACQUIRED_BEFORE(...) CQ_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define CQ_ACQUIRED_AFTER(...) CQ_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+/// Escape hatch — use only with a comment explaining why the analysis
+/// cannot see the synchronization.
+#define CQ_NO_THREAD_SAFETY_ANALYSIS CQ_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace cq::common {
+
+/// std::mutex as an annotated capability. Non-copyable, non-movable.
+class CQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CQ_ACQUIRE() { mu_.lock(); }
+  void unlock() CQ_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() CQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard over Mutex, visible to the analysis: constructing one
+/// acquires the capability for the enclosing scope.
+class CQ_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) CQ_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() CQ_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace cq::common
+
+namespace cq {
+// The short spellings used across the tree: cq::Mutex / cq::LockGuard.
+using common::LockGuard;
+using common::Mutex;
+}  // namespace cq

@@ -58,13 +58,16 @@ CqHandle CqManager::install(CqSpec spec, std::shared_ptr<ResultSink> sink) {
   entry.zone_id = db_.zones().register_cq(entry.query->last_execution());
   if (entry.sink) entry.sink->on_result(initial);
 
-  CqStats& s = stats_of(entry);
-  s.executions = 1;
-  s.finished = false;
-  s.last_exec_ns = elapsed;
-  s.total_exec_ns += elapsed;
-  s.rows_delivered += rows_delivered(initial);
-  s.last_execution = entry.query->last_execution();
+  {
+    common::LockGuard lock(stats_mu_);
+    CqStats& s = stats_of(entry);
+    s.executions = 1;
+    s.finished = false;
+    s.last_exec_ns = elapsed;
+    s.total_exec_ns += elapsed;
+    s.rows_delivered += rows_delivered(initial);
+    s.last_execution = entry.query->last_execution();
+  }
   if (obs::enabled()) cq_exec_histogram().record(elapsed / 1000);
 
   common::log_info("installed CQ '", entry.query->name(), "' trigger=",
@@ -88,10 +91,13 @@ CqHandle CqManager::install_restored(CqSpec spec, std::shared_ptr<ResultSink> si
   entry.query->restore(db_, last_execution, executions);
   entry.zone_id = db_.zones().register_cq(last_execution);
 
-  CqStats& s = stats_of(entry);
-  s.executions = executions;
-  s.finished = false;
-  s.last_execution = last_execution;
+  {
+    common::LockGuard lock(stats_mu_);
+    CqStats& s = stats_of(entry);
+    s.executions = executions;
+    s.finished = false;
+    s.last_execution = last_execution;
+  }
 
   common::log_info("restored CQ '", entry.query->name(), "' at t=",
                    last_execution.to_string(), " after ", executions, " executions");
@@ -109,7 +115,10 @@ void CqManager::remove(CqHandle handle) {
   }
   obs::event(obs::Severity::kInfo, "cq_terminated", it->second.query->name(),
              "removed", db_.clock().now().ticks());
-  stats_of(it->second).finished = true;
+  {
+    common::LockGuard lock(stats_mu_);
+    stats_of(it->second).finished = true;
+  }
   db_.zones().unregister(it->second.zone_id);
   entries_.erase(it);
   active_cq_gauge().set(static_cast<std::int64_t>(entries_.size()));
@@ -121,24 +130,33 @@ void CqManager::finish(CqHandle handle) {
   common::log_info("CQ '", it->second.query->name(), "' reached its Stop condition");
   obs::event(obs::Severity::kInfo, "cq_terminated", it->second.query->name(),
              "stop condition reached", db_.clock().now().ticks());
-  stats_of(it->second).finished = true;
+  {
+    common::LockGuard lock(stats_mu_);
+    stats_of(it->second).finished = true;
+  }
   db_.zones().unregister(it->second.zone_id);
   entries_.erase(it);
   active_cq_gauge().set(static_cast<std::int64_t>(entries_.size()));
 }
 
 void CqManager::record_check(const Entry& entry, bool fired) {
-  CqStats& s = stats_of(entry);
-  ++s.trigger_checks;
+  {
+    common::LockGuard lock(stats_mu_);
+    CqStats& s = stats_of(entry);
+    ++s.trigger_checks;
+    if (fired) {
+      ++s.fired;
+    } else {
+      ++s.suppressed;
+    }
+  }
   if (fired) {
-    ++s.fired;
     metrics_.add(common::metric::kTriggersFired, 1);
     if (obs::enabled()) {
       obs::event(obs::Severity::kInfo, "trigger_fired", entry.query->name(), "",
                  db_.clock().now().ticks());
     }
   } else {
-    ++s.suppressed;
     metrics_.add(common::metric::kTriggersSuppressed, 1);
     if (obs::enabled()) {
       obs::event(obs::Severity::kDebug, "trigger_suppressed", entry.query->name(), "",
@@ -155,13 +173,16 @@ void CqManager::run(CqHandle handle, Entry& entry) {
   const std::uint64_t elapsed = obs::now_ns() - t0;
   last_stats_ = stats;
 
-  CqStats& s = stats_of(entry);
-  ++s.executions;
-  s.last_exec_ns = elapsed;
-  s.total_exec_ns += elapsed;
-  s.delta_rows_consumed += stats.delta_rows_read;
-  s.rows_delivered += rows_delivered(note);
-  s.last_execution = entry.query->last_execution();
+  {
+    common::LockGuard lock(stats_mu_);
+    CqStats& s = stats_of(entry);
+    ++s.executions;
+    s.last_exec_ns = elapsed;
+    s.total_exec_ns += elapsed;
+    s.delta_rows_consumed += stats.delta_rows_read;
+    s.rows_delivered += rows_delivered(note);
+    s.last_execution = entry.query->last_execution();
+  }
   if (obs::enabled()) {
     cq_exec_histogram().record(elapsed / 1000);
     obs::event(obs::Severity::kInfo, "cq_delivered", entry.query->name(),
@@ -260,13 +281,16 @@ Notification CqManager::execute_now(CqHandle handle) {
   const std::uint64_t elapsed = obs::now_ns() - t0;
   last_stats_ = stats;
 
-  CqStats& s = stats_of(entry);
-  ++s.executions;
-  s.last_exec_ns = elapsed;
-  s.total_exec_ns += elapsed;
-  s.delta_rows_consumed += stats.delta_rows_read;
-  s.rows_delivered += rows_delivered(note);
-  s.last_execution = entry.query->last_execution();
+  {
+    common::LockGuard lock(stats_mu_);
+    CqStats& s = stats_of(entry);
+    ++s.executions;
+    s.last_exec_ns = elapsed;
+    s.total_exec_ns += elapsed;
+    s.delta_rows_consumed += stats.delta_rows_read;
+    s.rows_delivered += rows_delivered(note);
+    s.last_execution = entry.query->last_execution();
+  }
   if (obs::enabled()) {
     cq_exec_histogram().record(elapsed / 1000);
     obs::event(obs::Severity::kInfo, "cq_delivered", entry.query->name(),
@@ -300,14 +324,20 @@ const ContinualQuery& CqManager::cq(CqHandle handle) const {
   return *it->second.query;
 }
 
-const CqStats& CqManager::stats(CqHandle handle) const {
+CqStats CqManager::stats(CqHandle handle) const {
   auto it = entries_.find(handle);
   if (it == entries_.end()) {
     throw common::NotFound("CqManager: unknown handle " + std::to_string(handle));
   }
+  common::LockGuard lock(stats_mu_);
   auto stats_it = stats_.find(it->second.query->name());
   CQ_ASSERT(stats_it != stats_.end());
   return stats_it->second;
+}
+
+std::map<std::string, CqStats> CqManager::cq_stats() const {
+  common::LockGuard lock(stats_mu_);
+  return stats_;
 }
 
 std::vector<CqHandle> CqManager::handles() const {
@@ -318,6 +348,7 @@ std::vector<CqHandle> CqManager::handles() const {
 }
 
 void CqManager::write_stats_json(common::obs::JsonWriter& w) const {
+  common::LockGuard lock(stats_mu_);
   w.begin_object();
   for (const auto& [name, s] : stats_) {
     w.key(name).begin_object();
@@ -341,6 +372,7 @@ common::obs::Section CqManager::stats_section() const {
 }
 
 void CqManager::write_prometheus(common::obs::PromWriter& w) const {
+  common::LockGuard lock(stats_mu_);
   // active_cqs itself lives in the registry (maintained at install/remove),
   // so it is not re-emitted here — one sample per (name, labels).
   for (const auto& [name, s] : stats_) {
@@ -363,6 +395,7 @@ std::function<void(common::obs::PromWriter&)> CqManager::prometheus_section() co
 void CqManager::reset_stats() {
   metrics_.reset();
   last_stats_ = DraStats{};
+  common::LockGuard lock(stats_mu_);
   // Zero in place: stats(handle) relies on every installed CQ keeping its
   // record, and the name/finished fields describe identity, not work.
   for (auto& [name, s] : stats_) {

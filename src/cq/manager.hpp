@@ -15,6 +15,7 @@
 #include "common/metrics.hpp"
 #include "common/observability.hpp"
 #include "common/prometheus.hpp"
+#include "common/sync.hpp"
 #include "cq/continual_query.hpp"
 
 namespace cq::core {
@@ -97,13 +98,14 @@ class CqManager {
   /// Stats of the most recent DRA invocation (for EXPLAIN-style output).
   [[nodiscard]] const DraStats& last_dra_stats() const noexcept { return last_stats_; }
 
-  /// Per-CQ statistics for a live handle.
-  [[nodiscard]] const CqStats& stats(CqHandle handle) const;
+  /// Per-CQ statistics for a live handle. Returns a copy: the live record
+  /// is guarded by the stats mutex and keeps moving while introspection
+  /// handlers read.
+  [[nodiscard]] CqStats stats(CqHandle handle) const;
 
   /// The whole registry, keyed by CQ name; includes finished/removed CQs.
-  [[nodiscard]] const std::map<std::string, CqStats>& cq_stats() const noexcept {
-    return stats_;
-  }
+  /// Returns a copy (see stats()).
+  [[nodiscard]] std::map<std::string, CqStats> cq_stats() const;
 
   /// Emit the registry as a JSON object {cq_name: {...}} into `w`.
   void write_stats_json(common::obs::JsonWriter& w) const;
@@ -137,8 +139,14 @@ class CqManager {
   void on_commit(const std::vector<std::string>& tables, common::Timestamp ts);
   /// Trigger-check bookkeeping shared by poll() and on_commit().
   void record_check(const Entry& entry, bool fired);
-  CqStats& stats_of(const Entry& entry);
+  CqStats& stats_of(const Entry& entry) CQ_REQUIRES(stats_mu_);
 
+  // Engine state: entries_, metrics_ and last_stats_ are mutated by
+  // install/poll/commit dispatch and must stay serialized by the engine
+  // mutex (introspection handlers hold it — see diom::serve_introspection).
+  // The per-CQ stats registry alone carries its own mutex, because it is
+  // the one piece of manager state the registry readers (write_stats_json,
+  // write_prometheus, STATS) walk while executions are mid-flight.
   cat::Database& db_;
   std::map<CqHandle, Entry> entries_;
   CqHandle next_handle_ = 1;
@@ -146,7 +154,8 @@ class CqManager {
   bool in_dispatch_ = false;  // guards against reentrant commit hooks
   common::Metrics metrics_;
   DraStats last_stats_;
-  std::map<std::string, CqStats> stats_;
+  mutable common::Mutex stats_mu_;
+  std::map<std::string, CqStats> stats_ CQ_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace cq::core

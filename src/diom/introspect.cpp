@@ -2,6 +2,7 @@
 
 #include "common/observability.hpp"
 #include "common/prometheus.hpp"
+#include "common/sync.hpp"
 
 namespace cq::diom {
 
@@ -9,24 +10,12 @@ namespace obs = cq::common::obs;
 
 namespace {
 
-/// Lock `mu` when provided; handlers must not touch engine state unlocked.
-class MaybeLock {
- public:
-  explicit MaybeLock(std::mutex* mu) : mu_(mu) {
-    if (mu_ != nullptr) mu_->lock();
-  }
-  ~MaybeLock() {
-    if (mu_ != nullptr) mu_->unlock();
-  }
-  MaybeLock(const MaybeLock&) = delete;
-  MaybeLock& operator=(const MaybeLock&) = delete;
+// Every handler serializes with the engine loop through engine_mu for the
+// whole request — reading the mirror database, the CQ manager's stats and
+// the mediator's sync state is only safe while the engine is parked.
 
- private:
-  std::mutex* mu_;
-};
-
-obs::HttpResponse metrics_handler(Mediator& mediator, std::mutex* mu) {
-  MaybeLock lock(mu);
+obs::HttpResponse metrics_handler(Mediator& mediator, common::Mutex& mu) {
+  common::LockGuard lock(mu);
   mediator.database().refresh_resource_gauges();
   std::string body = obs::render_prometheus(
       mediator.manager().metrics(), obs::global(),
@@ -37,15 +26,15 @@ obs::HttpResponse metrics_handler(Mediator& mediator, std::mutex* mu) {
   return resp;
 }
 
-obs::HttpResponse stats_handler(Mediator& mediator, std::mutex* mu) {
-  MaybeLock lock(mu);
+obs::HttpResponse stats_handler(Mediator& mediator, common::Mutex& mu) {
+  common::LockGuard lock(mu);
   return obs::HttpResponse::json(obs::export_json(
       mediator.manager().metrics(), obs::global().histogram_snapshot(),
       {mediator.manager().stats_section(), mediator.stats_section()}));
 }
 
-obs::HttpResponse healthz_handler(Mediator& mediator, std::mutex* mu) {
-  MaybeLock lock(mu);
+obs::HttpResponse healthz_handler(Mediator& mediator, common::Mutex& mu) {
+  common::LockGuard lock(mu);
   const std::vector<Mediator::SourceHealth> health = mediator.health();
   bool ok = true;
   obs::JsonWriter w;
@@ -69,8 +58,8 @@ obs::HttpResponse healthz_handler(Mediator& mediator, std::mutex* mu) {
   return obs::HttpResponse::json(w.str(), ok ? 200 : 503);
 }
 
-obs::HttpResponse events_handler(const obs::HttpRequest& req, std::mutex* mu) {
-  MaybeLock lock(mu);
+obs::HttpResponse events_handler(const obs::HttpRequest& req, common::Mutex& mu) {
+  common::LockGuard lock(mu);
   const std::uint64_t n = req.query_u64("n", 100);
   obs::HttpResponse resp;
   resp.content_type = "application/x-ndjson; charset=utf-8";
@@ -78,28 +67,28 @@ obs::HttpResponse events_handler(const obs::HttpRequest& req, std::mutex* mu) {
   return resp;
 }
 
-obs::HttpResponse trace_handler(std::mutex* mu) {
-  MaybeLock lock(mu);
+obs::HttpResponse trace_handler(common::Mutex& mu) {
+  common::LockGuard lock(mu);
   return obs::HttpResponse::json(obs::global().traces().to_chrome_json());
 }
 
 }  // namespace
 
 void serve_introspection(common::obs::IntrospectServer& server, Mediator& mediator,
-                         std::mutex* engine_mu) {
-  server.route("/metrics", [&mediator, engine_mu](const obs::HttpRequest&) {
+                         common::Mutex& engine_mu) {
+  server.route("/metrics", [&mediator, &engine_mu](const obs::HttpRequest&) {
     return metrics_handler(mediator, engine_mu);
   });
-  server.route("/stats", [&mediator, engine_mu](const obs::HttpRequest&) {
+  server.route("/stats", [&mediator, &engine_mu](const obs::HttpRequest&) {
     return stats_handler(mediator, engine_mu);
   });
-  server.route("/healthz", [&mediator, engine_mu](const obs::HttpRequest&) {
+  server.route("/healthz", [&mediator, &engine_mu](const obs::HttpRequest&) {
     return healthz_handler(mediator, engine_mu);
   });
-  server.route("/events", [engine_mu](const obs::HttpRequest& req) {
+  server.route("/events", [&engine_mu](const obs::HttpRequest& req) {
     return events_handler(req, engine_mu);
   });
-  server.route("/trace", [engine_mu](const obs::HttpRequest&) {
+  server.route("/trace", [&engine_mu](const obs::HttpRequest&) {
     return trace_handler(engine_mu);
   });
 }

@@ -5,22 +5,27 @@
 // tail, ?n=<count>).
 //
 // Handlers run on the server's background thread while the engine runs on
-// the caller's; pass the mutex your engine loop holds so scrapes serialize
-// with engine work. A null mutex is fine for single-threaded tests that
-// only scrape while the engine is idle.
+// the caller's; every handler takes `engine_mu` — the mutex the engine
+// loop holds while it installs CQs, commits transactions and runs sync
+// rounds — so scrapes serialize with engine work. The mutex is required,
+// not optional: single-threaded callers simply declare a cq::Mutex next
+// to the mediator and never contend on it. (Earlier revisions accepted a
+// null std::mutex*, which let tests scrape a mediator the engine was
+// concurrently mutating — a data race the thread-safety annotations in
+// common/sync.hpp now make structurally impossible to reintroduce.)
 #pragma once
 
-#include <mutex>
-
 #include "common/introspect_server.hpp"
+#include "common/sync.hpp"
 #include "diom/mediator.hpp"
 
 namespace cq::diom {
 
 /// Register the standard endpoint set on `server` (route() only; the
 /// caller decides when to start()). `mediator` and `engine_mu` must
-/// outlive the server.
+/// outlive the server. Every handler acquires `engine_mu` for the length
+/// of the request.
 void serve_introspection(common::obs::IntrospectServer& server, Mediator& mediator,
-                         std::mutex* engine_mu = nullptr);
+                         common::Mutex& engine_mu);
 
 }  // namespace cq::diom

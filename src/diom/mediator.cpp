@@ -18,6 +18,7 @@ Mediator::Mediator(std::string client_name, Network* network, cat::Database mirr
       manager_(db_) {}
 
 std::vector<Mediator::SourceState> Mediator::export_source_states() const {
+  LockGuard lock(mu_);
   std::vector<SourceState> out;
   out.reserve(sources_.size());
   for (const auto& attached : sources_) {
@@ -58,6 +59,7 @@ void Mediator::attach_restored(std::shared_ptr<InformationSource> source,
   common::log_info("mediator '", client_, "' re-attached source '",
                    attached.source->name(), "' at cursor ",
                    attached.cursor.to_string());
+  LockGuard lock(mu_);
   sources_.push_back(std::move(attached));
 }
 
@@ -106,6 +108,7 @@ void Mediator::attach(std::shared_ptr<InformationSource> source,
              std::to_string(received.size()) + " snapshot row(s) as table '" +
                  attached.local_table + "'",
              attached.cursor.ticks());
+  LockGuard lock(mu_);
   sources_.push_back(std::move(attached));
 }
 
@@ -151,6 +154,11 @@ Mediator::SyncReport Mediator::sync_report() {
   static obs::Histogram& sync_hist = obs::global().histogram(obs::hist::kSyncUs);
   obs::Span span("diom.sync", &sync_hist);
   const std::uint64_t round_t0 = obs::now_ns();
+  // One acquisition for the whole round: cursors, shipping stats and the
+  // history ring must move together or a concurrent scrape sees a torn
+  // round. The mirror commits inside apply_deltas stay engine-serialized
+  // by the caller (see the class comment's lock-order note).
+  LockGuard lock(mu_);
   SyncReport report;
   report.round = ++sync_rounds_;
   common::Metrics& metrics = manager_.metrics();
@@ -240,6 +248,11 @@ void Mediator::publish_source_gauges(Attached& attached, std::int64_t staleness,
 }
 
 std::vector<Mediator::SourceHealth> Mediator::health() const {
+  LockGuard lock(mu_);
+  return health_impl();
+}
+
+std::vector<Mediator::SourceHealth> Mediator::health_impl() const {
   std::vector<SourceHealth> out;
   out.reserve(sources_.size());
   for (const auto& attached : sources_) {
@@ -269,7 +282,8 @@ bool Mediator::healthy() const {
 }
 
 void Mediator::write_prometheus(common::obs::PromWriter& w) const {
-  for (const auto& h : health()) {
+  LockGuard lock(mu_);
+  for (const auto& h : health_impl()) {
     const obs::Labels labels{{"source", h.source_name}};
     w.gauge("source_up", h.healthy ? 1 : 0, labels);
     w.gauge("source_staleness_ticks_live", h.staleness_ticks, labels);
@@ -291,6 +305,7 @@ std::function<void(common::obs::PromWriter&)> Mediator::prometheus_section() con
 }
 
 std::vector<Mediator::SourceStats> Mediator::source_stats() const {
+  LockGuard lock(mu_);
   std::vector<SourceStats> out;
   out.reserve(sources_.size());
   for (const auto& attached : sources_) out.push_back(attached.stats);
@@ -298,6 +313,7 @@ std::vector<Mediator::SourceStats> Mediator::source_stats() const {
 }
 
 void Mediator::write_stats_json(common::obs::JsonWriter& w) const {
+  LockGuard lock(mu_);
   w.begin_object();
   w.key("sources").begin_array();
   for (const auto& attached : sources_) {
@@ -331,11 +347,17 @@ void Mediator::write_stats_json(common::obs::JsonWriter& w) const {
   w.end_object();
 }
 
+std::deque<Mediator::SyncReport> Mediator::sync_history() const {
+  LockGuard lock(mu_);
+  return history_;
+}
+
 common::obs::Section Mediator::stats_section() const {
   return {"sync", [this](common::obs::JsonWriter& w) { write_stats_json(w); }};
 }
 
 std::size_t Mediator::ship_snapshots() {
+  LockGuard lock(mu_);
   std::size_t total = 0;
   for (const auto& attached : sources_) {
     const Bytes payload = encode_relation(attached.source->snapshot());

@@ -5,6 +5,13 @@
 // network, and runs the CQ manager + DRA against the mirror. This realizes
 // the paper's scalability argument: processing shifts to the client, and
 // only deltas cross the network.
+//
+// Threading: the mediator's sync bookkeeping (attached sources, shipping
+// stats, round history) is guarded by an internal mutex so introspection
+// handlers can read it while the engine thread runs sync rounds. The
+// mirror database and the CQ manager remain engine state — serialize
+// access to them with the engine mutex you hand diom::serve_introspection
+// (lock order: engine mutex first, then the mediator's internal mutex).
 #pragma once
 
 #include <deque>
@@ -16,6 +23,7 @@
 #include "catalog/database.hpp"
 #include "common/observability.hpp"
 #include "common/prometheus.hpp"
+#include "common/sync.hpp"
 #include "cq/manager.hpp"
 #include "diom/network.hpp"
 #include "diom/source.hpp"
@@ -81,10 +89,9 @@ class Mediator {
   [[nodiscard]] std::vector<SourceStats> source_stats() const;
 
   /// The most recent sync rounds, oldest first (bounded; see
-  /// kSyncHistoryLimit).
-  [[nodiscard]] const std::deque<SyncReport>& sync_history() const noexcept {
-    return history_;
-  }
+  /// kSyncHistoryLimit). Returns a copy: the live deque is guarded by the
+  /// mediator's sync mutex and rotates while introspection reads.
+  [[nodiscard]] std::deque<SyncReport> sync_history() const;
   static constexpr std::size_t kSyncHistoryLimit = 128;
 
   /// Emit {"sources": [...], "rounds": [...]} into `w`.
@@ -120,8 +127,12 @@ class Mediator {
   /// Maximum cursor lag (in clock ticks) a source may accumulate before
   /// health() declares it unhealthy. Zero (the default) disables the
   /// check: only unreachable sources are then unhealthy.
-  void set_staleness_threshold(common::Duration d) noexcept { staleness_threshold_ = d; }
-  [[nodiscard]] common::Duration staleness_threshold() const noexcept {
+  void set_staleness_threshold(common::Duration d) {
+    LockGuard lock(mu_);
+    staleness_threshold_ = d;
+  }
+  [[nodiscard]] common::Duration staleness_threshold() const {
+    LockGuard lock(mu_);
     return staleness_threshold_;
   }
 
@@ -164,7 +175,10 @@ class Mediator {
   [[nodiscard]] core::CqManager& manager() noexcept { return manager_; }
   [[nodiscard]] const core::CqManager& manager() const noexcept { return manager_; }
   [[nodiscard]] const std::string& client_name() const noexcept { return client_; }
-  [[nodiscard]] std::size_t source_count() const noexcept { return sources_.size(); }
+  [[nodiscard]] std::size_t source_count() const {
+    LockGuard lock(mu_);
+    return sources_.size();
+  }
 
  private:
   struct Attached {
@@ -180,20 +194,31 @@ class Mediator {
     common::obs::Gauge* pending_gauge = nullptr;
   };
 
-  void apply_deltas(Attached& attached, const std::vector<delta::DeltaRow>& rows);
+  void apply_deltas(Attached& attached, const std::vector<delta::DeltaRow>& rows)
+      CQ_REQUIRES(mu_);
   /// Publish one source's staleness/pending gauges (no-op when collection
   /// is disabled).
-  static void publish_source_gauges(Attached& attached, std::int64_t staleness,
-                                    std::int64_t pending);
+  void publish_source_gauges(Attached& attached, std::int64_t staleness,
+                             std::int64_t pending) CQ_REQUIRES(mu_);
+  /// health() with the sync mutex already held (write_prometheus probes
+  /// health and reads shipping stats under one acquisition).
+  [[nodiscard]] std::vector<SourceHealth> health_impl() const CQ_REQUIRES(mu_);
 
   std::string client_;
   Network* network_;
+  // db_ and manager_ are *engine state*: they are serialized by the
+  // caller's engine mutex (the one diom::serve_introspection requires),
+  // not by mu_ — CQ executions re-enter the manager from commit hooks, so
+  // an internal lock here would self-deadlock. mu_ guards the mediator's
+  // own sync bookkeeping, which introspection handlers read while the
+  // engine thread runs sync rounds.
   cat::Database db_;
   core::CqManager manager_;
-  std::vector<Attached> sources_;
-  std::deque<SyncReport> history_;
-  std::uint64_t sync_rounds_ = 0;
-  common::Duration staleness_threshold_{0};
+  mutable common::Mutex mu_;
+  std::vector<Attached> sources_ CQ_GUARDED_BY(mu_);
+  std::deque<SyncReport> history_ CQ_GUARDED_BY(mu_);
+  std::uint64_t sync_rounds_ CQ_GUARDED_BY(mu_) = 0;
+  common::Duration staleness_threshold_ CQ_GUARDED_BY(mu_){0};
 };
 
 }  // namespace cq::diom

@@ -1,0 +1,301 @@
+// Concurrency stress tests: hammer the introspection HTTP surface from
+// several client threads while the engine installs CQs, commits
+// transactions and runs sync rounds. These are the tests the TSan lane
+// (the `tsan` CMake preset / CI job) exists for — single-threaded runs
+// pass trivially; the sanitizer is what turns a latent race into a
+// failure.
+//
+// Regression notes — races this file pins down:
+//
+//  * diom::serve_introspection used to accept a *nullable* std::mutex:
+//    passing nullptr let handlers scrape a mediator the engine thread was
+//    concurrently mutating (introspect_test did exactly that). The escape
+//    hatch is gone — the engine mutex is a required cq::common::Mutex& —
+//    and ScrapesStayCoherentWhileEngineRuns drives the full engine loop
+//    against all five endpoints to prove the discipline holds.
+//
+//  * Mediator's sync bookkeeping (attached sources, round history,
+//    staleness threshold) and CqManager's per-CQ stats registry had no
+//    internal locks, so even *copying* stats for display raced with a
+//    round in flight. Both now carry an annotated internal mutex
+//    (Mediator::mu_, CqManager::stats_mu_; see common/sync.hpp), and
+//    WritersAndStatsReaders walks the stats registry from reader threads
+//    while eager commits mutate it.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "catalog/database.hpp"
+#include "catalog/transaction.hpp"
+#include "common/observability.hpp"
+#include "common/sync.hpp"
+#include "cq/manager.hpp"
+#include "cq/trigger.hpp"
+#include "diom/introspect.hpp"
+#include "diom/mediator.hpp"
+#include "diom/source.hpp"
+
+namespace cq {
+namespace {
+
+namespace obs = common::obs;
+using rel::Value;
+using rel::ValueType;
+
+/// Minimal loopback HTTP GET (thread-safe; no gtest assertions so it can
+/// run on reader threads). Returns the body, empty on any failure.
+std::string raw_get(std::uint16_t port, const std::string& target,
+                    int* status_out = nullptr) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  if (::send(fd, req.data(), req.size(), 0) != static_cast<ssize_t>(req.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  if (status_out != nullptr && raw.size() > 12) {
+    *status_out = std::stoi(raw.substr(9, 3));
+  }
+  const auto split = raw.find("\r\n\r\n");
+  return split == std::string::npos ? "" : raw.substr(split + 4);
+}
+
+/// A torn JSON document — one assembled from state that changed mid-read —
+/// shows up as unbalanced braces or an unterminated string. Cheap
+/// structural check; not a full parser.
+bool json_is_whole(const std::string& body) {
+  if (body.empty() || (body.front() != '{' && body.front() != '[')) return false;
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  bool opened = false;
+  for (const char c : body) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{':
+      case '[': ++depth; opened = true; break;
+      case '}':
+      case ']': --depth; break;
+      default: break;
+    }
+    if (opened && depth == 0) break;  // root closed; trailing newline is fine
+  }
+  return opened && depth == 0 && !in_string;
+}
+
+core::CqSpec watch_spec(const std::string& name) {
+  return core::CqSpec::from_sql(name, "SELECT * FROM T WHERE id > 0",
+                                core::triggers::on_change(), nullptr,
+                                core::DeliveryMode::kDifferential);
+}
+
+class ConcurrencyStress : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::global().reset();
+    obs::set_enabled(true);
+  }
+  void TearDown() override {
+    obs::set_enabled(false);
+    obs::global().reset();
+  }
+};
+
+// Engine thread runs the full loop — install CQs, commit at the source,
+// sync rounds, poll, remove — under the engine mutex, while three client
+// threads hammer every introspection endpoint. Every scraped document must
+// be structurally whole, and the final counters must add up.
+TEST_F(ConcurrencyStress, ScrapesStayCoherentWhileEngineRuns) {
+  constexpr int kRounds = 40;
+  constexpr int kReaders = 3;
+
+  cat::Database source_db;
+  source_db.create_table("T",
+                         rel::Schema({{"id", ValueType::kInt}, {"s", ValueType::kString}}));
+  auto source = std::make_shared<diom::RelationalSource>("src", source_db, "T");
+
+  diom::Mediator mediator("client");
+  mediator.attach(source, "T");
+
+  obs::IntrospectServer server;
+  common::Mutex engine_mu;
+  diom::serve_introspection(server, mediator, engine_mu);
+  server.start(0);
+  ASSERT_TRUE(server.running());
+  const std::uint16_t port = server.port();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> torn{0};
+  std::atomic<int> scrapes{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([port, r, &done, &torn, &scrapes] {
+      const std::vector<std::string> targets = {"/metrics", "/stats", "/healthz",
+                                                "/events?n=50", "/trace"};
+      int i = r;  // stagger the rotation so readers diverge
+      while (!done.load(std::memory_order_acquire)) {
+        const std::string& target = targets[static_cast<std::size_t>(i++) % targets.size()];
+        int status = 0;
+        const std::string body = raw_get(port, target, &status);
+        if (body.empty() || (status != 200 && status != 503)) continue;
+        ++scrapes;
+        if ((target == "/stats" || target == "/healthz" || target == "/trace") &&
+            !json_is_whole(body)) {
+          ++torn;
+        }
+      }
+    });
+  }
+
+  std::size_t rows_applied = 0;
+  std::uint64_t committed = 0;
+  {
+    common::LockGuard lock(engine_mu);
+    mediator.manager().install(watch_spec("watch"), nullptr);
+  }
+  for (int i = 0; i < kRounds; ++i) {
+    common::LockGuard lock(engine_mu);
+    auto txn = source_db.begin();
+    txn.insert("T", {Value(static_cast<std::int64_t>(i + 1)), Value(std::string("row"))});
+    txn.commit();
+    ++committed;
+    rows_applied += mediator.sync();
+    mediator.manager().poll();
+    if (i % 8 == 7) {
+      const auto h = mediator.manager().install(watch_spec("extra_" + std::to_string(i)),
+                                                nullptr);
+      mediator.manager().remove(h);
+    }
+  }
+  // A fast engine loop can outrun the readers entirely (single-core CI);
+  // keep serving with the engine idle until each reader has seen every
+  // endpoint at least once, so the coherence assertions mean something.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (scrapes.load() < kReaders * 5 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  server.stop();
+
+  EXPECT_EQ(torn.load(), 0);
+  EXPECT_GE(scrapes.load(), kReaders * 5);
+  // Every committed row crossed the wire exactly once.
+  EXPECT_EQ(rows_applied, committed);
+  {
+    common::LockGuard lock(engine_mu);
+    EXPECT_EQ(mediator.database().table("T").size(), committed);
+    const core::CqStats s = mediator.manager().cq_stats().at("watch");
+    EXPECT_EQ(s.trigger_checks, s.fired + s.suppressed);
+    const std::deque<diom::Mediator::SyncReport> history = mediator.sync_history();
+    ASSERT_FALSE(history.empty());
+    EXPECT_EQ(history.back().round, static_cast<std::uint64_t>(kRounds));
+  }
+}
+
+// N writers committing through the catalog (serialized by the engine
+// mutex, as the lock discipline demands) while M readers walk the per-CQ
+// stats registry *without* the engine mutex — CqManager::stats_mu_ alone
+// must keep the copies coherent. Final counters must balance exactly.
+TEST_F(ConcurrencyStress, WritersAndStatsReaders) {
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 3;
+  constexpr int kTxnsPerWriter = 30;
+
+  cat::Database db;
+  db.create_table("T",
+                  rel::Schema({{"id", ValueType::kInt}, {"s", ValueType::kString}}));
+  core::CqManager manager(db);
+  manager.set_eager(true);  // trigger checks fire inside each commit
+  manager.install(watch_spec("watch"), nullptr);
+
+  common::Mutex engine_mu;
+  std::atomic<bool> done{false};
+  std::atomic<int> inconsistent{0};
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&manager, &done, &inconsistent] {
+      while (!done.load(std::memory_order_acquire)) {
+        // cq_stats() copies under stats_mu_; each snapshot must be
+        // internally consistent even mid-commit.
+        const auto stats = manager.cq_stats();
+        const auto it = stats.find("watch");
+        if (it == stats.end()) continue;
+        const core::CqStats& s = it->second;
+        if (s.trigger_checks != s.fired + s.suppressed) ++inconsistent;
+        obs::JsonWriter w;
+        manager.write_stats_json(w);  // also exercises the JSON walk
+      }
+    });
+  }
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int wtr = 0; wtr < kWriters; ++wtr) {
+    writers.emplace_back([wtr, &db, &engine_mu] {
+      for (int i = 0; i < kTxnsPerWriter; ++i) {
+        common::LockGuard lock(engine_mu);
+        auto txn = db.begin();
+        txn.insert("T", {Value(static_cast<std::int64_t>(wtr * 1000 + i)),
+                         Value(std::string("w"))});
+        txn.commit();
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(inconsistent.load(), 0);
+  EXPECT_EQ(db.table("T").size(),
+            static_cast<std::size_t>(kWriters) * kTxnsPerWriter);
+  const core::CqStats s = manager.cq_stats().at("watch");
+  EXPECT_EQ(s.trigger_checks, s.fired + s.suppressed);
+  // Eager mode: every commit that touched T triggered exactly one check.
+  EXPECT_EQ(s.trigger_checks, static_cast<std::uint64_t>(kWriters) * kTxnsPerWriter);
+}
+
+}  // namespace
+}  // namespace cq

@@ -315,7 +315,9 @@ TEST_F(IntrospectScope, ManagerPrometheusSectionAndResetStats) {
 
   manager.reset_stats();
   EXPECT_EQ(manager.metrics().get(common::metric::kTriggersFired), 0);
-  const auto& s = manager.cq_stats().at("watch");
+  // cq_stats() now returns a copy (the live registry is mutex-guarded), so
+  // take the value rather than a reference into the temporary.
+  const core::CqStats s = manager.cq_stats().at("watch");
   EXPECT_EQ(s.executions, 0u);
   EXPECT_EQ(s.rows_delivered, 0u);
   EXPECT_FALSE(s.finished);
@@ -430,7 +432,8 @@ TEST_F(IntrospectScope, HealthzFlipsTo503OnStaleness) {
   ASSERT_TRUE(mediator.healthy());
 
   obs::IntrospectServer server;
-  diom::serve_introspection(server, mediator);
+  common::Mutex engine_mu;  // the engine mutex is required — no null escape hatch
+  diom::serve_introspection(server, mediator, engine_mu);
   server.start(0);
 
   int status = 0;

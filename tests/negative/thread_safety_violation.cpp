@@ -1,0 +1,46 @@
+// NEGATIVE-COMPILE TEST — this file must NOT build.
+//
+// It is deliberately excluded from the CMake tree; only
+// scripts/check_thread_safety.sh compiles it, with
+// `clang++ -Wthread-safety -Werror=thread-safety`, and asserts the
+// compile FAILS. That proves the annotations in common/sync.hpp are live:
+// a guarded field touched without its mutex is a compile error, not a
+// latent data race. (Under GCC the attributes expand to nothing and this
+// file compiles — which is why the script requires clang.)
+#include <cstdint>
+
+#include "common/sync.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  // VIOLATION 1: writes value_ without holding mu_.
+  void unguarded_bump() { ++value_; }
+
+  // VIOLATION 2: declares the requirement but the caller below ignores it.
+  void bump_locked() CQ_REQUIRES(mu_) { ++value_; }
+
+  // VIOLATION 3: acquires but never releases (scoped guard misuse aside,
+  // the analysis flags the imbalance on function exit).
+  void lock_and_leak() { mu_.lock(); }
+
+  std::int64_t read() {
+    cq::common::LockGuard lock(mu_);
+    return value_;
+  }
+
+ private:
+  cq::common::Mutex mu_;
+  std::int64_t value_ CQ_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.unguarded_bump();
+  c.bump_locked();  // VIOLATION 2 (caller side): mu_ not held here
+  c.lock_and_leak();
+  return static_cast<int>(c.read());
+}
