@@ -1,0 +1,25 @@
+// The flagship target: the paper's DRA ≡ complete-re-evaluation theorem as
+// a differential fuzzing oracle. The input bytes are interpreted as a
+// transaction script plus a generated CQ (query, trigger, epsilon spec,
+// delivery mode, DRA ablation flags); the interpreter runs it against two
+// lockstep databases — one maintained by the DRA, one by full recompute —
+// and any disagreement in delivered rows OR trigger fire/suppress
+// decisions aborts with the minimized script as the reproducer.
+#include "fuzz_entry.hpp"
+#include "targets.hpp"
+#include "testing/dra_script.hpp"
+
+namespace cq::fuzz {
+
+int dra_oracle_target(const std::uint8_t* data, std::size_t size) {
+  const testing::DraScriptReport report = testing::run_dra_oracle_script(data, size);
+  if (!report.ok) {
+    violation("dra_oracle", "DRA diverged from the recompute oracle",
+              report.message.c_str());
+  }
+  return 0;
+}
+
+}  // namespace cq::fuzz
+
+CQ_FUZZ_ENTRY(cq::fuzz::dra_oracle_target)

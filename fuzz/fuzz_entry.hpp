@@ -1,0 +1,38 @@
+// Dual-personality fuzz targets. Every fuzz_<name>.cpp defines a plain
+// function cq::fuzz::<name>_target(data, size) and then invokes
+// CQ_FUZZ_ENTRY(<fn>) to emit the canonical libFuzzer entry point. Built
+// with -fsanitize=fuzzer (the `fuzz` preset, clang) the entry point is
+// driven by libFuzzer; built plainly (GCC tier-1, ASan lane) the same
+// object links against fuzz/replay_main.cpp, which replays the checked-in
+// corpus + regression files through it as a deterministic ctest case.
+//
+// Defining CQ_FUZZ_NO_ENTRY suppresses the extern "C" symbol so several
+// targets can be aggregated into one binary (tests/fuzz_regression_test).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(CQ_FUZZ_NO_ENTRY)
+#define CQ_FUZZ_ENTRY(fn)
+#else
+#define CQ_FUZZ_ENTRY(fn)                                         \
+  extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, \
+                                        std::size_t size) {       \
+    return fn(data, size);                                        \
+  }
+#endif
+
+namespace cq::fuzz {
+
+/// Oracle-violation reporter: print and abort so both libFuzzer and the
+/// replay driver flag the input (abort, not exit, so ASan prints a trace).
+[[noreturn]] inline void violation(const char* target, const char* what,
+                                   const char* detail) {
+  std::fprintf(stderr, "[%s] ORACLE VIOLATION: %s\n%s\n", target, what, detail);
+  std::abort();
+}
+
+}  // namespace cq::fuzz

@@ -1,0 +1,174 @@
+// Expression-evaluator target: decode the input bytes into (a) a tuple of
+// adversarial scalar Values — NULLs, INT64 extremes, arbitrary double bit
+// patterns including NaN/Inf, strings with quotes — and (b) a random
+// expression tree over those columns, then evaluate.
+//
+// Oracles:
+//   1. eval/eval_bool either return a Value or throw a typed error
+//      (NotFound for bad columns, InvalidArgument past kMaxEvalDepth);
+//      signed-overflow UB or stack overflow is a crash the sanitizers flag.
+//   2. Evaluation is deterministic: the same tree over the same tuple
+//      yields the same Value twice.
+//   3. Integer arithmetic that would overflow yields NULL, never a wrong
+//      wrapped value (checked against __int128 ground truth for the
+//      top-level node when both operands are INT).
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "algebra/expr.hpp"
+#include "common/error.hpp"
+#include "fuzz_entry.hpp"
+#include "relation/schema.hpp"
+#include "relation/tuple.hpp"
+#include "testing/fuzz_input.hpp"
+
+namespace cq::fuzz {
+
+namespace {
+
+using alg::Expr;
+using alg::ExprPtr;
+using rel::Value;
+using testing::ByteReader;
+
+const char* const kColumns[] = {"b", "i", "j", "d", "s"};
+
+Value random_value(ByteReader& in) {
+  switch (in.index(8)) {
+    case 0: return Value::null();
+    case 1: return Value(in.flip());
+    case 2: return Value(in.i64());  // full range, INT64_MIN included
+    case 3: return Value(static_cast<std::int64_t>(in.range(-8, 8)));
+    case 4: {
+      std::uint64_t bits = static_cast<std::uint64_t>(in.i64());
+      double d = 0;
+      std::memcpy(&d, &bits, sizeof(d));  // NaN, Inf, denormals — all fair
+      return Value(d);
+    }
+    case 5: return Value(in.str(12));
+    case 6: return Value(std::string("a'b\"c\\"));  // quoting stress
+    default: return Value(static_cast<std::int64_t>(in.range(0, 100)));
+  }
+}
+
+ExprPtr random_expr(ByteReader& in, std::size_t depth) {
+  if (depth == 0 || in.index(3) == 0) {
+    return in.flip() ? Expr::col(kColumns[in.index(std::size(kColumns))])
+                     : Expr::lit(random_value(in));
+  }
+  switch (in.index(7)) {
+    case 0: {
+      static constexpr alg::CmpOp kOps[] = {alg::CmpOp::kEq, alg::CmpOp::kNe,
+                                            alg::CmpOp::kLt, alg::CmpOp::kLe,
+                                            alg::CmpOp::kGt, alg::CmpOp::kGe};
+      return Expr::cmp(kOps[in.index(std::size(kOps))], random_expr(in, depth - 1),
+                       random_expr(in, depth - 1));
+    }
+    case 1: {
+      static constexpr alg::ArithOp kOps[] = {alg::ArithOp::kAdd, alg::ArithOp::kSub,
+                                              alg::ArithOp::kMul, alg::ArithOp::kDiv};
+      return Expr::arith(kOps[in.index(std::size(kOps))], random_expr(in, depth - 1),
+                         random_expr(in, depth - 1));
+    }
+    case 2:
+      return in.flip() ? Expr::logical_and(random_expr(in, depth - 1),
+                                           random_expr(in, depth - 1))
+                       : Expr::logical_or(random_expr(in, depth - 1),
+                                          random_expr(in, depth - 1));
+    case 3: return Expr::logical_not(random_expr(in, depth - 1));
+    case 4: return Expr::is_null(random_expr(in, depth - 1), in.flip());
+    case 5: {
+      std::vector<Value> list;
+      const std::size_t n = in.index(4);
+      for (std::size_t i = 0; i < n; ++i) list.push_back(random_value(in));
+      return Expr::in_list(random_expr(in, depth - 1), std::move(list), in.flip());
+    }
+    default:
+      return in.flip()
+                 ? Expr::between(random_expr(in, depth - 1), random_value(in),
+                                 random_value(in))
+                 : Expr::like_prefix(random_expr(in, depth - 1), in.str(6));
+  }
+}
+
+/// A pathological linear chain: depth comes straight from the input so the
+/// fuzzer can push past Expr::kMaxEvalDepth and hit the typed ceiling.
+ExprPtr deep_chain(ByteReader& in) {
+  const std::size_t depth = in.u32() % (2 * Expr::kMaxEvalDepth);
+  ExprPtr e = Expr::col("i");
+  for (std::size_t i = 0; i < depth; ++i) {
+    e = in.flip() ? Expr::arith(alg::ArithOp::kAdd, std::move(e), Expr::lit(Value(1)))
+                  : Expr::logical_not(std::move(e));
+  }
+  return e;
+}
+
+}  // namespace
+
+int expr_eval_target(const std::uint8_t* data, std::size_t size) {
+  ByteReader in(data, size);
+  const auto schema = rel::Schema::of({{"b", rel::ValueType::kBool},
+                                       {"i", rel::ValueType::kInt},
+                                       {"j", rel::ValueType::kInt},
+                                       {"d", rel::ValueType::kDouble},
+                                       {"s", rel::ValueType::kString}});
+  std::vector<Value> values;
+  values.reserve(schema.size());
+  values.push_back(in.flip() ? Value(in.flip()) : Value::null());
+  values.push_back(Value(in.i64()));
+  values.push_back(Value(in.i64()));
+  values.push_back(random_value(in));
+  values.push_back(Value(in.str(8)));
+  const rel::Tuple tuple(values);
+
+  const ExprPtr expr = in.index(8) == 0 ? deep_chain(in) : random_expr(in, 5);
+
+  Value first;
+  bool threw = false;
+  try {
+    first = expr->eval(tuple, schema);
+  } catch (const common::Error&) {
+    threw = true;  // typed rejection (depth ceiling etc.): fine
+  }
+  try {
+    const Value second = expr->eval(tuple, schema);
+    if (threw) {
+      violation("expr_eval", "eval threw once then succeeded",
+                expr->to_string().c_str());
+    }
+    if (!(first == second)) {
+      violation("expr_eval", "eval is nondeterministic", expr->to_string().c_str());
+    }
+  } catch (const common::Error&) {
+    if (!threw) {
+      violation("expr_eval", "eval succeeded once then threw",
+                expr->to_string().c_str());
+    }
+  }
+
+  // Ground-truth overflow check on a fresh top-level arith node.
+  const std::int64_t lhs = values[1].as_int();
+  const std::int64_t rhs = values[2].as_int();
+  const auto node = Expr::arith(alg::ArithOp::kAdd, Expr::col("i"), Expr::col("j"));
+  const Value sum = node->eval(tuple, schema);
+  const __int128 wide = static_cast<__int128>(lhs) + static_cast<__int128>(rhs);
+  if (wide >= INT64_MIN && wide <= INT64_MAX) {
+    if (sum.is_null() || sum.as_int() != static_cast<std::int64_t>(wide)) {
+      violation("expr_eval", "in-range INT addition wrong", node->to_string().c_str());
+    }
+  } else if (!sum.is_null()) {
+    violation("expr_eval", "overflowing INT addition did not yield NULL",
+              node->to_string().c_str());
+  }
+
+  try {
+    (void)expr->eval_bool(tuple, schema);
+  } catch (const common::Error&) {
+  }
+  return 0;
+}
+
+}  // namespace cq::fuzz
+
+CQ_FUZZ_ENTRY(cq::fuzz::expr_eval_target)

@@ -1,0 +1,77 @@
+// SQL front-end target: the input bytes ARE the SQL text (so the fuzz
+// dictionary fuzz/dict/sql.dict and corpus seeds stay human-readable).
+//
+// Oracles:
+//   1. parse_query / parse_predicate either succeed or throw a typed
+//      cq::common::Error — any other escape is a crash.
+//   2. Render/reparse fixed point: a validated parse renders via
+//      to_string() to SQL that reparses to the identical rendering.
+#include <string>
+
+#include "common/error.hpp"
+#include "fuzz_entry.hpp"
+#include "query/parser.hpp"
+#include "targets.hpp"
+
+namespace cq::fuzz {
+
+namespace {
+
+constexpr std::size_t kMaxInput = 4096;  // parser is O(n); keep execs/s high
+
+void check_query_round_trip(const std::string& text) {
+  qry::SpjQuery query;
+  try {
+    query = qry::parse_query(text);
+    query.validate();
+  } catch (const common::Error&) {
+    return;  // rejected input: fine
+  }
+  const std::string rendered = query.to_string();
+  try {
+    const qry::SpjQuery reparsed = qry::parse_query(rendered);
+    reparsed.validate();
+    const std::string rendered2 = reparsed.to_string();
+    if (rendered2 != rendered) {
+      violation("sql_parser", "render/reparse not a fixed point",
+                ("first:  " + rendered + "\nsecond: " + rendered2).c_str());
+    }
+  } catch (const common::Error& e) {
+    violation("sql_parser", "rendering of a valid query failed to reparse",
+              (rendered + "\nerror: " + e.what()).c_str());
+  }
+}
+
+void check_predicate_round_trip(const std::string& text) {
+  alg::ExprPtr parsed;
+  try {
+    parsed = qry::parse_predicate(text);
+  } catch (const common::Error&) {
+    return;
+  }
+  const std::string rendered = parsed->to_string();
+  try {
+    const std::string rendered2 = qry::parse_predicate(rendered)->to_string();
+    if (rendered2 != rendered) {
+      violation("sql_parser", "predicate render/reparse not a fixed point",
+                ("first:  " + rendered + "\nsecond: " + rendered2).c_str());
+    }
+  } catch (const common::Error& e) {
+    violation("sql_parser", "rendering of a valid predicate failed to reparse",
+              (rendered + "\nerror: " + e.what()).c_str());
+  }
+}
+
+}  // namespace
+
+int sql_parser_target(const std::uint8_t* data, std::size_t size) {
+  if (size > kMaxInput) size = kMaxInput;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  check_query_round_trip(text);
+  check_predicate_round_trip(text);
+  return 0;
+}
+
+}  // namespace cq::fuzz
+
+CQ_FUZZ_ENTRY(cq::fuzz::sql_parser_target)

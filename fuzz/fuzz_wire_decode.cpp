@@ -1,0 +1,115 @@
+// Decoder target: raw attacker-controlled bytes into the persist/wire
+// deserializers. The first byte routes to one decoder; the rest is payload.
+//
+// Oracles:
+//   1. Decoders either succeed or throw a typed error — no OOM from
+//      attacker-chosen counts (Decoder::check_count), no overflowing
+//      offset math, no uncaught std exceptions.
+//   2. Canonical encoding: every decoder rejects trailing bytes, so a
+//      successful decode must re-encode to exactly the input bytes
+//      (relation/delta/manifest round trips) or to a blob that decodes to
+//      an equal structure (whole-database snapshots, where tid counters
+//      are not part of the value).
+#include <string>
+#include <vector>
+
+#include "catalog/database.hpp"
+#include "common/error.hpp"
+#include "diom/wire.hpp"
+#include "fuzz_entry.hpp"
+#include "persist/snapshot.hpp"
+#include "targets.hpp"
+
+namespace cq::fuzz {
+
+namespace {
+
+using diom::Bytes;
+
+void check_relation(const Bytes& payload) {
+  const auto schema = rel::Schema::of({{"i", rel::ValueType::kInt},
+                                       {"s", rel::ValueType::kString},
+                                       {"d", rel::ValueType::kDouble}});
+  rel::Relation decoded;
+  try {
+    decoded = diom::decode_relation(payload, schema);
+  } catch (const common::Error&) {
+    return;
+  }
+  if (diom::encode_relation(decoded) != payload) {
+    violation("wire_decode", "relation decode/encode not canonical",
+              decoded.to_string().c_str());
+  }
+}
+
+void check_deltas(const Bytes& payload) {
+  std::vector<delta::DeltaRow> rows;
+  try {
+    rows = diom::decode_deltas(payload, /*arity=*/2);
+  } catch (const common::Error&) {
+    return;
+  }
+  if (diom::encode_deltas(rows) != payload) {
+    violation("wire_decode", "delta decode/encode not canonical",
+              std::to_string(rows.size()).c_str());
+  }
+}
+
+void check_manifest(const Bytes& payload) {
+  std::vector<persist::CqManifestEntry> entries;
+  try {
+    entries = persist::decode_manifest(payload);
+  } catch (const common::Error&) {
+    return;
+  }
+  if (persist::encode_manifest(entries) != payload) {
+    violation("wire_decode", "manifest decode/encode not canonical",
+              std::to_string(entries.size()).c_str());
+  }
+}
+
+void check_database(const Bytes& payload) {
+  try {
+    const cat::Database db = persist::load_database(payload);
+    // Save/reload: the reloaded database must describe the same tables.
+    const Bytes saved = persist::save_database(db);
+    const cat::Database again = persist::load_database(saved);
+    if (db.table_names() != again.table_names()) {
+      violation("wire_decode", "database save/load changed the table set", "");
+    }
+    for (const auto& name : db.table_names()) {
+      if (!db.table(name).equal_multiset(again.table(name))) {
+        violation("wire_decode", "database save/load changed table contents",
+                  name.c_str());
+      }
+    }
+  } catch (const common::Error&) {
+  }
+}
+
+void check_snapshot(const Bytes& payload) {
+  try {
+    (void)persist::decode_snapshot(payload);
+  } catch (const common::Error&) {
+  }
+}
+
+}  // namespace
+
+int wire_decode_target(const std::uint8_t* data, std::size_t size) {
+  if (size == 0) return 0;
+  const std::uint8_t route = data[0];
+  const Bytes payload(data + 1, data + size);
+  switch (route % 5) {
+    case 0: check_relation(payload); break;
+    case 1: check_deltas(payload); break;
+    case 2: check_manifest(payload); break;
+    case 3: check_database(payload); break;
+    default: check_snapshot(payload); break;
+  }
+  return 0;
+}
+
+}  // namespace cq::fuzz
+
+CQ_FUZZ_ENTRY(cq::fuzz::wire_decode_target)

@@ -1,0 +1,99 @@
+// Seed-corpus generator: `fuzz_make_seeds <repo>/fuzz/corpus` re-emits the
+// binary seeds for the wire_decode target (and a structured starter script
+// for dra_oracle). The wire/persist encodings are canonical and versioned
+// by the code, not by hand — regenerate and commit after a format change.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "catalog/database.hpp"
+#include "catalog/transaction.hpp"
+#include "cq/manager.hpp"
+#include "diom/wire.hpp"
+#include "persist/snapshot.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using Bytes = cq::diom::Bytes;
+
+void write_seed(const fs::path& dir, const std::string& name, std::uint8_t route,
+                const Bytes& payload) {
+  fs::create_directories(dir);
+  const fs::path path = dir / name;
+  std::FILE* f = std::fopen(path.string().c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.string().c_str());
+    std::exit(2);
+  }
+  std::fwrite(&route, 1, 1, f);
+  if (!payload.empty()) std::fwrite(payload.data(), 1, payload.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s (%zu bytes)\n", path.string().c_str(), payload.size() + 1);
+}
+
+cq::cat::Database sample_database() {
+  cq::cat::Database db;
+  db.create_table("S", cq::rel::Schema::of({{"id", cq::rel::ValueType::kInt},
+                                            {"category", cq::rel::ValueType::kString},
+                                            {"price", cq::rel::ValueType::kInt},
+                                            {"qty", cq::rel::ValueType::kInt}}));
+  db.create_index("S", "s_cat", {"category"});
+  auto txn = db.begin();
+  (void)txn.insert("S", {std::int64_t{1}, "red", std::int64_t{10}, std::int64_t{2}});
+  (void)txn.insert("S", {std::int64_t{2}, "blue", std::int64_t{20}, std::int64_t{3}});
+  auto tid = txn.insert("S", {std::int64_t{3}, "gold", std::int64_t{30}, std::int64_t{4}});
+  txn.commit();
+  auto txn2 = db.begin();
+  txn2.modify("S", tid, {std::int64_t{3}, "gold", std::int64_t{35}, std::int64_t{4}});
+  txn2.commit();
+  return db;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <corpus-root-dir>\n", argv[0]);
+    return 2;
+  }
+  const fs::path wire_dir = fs::path(argv[1]) / "wire_decode";
+
+  // Route 0: a relation over the fixed fuzz schema (i INT, s STRING, d DOUBLE).
+  cq::rel::Relation relation(cq::rel::Schema::of({{"i", cq::rel::ValueType::kInt},
+                                                  {"s", cq::rel::ValueType::kString},
+                                                  {"d", cq::rel::ValueType::kDouble}}));
+  relation.append(cq::rel::Tuple({std::int64_t{7}, "seed", 1.5}));
+  relation.append(cq::rel::Tuple({std::int64_t{-1}, "", 0.0}));
+  relation.append(cq::rel::Tuple({cq::rel::Value::null(), "n'l", -2.25}));
+  write_seed(wire_dir, "relation.bin", 0, cq::diom::encode_relation(relation));
+
+  // Route 1: a delta batch (insert / delete / modify), arity 2.
+  std::vector<cq::delta::DeltaRow> deltas;
+  deltas.push_back({cq::rel::TupleId(1), std::nullopt,
+                    std::vector<cq::rel::Value>{std::int64_t{1}, "a"},
+                    cq::common::Timestamp(3)});
+  deltas.push_back({cq::rel::TupleId(2),
+                    std::vector<cq::rel::Value>{std::int64_t{2}, "b"}, std::nullopt,
+                    cq::common::Timestamp(4)});
+  deltas.push_back({cq::rel::TupleId(3),
+                    std::vector<cq::rel::Value>{std::int64_t{3}, "c"},
+                    std::vector<cq::rel::Value>{std::int64_t{3}, "d"},
+                    cq::common::Timestamp(5)});
+  write_seed(wire_dir, "deltas.bin", 1, cq::diom::encode_deltas(deltas));
+
+  // Route 2: a CQ manifest.
+  std::vector<cq::persist::CqManifestEntry> manifest;
+  manifest.push_back({"cq", cq::common::Timestamp(9), 4});
+  manifest.push_back({"watch", cq::common::Timestamp(2), 1});
+  write_seed(wire_dir, "manifest.bin", 2, cq::persist::encode_manifest(manifest));
+
+  // Routes 3/4: a whole database and a database+manifest snapshot.
+  cq::cat::Database db = sample_database();
+  write_seed(wire_dir, "database.bin", 3, cq::persist::save_database(db));
+  cq::core::CqManager manager(db);
+  write_seed(wire_dir, "snapshot.bin", 4, cq::persist::encode_snapshot(db, manager));
+  return 0;
+}

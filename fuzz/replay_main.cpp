@@ -1,0 +1,83 @@
+// Replay driver: links against one fuzz_<name>.cpp object in builds
+// without -fsanitize=fuzzer (GCC tier-1, the ASan lane) and feeds every
+// file of the directories/files named on the command line through the
+// target. This is what makes the corpus a deterministic regression suite:
+// ctest registers `fuzz_replay_<name> corpus/<name> regressions/<name>`
+// for every target (see fuzz/CMakeLists.txt).
+//
+// Exit status: 0 when every input was replayed (an oracle violation aborts
+// before returning), 2 on usage/IO errors.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool read_file(const fs::path& path, std::vector<std::uint8_t>& out) {
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  if (f == nullptr) return false;
+  out.clear();
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.insert(out.end(), buf, buf + n);
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+/// Regular files of `dir`, dotfiles skipped, sorted by name so replays are
+/// deterministic across filesystems.
+std::vector<fs::path> collect(const fs::path& root) {
+  std::vector<fs::path> files;
+  if (fs::is_directory(root)) {
+    for (const auto& entry : fs::directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (!name.empty() && name[0] == '.') continue;
+      files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+  } else if (fs::is_regular_file(root)) {
+    files.push_back(root);
+  }
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-dir-or-file>...\n", argv[0]);
+    return 2;
+  }
+  std::size_t replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const fs::path root(argv[i]);
+    if (!fs::exists(root)) {
+      // Missing regression dirs are fine (no crashers promoted yet).
+      continue;
+    }
+    for (const fs::path& file : collect(root)) {
+      std::vector<std::uint8_t> bytes;
+      if (!read_file(file, bytes)) {
+        std::fprintf(stderr, "cannot read %s\n", file.string().c_str());
+        return 2;
+      }
+      std::printf("replay %s (%zu bytes)\n", file.string().c_str(), bytes.size());
+      std::fflush(stdout);
+      (void)LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+      ++replayed;
+    }
+  }
+  std::printf("replayed %zu inputs\n", replayed);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// The four fuzz targets, as plain functions. Each returns 0 (libFuzzer
+// convention) or aborts on an oracle violation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cq::fuzz {
+
+/// SQL text -> lexer -> parser -> validate -> render -> reparse fixed point.
+int sql_parser_target(const std::uint8_t* data, std::size_t size);
+
+/// Byte-built expression trees evaluated over byte-built tuples: typed
+/// errors only, deterministic results, overflow -> NULL (never UB).
+int expr_eval_target(const std::uint8_t* data, std::size_t size);
+
+/// Raw bytes into the persist/wire decoders; successful decodes must
+/// re-encode canonically.
+int wire_decode_target(const std::uint8_t* data, std::size_t size);
+
+/// Structure-aware transaction script driving DRA vs full recompute
+/// (tests/testing/dra_script.hpp); any divergence aborts.
+int dra_oracle_target(const std::uint8_t* data, std::size_t size);
+
+}  // namespace cq::fuzz

@@ -18,11 +18,19 @@ Rules (scoped to src/ and examples/ unless noted):
   pragma-once     Every header (src/, tests/, examples/, bench/) starts its
                   include-guard life with #pragma once.
 
-  iostream        Library code (src/) neither includes <iostream> nor
-                  writes to std::cout/cerr/clog — logging goes through
-                  cq::log (common/logging.hpp), whose implementation file
-                  is the single sanctioned exception. Examples and tests
-                  are programs and may print.
+  iostream        Library code (src/) and fuzz harnesses (fuzz/) neither
+                  include <iostream> nor write to std::cout/cerr/clog —
+                  library code logs through cq::log (common/logging.hpp,
+                  whose implementation file is the single sanctioned
+                  exception); fuzz harnesses print via <cstdio> so libFuzzer
+                  output interleaves sanely. Examples and tests are
+                  programs and may print.
+
+  fuzz-corpus     Every fuzz target fuzz/fuzz_<name>.cpp ships a non-empty
+                  seed corpus fuzz/corpus/<name>/ and is registered in
+                  fuzz/CMakeLists.txt (CQ_FUZZ_TARGETS drives both the
+                  libFuzzer binaries and the fuzz_replay_<name> ctest
+                  cases — an unregistered target never replays in CI).
 
 Usage:
   scripts/lint_invariants.py             lint the tree; exit 0 clean, 1 dirty
@@ -72,8 +80,8 @@ def lint_tree(repo: Path) -> list[str]:
                 )
         return out
 
-    # raw-mutex + string-counter: src/ and examples/.
-    for path in iter_files("src", "examples", suffixes=(".hpp", ".cpp", ".h")):
+    # raw-mutex + string-counter: src/, examples/ and fuzz/.
+    for path in iter_files("src", "examples", "fuzz", suffixes=(".hpp", ".cpp", ".h")):
         rp = rel(path)
         for lineno, line in enumerate(path.read_text().splitlines(), 1):
             if COMMENT_RE.match(line):
@@ -91,13 +99,14 @@ def lint_tree(repo: Path) -> list[str]:
                 )
 
     # pragma-once: every header anywhere we compile from.
-    for path in iter_files("src", "tests", "examples", "bench", suffixes=(".hpp", ".h")):
+    for path in iter_files("src", "tests", "examples", "bench", "fuzz",
+                           suffixes=(".hpp", ".h")):
         text = path.read_text()
         if "#pragma once" not in text:
             errors.append(f"{rel(path)}:1: pragma-once: header lacks #pragma once")
 
-    # iostream: library code only.
-    for path in iter_files("src", suffixes=(".hpp", ".cpp", ".h")):
+    # iostream: library code and fuzz harnesses (cstdio only there).
+    for path in iter_files("src", "fuzz", suffixes=(".hpp", ".cpp", ".h")):
         rp = rel(path)
         if rp in IOSTREAM_ALLOWED:
             continue
@@ -110,6 +119,28 @@ def lint_tree(repo: Path) -> list[str]:
                     "log through cq::log (common/logging.hpp)"
                 )
 
+    # fuzz-corpus: each fuzz target needs seeds and a replay registration.
+    fuzz_dir = repo / "fuzz"
+    if fuzz_dir.is_dir():
+        cmake_file = fuzz_dir / "CMakeLists.txt"
+        cmake_text = cmake_file.read_text() if cmake_file.is_file() else ""
+        for path in sorted(fuzz_dir.glob("fuzz_*.cpp")):
+            name = path.stem[len("fuzz_"):]
+            corpus = fuzz_dir / "corpus" / name
+            if not corpus.is_dir() or not any(
+                p for p in corpus.iterdir() if not p.name.startswith(".")
+            ):
+                errors.append(
+                    f"{rel(path)}:1: fuzz-corpus: target '{name}' has no non-empty "
+                    f"seed corpus fuzz/corpus/{name}/"
+                )
+            if not re.search(rf"\b{re.escape(name)}\b", cmake_text):
+                errors.append(
+                    f"{rel(path)}:1: fuzz-corpus: target '{name}' not registered in "
+                    "fuzz/CMakeLists.txt (add it to CQ_FUZZ_TARGETS so the "
+                    "fuzz_replay ctest case exists)"
+                )
+
     return errors
 
 
@@ -120,6 +151,7 @@ def self_test() -> int:
         "string-counter": ("src/bad_counter.cpp", 'void f(M& m) { m.add("ad_hoc", 1); }\n'),
         "pragma-once": ("src/bad_header.hpp", "struct NoGuard {};\n"),
         "iostream": ("src/bad_print.cpp", "#include <iostream>\n"),
+        "fuzz-corpus": ("fuzz/fuzz_orphan.cpp", "int orphan_target();\n"),
     }
     failures = 0
     for rule, (relpath, content) in cases.items():

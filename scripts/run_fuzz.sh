@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Time-boxed libFuzzer driver for the targets in fuzz/.
+#
+#   scripts/run_fuzz.sh [-t seconds] [-j jobs] [target ...]
+#
+# Runs each requested target (default: all four) for the time box against
+# its checked-in seed corpus plus a scratch working corpus, then:
+#   * triages: any crash-*/timeout-*/oom-* artifact is minimized
+#     (-minimize_crash) and reported; exit 1 when new crashers exist,
+#   * minimizes: merges the working corpus back over the seeds (-merge=1)
+#     and prints which new seed files are worth committing.
+#
+# Requires a build with the `fuzz` preset (clang + libFuzzer):
+#   cmake --preset fuzz && cmake --build build-fuzz -j
+#
+# CI smoke mode is just a small time box: scripts/run_fuzz.sh -t 60.
+set -euo pipefail
+
+REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO/build-fuzz}"
+TIME_BOX=300
+JOBS=1
+ALL_TARGETS=(sql_parser expr_eval wire_decode dra_oracle)
+
+while getopts "t:j:h" opt; do
+  case "$opt" in
+    t) TIME_BOX="$OPTARG" ;;
+    j) JOBS="$OPTARG" ;;
+    h) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+TARGETS=("${@:-${ALL_TARGETS[@]}}")
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "error: $BUILD_DIR missing — build the 'fuzz' preset first:" >&2
+  echo "  cmake --preset fuzz && cmake --build build-fuzz -j" >&2
+  exit 2
+fi
+
+status=0
+for target in "${TARGETS[@]}"; do
+  bin="$BUILD_DIR/fuzz/fuzz_$target"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not built" >&2
+    status=2
+    continue
+  fi
+  seed_dir="$REPO/fuzz/corpus/$target"
+  regress_dir="$REPO/fuzz/regressions/$target"
+  work_dir="$BUILD_DIR/fuzz-work/$target"
+  artifact_dir="$BUILD_DIR/fuzz-artifacts/$target"
+  mkdir -p "$work_dir" "$artifact_dir"
+
+  dict_args=()
+  [[ "$target" == sql_parser && -f "$REPO/fuzz/dict/sql.dict" ]] &&
+    dict_args=(-dict="$REPO/fuzz/dict/sql.dict")
+
+  echo "=== fuzz_$target: ${TIME_BOX}s, jobs=$JOBS ==="
+  # Regression crashers replay first (fast fail on a reintroduced bug).
+  if [[ -d "$regress_dir" && -n "$(ls -A "$regress_dir" 2>/dev/null)" ]]; then
+    "$bin" "${dict_args[@]}" "$regress_dir"/* >/dev/null
+  fi
+  set +e
+  "$bin" "${dict_args[@]}" \
+    -max_total_time="$TIME_BOX" -jobs="$JOBS" -workers="$JOBS" \
+    -print_final_stats=1 -artifact_prefix="$artifact_dir/" \
+    "$work_dir" "$seed_dir"
+  rc=$?
+  set -e
+  if [[ $rc -ne 0 ]]; then
+    echo "fuzz_$target exited with $rc — triaging artifacts" >&2
+    status=1
+  fi
+
+  # Triage: minimize every crash artifact so the reproducer committed to
+  # fuzz/regressions/<target>/ is as small as libFuzzer can make it.
+  shopt -s nullglob
+  for artifact in "$artifact_dir"/crash-* "$artifact_dir"/timeout-* "$artifact_dir"/oom-*; do
+    echo "--- minimizing $(basename "$artifact")" >&2
+    set +e
+    "$bin" -minimize_crash=1 -runs=2000 -exact_artifact_path="$artifact.min" \
+      "$artifact" >/dev/null 2>&1
+    set -e
+    repro="$artifact"
+    [[ -s "$artifact.min" ]] && repro="$artifact.min"
+    echo "NEW CRASHER: $repro" >&2
+    echo "  promote with: cp '$repro' '$regress_dir/'" >&2
+    status=1
+  done
+  shopt -u nullglob
+
+  # Corpus minimization: fold the working corpus back over the seeds and
+  # list new coverage-increasing inputs worth committing.
+  merged_dir="$BUILD_DIR/fuzz-merged/$target"
+  rm -rf "$merged_dir" && mkdir -p "$merged_dir"
+  "$bin" -merge=1 "$merged_dir" "$seed_dir" "$work_dir" >/dev/null 2>&1 || true
+  new_seeds=$(comm -23 <(ls "$merged_dir" | sort) <(ls "$seed_dir" | sort) | wc -l)
+  echo "fuzz_$target: $(ls "$merged_dir" | wc -l) corpus files after merge ($new_seeds new; see $merged_dir)"
+done
+
+exit $status

@@ -1,5 +1,6 @@
 #include "algebra/expr.hpp"
 
+#include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -152,12 +153,28 @@ Value arith_values(ArithOp op, const Value& a, const Value& b) {
   if (a.type() == ValueType::kInt && b.type() == ValueType::kInt) {
     const auto x = a.as_int();
     const auto y = b.as_int();
+    // INT64 overflow yields NULL, the same undefined-arithmetic result as
+    // x/0. A thrown error here would break DRA ≡ recompute equivalence:
+    // the full re-evaluation oracle touches every base row while the DRA
+    // only touches deltas, so an overflowing row outside the delta zone
+    // would crash one side and not the other. NULL keeps evaluation a
+    // total, per-tuple-deterministic function (and UBSan-clean).
+    std::int64_t r = 0;
     switch (op) {
-      case ArithOp::kAdd: return Value(x + y);
-      case ArithOp::kSub: return Value(x - y);
-      case ArithOp::kMul: return Value(x * y);
+      case ArithOp::kAdd:
+        if (__builtin_add_overflow(x, y, &r)) return Value::null();
+        return Value(r);
+      case ArithOp::kSub:
+        if (__builtin_sub_overflow(x, y, &r)) return Value::null();
+        return Value(r);
+      case ArithOp::kMul:
+        if (__builtin_mul_overflow(x, y, &r)) return Value::null();
+        return Value(r);
       case ArithOp::kDiv:
         if (y == 0) return Value::null();
+        if (x == std::numeric_limits<std::int64_t>::min() && y == -1) {
+          return Value::null();  // the one overflowing division
+        }
         return Value(x / y);
     }
   }
@@ -176,35 +193,43 @@ Value arith_values(ArithOp op, const Value& a, const Value& b) {
 }  // namespace
 
 Value Expr::eval(const rel::Tuple& tuple, const rel::Schema& schema) const {
+  return eval_at(tuple, schema, 0);
+}
+
+Value Expr::eval_at(const rel::Tuple& tuple, const rel::Schema& schema,
+                    std::size_t depth) const {
+  if (depth >= kMaxEvalDepth) {
+    throw common::InvalidArgument("Expr::eval: expression nesting too deep");
+  }
   switch (kind_) {
     case Kind::kLiteral:
       return literal_;
     case Kind::kColumn:
       return tuple.at(schema.index_of(column_));
     case Kind::kCompare:
-      return Value(compare_values(cmp_, children_[0]->eval(tuple, schema),
-                                  children_[1]->eval(tuple, schema)));
+      return Value(compare_values(cmp_, children_[0]->eval_at(tuple, schema, depth + 1),
+                                  children_[1]->eval_at(tuple, schema, depth + 1)));
     case Kind::kArith:
-      return arith_values(arith_, children_[0]->eval(tuple, schema),
-                          children_[1]->eval(tuple, schema));
+      return arith_values(arith_, children_[0]->eval_at(tuple, schema, depth + 1),
+                          children_[1]->eval_at(tuple, schema, depth + 1));
     case Kind::kLogical:
       switch (logic_) {
         case BoolOp::kAnd:
-          return Value(children_[0]->eval_bool(tuple, schema) &&
-                       children_[1]->eval_bool(tuple, schema));
+          return Value(children_[0]->eval_bool_at(tuple, schema, depth + 1) &&
+                       children_[1]->eval_bool_at(tuple, schema, depth + 1));
         case BoolOp::kOr:
-          return Value(children_[0]->eval_bool(tuple, schema) ||
-                       children_[1]->eval_bool(tuple, schema));
+          return Value(children_[0]->eval_bool_at(tuple, schema, depth + 1) ||
+                       children_[1]->eval_bool_at(tuple, schema, depth + 1));
         case BoolOp::kNot:
-          return Value(!children_[0]->eval_bool(tuple, schema));
+          return Value(!children_[0]->eval_bool_at(tuple, schema, depth + 1));
       }
       return Value(false);
     case Kind::kIsNull: {
-      const bool null = children_[0]->eval(tuple, schema).is_null();
+      const bool null = children_[0]->eval_at(tuple, schema, depth + 1).is_null();
       return Value(negated_ ? !null : null);
     }
     case Kind::kIn: {
-      const Value v = children_[0]->eval(tuple, schema);
+      const Value v = children_[0]->eval_at(tuple, schema, depth + 1);
       if (v.is_null()) return Value(false);
       bool found = false;
       for (const auto& candidate : values_) {
@@ -216,12 +241,12 @@ Value Expr::eval(const rel::Tuple& tuple, const rel::Schema& schema) const {
       return Value(negated_ ? !found : found);
     }
     case Kind::kBetween: {
-      const Value v = children_[0]->eval(tuple, schema);
+      const Value v = children_[0]->eval_at(tuple, schema, depth + 1);
       return Value(compare_values(CmpOp::kGe, v, values_[0]) &&
                    compare_values(CmpOp::kLe, v, values_[1]));
     }
     case Kind::kLike: {
-      const Value v = children_[0]->eval(tuple, schema);
+      const Value v = children_[0]->eval_at(tuple, schema, depth + 1);
       if (v.type() != ValueType::kString) return Value(false);
       const auto& s = v.as_string();
       return Value(s.size() >= prefix_.size() &&
@@ -232,7 +257,12 @@ Value Expr::eval(const rel::Tuple& tuple, const rel::Schema& schema) const {
 }
 
 bool Expr::eval_bool(const rel::Tuple& tuple, const rel::Schema& schema) const {
-  const Value v = eval(tuple, schema);
+  return eval_bool_at(tuple, schema, 0);
+}
+
+bool Expr::eval_bool_at(const rel::Tuple& tuple, const rel::Schema& schema,
+                        std::size_t depth) const {
+  const Value v = eval_at(tuple, schema, depth);
   return v.type() == ValueType::kBool && v.as_bool();
 }
 
@@ -324,9 +354,14 @@ std::string Expr::to_string() const {
       os << children_[0]->to_string() << " BETWEEN " << values_[0].to_string() << " AND "
          << values_[1].to_string();
       break;
-    case Kind::kLike:
-      os << children_[0]->to_string() << " LIKE '" << prefix_ << "%'";
+    case Kind::kLike: {
+      os << children_[0]->to_string() << " LIKE ";
+      // Render through Value quoting so embedded quotes re-parse (the parser
+      // re-validates the prefix-only shape on the way back in).
+      std::string pattern = Value(prefix_ + "%").to_string();
+      os << pattern;
       break;
+    }
   }
   return os.str();
 }

@@ -79,6 +79,12 @@ class Expr {
 
   // ---- evaluation ----
 
+  /// Deepest expression tree eval() will walk before raising InvalidArgument.
+  /// Programmatically built trees can exceed the parser's nesting cap; the
+  /// evaluator enforces its own ceiling so adversarial trees fail with a
+  /// typed error instead of a stack overflow.
+  static constexpr std::size_t kMaxEvalDepth = 512;
+
   /// Evaluate over one tuple described by `schema`. Throws NotFound when a
   /// referenced column is missing.
   [[nodiscard]] rel::Value eval(const rel::Tuple& tuple, const rel::Schema& schema) const;
@@ -108,6 +114,10 @@ class Expr {
  private:
   Expr() = default;
   [[nodiscard]] static std::shared_ptr<Expr> make_node();
+  [[nodiscard]] rel::Value eval_at(const rel::Tuple& tuple, const rel::Schema& schema,
+                                   std::size_t depth) const;
+  [[nodiscard]] bool eval_bool_at(const rel::Tuple& tuple, const rel::Schema& schema,
+                                  std::size_t depth) const;
   [[nodiscard]] ExprPtr rewrite_impl(
       const std::function<std::string(const std::string&)>& rename) const;
 

@@ -56,7 +56,9 @@ void Decoder::check_count(std::size_t count, std::size_t min_bytes_each) const {
 }
 
 void Decoder::need(std::size_t n) const {
-  if (pos_ + n > bytes_.size()) {
+  // pos_ <= size() is an invariant, so the subtraction cannot wrap; the
+  // equivalent `pos_ + n > size()` form would overflow for adversarial n.
+  if (n > bytes_.size() - pos_) {
     throw common::InvalidArgument("wire: truncated message");
   }
 }

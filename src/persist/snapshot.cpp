@@ -25,12 +25,16 @@ void put_schema(Encoder& enc, const rel::Schema& schema) {
 
 rel::Schema get_schema(Decoder& dec) {
   const std::uint32_t n = dec.get_u32();
+  dec.check_count(n, 5);  // name length prefix (4) + type tag (1)
   std::vector<rel::Attribute> attrs;
   attrs.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     std::string name = dec.get_string();
-    const auto type = static_cast<rel::ValueType>(dec.get_u8());
-    attrs.push_back({std::move(name), type});
+    const std::uint8_t tag = dec.get_u8();
+    if (tag > static_cast<std::uint8_t>(rel::ValueType::kString)) {
+      throw common::InvalidArgument("snapshot: unknown value-type tag in schema");
+    }
+    attrs.push_back({std::move(name), static_cast<rel::ValueType>(tag)});
   }
   return rel::Schema(std::move(attrs));
 }
@@ -89,6 +93,8 @@ cat::Database load_database(const Bytes& bytes) {
   cat::Database db(clock);
 
   const std::uint32_t table_count = dec.get_u32();
+  // name (4) + schema count (4) + two blob prefixes (8) + index count (4)
+  dec.check_count(table_count, 20);
   for (std::uint32_t t = 0; t < table_count; ++t) {
     const std::string name = dec.get_string();
     rel::Schema schema = get_schema(dec);
@@ -100,9 +106,11 @@ cat::Database load_database(const Bytes& bytes) {
     db.restore_table(name, std::move(base), std::move(log));
 
     const std::uint32_t index_count = dec.get_u32();
+    dec.check_count(index_count, 8);  // name length prefix (4) + column count (4)
     for (std::uint32_t i = 0; i < index_count; ++i) {
       const std::string index_name = dec.get_string();
       const std::uint32_t column_count = dec.get_u32();
+      dec.check_count(column_count, 4);
       std::vector<std::string> columns;
       columns.reserve(column_count);
       for (std::uint32_t c = 0; c < column_count; ++c) {
@@ -138,6 +146,7 @@ Bytes encode_manifest(const std::vector<CqManifestEntry>& entries) {
 std::vector<CqManifestEntry> decode_manifest(const Bytes& bytes) {
   Decoder dec(bytes);
   const std::uint32_t n = dec.get_u32();
+  dec.check_count(n, 20);  // name length prefix (4) + two i64 fields
   std::vector<CqManifestEntry> out;
   out.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {

@@ -77,7 +77,12 @@ std::vector<Token> tokenize(const std::string& input) {
       const std::string num = input.substr(start, i - start);
       if (is_double) {
         tok.kind = TokenKind::kDouble;
-        tok.real = std::stod(num);
+        try {
+          tok.real = std::stod(num);
+        } catch (const std::out_of_range&) {
+          // Overflow ("1e9999") and underflow both surface as out_of_range.
+          error("numeric literal out of range");
+        }
       } else {
         tok.kind = TokenKind::kInteger;
         try {

@@ -20,6 +20,11 @@ class Parser {
  public:
   explicit Parser(const std::string& sql) : sql_(sql), tokens_(tokenize(sql)) {}
 
+  /// Recursion ceiling for nested expressions. Pathological inputs like
+  /// "((((...." or "NOT NOT NOT ..." must fail with a ParseError, not
+  /// exhaust the stack (each nesting level costs several parse frames).
+  static constexpr std::size_t kMaxExprDepth = 200;
+
   SpjQuery parse_select() {
     expect_keyword("SELECT");
     SpjQuery q;
@@ -66,6 +71,21 @@ class Parser {
   }
 
  private:
+  /// RAII depth ticket for the recursive productions (NOT chains and
+  /// parenthesized/unary factors are the unbounded ones).
+  struct DepthGuard {
+    explicit DepthGuard(Parser& parser) : parser_(parser) {
+      if (parser_.depth_ >= kMaxExprDepth) parser_.fail("expression nesting too deep");
+      ++parser_.depth_;
+    }
+    ~DepthGuard() { --parser_.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+
+   private:
+    Parser& parser_;
+  };
+
   [[noreturn]] void fail(const std::string& message) const {
     std::ostringstream os;
     os << message << " near offset " << peek().offset << " (token '" << peek().text
@@ -175,6 +195,7 @@ class Parser {
   }
 
   ExprPtr parse_not() {
+    DepthGuard depth(*this);
     if (accept_keyword("NOT")) return Expr::logical_not(parse_not());
     return parse_comparison();
   }
@@ -270,6 +291,7 @@ class Parser {
   }
 
   ExprPtr parse_factor() {
+    DepthGuard depth(*this);
     const Token& t = peek();
     switch (t.kind) {
       case TokenKind::kInteger:
@@ -358,6 +380,7 @@ class Parser {
   const std::string& sql_;
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

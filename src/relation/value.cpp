@@ -132,7 +132,20 @@ std::string Value::to_string() const {
       os << std::get<double>(data_);
       return os.str();
     }
-    case ValueType::kString: return "'" + std::get<std::string>(data_) + "'";
+    case ValueType::kString: {
+      // SQL-style quoting: embedded quotes double, so the rendering re-parses
+      // to the same value ('a''b' <-> a'b).
+      const auto& s = std::get<std::string>(data_);
+      std::string out;
+      out.reserve(s.size() + 2);
+      out.push_back('\'');
+      for (char c : s) {
+        out.push_back(c);
+        if (c == '\'') out.push_back('\'');
+      }
+      out.push_back('\'');
+      return out;
+    }
   }
   return "?";
 }

@@ -4,9 +4,13 @@
 // update mixes, and query shapes.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "cq/dra.hpp"
 #include "cq/propagate.hpp"
 #include "query/parser.hpp"
+#include "testing/dra_script.hpp"
 #include "testing/random_db.hpp"
 
 namespace cq {
@@ -197,6 +201,27 @@ TEST(DraOracle, IrrelevantUpdatesSkipped) {
   EXPECT_TRUE(d.empty());
   EXPECT_TRUE(stats.skipped_irrelevant);
   EXPECT_EQ(stats.terms_evaluated, 0u);
+}
+
+/// The byte-script interpreter shared with fuzz/fuzz_dra_oracle.cpp, driven
+/// here by Rng noise: every script must leave the DRA and recompute
+/// pipelines in agreement (tuples, trigger firing, suppression, stats).
+TEST(DraOracle, ByteScriptedCqPipelinesAgree) {
+  common::Rng rng(0xd5a0);
+  std::size_t total_commits = 0;
+  std::size_t total_executions = 0;
+  for (int round = 0; round < 60; ++round) {
+    std::vector<std::uint8_t> script(256 + rng.index(512));
+    for (auto& b : script) b = static_cast<std::uint8_t>(rng.index(256));
+    const testing::DraScriptReport report =
+        testing::run_dra_oracle_script(script.data(), script.size());
+    ASSERT_TRUE(report.ok) << "round " << round << ": " << report.message;
+    total_commits += report.commits;
+    total_executions += report.executions;
+  }
+  // The scripts must actually exercise the pipelines, not bail out early.
+  EXPECT_GT(total_commits, 100u);
+  EXPECT_GT(total_executions, 60u);
 }
 
 }  // namespace

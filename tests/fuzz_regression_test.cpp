@@ -1,0 +1,126 @@
+// Every fuzz crasher found (or pre-empted by inspection) lives forever as
+// a unit test: the embedded inputs below reproduce the original bugs, and
+// the directory walk replays everything under fuzz/regressions/<target>/
+// so promoting a new crasher is `cp crash-... fuzz/regressions/<target>/`.
+//
+// The fuzz target functions themselves are linked in (CQ_FUZZ_NO_ENTRY
+// strips their libFuzzer entry points); an oracle violation aborts, which
+// gtest reports as a crashed test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "targets.hpp"
+
+namespace cq::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+using Target = int (*)(const std::uint8_t*, std::size_t);
+
+void run_text(Target target, const std::string& text) {
+  (void)target(reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+}
+
+std::vector<std::uint8_t> read_file(const fs::path& path) {
+  std::vector<std::uint8_t> bytes;
+  std::FILE* f = std::fopen(path.string().c_str(), "rb");
+  if (f == nullptr) return bytes;
+  std::uint8_t buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.insert(bytes.end(), buf, buf + n);
+  std::fclose(f);
+  return bytes;
+}
+
+/// Replay every checked-in file for `name` (corpus seeds + regressions).
+void replay_dirs(Target target, const std::string& name) {
+  std::size_t replayed = 0;
+  for (const char* kind : {"corpus", "regressions"}) {
+    const fs::path dir = fs::path(CQ_FUZZ_DIR) / kind / name;
+    if (!fs::is_directory(dir)) continue;
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file() && entry.path().filename().string()[0] != '.') {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& file : files) {
+      const auto bytes = read_file(file);
+      SCOPED_TRACE(file.string());
+      (void)target(bytes.data(), bytes.size());
+      ++replayed;
+    }
+  }
+  // Each target must ship a non-empty seed corpus (lint-enforced too).
+  EXPECT_GT(replayed, 0u) << "no corpus/regression inputs for " << name;
+}
+
+// ---- original crashers, pre-empted while building the harness ----
+
+TEST(FuzzRegression, LexerOutOfRangeNumericLiteral) {
+  // std::stod("1e999") used to throw std::out_of_range through the lexer.
+  run_text(sql_parser_target, "SELECT 1e999 FROM t");
+  run_text(sql_parser_target, "SELECT a FROM t WHERE a < 1e309");
+}
+
+TEST(FuzzRegression, DeepParenNestingHitsDepthCeilingNotTheStack) {
+  std::string sql = "SELECT a FROM t WHERE ";
+  for (int i = 0; i < 5000; ++i) sql += "(";
+  sql += "a";
+  run_text(sql_parser_target, sql);
+}
+
+TEST(FuzzRegression, DeepNotChainHitsDepthCeilingNotTheStack) {
+  std::string sql = "SELECT a FROM t WHERE ";
+  for (int i = 0; i < 5000; ++i) sql += "NOT ";
+  sql += "a";
+  run_text(sql_parser_target, sql);
+}
+
+TEST(FuzzRegression, EmbeddedQuoteRendersReparseably) {
+  // Value::to_string used to emit 'a'b' for the string a'b, which the
+  // render/reparse fixed-point oracle rejects.
+  run_text(sql_parser_target, "SELECT a FROM t WHERE a = 'a''b'");
+  run_text(sql_parser_target, "SELECT a FROM t WHERE a LIKE 'a''%'");
+}
+
+TEST(FuzzRegression, Int64ArithmeticOverflowYieldsNull) {
+  // -9223372036854775808 * -1 and friends were signed-overflow UB.
+  run_text(sql_parser_target,
+           "SELECT a FROM t WHERE a = 9223372036854775807 + 1");
+  std::vector<std::uint8_t> input(64, 0xff);  // extreme i64 operands
+  (void)expr_eval_target(input.data(), input.size());
+}
+
+TEST(FuzzRegression, WireHugeCountsRejectedWithoutAllocating) {
+  // A 4-byte row count of ~4 billion used to reach std::vector::reserve.
+  for (std::uint8_t route = 0; route < 5; ++route) {
+    std::vector<std::uint8_t> input = {route, 0xff, 0xff, 0xff, 0xff, 0x00};
+    (void)wire_decode_target(input.data(), input.size());
+  }
+}
+
+TEST(FuzzRegression, DecoderOffsetMathDoesNotOverflow) {
+  // Decoder::need(pos_ + n) wrapped around on n close to SIZE_MAX.
+  std::vector<std::uint8_t> input = {0x00, 0x01, 0x00, 0x00, 0x00, 0x04,
+                                     0xff, 0xff, 0xff, 0xff};
+  (void)wire_decode_target(input.data(), input.size());
+}
+
+// ---- corpus + promoted-crasher replay, one test per target ----
+
+TEST(FuzzReplay, SqlParser) { replay_dirs(sql_parser_target, "sql_parser"); }
+TEST(FuzzReplay, ExprEval) { replay_dirs(expr_eval_target, "expr_eval"); }
+TEST(FuzzReplay, WireDecode) { replay_dirs(wire_decode_target, "wire_decode"); }
+TEST(FuzzReplay, DraOracle) { replay_dirs(dra_oracle_target, "dra_oracle"); }
+
+}  // namespace
+}  // namespace cq::fuzz

@@ -1,34 +1,37 @@
 // Robustness: the lexer/parser must never crash — any input either parses
 // or raises ParseError/InvalidArgument. Inputs are randomized token soups
 // built from the grammar's own vocabulary (worst case for a recursive
-// descent parser), plus truncations of valid queries.
+// descent parser), plus truncations of valid queries. The soup generators
+// live in tests/testing/sql_gen.* and are shared with the libFuzzer target
+// fuzz/fuzz_sql_parser.cpp; here an Rng-filled byte buffer stands in for
+// the fuzzer's input.
 #include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "query/parser.hpp"
+#include "testing/fuzz_input.hpp"
+#include "testing/sql_gen.hpp"
 
 namespace cq::qry {
 namespace {
 
-const char* kVocabulary[] = {
-    "SELECT", "DISTINCT", "FROM",  "WHERE", "GROUP",  "BY",     "AS",    "AND",
-    "OR",     "NOT",      "IN",    "LIKE",  "BETWEEN", "IS",    "NULL",  "SUM",
-    "COUNT",  "AVG",      "MIN",   "MAX",   "TRUE",   "FALSE",  "tbl",   "a",
-    "b.c",    "price",    "42",    "3.5",   "'str'",  "(",      ")",     ",",
-    "*",      "=",        "<>",    "<",     "<=",     ">",      ">=",    "+",
-    "-",      "/",        "'ab%'"};
+std::vector<std::uint8_t> random_bytes(common::Rng& rng, std::size_t n) {
+  std::vector<std::uint8_t> bytes(n);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.index(256));
+  return bytes;
+}
 
 TEST(ParserFuzz, RandomTokenSoupNeverCrashes) {
   common::Rng rng(0xf022);
   std::size_t parsed_ok = 0;
   for (int round = 0; round < 3000; ++round) {
-    std::string input = "SELECT";
-    const std::size_t len = 2 + rng.index(24);
-    for (std::size_t i = 0; i < len; ++i) {
-      input += " ";
-      input += kVocabulary[rng.index(std::size(kVocabulary))];
-    }
+    const auto bytes = random_bytes(rng, 32);
+    testing::ByteReader in(bytes.data(), bytes.size());
+    const std::string input = testing::sql_token_soup(in, 26);
     try {
       const SpjQuery q = parse_query(input);
       q.validate();
@@ -79,16 +82,11 @@ TEST(ParserFuzz, PredicatesRoundTripThroughToString) {
   // Any predicate we can parse, we can render and re-parse to the same
   // rendering (fixed point after one round).
   common::Rng rng(0xf0222);
-  const char* kPredVocab[] = {"a",   "b.c", "42", "3.5", "'s'", "AND", "OR",
-                              "NOT", "=",   "<",  ">",   "+",   "-",   "("};
   std::size_t checked = 0;
   for (int round = 0; round < 3000; ++round) {
-    std::string input;
-    const std::size_t len = 1 + rng.index(12);
-    for (std::size_t i = 0; i < len; ++i) {
-      if (i > 0) input += " ";
-      input += kPredVocab[rng.index(std::size(kPredVocab))];
-    }
+    const auto bytes = random_bytes(rng, 16);
+    testing::ByteReader in(bytes.data(), bytes.size());
+    const std::string input = testing::predicate_token_soup(in, 12);
     alg::ExprPtr parsed;
     try {
       parsed = parse_predicate(input);
@@ -101,6 +99,23 @@ TEST(ParserFuzz, PredicatesRoundTripThroughToString) {
     ++checked;
   }
   EXPECT_GT(checked, 50u);
+}
+
+TEST(ParserFuzz, ExpressionNestingDepthIsBounded) {
+  // Satellite hardening: pathological nesting raises ParseError at the
+  // parser's depth ceiling instead of overflowing the stack.
+  for (const char* unit : {"(", "NOT ", "- "}) {
+    std::string sql = "SELECT a FROM t WHERE ";
+    for (int i = 0; i < 5000; ++i) sql += unit;
+    sql += "a";
+    EXPECT_THROW(static_cast<void>(parse_query(sql)), common::ParseError) << unit;
+  }
+  // Well below the ceiling (each paren passes two guarded calls) still parses.
+  std::string ok = "SELECT a FROM t WHERE ";
+  for (int i = 0; i < 50; ++i) ok += "(";
+  ok += "a = 1";
+  for (int i = 0; i < 50; ++i) ok += ")";
+  EXPECT_NO_THROW(static_cast<void>(parse_query(ok)));
 }
 
 }  // namespace

@@ -1,0 +1,428 @@
+#include "testing/dra_script.hpp"
+
+#include <memory>
+#include <optional>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "catalog/database.hpp"
+#include "catalog/transaction.hpp"
+#include "common/clock.hpp"
+#include "common/error.hpp"
+#include "cq/dra.hpp"
+#include "cq/manager.hpp"
+#include "cq/propagate.hpp"
+#include "query/ast.hpp"
+#include "relation/schema.hpp"
+#include "relation/value.hpp"
+#include "testing/fuzz_input.hpp"
+
+namespace cq::testing {
+namespace {
+
+using rel::Value;
+
+// Script shape limits. Small on purpose: libFuzzer explores breadth, not
+// depth, and every commit costs two full CQ pipelines.
+constexpr std::size_t kMaxSeedRows = 24;
+constexpr std::size_t kMaxCommits = 24;
+constexpr std::size_t kMaxOpsPerTxn = 4;
+
+// Categories join S to T; a tiny domain keeps join fan-out and group
+// counts interesting without exploding run time.
+constexpr const char* kCategories[] = {"red", "green", "blue", "gold"};
+constexpr std::size_t kCategoryCount = std::size(kCategories);
+
+// Values stay small integers so incrementally maintained double sums
+// (SUM/AVG) are bit-identical to recomputed ones: every intermediate is an
+// integer far below 2^53, where IEEE doubles are exact regardless of the
+// order of additions.
+std::vector<Value> random_s_row(ByteReader& in) {
+  std::vector<Value> row;
+  row.reserve(4);
+  row.emplace_back(static_cast<std::int64_t>(in.range(0, 99)));  // id
+  row.emplace_back(kCategories[in.index(kCategoryCount)]);       // category
+  if (in.index(8) == 0) {
+    row.emplace_back(Value::null());  // NULL price: exercises skip-NULL aggs
+  } else {
+    row.emplace_back(static_cast<std::int64_t>(in.range(0, 400)));  // price
+  }
+  row.emplace_back(static_cast<std::int64_t>(in.range(0, 20)));  // qty
+  return row;
+}
+
+std::vector<Value> random_t_row(ByteReader& in) {
+  std::vector<Value> row;
+  row.reserve(2);
+  row.emplace_back(kCategories[in.index(kCategoryCount)]);       // category
+  row.emplace_back(static_cast<std::int64_t>(in.range(0, 50)));  // bonus
+  return row;
+}
+
+// A predicate over the (possibly qualified) S columns. `q` is the column
+// qualifier prefix ("" or "s.").
+alg::ExprPtr random_predicate(ByteReader& in, const std::string& q, int depth) {
+  using alg::CmpOp;
+  using alg::Expr;
+  if (depth > 0 && in.index(4) == 0) {
+    auto lhs = random_predicate(in, q, depth - 1);
+    auto rhs = random_predicate(in, q, depth - 1);
+    switch (in.index(3)) {
+      case 0: return Expr::logical_and(std::move(lhs), std::move(rhs));
+      case 1: return Expr::logical_or(std::move(lhs), std::move(rhs));
+      default: return Expr::logical_not(std::move(lhs));
+    }
+  }
+  switch (in.index(6)) {
+    case 0: {
+      static constexpr CmpOp kOps[] = {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt,
+                                       CmpOp::kLe, CmpOp::kGt, CmpOp::kGe};
+      return Expr::col_cmp(q + "price", kOps[in.index(std::size(kOps))],
+                           Value(static_cast<std::int64_t>(in.range(0, 400))));
+    }
+    case 1: {
+      const auto lo = in.range(0, 20);
+      return Expr::between(Expr::col(q + "qty"), Value(static_cast<std::int64_t>(lo)),
+                           Value(static_cast<std::int64_t>(lo + in.range(0, 10))));
+    }
+    case 2:
+      return Expr::in_list(Expr::col(q + "category"),
+                           {Value(kCategories[in.index(kCategoryCount)]),
+                            Value(kCategories[in.index(kCategoryCount)])},
+                           in.flip());
+    case 3:
+      return Expr::like_prefix(Expr::col(q + "category"),
+                               std::string(1, "rgb"[in.index(3)]));
+    case 4: return Expr::is_null(Expr::col(q + "price"), in.flip());
+    default:
+      // Arithmetic inside a comparison: price + qty <op> k.
+      return Expr::cmp(in.flip() ? CmpOp::kGt : CmpOp::kLe,
+                       Expr::arith(alg::ArithOp::kAdd, Expr::col(q + "price"),
+                                   Expr::col(q + "qty")),
+                       Expr::lit(Value(static_cast<std::int64_t>(in.range(0, 420)))));
+  }
+}
+
+qry::SpjQuery random_query(ByteReader& in, bool& uses_t) {
+  using alg::AggKind;
+  using alg::Expr;
+  qry::SpjQuery query;
+  uses_t = in.index(4) == 0;
+  if (uses_t) {
+    query.from = {{"S", "s"}, {"T", "t"}};
+    auto join = Expr::cmp(alg::CmpOp::kEq, Expr::col("s.category"),
+                          Expr::col("t.category"));
+    query.where = in.flip()
+                      ? Expr::logical_and(std::move(join), random_predicate(in, "s.", 1))
+                      : std::move(join);
+    if (in.flip()) {
+      query.projection = {"s.id", "s.category", "t.bonus"};
+    }
+    query.distinct = in.index(4) == 0;
+    return query;
+  }
+  query.from = {{"S", ""}};
+  if (in.index(4) != 0) query.where = random_predicate(in, "", 2);
+  if (in.index(3) == 0) {
+    // Aggregate query: optional GROUP BY category, 1-2 aggregate columns.
+    if (in.flip()) query.group_by = {"category"};
+    static constexpr AggKind kKinds[] = {AggKind::kCount, AggKind::kSum,
+                                         AggKind::kAvg, AggKind::kMin, AggKind::kMax};
+    const std::size_t n_aggs = 1 + in.index(2);
+    for (std::size_t i = 0; i < n_aggs; ++i) {
+      const AggKind kind = kKinds[in.index(std::size(kKinds))];
+      const std::string column =
+          kind == AggKind::kCount && in.flip() ? "" : (in.flip() ? "price" : "qty");
+      query.aggregates.push_back({kind, column, "a" + std::to_string(i)});
+    }
+    if (in.index(3) == 0) {
+      query.having = Expr::col_cmp("a0", in.flip() ? alg::CmpOp::kGe : alg::CmpOp::kLt,
+                                   Value(static_cast<std::int64_t>(in.range(0, 200))));
+    }
+    if (!query.group_by.empty() && in.flip()) {
+      query.order_by = {{"category", in.flip()}};
+    }
+  } else {
+    if (in.flip()) query.projection = {"category", "price"};
+    query.distinct = in.index(4) == 0;
+    if (!query.distinct && in.index(4) == 0) query.order_by = {{"id", in.flip()}};
+  }
+  return query;
+}
+
+core::TriggerPtr random_trigger(ByteReader& in) {
+  using namespace core::triggers;
+  switch (in.index(6)) {
+    case 0: return on_change();
+    case 1: return change_count(1 + in.index(6));
+    case 2:
+      return aggregate_drift("S", "price", 1.0 + static_cast<double>(in.range(0, 300)));
+    case 3: return periodic(common::Duration(1 + static_cast<int>(in.index(4))));
+    case 4:
+      return any_of({change_count(2 + in.index(4)),
+                     aggregate_drift("S", "price", 50.0)});
+    default: return all_of({on_change(), change_count(1 + in.index(3))});
+  }
+}
+
+// Compares the two pipelines after one step; empty string = agree.
+std::string compare_step(const core::CqManager& dra_mgr,
+                         const core::CqManager& oracle_mgr,
+                         const core::CollectingSink& dra_sink,
+                         const core::CollectingSink& oracle_sink) {
+  const auto dra_all = dra_mgr.cq_stats();
+  const auto oracle_all = oracle_mgr.cq_stats();
+  const auto dra_it = dra_all.find("cq");
+  const auto oracle_it = oracle_all.find("cq");
+  if ((dra_it == dra_all.end()) != (oracle_it == oracle_all.end())) {
+    return "stats registry disagrees on CQ presence";
+  }
+  if (dra_it != dra_all.end()) {
+    const core::CqStats& a = dra_it->second;
+    const core::CqStats& b = oracle_it->second;
+    std::ostringstream os;
+    if (a.executions != b.executions) {
+      os << "executions " << a.executions << " vs " << b.executions;
+    } else if (a.trigger_checks != b.trigger_checks) {
+      os << "trigger_checks " << a.trigger_checks << " vs " << b.trigger_checks;
+    } else if (a.fired != b.fired) {
+      os << "fired " << a.fired << " vs " << b.fired;
+    } else if (a.suppressed != b.suppressed) {
+      os << "suppressed " << a.suppressed << " vs " << b.suppressed;
+    } else if (a.finished != b.finished) {
+      os << "finished " << a.finished << " vs " << b.finished;
+    }
+    if (const auto s = os.str(); !s.empty()) return "stats diverged: " + s;
+  }
+  const auto& dra_notifs = dra_sink.notifications();
+  const auto& oracle_notifs = oracle_sink.notifications();
+  if (dra_notifs.size() != oracle_notifs.size()) {
+    std::ostringstream os;
+    os << "notification counts diverged: " << dra_notifs.size() << " vs "
+       << oracle_notifs.size();
+    return os.str();
+  }
+  for (std::size_t i = 0; i < dra_notifs.size(); ++i) {
+    const core::Notification& a = dra_notifs[i];
+    const core::Notification& b = oracle_notifs[i];
+    std::ostringstream os;
+    os << "notification " << i << " ";
+    if (a.sequence != b.sequence) {
+      os << "sequence " << a.sequence << " vs " << b.sequence;
+      return os.str();
+    }
+    if (!a.delta.equivalent(b.delta)) {
+      os << "delta diverged:\nDRA " << a.delta.to_string() << "\noracle "
+         << b.delta.to_string();
+      return os.str();
+    }
+    if (a.complete.has_value() != b.complete.has_value() ||
+        (a.complete && !a.complete->equal_multiset(*b.complete))) {
+      os << "complete result diverged";
+      return os.str();
+    }
+    if (a.aggregate.has_value() != b.aggregate.has_value() ||
+        (a.aggregate && !a.aggregate->equal_multiset(*b.aggregate))) {
+      os << "aggregate result diverged";
+      return os.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+DraScriptReport run_dra_oracle_script(const std::uint8_t* data, std::size_t size) {
+  ByteReader in(data, size);
+  DraScriptReport report;
+
+  bool uses_t = false;
+  qry::SpjQuery query = random_query(in, uses_t);
+  try {
+    query.validate();
+  } catch (const common::Error&) {
+    return report;  // boring: generator produced an invalid shape
+  }
+
+  auto fail = [&](std::size_t commit_idx, const std::string& what) {
+    std::ostringstream os;
+    os << "DRA/oracle divergence at commit " << commit_idx << ": " << what
+       << "\n  query: " << query.to_string();
+    report.ok = false;
+    report.message = os.str();
+    return report;
+  };
+
+  try {
+    // Two databases, two virtual clocks, driven in lockstep: identical op
+    // sequences produce identical tids and commit timestamps on both sides.
+    auto dra_clock = std::make_shared<common::VirtualClock>();
+    auto oracle_clock = std::make_shared<common::VirtualClock>();
+    cat::Database dra_db(dra_clock);
+    cat::Database oracle_db(oracle_clock);
+    const auto s_schema = rel::Schema::of({{"id", rel::ValueType::kInt},
+                                           {"category", rel::ValueType::kString},
+                                           {"price", rel::ValueType::kInt},
+                                           {"qty", rel::ValueType::kInt}});
+    const auto t_schema = rel::Schema::of(
+        {{"category", rel::ValueType::kString}, {"bonus", rel::ValueType::kInt}});
+    for (cat::Database* db : {&dra_db, &oracle_db}) {
+      db->create_table("S", s_schema);
+      db->create_table("T", t_schema);
+    }
+    const bool index_category = in.flip();
+    const bool index_price = in.flip();
+    for (cat::Database* db : {&dra_db, &oracle_db}) {
+      if (index_category) db->create_index("S", "s_cat", {"category"});
+      if (index_price) db->create_index("S", "s_price", {"price"});
+      if (uses_t && index_category) db->create_index("T", "t_cat", {"category"});
+    }
+
+    // Seed rows (committed before the CQ installs, so E_0 is non-trivial).
+    struct LiveRow {
+      std::string table;
+      rel::TupleId dra_tid;
+      rel::TupleId oracle_tid;
+    };
+    std::vector<LiveRow> live;
+    {
+      auto dra_txn = dra_db.begin();
+      auto oracle_txn = oracle_db.begin();
+      const std::size_t seed_rows = in.index(kMaxSeedRows + 1);
+      for (std::size_t i = 0; i < seed_rows; ++i) {
+        const bool into_t = uses_t && in.index(3) == 0;
+        const auto row = into_t ? random_t_row(in) : random_s_row(in);
+        const std::string table = into_t ? "T" : "S";
+        live.push_back({table, dra_txn.insert(table, row), oracle_txn.insert(table, row)});
+      }
+      if (uses_t) {  // guarantee at least one T row so joins can match
+        const auto row = random_t_row(in);
+        live.push_back({"T", dra_txn.insert("T", row), oracle_txn.insert("T", row)});
+      }
+      dra_txn.commit();
+      oracle_txn.commit();
+    }
+
+    core::CqSpec spec;
+    spec.name = "cq";
+    spec.query = query;
+    spec.trigger = random_trigger(in);
+    if (in.index(4) == 0) spec.stop = core::stop::after_executions(2 + in.index(4));
+    spec.mode = static_cast<core::DeliveryMode>(in.index(4));
+    spec.dra_options.irrelevance_check = in.flip();
+    spec.dra_options.use_hash_join = in.flip();
+    spec.dra_options.use_persistent_indexes = in.flip();
+
+    core::CqManager dra_mgr(dra_db);
+    core::CqManager oracle_mgr(oracle_db);
+    auto dra_sink = std::make_shared<core::CollectingSink>();
+    auto oracle_sink = std::make_shared<core::CollectingSink>();
+
+    spec.strategy = core::ExecutionStrategy::kDra;
+    bool dra_installed = true;
+    try {
+      (void)dra_mgr.install(spec, dra_sink);
+    } catch (const common::Error&) {
+      dra_installed = false;
+    }
+    spec.strategy = core::ExecutionStrategy::kRecompute;
+    bool oracle_installed = true;
+    try {
+      (void)oracle_mgr.install(spec, oracle_sink);
+    } catch (const common::Error&) {
+      oracle_installed = false;
+    }
+    if (dra_installed != oracle_installed) {
+      return fail(0, "install succeeded on one side only");
+    }
+    if (!dra_installed) return report;  // boring: both rejected the spec
+
+    const bool eager = in.flip();
+    dra_mgr.set_eager(eager);
+    oracle_mgr.set_eager(eager);
+
+    // Remember the initial state for the final direct DRA-vs-Propagate
+    // check (non-aggregate, non-DISTINCT queries only: that is the SPJ
+    // class dra_differential itself covers).
+    const common::Timestamp install_ts = dra_db.clock().now();
+    std::optional<rel::Relation> initial_full;
+    if (!query.is_aggregate() && !query.distinct) {
+      initial_full = core::recompute(query, dra_db);
+    }
+
+    if (const auto m = compare_step(dra_mgr, oracle_mgr, *dra_sink, *oracle_sink);
+        !m.empty()) {
+      return fail(0, m);
+    }
+
+    // The transaction script.
+    while (!in.empty() && report.commits < kMaxCommits) {
+      if (in.index(4) == 0) {
+        const common::Duration jump(1 + static_cast<int>(in.index(3)));
+        dra_clock->advance(jump);
+        oracle_clock->advance(jump);
+      }
+      auto dra_txn = dra_db.begin();
+      auto oracle_txn = oracle_db.begin();
+      const std::size_t ops = 1 + in.index(kMaxOpsPerTxn);
+      for (std::size_t op = 0; op < ops; ++op) {
+        const std::size_t kind = in.index(10);
+        if (kind >= 7 && !live.empty()) {  // erase
+          const std::size_t victim = in.index(live.size());
+          const LiveRow row = live[victim];
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+          dra_txn.erase(row.table, row.dra_tid);
+          oracle_txn.erase(row.table, row.oracle_tid);
+        } else if (kind >= 5 && !live.empty()) {  // modify
+          const std::size_t victim = in.index(live.size());
+          const LiveRow& row = live[victim];
+          const auto values = row.table == "T" ? random_t_row(in) : random_s_row(in);
+          dra_txn.modify(row.table, row.dra_tid, values);
+          oracle_txn.modify(row.table, row.oracle_tid, values);
+        } else if (kind == 4) {  // insert + erase in the same txn: net zero
+          const auto row = random_s_row(in);
+          dra_txn.erase("S", dra_txn.insert("S", row));
+          oracle_txn.erase("S", oracle_txn.insert("S", row));
+        } else {  // insert
+          const bool into_t = uses_t && in.index(4) == 0;
+          const auto row = into_t ? random_t_row(in) : random_s_row(in);
+          const std::string table = into_t ? "T" : "S";
+          live.push_back(
+              {table, dra_txn.insert(table, row), oracle_txn.insert(table, row)});
+        }
+      }
+      dra_txn.commit();
+      oracle_txn.commit();
+      ++report.commits;
+      if (!eager) {
+        (void)dra_mgr.poll();
+        (void)oracle_mgr.poll();
+      }
+      if (const auto m = compare_step(dra_mgr, oracle_mgr, *dra_sink, *oracle_sink);
+          !m.empty()) {
+        return fail(report.commits, m);
+      }
+    }
+
+    // Direct Section 4.2 check, bypassing the CQ layer: the DRA's ΔQ over
+    // the whole script must match Propagate's full recompute + diff.
+    if (initial_full) {
+      const auto dra_delta = core::dra_differential(query, dra_db, install_ts, nullptr,
+                                                    spec.dra_options);
+      const auto prop_delta = core::propagate(query, dra_db, *initial_full);
+      if (!dra_delta.consolidated().equivalent(prop_delta.consolidated())) {
+        return fail(report.commits,
+                    "direct dra_differential vs propagate mismatch:\nDRA " +
+                        dra_delta.to_string() + "\noracle " + prop_delta.to_string());
+      }
+    }
+
+    report.executions = dra_mgr.cq_stats().at("cq").executions;
+  } catch (const common::Error& e) {
+    return fail(report.commits, std::string("unexpected engine error: ") + e.what());
+  }
+  return report;
+}
+
+}  // namespace cq::testing

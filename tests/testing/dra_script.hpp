@@ -1,0 +1,31 @@
+// Structure-aware DRA differential oracle: interprets an arbitrary byte
+// string as (schema seed, generated SPJ/aggregate CQ, trigger/epsilon
+// spec, transaction script), runs the script against TWO identical
+// databases — one CQ maintained by the DRA, one by full recompute — and
+// asserts after every commit that the two pipelines agree on trigger
+// firing/suppression decisions AND on every delivered result (the paper's
+// Section 4.2 equivalence, mechanized). Shared by the libFuzzer target
+// fuzz/fuzz_dra_oracle.cpp, the tier-1 corpus replays, and
+// tests/dra_oracle_test.cpp.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cq::testing {
+
+struct DraScriptReport {
+  bool ok = true;
+  std::string message;        // first divergence, with commit index + query
+  std::size_t commits = 0;    // transactions committed
+  std::size_t executions = 0; // CQ executions the script provoked
+};
+
+/// Run one byte script. Never throws: malformed scripts are simply short
+/// or boring runs; a false return means the DRA and the recompute oracle
+/// genuinely diverged (a bug worth a minimized reproducer).
+[[nodiscard]] DraScriptReport run_dra_oracle_script(const std::uint8_t* data,
+                                                    std::size_t size);
+
+}  // namespace cq::testing

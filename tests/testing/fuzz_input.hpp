@@ -1,0 +1,69 @@
+// ByteReader: turns an arbitrary byte string (a fuzzer input, a corpus
+// file, Rng-generated noise) into a deterministic stream of structured
+// choices. Exhaustion is not an error — every accessor degrades to zero —
+// so any prefix of an input is itself a valid input, which keeps libFuzzer
+// minimization and corpus truncation well-behaved.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace cq::testing {
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] bool empty() const noexcept { return pos_ >= size_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return pos_ < size_ ? size_ - pos_ : 0;
+  }
+
+  [[nodiscard]] std::uint8_t u8() noexcept {
+    return pos_ < size_ ? data_[pos_++] : 0;
+  }
+
+  [[nodiscard]] std::uint32_t u32() noexcept {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+
+  [[nodiscard]] std::int64_t i64() noexcept {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return static_cast<std::int64_t>(v);
+  }
+
+  /// Uniform-ish index in [0, n). n must be > 0.
+  [[nodiscard]] std::size_t index(std::size_t n) noexcept { return u8() % n; }
+
+  /// Value in [lo, hi] (inclusive). Requires lo <= hi.
+  [[nodiscard]] std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(static_cast<std::uint64_t>(u32()) % span);
+  }
+
+  /// One coin flip per call.
+  [[nodiscard]] bool flip() noexcept { return (u8() & 1) != 0; }
+
+  /// Up to max_len bytes as a printable-ish string.
+  [[nodiscard]] std::string str(std::size_t max_len) noexcept {
+    std::string out;
+    const std::size_t len = max_len > 0 ? index(max_len + 1) : 0;
+    out.reserve(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      out.push_back(static_cast<char>(' ' + (u8() % 95)));  // printable ASCII
+    }
+    return out;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cq::testing

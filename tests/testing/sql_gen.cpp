@@ -1,0 +1,35 @@
+#include "testing/sql_gen.hpp"
+
+namespace cq::testing {
+
+const char* const kSqlVocabulary[] = {
+    "SELECT", "DISTINCT", "FROM",    "WHERE",  "GROUP", "BY",    "AS",     "AND",
+    "OR",     "NOT",      "IN",      "LIKE",   "BETWEEN", "IS",  "NULL",   "SUM",
+    "COUNT",  "AVG",      "MIN",     "MAX",    "TRUE",  "FALSE", "HAVING", "ORDER",
+    "ASC",    "DESC",     "tbl",     "a",      "b.c",   "price", "42",     "3.5",
+    "1e309",  "'str'",    "'a''b'",  "(",      ")",     ",",     "*",      "=",
+    "<>",     "<",        "<=",      ">",      ">=",    "+",     "-",      "/",
+    "'ab%'"};
+const std::size_t kSqlVocabularySize = std::size(kSqlVocabulary);
+
+namespace {
+std::string token_soup(ByteReader& in, std::size_t max_tokens, const char* prefix) {
+  std::string out = prefix;
+  const std::size_t len = max_tokens > 0 ? in.index(max_tokens) + 1 : 1;
+  for (std::size_t i = 0; i < len && !in.empty(); ++i) {
+    if (!out.empty()) out += " ";
+    out += kSqlVocabulary[in.index(kSqlVocabularySize)];
+  }
+  return out;
+}
+}  // namespace
+
+std::string sql_token_soup(ByteReader& in, std::size_t max_tokens) {
+  return token_soup(in, max_tokens, "SELECT");
+}
+
+std::string predicate_token_soup(ByteReader& in, std::size_t max_tokens) {
+  return token_soup(in, max_tokens, "");
+}
+
+}  // namespace cq::testing

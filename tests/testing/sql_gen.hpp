@@ -1,0 +1,26 @@
+// Grammar-vocabulary SQL generation, shared by the libFuzzer SQL target
+// and the tier-1 parser robustness tests. Token soups drawn from the
+// parser's own vocabulary are the worst case for a recursive-descent
+// parser: almost-valid prefixes that exercise every error path.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "testing/fuzz_input.hpp"
+
+namespace cq::testing {
+
+/// The grammar's own vocabulary: keywords, operators, and a few literals
+/// and identifiers. Exposed so fuzz dictionaries and tests stay in sync.
+extern const char* const kSqlVocabulary[];
+extern const std::size_t kSqlVocabularySize;
+
+/// A SELECT-prefixed token soup of at most `max_tokens` vocabulary tokens.
+[[nodiscard]] std::string sql_token_soup(ByteReader& in, std::size_t max_tokens = 32);
+
+/// A predicate-shaped token soup (no SELECT prefix) for parse_predicate.
+[[nodiscard]] std::string predicate_token_soup(ByteReader& in,
+                                               std::size_t max_tokens = 16);
+
+}  // namespace cq::testing
