@@ -1,0 +1,87 @@
+// Parallel multi-CQ evaluation (engine scaling experiment): one eager
+// CqManager carrying 64 standing queries over a hot table, driven commit
+// by commit. Arg(0) is the evaluation lane count — the same workload at
+// --threads 1 is the sequential baseline the determinism contract pins,
+// and the 2/4-lane rows show the commit-to-notify speedup the dispatcher
+// buys by snapshotting each relation's delta once and fanning the
+// trigger-eligible CQs across the pool.
+//
+// CI runs this binary under scripts/check_bench.py --strict (the
+// bench-check job): the committed baseline encodes the expected >= 2x
+// ratio between the 1-lane and 4-lane rows via the derived counters.
+#include <benchmark/benchmark.h>
+
+#include "bench_support.hpp"
+#include "common/rng.hpp"
+#include "cq/manager.hpp"
+#include "workload/sweep.hpp"
+
+namespace cq::bench {
+namespace {
+
+constexpr std::size_t kRows = 20000;
+constexpr std::size_t kCqs = 64;
+constexpr std::size_t kRounds = 12;
+constexpr std::size_t kUpdatesPerRound = 96;
+constexpr std::size_t kUpdatesPerCommit = 8;
+
+void BM_MultiCqCommitToNotify(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    common::Rng rng(0x64c0 ^ threads);
+    cat::Database db;
+    wl::SweepTable table(db, "S", kRows, 64, rng);
+    core::CqManager manager(db);
+    for (std::size_t i = 0; i < kCqs; ++i) {
+      // Overlapping 4%-wide key bands: every commit is relevant to every
+      // CQ, so each commit fans all 64 evaluations across the lanes.
+      const std::int64_t lo = static_cast<std::int64_t>(i) * wl::kSweepKeySpace /
+                              static_cast<std::int64_t>(kCqs);
+      core::CqSpec spec;
+      spec.name = "cq" + std::to_string(i);
+      qry::SpjQuery q;
+      q.from.push_back({"S", ""});
+      q.where = alg::Expr::between(alg::Expr::col("key"), rel::Value(lo),
+                                   rel::Value(lo + wl::kSweepKeySpace / 25));
+      spec.query = std::move(q);
+      spec.trigger = core::triggers::on_change();
+      spec.strategy = core::ExecutionStrategy::kDra;
+      spec.mode = core::DeliveryMode::kComplete;
+      manager.install(std::move(spec), nullptr);
+    }
+    manager.set_parallelism(threads);
+    manager.set_eager(true);
+    state.ResumeTiming();
+
+    // Timed region: the commit IS the dispatch (eager mode), so this
+    // measures commit-to-notify latency across all standing queries.
+    for (std::size_t round = 0; round < kRounds; ++round) {
+      table.update(kUpdatesPerRound, {}, kUpdatesPerCommit);
+    }
+
+    state.PauseTiming();
+    export_metrics(state, manager.metrics());
+    state.ResumeTiming();
+  }
+
+  const auto commits = static_cast<std::int64_t>(kRounds) *
+                       static_cast<std::int64_t>(kUpdatesPerRound / kUpdatesPerCommit);
+  state.SetItemsProcessed(state.iterations() * commits);
+  state.counters["commits_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * commits), benchmark::Counter::kIsRate);
+  state.counters["lanes"] = static_cast<double>(threads);
+}
+
+void multi_cq_args(benchmark::internal::Benchmark* b) {
+  for (std::int64_t threads : {1, 2, 4}) b->Arg(threads);
+  b->Unit(benchmark::kMillisecond)->Iterations(3);
+}
+
+BENCHMARK(BM_MultiCqCommitToNotify)->Apply(multi_cq_args);
+
+}  // namespace
+}  // namespace cq::bench
+
+CQ_BENCH_MAIN()

@@ -10,6 +10,15 @@ Rules (scoped to src/ and examples/ unless noted):
                   (tests/ may use raw primitives to *construct* race
                   scenarios; the library may not.)
 
+  raw-thread      No raw std::thread / std::jthread outside src/common/
+                  (the sanctioned homes: thread_pool for evaluation lanes,
+                  introspect_server for its acceptor). Engine concurrency
+                  goes through cq::common::ThreadPool, whose lanes the
+                  dispatcher sizes and joins deterministically; ad-hoc
+                  threads dodge the determinism contract and the pool's
+                  queue-depth gauge. (tests/ may spawn threads to construct
+                  race scenarios; the library may not.)
+
   string-counter  No string-keyed Metrics::add("...") calls in library or
                   example code. Hot-path counters must use the interned
                   metric::Id table (common/metrics.hpp) so producers and
@@ -50,11 +59,13 @@ RAW_MUTEX_RE = re.compile(
     r"std::(mutex|recursive_mutex|shared_mutex|timed_mutex|lock_guard|"
     r"unique_lock|scoped_lock|shared_lock)\b"
 )
+RAW_THREAD_RE = re.compile(r"std::(thread|jthread)\b")
 STRING_COUNTER_RE = re.compile(r"\.add\(\s*\"")
 IOSTREAM_RE = re.compile(r"#include\s*<iostream>|std::(cout|cerr|clog)\b")
 COMMENT_RE = re.compile(r"^\s*(//|\*|/\*)")
 
 RAW_MUTEX_ALLOWED = {"src/common/sync.hpp"}
+RAW_THREAD_ALLOWED_PREFIX = "src/common/"
 IOSTREAM_ALLOWED = {"src/common/logging.cpp"}
 
 
@@ -91,6 +102,13 @@ def lint_tree(repo: Path) -> list[str]:
                 errors.append(
                     f"{rp}:{lineno}: raw-mutex: std::{m.group(1)} outside "
                     "src/common/sync.hpp — use cq::common::Mutex/LockGuard"
+                )
+            if not rp.startswith(RAW_THREAD_ALLOWED_PREFIX) and (
+                m := RAW_THREAD_RE.search(code)
+            ):
+                errors.append(
+                    f"{rp}:{lineno}: raw-thread: std::{m.group(1)} outside "
+                    "src/common — use cq::common::ThreadPool"
                 )
             if STRING_COUNTER_RE.search(code):
                 errors.append(
@@ -148,6 +166,7 @@ def self_test() -> int:
     """Seed one violation per rule into a scratch tree; every rule must fire."""
     cases = {
         "raw-mutex": ("src/bad_mutex.cpp", "static std::mutex mu;\n"),
+        "raw-thread": ("src/bad_thread.cpp", "void f() { std::thread t; t.join(); }\n"),
         "string-counter": ("src/bad_counter.cpp", 'void f(M& m) { m.add("ad_hoc", 1); }\n'),
         "pragma-once": ("src/bad_header.hpp", "struct NoGuard {};\n"),
         "iostream": ("src/bad_print.cpp", "#include <iostream>\n"),

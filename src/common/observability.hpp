@@ -60,22 +60,38 @@ inline void set_enabled(bool on) noexcept {
 /// bit_width(v): [0], [1], [2,3], [4,7], ... so 64 buckets cover the full
 /// uint64 range with <2x relative error, refined by linear interpolation
 /// inside the winning bucket and clamped to the observed [min, max].
+///
+/// Thread-safe: the parallel evaluation engine records from worker threads
+/// (dra_exec_us, eval_batch_us), so every field is a relaxed atomic.
+/// record() is wait-free except for the min/max CAS loops; readers see a
+/// possibly-torn but monotone view (count may momentarily lag sum), which
+/// is fine for monitoring and exact once the writers quiesce.
 class Histogram {
  public:
   static constexpr std::size_t kBuckets = 65;  // bit_width in [0, 64]
 
+  Histogram() = default;
+  Histogram(const Histogram& other) noexcept { copy_from(other); }
+  Histogram& operator=(const Histogram& other) noexcept {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
+
   void record(std::uint64_t value) noexcept;
 
-  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
-  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return load(count_); }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return load(sum_); }
   /// Raw count of bucket b (samples with bit_width == b).
   [[nodiscard]] std::uint64_t bucket(std::size_t b) const noexcept {
-    return b < kBuckets ? buckets_[b] : 0;
+    return b < kBuckets ? load(buckets_[b]) : 0;
   }
-  [[nodiscard]] std::uint64_t min() const noexcept { return count_ == 0 ? 0 : min_; }
-  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return load(count_) == 0 ? 0 : load(min_);
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept { return load(max_); }
   [[nodiscard]] double mean() const noexcept {
-    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+    const std::uint64_t n = load(count_);
+    return n == 0 ? 0.0 : static_cast<double>(load(sum_)) / static_cast<double>(n);
   }
 
   /// Estimated value at percentile p in [0, 100]. 0 when empty; exact for
@@ -91,11 +107,17 @@ class Histogram {
   [[nodiscard]] std::string to_string() const;
 
  private:
-  std::array<std::uint64_t, kBuckets> buckets_{};
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t min_ = 0;
-  std::uint64_t max_ = 0;
+  static std::uint64_t load(const std::atomic<std::uint64_t>& v) noexcept {
+    return v.load(std::memory_order_relaxed);
+  }
+  void copy_from(const Histogram& other) noexcept;
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  // Sentinel UINT64_MAX = "no sample yet"; min() hides it behind count_.
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
 };
 
 // ----------------------------------------------------------------- gauge --
@@ -140,6 +162,10 @@ inline constexpr const char* kEventLogEvents = "event_log_events";
 inline constexpr const char* kEventLogDropped = "event_log_dropped";
 inline constexpr const char* kSourceStalenessTicks = "source_staleness_ticks";  // (source)
 inline constexpr const char* kSourcePendingRows = "source_pending_rows";        // (source)
+/// Tasks queued in the evaluation thread pool, awaiting a worker.
+inline constexpr const char* kPoolQueueDepth = "pool_queue_depth";
+/// Evaluation lanes the CQ manager dispatches across (1 = sequential).
+inline constexpr const char* kEvalParallelism = "eval_parallelism";
 }  // namespace gauge
 
 // ----------------------------------------------------------------- trace --
@@ -259,8 +285,8 @@ class Registry {
   mutable Mutex mu_;
   // mu_ guards the *map structure* (growth on first use). The Histogram
   // and Gauge values a lookup hands out stay referenced by hot paths and
-  // are serialized by the caller's engine mutex (Histogram) or internally
-  // atomic (Gauge) — see the threading notes in docs/static-analysis.md.
+  // are internally atomic — parallel evaluation workers record into both
+  // concurrently; see the threading notes in docs/static-analysis.md.
   std::map<std::string, Histogram> histograms_ CQ_GUARDED_BY(mu_);
   std::map<std::pair<std::string, Labels>, Gauge> gauges_ CQ_GUARDED_BY(mu_);
 };
@@ -275,6 +301,8 @@ inline constexpr const char* kPollUs = "poll_us";
 inline constexpr const char* kGcUs = "gc_us";
 inline constexpr const char* kSyncUs = "sync_us";
 inline constexpr const char* kNetTransferUs = "net_transfer_us";  // simulated
+/// One parallel evaluation batch (a worker's slice of a commit dispatch).
+inline constexpr const char* kEvalBatchUs = "eval_batch_us";
 }  // namespace hist
 
 /// Append one event to the global journal — a no-op when collection is

@@ -26,6 +26,7 @@
 // reaches for raw std::mutex / std::lock_guard directly.
 #pragma once
 
+#include <condition_variable>
 #include <mutex>
 
 #if defined(__clang__) && defined(__has_attribute)
@@ -98,10 +99,37 @@ class CQ_SCOPED_CAPABILITY LockGuard {
   Mutex& mu_;
 };
 
+/// Condition variable that waits on the annotated Mutex. Built on
+/// std::condition_variable_any, which accepts any BasicLockable — so the
+/// waiters stay inside the lock discipline instead of reaching for a raw
+/// std::mutex. wait() releases and re-acquires the mutex internally; the
+/// analysis cannot see that handoff, so the contract is the honest one:
+/// the caller holds the mutex before and after the call.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) CQ_REQUIRES(mu) CQ_NO_THREAD_SAFETY_ANALYSIS { cv_.wait(mu); }
+
+  template <typename Predicate>
+  void wait(Mutex& mu, Predicate pred) CQ_REQUIRES(mu) CQ_NO_THREAD_SAFETY_ANALYSIS {
+    while (!pred()) cv_.wait(mu);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
 }  // namespace cq::common
 
 namespace cq {
 // The short spellings used across the tree: cq::Mutex / cq::LockGuard.
+using common::CondVar;
 using common::LockGuard;
 using common::Mutex;
 }  // namespace cq

@@ -1,0 +1,75 @@
+#include "common/thread_pool.hpp"
+
+#include <utility>
+
+#include "common/observability.hpp"
+
+namespace cq::common {
+
+namespace {
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::global().gauge(obs::gauge::kPoolQueueDepth);
+  return g;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    LockGuard lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::drain() {
+  while (!queue_.empty()) {
+    std::function<void()> task = std::move(queue_.back());
+    queue_.pop_back();
+    queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
+    mu_.unlock();
+    task();
+    mu_.lock();
+    if (--pending_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  LockGuard lock(mu_);
+  for (;;) {
+    work_cv_.wait(mu_, [this]() CQ_REQUIRES(mu_) { return stop_ || !queue_.empty(); });
+    if (stop_ && queue_.empty()) return;
+    drain();
+  }
+}
+
+void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    LockGuard lock(mu_);
+    pending_ += tasks.size();
+    // The queue drains LIFO; feed it reversed so workers pick tasks up in
+    // submission order (helps batch-latency attribution, nothing else —
+    // completion order is irrelevant to the merge phase).
+    queue_.reserve(queue_.size() + tasks.size());
+    for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) {
+      queue_.push_back(std::move(*it));
+    }
+    queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
+  }
+  work_cv_.notify_all();
+  LockGuard lock(mu_);
+  drain();  // the caller is a lane too
+  done_cv_.wait(mu_, [this]() CQ_REQUIRES(mu_) { return pending_ == 0; });
+}
+
+}  // namespace cq::common

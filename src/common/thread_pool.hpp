@@ -1,0 +1,60 @@
+// A dependency-free fixed thread pool for the parallel CQ evaluation
+// engine. Deliberately minimal: the CQ manager is the only client, and its
+// dispatch pattern is "fan a batch of closures out, wait for all of them"
+// once per commit — so the pool exposes exactly that (run_all) instead of
+// a general future-returning submit().
+//
+// The calling thread *participates*: run_all(tasks) drains the queue on
+// the caller too, so a pool constructed with `workers = threads - 1`
+// yields exactly `threads` concurrent lanes and a pool with zero workers
+// degenerates to a plain sequential loop (no thread ever starts).
+//
+// Built on the annotated cq::common::Mutex/CondVar from sync.hpp — this
+// file is the sanctioned home of std::thread in the tree
+// (scripts/lint_invariants.py rejects raw std::thread outside src/common).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/sync.hpp"
+
+namespace cq::common {
+
+class ThreadPool {
+ public:
+  /// Start `workers` threads (0 is valid: run_all then executes inline).
+  explicit ThreadPool(std::size_t workers);
+
+  /// Joins all workers. Must not be called while a run_all is in flight.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Execute every task, the caller working alongside the pool threads,
+  /// and return when all of them have finished. Tasks must not throw —
+  /// wrap fallible work and capture its exception into a result slot.
+  /// Not reentrant: one run_all at a time (the CQ manager's dispatch is
+  /// already serialized by the engine mutex).
+  void run_all(std::vector<std::function<void()>> tasks);
+
+  [[nodiscard]] std::size_t workers() const noexcept { return threads_.size(); }
+
+ private:
+  void worker_loop();
+  /// Pop + run queued tasks until the queue is empty. Returns with mu_ held.
+  void drain() CQ_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  CondVar work_cv_;         // signalled when tasks arrive or stop_ flips
+  CondVar done_cv_;         // signalled when pending_ reaches zero
+  std::vector<std::function<void()>> queue_ CQ_GUARDED_BY(mu_);
+  std::size_t pending_ CQ_GUARDED_BY(mu_) = 0;  // queued + running tasks
+  bool stop_ CQ_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace cq::common

@@ -67,16 +67,20 @@ rel::Relation ContinualQuery::delivered_aggregate() const {
   return out;
 }
 
-TriggerContext ContinualQuery::context(const cat::Database& db) const {
-  return TriggerContext{db, relations_, last_exec_, db.clock().now(), executions_};
+TriggerContext ContinualQuery::context(const cat::Database& db,
+                                       const delta::SnapshotMap* snapshots) const {
+  return TriggerContext{db,  relations_,  last_exec_,
+                        db.clock().now(), executions_, snapshots};
 }
 
-bool ContinualQuery::should_fire(const cat::Database& db) const {
-  return !finished_ && spec_.trigger->should_fire(context(db));
+bool ContinualQuery::should_fire(const cat::Database& db,
+                                 const delta::SnapshotMap* snapshots) const {
+  return !finished_ && spec_.trigger->should_fire(context(db, snapshots));
 }
 
-bool ContinualQuery::should_stop(const cat::Database& db) const {
-  return finished_ || spec_.stop->satisfied(context(db));
+bool ContinualQuery::should_stop(const cat::Database& db,
+                                 const delta::SnapshotMap* snapshots) const {
+  return finished_ || spec_.stop->satisfied(context(db, snapshots));
 }
 
 ContinualQuery::Staleness ContinualQuery::staleness(const cat::Database& db) const {
@@ -184,19 +188,18 @@ rel::Relation distinct_from_counts(const rel::TupleBag& counts, const rel::Schem
 
 }  // namespace
 
-Notification ContinualQuery::execute_initial(const cat::Database& db,
-                                             common::Metrics* metrics) {
-  if (executions_ != 0) {
-    throw common::InvalidArgument("CQ '" + spec_.name + "': already initialized");
-  }
+Notification ContinualQuery::prime_from_scratch(const cat::Database& db,
+                                                common::Metrics* metrics) {
   const qry::SpjQuery core = spj_core();
   Relation spj = recompute(core, db, metrics);
   if (metrics != nullptr) metrics->add(common::metric::kQueryExecutions, 1);
 
   Notification note;
   note.cq_name = spec_.name;
-  note.sequence = 0;
 
+  saved_result_.reset();
+  result_counts_.reset();
+  agg_state_.reset();
   if (spec_.query.is_aggregate()) {
     agg_state_.emplace(spj.schema(), spec_.query.group_by, spec_.query.aggregates);
     agg_state_->initialize(spj);
@@ -223,9 +226,32 @@ Notification ContinualQuery::execute_initial(const cat::Database& db,
     }
   }
 
-  executions_ = 1;
+  reprime_pending_ = false;
   last_exec_ = db.clock().now();
   note.at = last_exec_;
+  return note;
+}
+
+bool ContinualQuery::needs_reprime() const noexcept {
+  if (reprime_pending_) return true;
+  if (spec_.query.is_aggregate()) {
+    if (!agg_state_) return true;
+  } else if (spec_.query.distinct) {
+    if (!result_counts_) return true;
+  } else if (spec_.mode == DeliveryMode::kComplete && !saved_result_) {
+    return true;
+  }
+  return spec_.strategy == ExecutionStrategy::kRecompute && !saved_result_;
+}
+
+Notification ContinualQuery::execute_initial(const cat::Database& db,
+                                             common::Metrics* metrics) {
+  if (executions_ != 0) {
+    throw common::InvalidArgument("CQ '" + spec_.name + "': already initialized");
+  }
+  Notification note = prime_from_scratch(db, metrics);
+  note.sequence = 0;
+  executions_ = 1;
   return note;
 }
 
@@ -239,6 +265,21 @@ void ContinualQuery::restore(const cat::Database& db, Timestamp last_execution,
                                   "': restore needs executions >= 1");
   }
   const qry::SpjQuery core = spj_core();
+
+  // If garbage collection already reclaimed part of the rollback window
+  // (last_execution, now], the inverted differential below would silently
+  // reconstruct the *wrong* previous result (the truncated prefix of the
+  // window is simply missing from the log). Detect it via the truncation
+  // watermark and re-prime on the next execution instead of rolling back.
+  for (const auto& ref : core.from) {
+    const auto reclaimed = db.delta(ref.table).truncated_through();
+    if (reclaimed && *reclaimed > last_execution) {
+      invalidate_saved_result();
+      executions_ = executions;
+      last_exec_ = last_execution;
+      return;
+    }
+  }
 
   // Reconstruct the SPJ result as of last_execution: current state rolled
   // back by the inverted delta window (last_execution, now].
@@ -268,20 +309,26 @@ void ContinualQuery::restore(const cat::Database& db, Timestamp last_execution,
 }
 
 Notification ContinualQuery::execute(const cat::Database& db, common::Metrics* metrics,
-                                     DraStats* stats) {
+                                     DraStats* stats, const delta::SnapshotMap* snapshots) {
   if (executions_ == 0) return execute_initial(db, metrics);
+  if (needs_reprime()) {
+    // State the strategy/mode relies on is gone (explicit invalidation, or
+    // restore() found the rollback window GC-truncated). Re-prime: one full
+    // recompute, delivered as a complete result with an empty delta.
+    Notification note = prime_from_scratch(db, metrics);
+    note.sequence = executions_;
+    ++executions_;
+    return note;
+  }
   const qry::SpjQuery core = spj_core();
 
   // ---- ΔQ of the SPJ core ----
   DiffResult raw;
   if (spec_.strategy == ExecutionStrategy::kDra) {
-    raw = dra_differential(core, db, last_exec_, metrics, spec_.dra_options, stats);
+    raw = dra_differential(core, db, last_exec_, metrics, spec_.dra_options, stats,
+                           snapshots);
     if (saved_result_) saved_result_ = apply_diff(*saved_result_, raw);
   } else {
-    if (!saved_result_) {
-      throw common::InternalError("CQ '" + spec_.name +
-                                  "': recompute strategy lost its saved result");
-    }
     Relation current = recompute(core, db, metrics);
     raw = diff(*saved_result_, current);
     saved_result_ = std::move(current);

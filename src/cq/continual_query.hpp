@@ -129,9 +129,12 @@ class ContinualQuery {
                                              common::Metrics* metrics = nullptr);
 
   /// Subsequent execution E_i, differential per the configured strategy.
+  /// `snapshots` (optional) routes delta reads through the per-dispatch
+  /// pinned snapshot set built by the parallel evaluation engine.
   [[nodiscard]] Notification execute(const cat::Database& db,
                                      common::Metrics* metrics = nullptr,
-                                     DraStats* stats = nullptr);
+                                     DraStats* stats = nullptr,
+                                     const delta::SnapshotMap* snapshots = nullptr);
 
   /// Restore the runtime state of a CQ that had last executed at
   /// `last_execution` (with `executions` completed) against a database
@@ -145,9 +148,28 @@ class ContinualQuery {
                std::uint64_t executions);
 
   /// Evaluate the trigger / stop conditions.
-  [[nodiscard]] bool should_fire(const cat::Database& db) const;
-  [[nodiscard]] bool should_stop(const cat::Database& db) const;
+  [[nodiscard]] bool should_fire(const cat::Database& db,
+                                 const delta::SnapshotMap* snapshots = nullptr) const;
+  [[nodiscard]] bool should_stop(const cat::Database& db,
+                                 const delta::SnapshotMap* snapshots = nullptr) const;
   void mark_finished() noexcept { finished_ = true; }
+
+  /// Drop every maintained per-mode artifact (saved previous result,
+  /// DISTINCT multiplicities, aggregate state). The next execution then
+  /// *re-primes*: one full recompute delivered as a complete result with
+  /// an empty delta — instead of throwing "recompute strategy lost its
+  /// saved result" the way stale state used to. restore() calls this
+  /// automatically when GC truncated the rollback window it needs.
+  void invalidate_saved_result() noexcept {
+    saved_result_.reset();
+    result_counts_.reset();
+    agg_state_.reset();
+    reprime_pending_ = true;
+  }
+
+  /// True when the next execution will re-prime instead of running
+  /// differentially (diagnostics / tests).
+  [[nodiscard]] bool reprime_pending() const noexcept { return reprime_pending_; }
 
   /// How far the delivered result has drifted from the live database — the
   /// Epsilon-Serializability-inspired divergence measure the paper's
@@ -169,16 +191,26 @@ class ContinualQuery {
   [[nodiscard]] std::string explain(const cat::Database& db) const;
 
  private:
-  [[nodiscard]] TriggerContext context(const cat::Database& db) const;
+  [[nodiscard]] TriggerContext context(const cat::Database& db,
+                                       const delta::SnapshotMap* snapshots) const;
   [[nodiscard]] qry::SpjQuery spj_core() const;
   /// The aggregate relation as the user sees it (HAVING applied).
   [[nodiscard]] rel::Relation delivered_aggregate() const;
+  /// Full recompute + per-mode state rebuild; shared by execute_initial
+  /// and the re-prime path. Fills everything in the notification except
+  /// the sequence number, and sets last_exec_ to now.
+  [[nodiscard]] Notification prime_from_scratch(const cat::Database& db,
+                                                common::Metrics* metrics);
+  /// True when the per-mode state the configured strategy/mode relies on
+  /// is absent, so the next execution must re-prime.
+  [[nodiscard]] bool needs_reprime() const noexcept;
 
   CqSpec spec_;
   std::vector<std::string> relations_;
   common::Timestamp last_exec_;
   std::uint64_t executions_ = 0;
   bool finished_ = false;
+  bool reprime_pending_ = false;
 
   /// Maintained for kComplete (and needed by kDifferential with DISTINCT).
   std::optional<rel::Relation> saved_result_;

@@ -29,6 +29,7 @@
 #include "common/metrics.hpp"
 #include "common/timestamp.hpp"
 #include "cq/diff.hpp"
+#include "delta/delta_snapshot.hpp"
 #include "query/ast.hpp"
 
 namespace cq::core {
@@ -61,11 +62,19 @@ struct DraStats {
 /// Compute ΔQ of the SPJ core of `query` for all updates committed after
 /// `since`. Aggregates/DISTINCT must be handled by the caller (the
 /// ContinualQuery layer maintains them incrementally on top of ΔQ).
+///
+/// When `snapshots` is non-null, delta reads for relations present in the
+/// map go through the shared pinned DeltaSnapshot instead of the live log
+/// (the parallel evaluation engine builds one map per commit); relations
+/// absent from the map fall back to db.delta(). Base-table reads always
+/// hit the live catalog — commits are serialized with dispatch, so the
+/// base state cannot move underneath an evaluation.
 [[nodiscard]] DiffResult dra_differential(const qry::SpjQuery& query,
                                           const cat::Database& db,
                                           common::Timestamp since,
                                           common::Metrics* metrics = nullptr,
                                           const DraOptions& options = {},
-                                          DraStats* stats = nullptr);
+                                          DraStats* stats = nullptr,
+                                          const delta::SnapshotMap* snapshots = nullptr);
 
 }  // namespace cq::core

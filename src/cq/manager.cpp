@@ -32,6 +32,24 @@ obs::Gauge& active_cq_gauge() {
   return g;
 }
 
+obs::Gauge& parallelism_gauge() {
+  static obs::Gauge& g = obs::global().gauge(obs::gauge::kEvalParallelism);
+  return g;
+}
+
+/// Resets the reentrancy flag even when a CQ execution throws, so one
+/// failed dispatch cannot wedge every future commit into a silent no-op.
+class DispatchGuard {
+ public:
+  explicit DispatchGuard(bool& flag) : flag_(flag) { flag_ = true; }
+  ~DispatchGuard() { flag_ = false; }
+  DispatchGuard(const DispatchGuard&) = delete;
+  DispatchGuard& operator=(const DispatchGuard&) = delete;
+
+ private:
+  bool& flag_;
+};
+
 }  // namespace
 
 CqManager::CqManager(cat::Database& db) : db_(db) {}
@@ -207,6 +225,8 @@ std::size_t CqManager::poll() {
   handles.reserve(entries_.size());
   for (const auto& [h, e] : entries_) handles.push_back(h);
 
+  if (threads_ > 1) return dispatch_parallel(handles);
+
   for (const CqHandle h : handles) {
     auto it = entries_.find(h);
     if (it == entries_.end()) continue;
@@ -227,6 +247,155 @@ std::size_t CqManager::poll() {
   return executed;
 }
 
+void CqManager::set_parallelism(std::size_t threads) {
+  const std::size_t lanes = threads == 0 ? 1 : threads;
+  if (lanes == threads_) return;
+  threads_ = lanes;
+  pool_.reset();  // rebuilt lazily at the next dispatch with the new width
+  parallelism_gauge().set(static_cast<std::int64_t>(threads_));
+}
+
+std::size_t CqManager::dispatch_parallel(const std::vector<CqHandle>& handles) {
+  if (handles.empty()) return 0;
+  if (!pool_) pool_ = std::make_unique<common::ThreadPool>(threads_ - 1);
+
+  // ---- snapshot each touched delta once, shared by every eligible CQ ----
+  delta::SnapshotMap snapshots;
+  for (const CqHandle h : handles) {
+    auto it = entries_.find(h);
+    if (it == entries_.end()) continue;
+    for (const auto& table : it->second.query->relations()) {
+      if (!snapshots.contains(table)) {
+        snapshots.emplace(table,
+                          std::make_shared<delta::DeltaSnapshot>(db_.delta(table)));
+      }
+    }
+  }
+
+  // ---- one outcome slot per eligible CQ, in handle order ----
+  struct Outcome {
+    CqHandle handle = 0;
+    Entry* entry = nullptr;
+    bool stop_pre = false;
+    bool fired = false;
+    bool stop_post = false;
+    Notification note;
+    DraStats stats;
+    common::Metrics local;  // merged into metrics_ in handle order
+    std::uint64_t elapsed_ns = 0;
+    std::exception_ptr error;
+  };
+  std::vector<Outcome> outcomes;
+  outcomes.reserve(handles.size());
+  for (const CqHandle h : handles) {
+    auto it = entries_.find(h);
+    if (it == entries_.end()) continue;
+    Outcome o;
+    o.handle = h;
+    o.entry = &it->second;
+    outcomes.push_back(std::move(o));
+  }
+  if (outcomes.empty()) return 0;
+
+  // ---- partition into batches keyed by the relations each CQ reads ----
+  // CQs over one read set share the snapshot's memoized views, so keeping
+  // them on one lane maximizes cache reuse; a single hot read set is still
+  // sub-chunked so it spreads across all lanes instead of serializing.
+  std::map<std::string, std::vector<std::size_t>> by_read_set;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    std::vector<std::string> key_parts = outcomes[i].entry->query->relations();
+    std::sort(key_parts.begin(), key_parts.end());
+    std::string key;
+    for (const auto& part : key_parts) {
+      key += part;
+      key += ',';
+    }
+    by_read_set[key].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> batches;
+  for (auto& [key, members] : by_read_set) {
+    const std::size_t chunk = (members.size() + threads_ - 1) / threads_;
+    for (std::size_t start = 0; start < members.size(); start += chunk) {
+      const std::size_t stop = std::min(start + chunk, members.size());
+      batches.emplace_back(members.begin() + static_cast<std::ptrdiff_t>(start),
+                           members.begin() + static_cast<std::ptrdiff_t>(stop));
+    }
+  }
+  parallelism_gauge().set(
+      static_cast<std::int64_t>(std::min(threads_, batches.size())));
+
+  // ---- evaluate: workers do pure reads + per-CQ state transitions ----
+  static obs::Histogram& batch_hist = obs::global().histogram(obs::hist::kEvalBatchUs);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(batches.size());
+  for (auto& batch : batches) {
+    tasks.emplace_back([this, &snapshots, &outcomes, batch = std::move(batch)] {
+      const std::uint64_t b0 = obs::now_ns();
+      for (const std::size_t i : batch) {
+        Outcome& out = outcomes[i];
+        try {
+          ContinualQuery& query = *out.entry->query;
+          out.stop_pre = query.should_stop(db_, &snapshots);
+          if (out.stop_pre) continue;
+          out.fired = query.should_fire(db_, &snapshots);
+          if (!out.fired) continue;
+          obs::Span span("cq.run");
+          const std::uint64_t t0 = obs::now_ns();
+          out.note = query.execute(db_, &out.local, &out.stats, &snapshots);
+          out.elapsed_ns = obs::now_ns() - t0;
+          out.stop_post = query.should_stop(db_, &snapshots);
+        } catch (...) {
+          out.error = std::current_exception();
+        }
+      }
+      if (obs::enabled()) batch_hist.record((obs::now_ns() - b0) / 1000);
+    });
+  }
+  pool_->run_all(std::move(tasks));
+
+  // ---- merge: replay every side effect in handle order, exactly as the
+  // sequential loop would have produced it ----
+  std::size_t executed = 0;
+  for (Outcome& out : outcomes) {
+    metrics_.add(common::metric::kTriggerChecks, 1);
+    if (out.error) std::rethrow_exception(out.error);
+    Entry& entry = *out.entry;
+    if (out.stop_pre) {
+      entry.query->mark_finished();
+      finish(out.handle);
+      continue;
+    }
+    record_check(entry, out.fired);
+    if (!out.fired) continue;
+    ++executed;
+    last_stats_ = out.stats;
+    metrics_.merge(out.local);
+    {
+      common::LockGuard lock(stats_mu_);
+      CqStats& s = stats_of(entry);
+      ++s.executions;
+      s.last_exec_ns = out.elapsed_ns;
+      s.total_exec_ns += out.elapsed_ns;
+      s.delta_rows_consumed += out.stats.delta_rows_read;
+      s.rows_delivered += rows_delivered(out.note);
+      s.last_execution = entry.query->last_execution();
+    }
+    if (obs::enabled()) {
+      cq_exec_histogram().record(out.elapsed_ns / 1000);
+      obs::event(obs::Severity::kInfo, "cq_delivered", entry.query->name(),
+                 std::to_string(rows_delivered(out.note)) + " row(s)",
+                 entry.query->last_execution().ticks());
+    }
+    db_.zones().advance(entry.zone_id, entry.query->last_execution());
+    if (entry.sink) entry.sink->on_result(out.note);
+    if (out.stop_post) {
+      entry.query->mark_finished();
+      finish(out.handle);
+    }
+  }
+  return executed;
+}
+
 void CqManager::set_eager(bool eager) {
   if (eager == eager_) return;
   eager_ = eager;
@@ -240,7 +409,23 @@ void CqManager::set_eager(bool eager) {
 
 void CqManager::on_commit(const std::vector<std::string>& tables, common::Timestamp) {
   if (in_dispatch_) return;  // a CQ execution never re-triggers itself
-  in_dispatch_ = true;
+  DispatchGuard guard(in_dispatch_);
+
+  if (threads_ > 1) {
+    std::vector<CqHandle> relevant;
+    relevant.reserve(entries_.size());
+    for (const auto& [h, e] : entries_) {
+      const auto& relations = e.query->relations();
+      if (std::any_of(tables.begin(), tables.end(), [&](const std::string& t) {
+            return std::find(relations.begin(), relations.end(), t) != relations.end();
+          })) {
+        relevant.push_back(h);
+      }
+    }
+    dispatch_parallel(relevant);
+    return;
+  }
+
   std::vector<CqHandle> handles;
   handles.reserve(entries_.size());
   for (const auto& [h, e] : entries_) handles.push_back(h);
@@ -265,7 +450,6 @@ void CqManager::on_commit(const std::vector<std::string>& tables, common::Timest
     record_check(entry, fire);
     if (fire) run(h, entry);
   }
-  in_dispatch_ = false;
 }
 
 Notification CqManager::execute_now(CqHandle handle) {

@@ -16,7 +16,9 @@
 #include "common/observability.hpp"
 #include "common/prometheus.hpp"
 #include "common/sync.hpp"
+#include "common/thread_pool.hpp"
 #include "cq/continual_query.hpp"
+#include "delta/delta_snapshot.hpp"
 
 namespace cq::core {
 
@@ -79,6 +81,18 @@ class CqManager {
   /// Force one execution regardless of the trigger.
   Notification execute_now(CqHandle handle);
 
+  /// Number of evaluation lanes used per dispatch (poll / eager commit).
+  /// 1 (the default) keeps the historical sequential code path and is
+  /// bit-identical to it; n > 1 evaluates trigger-eligible CQs on a
+  /// thread pool of n lanes (n − 1 pool workers plus the dispatching
+  /// thread) against shared pinned delta snapshots, then merges every
+  /// side effect — notifications, stats, metrics, zone advances — in
+  /// handle order, so the observable stream is identical for any n as
+  /// long as sinks do not mutate the database (the determinism contract;
+  /// see docs/performance.md). 0 is treated as 1.
+  void set_parallelism(std::size_t threads);
+  [[nodiscard]] std::size_t parallelism() const noexcept { return threads_; }
+
   /// Reclaim differential-relation rows outside the system active delta
   /// zone (Section 5.4). Returns rows reclaimed.
   std::size_t collect_garbage();
@@ -140,6 +154,10 @@ class CqManager {
   /// Trigger-check bookkeeping shared by poll() and on_commit().
   void record_check(const Entry& entry, bool fired);
   CqStats& stats_of(const Entry& entry) CQ_REQUIRES(stats_mu_);
+  /// Parallel dispatch (threads_ > 1): snapshot the touched deltas once,
+  /// partition `handles` into read-set batches, evaluate on the pool, and
+  /// merge all side effects in handle order. Returns executions performed.
+  std::size_t dispatch_parallel(const std::vector<CqHandle>& handles);
 
   // Engine state: entries_, metrics_ and last_stats_ are mutated by
   // install/poll/commit dispatch and must stay serialized by the engine
@@ -152,6 +170,8 @@ class CqManager {
   CqHandle next_handle_ = 1;
   bool eager_ = false;
   bool in_dispatch_ = false;  // guards against reentrant commit hooks
+  std::size_t threads_ = 1;   // evaluation lanes (1 = sequential path)
+  std::unique_ptr<common::ThreadPool> pool_;  // built lazily, threads_ - 1 workers
   common::Metrics metrics_;
   DraStats last_stats_;
   mutable common::Mutex stats_mu_;

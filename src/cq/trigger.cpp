@@ -57,7 +57,11 @@ class OnChangeTrigger final : public Trigger {
  public:
   bool should_fire(const TriggerContext& context) const override {
     for (const auto& table : context.relations) {
-      if (context.db.delta(table).changed_since(context.last_execution)) return true;
+      const auto* snap = context.snapshot_of(table);
+      const bool changed = snap != nullptr
+                               ? snap->changed_since(context.last_execution)
+                               : context.db.delta(table).changed_since(context.last_execution);
+      if (changed) return true;
     }
     return false;
   }
@@ -76,7 +80,10 @@ class ChangeCountTrigger final : public Trigger {
   bool should_fire(const TriggerContext& context) const override {
     std::size_t total = 0;
     for (const auto& table : context.relations) {
-      total += context.db.delta(table).net_effect(context.last_execution).size();
+      const auto* snap = context.snapshot_of(table);
+      total += snap != nullptr
+                   ? snap->net_effect(context.last_execution).size()
+                   : context.db.delta(table).net_effect(context.last_execution).size();
       if (total >= threshold_) return true;
     }
     return false;
@@ -101,11 +108,18 @@ class AggregateDriftTrigger final : public Trigger {
 
   bool should_fire(const TriggerContext& context) const override {
     // Differential form (Section 5.3): scan only ΔR with ts > t_last.
+    const auto* snap = context.snapshot_of(table_);
     const auto& delta = context.db.delta(table_);
-    if (!delta.changed_since(context.last_execution)) return false;
+    const bool changed = snap != nullptr ? snap->changed_since(context.last_execution)
+                                         : delta.changed_since(context.last_execution);
+    if (!changed) return false;
     const std::size_t col = delta.base_schema().index_of(column_);
+    const std::vector<cq::delta::DeltaRow> live =
+        snap != nullptr ? std::vector<cq::delta::DeltaRow>{}
+                        : delta.net_effect(context.last_execution);
+    const auto& net = snap != nullptr ? snap->net_effect(context.last_execution) : live;
     double drift = 0.0;
-    for (const auto& row : delta.net_effect(context.last_execution)) {
+    for (const auto& row : net) {
       if (row.new_values && !(*row.new_values)[col].is_null()) {
         drift += (*row.new_values)[col].numeric();
       }

@@ -82,16 +82,16 @@ bool DeltaRelation::changed_since(Timestamp since) const noexcept {
   return !rows_.empty() && rows_.back().ts > since;
 }
 
-std::vector<DeltaRow> DeltaRelation::net_effect(Timestamp since) const {
+std::vector<DeltaRow> net_effect_of(const std::vector<DeltaRow>& rows, Timestamp since) {
   std::vector<DeltaRow> out;
   std::unordered_map<TupleId, std::size_t> position;  // tid -> index in out
 
-  // rows_ is ts-ordered; binary search the window start.
+  // rows is ts-ordered; binary search the window start.
   auto first = std::lower_bound(
-      rows_.begin(), rows_.end(), since,
+      rows.begin(), rows.end(), since,
       [](const DeltaRow& r, Timestamp t) { return r.ts <= t; });
 
-  for (auto it = first; it != rows_.end(); ++it) {
+  for (auto it = first; it != rows.end(); ++it) {
     const DeltaRow& change = *it;
     auto pos = position.find(change.tid);
     if (pos == position.end()) {
@@ -131,6 +131,10 @@ std::vector<DeltaRow> DeltaRelation::net_effect(Timestamp since) const {
   return compacted;
 }
 
+std::vector<DeltaRow> DeltaRelation::net_effect(Timestamp since) const {
+  return net_effect_of(rows_, since);
+}
+
 rel::Relation DeltaRelation::insertions(Timestamp since) const {
   Relation out(base_schema_);
   for (const auto& row : net_effect(since)) {
@@ -166,13 +170,46 @@ rel::Relation DeltaRelation::as_wide_relation(Timestamp since) const {
   return out;
 }
 
+DeltaRelation::ReadPin::ReadPin(std::shared_ptr<PinState> state)
+    : state_(std::move(state)) {
+  common::LockGuard lock(state_->mu);
+  ++state_->pins;
+}
+
+void DeltaRelation::ReadPin::release() noexcept {
+  if (!state_) return;
+  common::LockGuard lock(state_->mu);
+  --state_->pins;
+}
+
+DeltaRelation::ReadPin DeltaRelation::pin_reads() const {
+  return ReadPin(pin_state_);
+}
+
+std::size_t DeltaRelation::read_pins() const {
+  common::LockGuard lock(pin_state_->mu);
+  return pin_state_->pins;
+}
+
 std::size_t DeltaRelation::truncate_before(Timestamp before) {
+  // Hold the pin mutex across the whole truncation: a pin taken while we
+  // reclaim blocks until the erase is done, and an outstanding pin makes
+  // this pass a no-op. Either way no reader ever observes rows_ mid-erase,
+  // and the lock hand-off orders the reader's accesses against ours.
+  common::LockGuard lock(pin_state_->mu);
+  if (pin_state_->pins > 0) return 0;  // deferred: a later GC pass retries
   auto keep_from = std::lower_bound(
       rows_.begin(), rows_.end(), before,
       [](const DeltaRow& r, Timestamp t) { return r.ts <= t; });
   const std::size_t dropped = static_cast<std::size_t>(keep_from - rows_.begin());
-  for (auto it = rows_.begin(); it != keep_from; ++it) bytes_ -= it->byte_size();
-  rows_.erase(rows_.begin(), keep_from);
+  if (dropped > 0) {
+    for (auto it = rows_.begin(); it != keep_from; ++it) bytes_ -= it->byte_size();
+    const Timestamp last_dropped = (keep_from - 1)->ts;
+    if (!truncated_through_ || last_dropped > *truncated_through_) {
+      truncated_through_ = last_dropped;
+    }
+    rows_.erase(rows_.begin(), keep_from);
+  }
   return dropped;
 }
 

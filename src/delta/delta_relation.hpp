@@ -16,10 +16,12 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/timestamp.hpp"
 #include "relation/relation.hpp"
 #include "relation/schema.hpp"
@@ -47,7 +49,23 @@ struct DeltaRow {
   [[nodiscard]] std::size_t byte_size() const noexcept;
 };
 
+/// Net effect per tid of all changes in `rows` strictly after `since`, in
+/// first-seen order (see DeltaRelation::net_effect for the collapse rules).
+/// `rows` must be ts-ordered. Shared by DeltaRelation and DeltaSnapshot so
+/// the live log and a pinned snapshot derive byte-identical views.
+[[nodiscard]] std::vector<DeltaRow> net_effect_of(const std::vector<DeltaRow>& rows,
+                                                  common::Timestamp since);
+
 class DeltaRelation {
+  /// Shared between the relation and its outstanding ReadPins: the pin
+  /// count gates garbage collection. Held by shared_ptr so DeltaRelation
+  /// stays movable (Table moves it) — copies of a DeltaRelation share the
+  /// pin state, which is harmless: pins only ever make GC more cautious.
+  struct PinState {
+    common::Mutex mu;
+    std::size_t pins CQ_GUARDED_BY(mu) = 0;
+  };
+
  public:
   /// `base_schema` is the schema of the relation whose changes we log.
   explicit DeltaRelation(rel::Schema base_schema);
@@ -104,8 +122,53 @@ class DeltaRelation {
 
   // ---- garbage collection (Section 5.4) ----
 
-  /// Drop every row with ts <= `before`. Returns how many rows were dropped.
+  /// RAII read pin: while at least one pin is alive, truncate_before is a
+  /// no-op, so a concurrent evaluation holding a DeltaSnapshot can keep
+  /// reading rows() without racing GC reclamation. Movable, not copyable.
+  class ReadPin {
+   public:
+    ReadPin() noexcept = default;
+    ReadPin(ReadPin&& other) noexcept : state_(std::move(other.state_)) {}
+    ReadPin& operator=(ReadPin&& other) noexcept {
+      if (this != &other) {
+        release();
+        state_ = std::move(other.state_);
+      }
+      return *this;
+    }
+    ReadPin(const ReadPin&) = delete;
+    ReadPin& operator=(const ReadPin&) = delete;
+    ~ReadPin() { release(); }
+
+   private:
+    friend class DeltaRelation;
+    explicit ReadPin(std::shared_ptr<PinState> state);
+    void release() noexcept;
+
+    std::shared_ptr<PinState> state_;
+  };
+
+  /// Pin the log against garbage collection for the lifetime of the
+  /// returned handle. The pin mutex hand-off also gives a happens-before
+  /// edge between the pinning thread and any GC pass it defers.
+  [[nodiscard]] ReadPin pin_reads() const;
+
+  /// Number of live read pins (diagnostics / tests).
+  [[nodiscard]] std::size_t read_pins() const;
+
+  /// Drop every row with ts <= `before`. Returns how many rows were
+  /// dropped. While read pins are outstanding the call reclaims nothing
+  /// and returns 0 — reclamation is simply retried by a later GC pass.
   std::size_t truncate_before(common::Timestamp before);
+
+  /// Highest timestamp ever dropped by truncate_before, or nullopt when
+  /// nothing has been reclaimed yet. Lets ContinualQuery::restore detect
+  /// that the window (last_execution, now] it wants to roll back has been
+  /// partially reclaimed, so it must re-prime instead of trusting a view
+  /// derived from a truncated log.
+  [[nodiscard]] std::optional<common::Timestamp> truncated_through() const noexcept {
+    return truncated_through_;
+  }
 
   /// Approximate memory footprint in bytes (wire cost model). O(1):
   /// maintained incrementally by append/truncate_before, so resource
@@ -121,6 +184,8 @@ class DeltaRelation {
   rel::Schema wide_schema_;
   std::vector<DeltaRow> rows_;  // ts-ordered
   std::size_t bytes_ = 0;       // sum of rows_[i].byte_size()
+  std::optional<common::Timestamp> truncated_through_;  // max ts reclaimed
+  std::shared_ptr<PinState> pin_state_ = std::make_shared<PinState>();
 };
 
 }  // namespace cq::delta

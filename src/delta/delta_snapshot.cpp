@@ -1,0 +1,38 @@
+#include "delta/delta_snapshot.hpp"
+
+namespace cq::delta {
+
+using common::Timestamp;
+using rel::Relation;
+using rel::Tuple;
+
+DeltaSnapshot::DeltaSnapshot(const DeltaRelation& source)
+    : source_(source), pin_(source.pin_reads()) {}
+
+const DeltaSnapshot::Views& DeltaSnapshot::views(Timestamp since) const {
+  common::LockGuard lock(mu_);
+  auto it = cache_.find(since);
+  if (it != cache_.end()) return it->second;
+
+  Views v{net_effect_of(source_.rows(), since), Relation(source_.base_schema()),
+          Relation(source_.base_schema())};
+  for (const auto& row : v.net) {
+    if (row.new_values) v.ins.append(Tuple(*row.new_values, row.tid));
+    if (row.old_values) v.del.append(Tuple(*row.old_values, row.tid));
+  }
+  return cache_.emplace(since, std::move(v)).first->second;
+}
+
+const std::vector<DeltaRow>& DeltaSnapshot::net_effect(Timestamp since) const {
+  return views(since).net;
+}
+
+const Relation& DeltaSnapshot::insertions(Timestamp since) const {
+  return views(since).ins;
+}
+
+const Relation& DeltaSnapshot::deletions(Timestamp since) const {
+  return views(since).del;
+}
+
+}  // namespace cq::delta

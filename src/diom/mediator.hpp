@@ -174,6 +174,13 @@ class Mediator {
   [[nodiscard]] const cat::Database& database() const noexcept { return db_; }
   [[nodiscard]] core::CqManager& manager() noexcept { return manager_; }
   [[nodiscard]] const core::CqManager& manager() const noexcept { return manager_; }
+
+  /// Evaluation lanes for CQ dispatch after each sync round / commit.
+  /// Forwards to CqManager::set_parallelism; 1 = sequential (default).
+  void set_eval_threads(std::size_t threads) { manager_.set_parallelism(threads); }
+  [[nodiscard]] std::size_t eval_threads() const noexcept {
+    return manager_.parallelism();
+  }
   [[nodiscard]] const std::string& client_name() const noexcept { return client_; }
   [[nodiscard]] std::size_t source_count() const {
     LockGuard lock(mu_);

@@ -267,5 +267,93 @@ TEST(ContinualQuery, ExecuteBeforeInitialRunsInitial) {
   EXPECT_TRUE(n.complete.has_value());
 }
 
+TEST(ContinualQuery, InvalidatedRecomputeStateReprimesInsteadOfThrowing) {
+  // Historical bug: a kRecompute CQ whose saved result was lost (e.g. the
+  // suppression window crossed a GC pass) threw InternalError "recompute
+  // strategy lost its saved result" from execute(). Invalidation is now
+  // explicit and the next execution re-primes with a full recompute.
+  cat::Database db = stocks_db();
+  ContinualQuery cq(spec_for("SELECT * FROM Stocks WHERE price > 120",
+                             DeliveryMode::kDifferential,
+                             ExecutionStrategy::kRecompute),
+                    db);
+  (void)cq.execute_initial(db);
+
+  cq.invalidate_saved_result();
+  EXPECT_TRUE(cq.reprime_pending());
+  db.insert("Stocks", {Value("MAC"), Value(130)});
+
+  const Notification reprimed = cq.execute(db);  // must not throw
+  EXPECT_EQ(reprimed.sequence, 1u);
+  EXPECT_TRUE(reprimed.delta.empty());  // no usable baseline => no delta
+  ASSERT_TRUE(reprimed.complete.has_value());
+  const Relation fresh =
+      recompute(qry::parse_query("SELECT * FROM Stocks WHERE price > 120"), db);
+  EXPECT_TRUE(reprimed.complete->equal_multiset(fresh));
+  EXPECT_FALSE(cq.reprime_pending());
+
+  // Differential operation resumes on the rebuilt baseline.
+  db.insert("Stocks", {Value("SGI"), Value(200)});
+  const Notification next = cq.execute(db);
+  EXPECT_EQ(next.sequence, 2u);
+  EXPECT_EQ(next.delta.inserted.count_value(Tuple({Value("SGI"), Value(200)})), 1u);
+  EXPECT_TRUE(next.delta.deleted.empty());
+}
+
+TEST(ContinualQuery, RestoreAcrossGcTruncationReprimes) {
+  // restore() rebuilds the saved result by rolling the current state back
+  // through the delta window (last_execution, now]. When GC has truncated
+  // part of that window the rollback would be silently wrong — the
+  // truncation watermark must force a re-prime instead.
+  cat::Database db = stocks_db();
+  const common::Timestamp checkpoint = db.clock().now();
+
+  db.insert("Stocks", {Value("MAC"), Value(130)});
+  db.insert("Stocks", {Value("SGI"), Value(200)});
+  ASSERT_GT(db.garbage_collect(), 0u);  // no zones registered: drops the log
+  ASSERT_TRUE(db.delta("Stocks").truncated_through().has_value());
+
+  ContinualQuery cq(spec_for("SELECT * FROM Stocks WHERE price > 120",
+                             DeliveryMode::kComplete,
+                             ExecutionStrategy::kRecompute),
+                    db);
+  cq.restore(db, checkpoint, 2);
+  EXPECT_TRUE(cq.reprime_pending());
+  EXPECT_EQ(cq.executions(), 2u);
+  EXPECT_EQ(cq.last_execution(), checkpoint);
+
+  const Notification n = cq.execute(db);
+  EXPECT_EQ(n.sequence, 2u);
+  ASSERT_TRUE(n.complete.has_value());
+  const Relation fresh =
+      recompute(qry::parse_query("SELECT * FROM Stocks WHERE price > 120"), db);
+  EXPECT_TRUE(n.complete->equal_multiset(fresh));
+}
+
+TEST(ContinualQuery, RestoreWithIntactLogStillRollsBack) {
+  // The watermark must not over-trigger: a restore whose window is fully
+  // covered by the log keeps the exact rolled-back differential behavior.
+  cat::Database db = stocks_db();
+  ContinualQuery live(spec_for("SELECT * FROM Stocks WHERE price > 120",
+                               DeliveryMode::kComplete),
+                      db);
+  (void)live.execute_initial(db);
+  const common::Timestamp checkpoint = live.last_execution();
+
+  db.insert("Stocks", {Value("MAC"), Value(130)});
+
+  ContinualQuery restored(spec_for("SELECT * FROM Stocks WHERE price > 120",
+                                   DeliveryMode::kComplete),
+                          db);
+  restored.restore(db, checkpoint, 1);
+  EXPECT_FALSE(restored.reprime_pending());
+  const Notification a = live.execute(db);
+  const Notification b = restored.execute(db);
+  ASSERT_TRUE(a.complete && b.complete);
+  EXPECT_TRUE(a.complete->equal_multiset(*b.complete));
+  EXPECT_TRUE(a.delta.inserted.equal_multiset(b.delta.inserted));
+  EXPECT_TRUE(a.delta.deleted.equal_multiset(b.delta.deleted));
+}
+
 }  // namespace
 }  // namespace cq::core

@@ -4,7 +4,11 @@
 // update mixes, and query shapes.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <vector>
 
 #include "cq/dra.hpp"
@@ -222,6 +226,82 @@ TEST(DraOracle, ByteScriptedCqPipelinesAgree) {
   // The scripts must actually exercise the pipelines, not bail out early.
   EXPECT_GT(total_commits, 100u);
   EXPECT_GT(total_executions, 60u);
+}
+
+/// Parallel lane: the same byte scripts evaluated sequentially and with a
+/// 4-lane pool must deliver byte-identical notification streams (the
+/// engine's determinism contract, checked via DraScriptReport::digest).
+TEST(DraOracle, ParallelEvaluationIsByteIdentical) {
+  common::Rng rng(0xbeef);
+  std::size_t nonempty_digests = 0;
+  for (int round = 0; round < 40; ++round) {
+    std::vector<std::uint8_t> script(256 + rng.index(512));
+    for (auto& b : script) b = static_cast<std::uint8_t>(rng.index(256));
+
+    const testing::DraScriptReport seq =
+        testing::run_dra_oracle_script(script.data(), script.size(),
+                                       {.eval_threads = 1});
+    const testing::DraScriptReport par =
+        testing::run_dra_oracle_script(script.data(), script.size(),
+                                       {.eval_threads = 4});
+    ASSERT_TRUE(seq.ok) << "round " << round << ": " << seq.message;
+    ASSERT_TRUE(par.ok) << "round " << round << ": " << par.message;
+    EXPECT_EQ(seq.commits, par.commits) << "round " << round;
+    EXPECT_EQ(seq.executions, par.executions) << "round " << round;
+    ASSERT_EQ(seq.digest, par.digest) << "round " << round;
+    if (!seq.digest.empty()) ++nonempty_digests;
+  }
+  EXPECT_GT(nonempty_digests, 20u);  // the lane must compare real output
+}
+
+/// Replay the full checked-in dra_oracle corpus (seeds + promoted
+/// crashers) in both thread modes: every historical input must keep the
+/// sequential byte-stream when pooled.
+TEST(DraOracle, CorpusReplayIsByteIdenticalAcrossThreadCounts) {
+  namespace fs = std::filesystem;
+  std::size_t replayed = 0;
+  for (const char* kind : {"corpus", "regressions"}) {
+    const fs::path dir = fs::path(CQ_FUZZ_DIR) / kind / "dra_oracle";
+    if (!fs::is_directory(dir)) continue;
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (entry.is_regular_file() && entry.path().filename().string()[0] != '.') {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& file : files) {
+      SCOPED_TRACE(file.string());
+      std::ifstream in(file, std::ios::binary);
+      std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+      const auto* data = reinterpret_cast<const std::uint8_t*>(bytes.data());
+      const testing::DraScriptReport seq =
+          testing::run_dra_oracle_script(data, bytes.size(), {.eval_threads = 1});
+      const testing::DraScriptReport par =
+          testing::run_dra_oracle_script(data, bytes.size(), {.eval_threads = 4});
+      ASSERT_TRUE(seq.ok) << seq.message;
+      ASSERT_TRUE(par.ok) << par.message;
+      ASSERT_EQ(seq.digest, par.digest);
+      ++replayed;
+    }
+  }
+  EXPECT_GT(replayed, 0u);
+}
+
+/// The default-config overload is the --threads 1 byte-stream: the digest
+/// of a sequential run through the config'd entry point must match it.
+TEST(DraOracle, ConfigDefaultMatchesLegacyEntryPoint) {
+  common::Rng rng(0x5151);
+  std::vector<std::uint8_t> script(640);
+  for (auto& b : script) b = static_cast<std::uint8_t>(rng.index(256));
+  const testing::DraScriptReport a =
+      testing::run_dra_oracle_script(script.data(), script.size());
+  const testing::DraScriptReport b =
+      testing::run_dra_oracle_script(script.data(), script.size(), {});
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.commits, b.commits);
 }
 
 }  // namespace

@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "catalog/transaction.hpp"
 #include "common/error.hpp"
+#include "cq/stop.hpp"
 #include "query/parser.hpp"
 
 namespace cq::core {
@@ -207,6 +213,151 @@ TEST(CqManager, EagerToPeriodicSwitch) {
   f.db.insert("Stocks", {Value("MAC"), Value(130)});
   EXPECT_EQ(f.sink->notifications().size(), 1u);  // no eager dispatch
   EXPECT_EQ(f.manager.poll(), 1u);                // but poll still works
+}
+
+// ---- parallel evaluation engine ----
+
+/// Full serialization of one notification (no row truncation) so streams
+/// from different thread counts can be compared byte-for-byte.
+std::string note_string(const Notification& n) {
+  std::string s = n.cq_name + "#" + std::to_string(n.sequence) + "@" +
+                  std::to_string(n.at.ticks()) + "\n" + n.delta.to_string();
+  if (n.complete) s += "complete:\n" + n.complete->to_string(n.complete->size());
+  if (n.aggregate) s += "aggregate:\n" + n.aggregate->to_string(n.aggregate->size());
+  return s;
+}
+
+struct ScenarioRun {
+  std::vector<std::string> stream;  // serialized notifications, sink order
+  std::map<std::string, CqStats> stats;
+};
+
+/// A mixed workload — several delivery modes and strategies, two base
+/// tables, a join, an aggregate — driven by a fixed commit script. The
+/// determinism contract says the observable output is a pure function of
+/// the script, independent of `threads`.
+ScenarioRun run_scenario(std::size_t threads, bool eager) {
+  cat::Database db;
+  db.create_table("Stocks", rel::Schema::of({{"name", ValueType::kString},
+                                             {"price", ValueType::kInt}}));
+  db.create_table("Trades", rel::Schema::of({{"sym", ValueType::kString},
+                                             {"qty", ValueType::kInt}}));
+  db.insert("Stocks", {Value("DEC"), Value(150)});
+  db.insert("Stocks", {Value("IBM"), Value(80)});
+  db.insert("Trades", {Value("DEC"), Value(5)});
+
+  CqManager manager(db);
+  manager.set_parallelism(threads);
+  auto sink = std::make_shared<CollectingSink>();
+
+  auto install = [&](const std::string& name, const std::string& sql,
+                     DeliveryMode mode, ExecutionStrategy strategy) {
+    CqSpec spec = CqSpec::from_sql(name, sql, triggers::on_change(), nullptr, mode);
+    spec.strategy = strategy;
+    manager.install(std::move(spec), sink);
+  };
+  install("hi", "SELECT * FROM Stocks WHERE price > 120",
+          DeliveryMode::kDifferential, ExecutionStrategy::kDra);
+  install("lo", "SELECT * FROM Stocks WHERE price < 100",
+          DeliveryMode::kComplete, ExecutionStrategy::kDra);
+  install("names", "SELECT DISTINCT name FROM Stocks",
+          DeliveryMode::kDifferential, ExecutionStrategy::kDra);
+  install("vol", "SELECT * FROM Trades WHERE qty > 10",
+          DeliveryMode::kDifferential, ExecutionStrategy::kRecompute);
+  install("cnt", "SELECT COUNT(*) FROM Trades",
+          DeliveryMode::kDifferential, ExecutionStrategy::kDra);
+  install("traded", "SELECT s.name FROM Stocks s, Trades t WHERE s.name = t.sym",
+          DeliveryMode::kDifferential, ExecutionStrategy::kDra);
+
+  if (eager) manager.set_eager(true);
+
+  const auto step = [&] {
+    if (!eager) (void)manager.poll();
+  };
+  db.insert("Stocks", {Value("MAC"), Value(130)});
+  step();
+  {
+    auto txn = db.begin();
+    txn.insert("Trades", {Value("MAC"), Value(40)});
+    txn.insert("Trades", {Value("IBM"), Value(2)});
+    txn.commit();
+  }
+  step();
+  {
+    // Cross-table transaction: both batches must see one coherent snapshot.
+    auto txn = db.begin();
+    txn.insert("Stocks", {Value("QLI"), Value(145)});
+    txn.insert("Trades", {Value("QLI"), Value(60)});
+    txn.commit();
+  }
+  step();
+  db.erase("Stocks", db.table("Stocks").rows().front().tid());
+  step();
+  if (!eager) (void)manager.poll();  // drain any leftovers
+
+  ScenarioRun run;
+  for (const auto& n : sink->notifications()) run.stream.push_back(note_string(n));
+  run.stats = manager.cq_stats();
+  return run;
+}
+
+void expect_identical(const ScenarioRun& a, const ScenarioRun& b) {
+  ASSERT_EQ(a.stream.size(), b.stream.size());
+  for (std::size_t i = 0; i < a.stream.size(); ++i) {
+    EXPECT_EQ(a.stream[i], b.stream[i]) << "notification " << i << " diverged";
+  }
+  ASSERT_EQ(a.stats.size(), b.stats.size());
+  for (const auto& [name, sa] : a.stats) {
+    const CqStats& sb = b.stats.at(name);
+    EXPECT_EQ(sa.executions, sb.executions) << name;
+    EXPECT_EQ(sa.trigger_checks, sb.trigger_checks) << name;
+    EXPECT_EQ(sa.fired, sb.fired) << name;
+    EXPECT_EQ(sa.suppressed, sb.suppressed) << name;
+    EXPECT_EQ(sa.delta_rows_consumed, sb.delta_rows_consumed) << name;
+    EXPECT_EQ(sa.rows_delivered, sb.rows_delivered) << name;
+    EXPECT_EQ(sa.last_execution, sb.last_execution) << name;
+    EXPECT_EQ(sa.finished, sb.finished) << name;
+  }
+}
+
+TEST(CqManagerParallel, PolledDispatchMatchesSequential) {
+  const ScenarioRun seq = run_scenario(1, /*eager=*/false);
+  ASSERT_FALSE(seq.stream.empty());
+  expect_identical(seq, run_scenario(2, false));
+  expect_identical(seq, run_scenario(4, false));
+}
+
+TEST(CqManagerParallel, EagerDispatchMatchesSequential) {
+  const ScenarioRun seq = run_scenario(1, /*eager=*/true);
+  ASSERT_FALSE(seq.stream.empty());
+  expect_identical(seq, run_scenario(2, true));
+  expect_identical(seq, run_scenario(4, true));
+}
+
+TEST(CqManagerParallel, MoreLanesThanCqsMatchesSequential) {
+  expect_identical(run_scenario(1, true), run_scenario(16, true));
+}
+
+TEST(CqManagerParallel, SetParallelismClampsAndReports) {
+  Fixture f;
+  EXPECT_EQ(f.manager.parallelism(), 1u);
+  f.manager.set_parallelism(4);
+  EXPECT_EQ(f.manager.parallelism(), 4u);
+  f.manager.set_parallelism(0);  // 0 is shorthand for "sequential"
+  EXPECT_EQ(f.manager.parallelism(), 1u);
+}
+
+TEST(CqManagerParallel, StopConditionsHonoredInParallelMode) {
+  Fixture f;
+  f.manager.set_parallelism(4);
+  const CqHandle h = f.manager.install(
+      f.spec("until", triggers::on_change(), stop::after_executions(2)), f.sink);
+  f.db.insert("Stocks", {Value("MAC"), Value(130)});
+  (void)f.manager.poll();
+  f.db.insert("Stocks", {Value("SUN"), Value(125)});
+  (void)f.manager.poll();
+  EXPECT_FALSE(f.manager.contains(h));  // stop reached and uninstalled
+  EXPECT_TRUE(f.manager.cq_stats().at("until").finished);
 }
 
 }  // namespace

@@ -231,9 +231,37 @@ std::string compare_step(const core::CqManager& dra_mgr,
   return {};
 }
 
+/// Deterministic serialization of the delivered stream (see
+/// DraScriptReport::digest).
+std::string stream_digest(const core::CqManager& mgr, const core::CollectingSink& sink) {
+  std::ostringstream os;
+  for (const core::Notification& n : sink.notifications()) {
+    os << n.cq_name << '#' << n.sequence << '@' << n.at.ticks() << '\n';
+    os << n.delta.to_string() << '\n';
+    // Print every row (the default to_string truncates at 50).
+    if (n.complete) os << "complete:" << n.complete->to_string(n.complete->size()) << '\n';
+    if (n.aggregate) {
+      os << "aggregate:" << n.aggregate->to_string(n.aggregate->size()) << '\n';
+    }
+  }
+  const auto stats = mgr.cq_stats();
+  if (const auto it = stats.find("cq"); it != stats.end()) {
+    const core::CqStats& s = it->second;
+    os << "stats:" << s.executions << '/' << s.trigger_checks << '/' << s.fired << '/'
+       << s.suppressed << '/' << s.delta_rows_consumed << '/' << s.rows_delivered << '/'
+       << s.finished << '\n';
+  }
+  return os.str();
+}
+
 }  // namespace
 
 DraScriptReport run_dra_oracle_script(const std::uint8_t* data, std::size_t size) {
+  return run_dra_oracle_script(data, size, DraScriptConfig{});
+}
+
+DraScriptReport run_dra_oracle_script(const std::uint8_t* data, std::size_t size,
+                                      const DraScriptConfig& config) {
   ByteReader in(data, size);
   DraScriptReport report;
 
@@ -316,6 +344,8 @@ DraScriptReport run_dra_oracle_script(const std::uint8_t* data, std::size_t size
 
     core::CqManager dra_mgr(dra_db);
     core::CqManager oracle_mgr(oracle_db);
+    dra_mgr.set_parallelism(config.eval_threads);
+    oracle_mgr.set_parallelism(config.eval_threads);
     auto dra_sink = std::make_shared<core::CollectingSink>();
     auto oracle_sink = std::make_shared<core::CollectingSink>();
 
@@ -419,6 +449,7 @@ DraScriptReport run_dra_oracle_script(const std::uint8_t* data, std::size_t size
     }
 
     report.executions = dra_mgr.cq_stats().at("cq").executions;
+    report.digest = stream_digest(dra_mgr, *dra_sink);
   } catch (const common::Error& e) {
     return fail(report.commits, std::string("unexpected engine error: ") + e.what());
   }

@@ -20,6 +20,19 @@ struct DraScriptReport {
   std::string message;        // first divergence, with commit index + query
   std::size_t commits = 0;    // transactions committed
   std::size_t executions = 0; // CQ executions the script provoked
+  /// Deterministic serialization of the DRA pipeline's full notification
+  /// stream plus its final trigger stats. Two runs of the same script are
+  /// byte-identical here exactly when they delivered the same results in
+  /// the same order — the determinism contract the parallel lane asserts
+  /// (same digest at --threads 1 and at N threads).
+  std::string digest;
+};
+
+/// Interpreter knobs. The fuzz target runs defaults; the parallel oracle
+/// lane re-runs each script with eval_threads > 1 and compares digests.
+struct DraScriptConfig {
+  /// CqManager evaluation lanes on BOTH pipelines (1 = sequential path).
+  std::size_t eval_threads = 1;
 };
 
 /// Run one byte script. Never throws: malformed scripts are simply short
@@ -27,5 +40,8 @@ struct DraScriptReport {
 /// genuinely diverged (a bug worth a minimized reproducer).
 [[nodiscard]] DraScriptReport run_dra_oracle_script(const std::uint8_t* data,
                                                     std::size_t size);
+[[nodiscard]] DraScriptReport run_dra_oracle_script(const std::uint8_t* data,
+                                                    std::size_t size,
+                                                    const DraScriptConfig& config);
 
 }  // namespace cq::testing

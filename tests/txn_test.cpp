@@ -127,6 +127,53 @@ TEST(Transaction, ModifyThenDeleteIsNetDelete) {
   EXPECT_EQ((*net[0].old_values)[1], Value("orig"));  // pre-transaction value
 }
 
+TEST(Transaction, ModifyThenDeleteLogsExactlyOneDeleteRow) {
+  // Regression guard on the *logged* shape, not just the net-effect view:
+  // the commit must record one delete row carrying the pre-transaction
+  // values — not a modify row followed by a delete row.
+  Database db = make_db();
+  const TupleId tid = db.insert("T", {Value(1), Value("orig")});
+  const std::size_t logged_before = db.delta("T").size();
+  auto txn = db.begin();
+  txn.modify("T", tid, {Value(1), Value("changed")});
+  txn.erase("T", tid);
+  txn.commit();
+  ASSERT_EQ(db.delta("T").size(), logged_before + 1);
+  const auto& row = db.delta("T").rows().back();
+  EXPECT_EQ(row.kind(), ChangeKind::kDelete);
+  EXPECT_EQ((*row.old_values)[1], Value("orig"));
+  EXPECT_EQ(db.table("T").size(), 0u);
+}
+
+TEST(Transaction, InsertThenModifyThenDeleteLeavesNoTrace) {
+  // The full lifecycle inside one transaction must compose to nothing:
+  // no base row, no delta row, and no commit-hook dispatch for the table.
+  Database db = make_db();
+  db.insert("T", {Value(7), Value("keep")});  // unrelated survivor
+  const std::size_t logged_before = db.delta("T").size();
+  auto txn = db.begin();
+  const TupleId tid = txn.insert("T", {Value(1), Value("a")});
+  txn.modify("T", tid, {Value(1), Value("b")});
+  txn.erase("T", tid);
+  txn.commit();
+  EXPECT_EQ(db.table("T").size(), 1u);
+  EXPECT_EQ(db.delta("T").size(), logged_before);  // nothing logged
+}
+
+TEST(Transaction, ModifyThenModifyBackCollapsesInNetEffect) {
+  // Two modifies that land back on the original values log one modify row
+  // (old == new), which the net-effect compaction then drops entirely.
+  Database db = make_db();
+  const TupleId tid = db.insert("T", {Value(1), Value("orig")});
+  const Timestamp before = db.clock().now();
+  auto txn = db.begin();
+  txn.modify("T", tid, {Value(1), Value("detour")});
+  txn.modify("T", tid, {Value(1), Value("orig")});
+  txn.commit();
+  EXPECT_TRUE(db.delta("T").net_effect(before).empty());
+  EXPECT_EQ(db.table("T").find(tid)->values()[1], Value("orig"));
+}
+
 TEST(Transaction, ValidationFailureLeavesDatabaseUntouched) {
   Database db = make_db();
   db.insert("T", {Value(1), Value("a")});
