@@ -6,12 +6,26 @@
 // buys by snapshotting each relation's delta once and fanning the
 // trigger-eligible CQs across the pool.
 //
+// Two companion rows bound the observability layer itself:
+//   * BM_MultiCqTracedCommit runs the 4-lane workload with span tracing
+//     AND lock-contention profiling on, timing every commit into the
+//     multi_cq_traced_commit_us histogram — run with --trace-json to get
+//     the Perfetto view of the commits it produced;
+//   * BM_MultiCqObsOffCommit runs it with observability forced off,
+//     timing every commit into multi_cq_off_commit_us — the committed
+//     baseline for this histogram is the "disabled is free" guard CI
+//     enforces with a tight threshold (see bench/baselines/multi_cq.json
+//     _thresholds).
+//
 // CI runs this binary under scripts/check_bench.py --strict (the
 // bench-check job): the committed baseline encodes the expected >= 2x
 // ratio between the 1-lane and 4-lane rows via the derived counters.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "bench_support.hpp"
+#include "common/lock_profile.hpp"
 #include "common/rng.hpp"
 #include "cq/manager.hpp"
 #include "workload/sweep.hpp"
@@ -24,54 +38,71 @@ constexpr std::size_t kCqs = 64;
 constexpr std::size_t kRounds = 12;
 constexpr std::size_t kUpdatesPerRound = 96;
 constexpr std::size_t kUpdatesPerCommit = 8;
+constexpr std::size_t kCommits = kRounds * (kUpdatesPerRound / kUpdatesPerCommit);
+
+/// The shared workload: a hot table, 64 overlapping standing queries, an
+/// eager manager at the requested lane count.
+struct MultiCqWorkload {
+  cat::Database db;
+  std::unique_ptr<wl::SweepTable> table;
+  std::unique_ptr<core::CqManager> manager;
+};
+
+std::unique_ptr<MultiCqWorkload> make_workload(std::size_t threads) {
+  auto w = std::make_unique<MultiCqWorkload>();
+  common::Rng rng(0x64c0 ^ threads);
+  w->table = std::make_unique<wl::SweepTable>(w->db, "S", kRows, 64, rng);
+  w->manager = std::make_unique<core::CqManager>(w->db);
+  for (std::size_t i = 0; i < kCqs; ++i) {
+    // Overlapping 4%-wide key bands: every commit is relevant to every
+    // CQ, so each commit fans all 64 evaluations across the lanes.
+    const std::int64_t lo = static_cast<std::int64_t>(i) * wl::kSweepKeySpace /
+                            static_cast<std::int64_t>(kCqs);
+    core::CqSpec spec;
+    spec.name = "cq" + std::to_string(i);
+    qry::SpjQuery q;
+    q.from.push_back({"S", ""});
+    q.where = alg::Expr::between(alg::Expr::col("key"), rel::Value(lo),
+                                 rel::Value(lo + wl::kSweepKeySpace / 25));
+    spec.query = std::move(q);
+    spec.trigger = core::triggers::on_change();
+    spec.strategy = core::ExecutionStrategy::kDra;
+    spec.mode = core::DeliveryMode::kComplete;
+    w->manager->install(std::move(spec), nullptr);
+  }
+  w->manager->set_parallelism(threads);
+  w->manager->set_eager(true);
+  return w;
+}
+
+void attach_commit_counters(benchmark::State& state, std::size_t threads) {
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kCommits));
+  state.counters["commits_per_s"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * static_cast<std::int64_t>(kCommits)),
+      benchmark::Counter::kIsRate);
+  state.counters["lanes"] = static_cast<double>(threads);
+}
 
 void BM_MultiCqCommitToNotify(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
 
   for (auto _ : state) {
     state.PauseTiming();
-    common::Rng rng(0x64c0 ^ threads);
-    cat::Database db;
-    wl::SweepTable table(db, "S", kRows, 64, rng);
-    core::CqManager manager(db);
-    for (std::size_t i = 0; i < kCqs; ++i) {
-      // Overlapping 4%-wide key bands: every commit is relevant to every
-      // CQ, so each commit fans all 64 evaluations across the lanes.
-      const std::int64_t lo = static_cast<std::int64_t>(i) * wl::kSweepKeySpace /
-                              static_cast<std::int64_t>(kCqs);
-      core::CqSpec spec;
-      spec.name = "cq" + std::to_string(i);
-      qry::SpjQuery q;
-      q.from.push_back({"S", ""});
-      q.where = alg::Expr::between(alg::Expr::col("key"), rel::Value(lo),
-                                   rel::Value(lo + wl::kSweepKeySpace / 25));
-      spec.query = std::move(q);
-      spec.trigger = core::triggers::on_change();
-      spec.strategy = core::ExecutionStrategy::kDra;
-      spec.mode = core::DeliveryMode::kComplete;
-      manager.install(std::move(spec), nullptr);
-    }
-    manager.set_parallelism(threads);
-    manager.set_eager(true);
+    auto w = make_workload(threads);
     state.ResumeTiming();
 
     // Timed region: the commit IS the dispatch (eager mode), so this
     // measures commit-to-notify latency across all standing queries.
     for (std::size_t round = 0; round < kRounds; ++round) {
-      table.update(kUpdatesPerRound, {}, kUpdatesPerCommit);
+      w->table->update(kUpdatesPerRound, {}, kUpdatesPerCommit);
     }
 
     state.PauseTiming();
-    export_metrics(state, manager.metrics());
+    export_metrics(state, w->manager->metrics());
     state.ResumeTiming();
   }
 
-  const auto commits = static_cast<std::int64_t>(kRounds) *
-                       static_cast<std::int64_t>(kUpdatesPerRound / kUpdatesPerCommit);
-  state.SetItemsProcessed(state.iterations() * commits);
-  state.counters["commits_per_s"] = benchmark::Counter(
-      static_cast<double>(state.iterations() * commits), benchmark::Counter::kIsRate);
-  state.counters["lanes"] = static_cast<double>(threads);
+  attach_commit_counters(state, threads);
 }
 
 void multi_cq_args(benchmark::internal::Benchmark* b) {
@@ -80,6 +111,80 @@ void multi_cq_args(benchmark::internal::Benchmark* b) {
 }
 
 BENCHMARK(BM_MultiCqCommitToNotify)->Apply(multi_cq_args);
+
+/// Run the commit schedule one commit at a time, recording each commit's
+/// wall time in microseconds into `commit_us`.
+void run_timed_commits(wl::SweepTable& table, common::obs::Histogram& commit_us) {
+  for (std::size_t commit = 0; commit < kCommits; ++commit) {
+    const std::uint64_t t0 = common::obs::now_ns();
+    table.update(kUpdatesPerCommit, {}, kUpdatesPerCommit);
+    commit_us.record((common::obs::now_ns() - t0) / 1000);
+  }
+}
+
+/// RAII save/force/restore for the two observability switches, so the
+/// companion rows can pin their instrumentation state regardless of the
+/// --stats-json / --trace-json flags.
+struct ObsState {
+  ObsState(bool obs_on, bool lockprof_on)
+      : obs_was_(common::obs::enabled()),
+        lockprof_was_(common::lockprof::enabled()) {
+    common::obs::set_enabled(obs_on);
+    common::lockprof::set_enabled(lockprof_on);
+  }
+  ~ObsState() {
+    common::obs::set_enabled(obs_was_);
+    common::lockprof::set_enabled(lockprof_was_);
+  }
+  bool obs_was_;
+  bool lockprof_was_;
+};
+
+void BM_MultiCqTracedCommit(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  static common::obs::Histogram& commit_us =
+      common::obs::global().histogram("multi_cq_traced_commit_us");
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto w = make_workload(threads);
+    const ObsState obs(/*obs_on=*/true, /*lockprof_on=*/true);
+    state.ResumeTiming();
+
+    run_timed_commits(*w->table, commit_us);
+
+    state.PauseTiming();
+    export_metrics(state, w->manager->metrics());
+    state.ResumeTiming();
+  }
+
+  attach_commit_counters(state, threads);
+}
+
+BENCHMARK(BM_MultiCqTracedCommit)->Arg(4)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_MultiCqObsOffCommit(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  static common::obs::Histogram& commit_us =
+      common::obs::global().histogram("multi_cq_off_commit_us");
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto w = make_workload(threads);
+    const ObsState obs(/*obs_on=*/false, /*lockprof_on=*/false);
+    state.ResumeTiming();
+
+    run_timed_commits(*w->table, commit_us);
+
+    state.PauseTiming();
+    export_metrics(state, w->manager->metrics());
+    state.ResumeTiming();
+  }
+
+  attach_commit_counters(state, threads);
+}
+
+BENCHMARK(BM_MultiCqObsOffCommit)->Arg(4)->Unit(benchmark::kMillisecond)->Iterations(3);
 
 }  // namespace
 }  // namespace cq::bench

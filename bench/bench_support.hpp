@@ -130,25 +130,45 @@ inline void export_metrics(benchmark::State& state, const common::Metrics& metri
   common::obs::global().metrics().merge(metrics);
 }
 
-/// BENCHMARK_MAIN() body plus one extra flag the Google Benchmark flag
-/// parser would otherwise reject: `--stats-json <path>` (or
-/// `--stats-json=<path>`) turns observability on for the run and writes
-/// the counters + latency-histogram JSON document there on exit.
+/// BENCHMARK_MAIN() body plus three extra flags the Google Benchmark flag
+/// parser would otherwise reject:
+///   * `--stats-json <path>` turns observability on for the run and writes
+///     the counters + latency-histogram JSON document there on exit;
+///   * `--trace-json <path>` turns observability on and writes the span
+///     collector's chrome://tracing dump there on exit (load it in
+///     Perfetto: one track per evaluation lane, per-commit trace ids);
+///   * `--threads <n>` shorthand for --benchmark_filter=/<n>$ — run only
+///     the rows with that lane count.
+/// All three accept `--flag=value` too.
 inline int run_benchmarks_with_stats(int argc, char** argv) {
   std::string stats_path;
+  std::string trace_path;
+  std::string filter_flag;  // synthesized from --threads; must outlive Initialize
   std::vector<char*> passthrough;
-  passthrough.reserve(static_cast<std::size_t>(argc));
+  passthrough.reserve(static_cast<std::size_t>(argc) + 1);
   for (int i = 0; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--stats-json" && i + 1 < argc) {
       stats_path = argv[++i];
     } else if (arg.rfind("--stats-json=", 0) == 0) {
       stats_path = arg.substr(std::string_view("--stats-json=").size());
+    } else if (arg == "--trace-json" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg.rfind("--trace-json=", 0) == 0) {
+      trace_path = arg.substr(std::string_view("--trace-json=").size());
+    } else if (arg == "--threads" && i + 1 < argc) {
+      // "/N" as a whole path segment: matches BM_Foo/N and BM_Foo/N/iterations:K.
+      filter_flag = std::string("--benchmark_filter=/") + argv[++i] + "(/|$)";
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      filter_flag = "--benchmark_filter=/" +
+                    std::string(arg.substr(std::string_view("--threads=").size())) +
+                    "(/|$)";
     } else {
       passthrough.push_back(argv[i]);
     }
   }
-  if (!stats_path.empty()) common::obs::set_enabled(true);
+  if (!filter_flag.empty()) passthrough.push_back(filter_flag.data());
+  if (!stats_path.empty() || !trace_path.empty()) common::obs::set_enabled(true);
 
   int pass_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pass_argc, passthrough.data());
@@ -163,6 +183,10 @@ inline int run_benchmarks_with_stats(int argc, char** argv) {
       std::fprintf(stderr, "failed to write stats JSON to %s\n", stats_path.c_str());
       return 1;
     }
+  }
+  if (!trace_path.empty()) {
+    common::obs::global().traces().write_chrome_trace(trace_path);
+    std::fprintf(stderr, "wrote chrome trace to %s\n", trace_path.c_str());
   }
   return 0;
 }

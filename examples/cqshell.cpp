@@ -18,6 +18,7 @@
 #include <unistd.h>
 
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -25,6 +26,7 @@
 #include "catalog/transaction.hpp"
 #include "common/error.hpp"
 #include "common/introspect_server.hpp"
+#include "common/lock_profile.hpp"
 #include "common/sync.hpp"
 #include "common/observability.hpp"
 #include "common/prometheus.hpp"
@@ -61,11 +63,16 @@ const char* kHelp = R"(commands:
                                       per-CQ statistics
   SERVE <port>                        start the introspection HTTP server
                                       (/metrics /stats /healthz /trace
-                                      /events); port 0 picks one
+                                      /events /profile); port 0 picks one
   EVENTS [n]                          last n journal events as NDJSON
                                       (default 20; needs TRACE ON)
   TRACE ON | OFF | DUMP <path>        span tracing (DUMP writes a
                                       chrome://tracing JSON file)
+  TRACE SLOWEST [n]                   n slowest retained commit traces
+                                      (default: all; needs TRACE ON)
+  THREADS <n>                         evaluate CQs on n threads (1 = serial)
+  PROFILE ON | OFF | SHOW             lock-contention profiling; SHOW prints
+                                      the per-site wait/hold table
   STALENESS <cq-name>
   REMOVE <cq-name>
   GC                                  collect delta garbage
@@ -155,6 +162,12 @@ class Shell {
       do_events(trim(args));
     } else if (cmd == "TRACE") {
       do_trace(trim(args));
+    } else if (cmd == "THREADS") {
+      const auto n = parse_count(trim(args), "THREADS");
+      manager_->set_parallelism(static_cast<std::size_t>(n));
+      std::cout << "evaluating on " << manager_->parallelism() << " thread(s)\n";
+    } else if (cmd == "PROFILE") {
+      do_profile(trim(args));
     } else if (cmd == "STALENESS") {
       const auto s = manager_->cq(handle_of(trim(args))).staleness(*db_);
       std::cout << s.pending_changes << " pending / " << s.relevant_changes
@@ -258,8 +271,8 @@ class Shell {
     }
   }
 
-  // SERVE <port>: expose /metrics /stats /healthz /trace /events on
-  // 127.0.0.1. Handlers run on the server thread and take mu_, so scrapes
+  // SERVE <port>: expose /metrics /stats /healthz /trace /events /profile
+  // on 127.0.0.1. Handlers run on the server thread and take mu_, so scrapes
   // serialize with the command loop. The shell has no attached sources, so
   // /healthz always reports ok.
   void do_serve(const std::string& args) {
@@ -300,9 +313,14 @@ class Shell {
       w.end_object();
       return obs::HttpResponse::json(w.str());
     });
-    server_.route("/trace", [this](const obs::HttpRequest&) {
+    server_.route("/trace", [this](const obs::HttpRequest& req) {
       const common::LockGuard lock(mu_);
-      return obs::HttpResponse::json(obs::global().traces().to_chrome_json());
+      return obs::HttpResponse::json(
+          obs::global().traces().to_chrome_json(req.query_u64("trace_id", 0)));
+    });
+    server_.route("/profile", [this](const obs::HttpRequest&) {
+      const common::LockGuard lock(mu_);
+      return obs::HttpResponse::json(obs::export_profile_json());
     });
     server_.route("/events", [this](const obs::HttpRequest& req) {
       const common::LockGuard lock(mu_);
@@ -314,7 +332,7 @@ class Shell {
     });
     server_.start(port);
     std::cout << "serving introspection on http://127.0.0.1:" << server_.port()
-              << " (/metrics /stats /healthz /trace /events)\n";
+              << " (/metrics /stats /healthz /trace /events /profile)\n";
   }
 
   void do_trace(const std::string& args) {
@@ -332,8 +350,80 @@ class Shell {
       common::obs::global().traces().write_chrome_trace(path);
       std::cout << "wrote " << common::obs::global().traces().size()
                 << " span(s) to " << path << "\n";
+    } else if (verb == "SLOWEST") {
+      do_trace_slowest(trim(args.substr(rest)));
     } else {
-      throw common::ParseError("TRACE ON | OFF | DUMP <path>");
+      throw common::ParseError("TRACE ON | OFF | DUMP <path> | SLOWEST [n]");
+    }
+  }
+
+  // TRACE SLOWEST [n]: the tail-retained commit traces, slowest first,
+  // with their per-phase span breakdown. Fetch them through /trace?trace_id=
+  // for the full chrome://tracing view of one commit.
+  void do_trace_slowest(const std::string& args) {
+    std::size_t n = ~std::size_t{0};
+    if (!args.empty()) n = static_cast<std::size_t>(parse_count(args, "SLOWEST"));
+    const auto slowest = common::obs::global().traces().slowest();
+    if (slowest.empty()) {
+      std::cout << "(no retained commit traces; enable with TRACE ON and commit)\n";
+      return;
+    }
+    std::size_t shown = 0;
+    for (const auto& t : slowest) {
+      if (shown++ == n) break;
+      std::cout << "trace " << t.trace_id << "  " << t.dur_ns / 1000 << " us  ["
+                << (t.label.empty() ? "commit" : t.label) << "]  "
+                << t.events.size() << " span(s)\n";
+      // Aggregate child spans by name so a 64-CQ commit prints a handful of
+      // phase rows, not hundreds of eval.batch lines.
+      std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> phases;
+      for (const auto& e : t.events) {
+        auto& [count, total_ns] = phases[e.name];
+        ++count;
+        total_ns += e.dur_ns;
+      }
+      for (const auto& [name, agg] : phases) {
+        std::cout << "  " << name << ": " << agg.first << " span(s), "
+                  << agg.second / 1000 << " us total\n";
+      }
+    }
+  }
+
+  // PROFILE ON | OFF | SHOW: lock-contention profiling over the named
+  // cq::Mutex sites (pool, trace_ring, cq_stats, ...).
+  void do_profile(const std::string& args) {
+    namespace lockprof = common::lockprof;
+    const std::string verb = upper_word(args);
+    if (verb == "ON") {
+      lockprof::set_enabled(true);
+      std::cout << "lock profiling on\n";
+    } else if (verb == "OFF") {
+      lockprof::set_enabled(false);
+      std::cout << "lock profiling off\n";
+    } else if (verb == "SHOW") {
+      const std::size_t n = lockprof::site_count();
+      if (n == 0) {
+        std::cout << "(no profiled acquisitions; enable with PROFILE ON)\n";
+        return;
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto& s = lockprof::site(i);
+        const char* name = s.name.load(std::memory_order_acquire);
+        std::cout << (name != nullptr ? name : "?") << ": "
+                  << s.acquisitions.load(std::memory_order_relaxed)
+                  << " acquisition(s), "
+                  << s.contended.load(std::memory_order_relaxed) << " contended, wait "
+                  << s.wait_ns.load(std::memory_order_relaxed) / 1000 << " us, hold "
+                  << s.hold_ns.load(std::memory_order_relaxed) / 1000 << " us\n";
+        if (s.wait_us.count() > 0) {
+          std::cout << "  wait_us " << s.wait_us.to_string() << "\n";
+        }
+        if (s.hold_us.count() > 0) {
+          std::cout << "  hold_us " << s.hold_us.to_string() << "\n";
+        }
+      }
+    } else {
+      throw common::ParseError("PROFILE ON | OFF | SHOW");
     }
   }
 

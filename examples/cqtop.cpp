@@ -5,8 +5,9 @@
 //   cqtop [--frames N] [--interval-ms M]
 //     Local demo: runs a mediator with two update-generating sources and a
 //     few CQs in-process and renders the engine's own registry — per-CQ
-//     execution rates, p95 latency, delta backlog, source health. This is
-//     the no-setup way to see the dashboard move.
+//     execution rates, p95 latency, delta backlog, source health, pool
+//     lane utilization and lock-contention sites. This is the no-setup way
+//     to see the dashboard move.
 //
 //   cqtop <host:port> [--frames N] [--interval-ms M]
 //     Remote: polls http://host:port/metrics (a cqshell SERVE or
@@ -32,6 +33,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/lock_profile.hpp"
 #include "common/logging.hpp"
 #include "common/observability.hpp"
 #include "cq/manager.hpp"
@@ -91,6 +93,15 @@ std::string bar(double fraction, std::size_t width = 20) {
   return out;
 }
 
+/// Value of `key` in a structured label set (local mode reads the registry
+/// directly; remote mode parses the exposition text via label_of below).
+std::string label_of_pairs(const common::obs::Labels& labels, const std::string& key) {
+  for (const auto& [k, v] : labels) {
+    if (k == key) return v;
+  }
+  return "";
+}
+
 // ------------------------------------------------------------ local mode --
 
 /// A source that mutates itself on demand — the demo's "autonomous"
@@ -121,6 +132,7 @@ struct DemoSource {
 int run_local(const Options& opt) {
   common::set_log_level(common::LogLevel::kWarn);  // keep the dashboard clean
   common::obs::set_enabled(true);
+  common::lockprof::set_enabled(true);  // feed the LOCK SITE panel
 
   diom::Network net;
   diom::Mediator mediator("cqtop-demo", &net);
@@ -131,6 +143,7 @@ int run_local(const Options& opt) {
   mediator.set_staleness_threshold(common::Duration(10));
 
   core::CqManager& manager = mediator.manager();
+  manager.set_parallelism(2);  // give the LANE panel something to show
   core::CqSpec hot = core::CqSpec::from_sql(
       "hot_routers", "SELECT * FROM Routers WHERE load > 50",
       core::triggers::on_change(), nullptr, core::DeliveryMode::kDifferential);
@@ -180,6 +193,39 @@ int run_local(const Options& opt) {
       out << std::left << std::setw(18) << s.source_name << " " << std::setw(10)
           << s.staleness_ticks << " " << std::setw(9) << s.failures << " "
           << (s.healthy ? "ok" : "STALE") << "\n";
+    }
+
+    // Per-lane busy time + utilization (published by the thread pool's
+    // refresh hook) and the lock-contention site table.
+    common::obs::refresh_registry_gauges();
+    std::map<std::string, std::pair<std::int64_t, std::int64_t>> lanes;  // busy, util
+    for (const auto& g : common::obs::global().gauge_snapshot()) {
+      const std::string lane = label_of_pairs(g.labels, "lane");
+      if (lane.empty()) continue;
+      if (g.name == common::obs::gauge::kPoolLaneBusyUs) lanes[lane].first = g.value;
+      if (g.name == common::obs::gauge::kPoolLaneUtilization) {
+        lanes[lane].second = g.value;
+      }
+    }
+    if (!lanes.empty()) {
+      out << "\nLANE               busy(us)   util%\n";
+      for (const auto& [name, v] : lanes) {
+        out << std::left << std::setw(18) << name << " " << std::setw(10) << v.first
+            << " " << std::setw(4) << v.second << " "
+            << bar(static_cast<double>(v.second) / 100.0) << "\n";
+      }
+    }
+    if (common::lockprof::site_count() > 0) {
+      out << "\nLOCK SITE          acquires  contended  wait(us)  hold(us)\n";
+      for (std::size_t i = 0; i < common::lockprof::site_count(); ++i) {
+        const auto& s = common::lockprof::site(i);
+        const char* name = s.name.load(std::memory_order_acquire);
+        out << std::left << std::setw(18) << (name != nullptr ? name : "?") << " "
+            << std::setw(9) << s.acquisitions.load(std::memory_order_relaxed) << " "
+            << std::setw(10) << s.contended.load(std::memory_order_relaxed) << " "
+            << std::setw(9) << s.wait_ns.load(std::memory_order_relaxed) / 1000
+            << " " << s.hold_ns.load(std::memory_order_relaxed) / 1000 << "\n";
+      }
     }
     std::cout << out.str() << std::flush;
 
@@ -343,6 +389,50 @@ int run_remote(const Options& opt) {
     for (const auto& [name, v] : sources) {
       out << std::left << std::setw(18) << name << " " << std::setw(10) << v.first
           << " " << (v.second > 0 ? "ok" : "DOWN") << "\n";
+    }
+
+    std::map<std::string, std::pair<double, double>> lanes;  // busy us, util%
+    for (const auto& s : samples) {
+      const std::string lane = label_of(s.labels, "lane");
+      if (lane.empty()) continue;
+      if (s.name == "cq_pool_lane_busy_us_total") lanes[lane].first = s.value;
+      if (s.name == "cq_pool_lane_utilization_pct") lanes[lane].second = s.value;
+    }
+    if (!lanes.empty()) {
+      out << "\nLANE               util%now  util%avg\n";
+      for (const auto& [name, v] : lanes) {
+        // busy-time delta / wall time = instantaneous utilization; the
+        // exported _pct gauge is the since-start average.
+        const std::string key = "lane{" + name + "}";
+        double now_pct = (v.first - prev[key]) / (secs * 1e6) * 100.0;
+        if (now_pct < 0 || frame == 0) now_pct = 0;
+        prev[key] = v.first;
+        out << std::left << std::setw(18) << name << " " << std::setw(9)
+            << static_cast<std::uint64_t>(now_pct) << " " << std::setw(4) << v.second
+            << " " << bar(v.second / 100.0) << "\n";
+      }
+    }
+
+    struct LockRow {
+      double acquisitions = 0;
+      double contended = 0;
+      double wait_us = 0;
+    };
+    std::map<std::string, LockRow> locks;
+    for (const auto& s : samples) {
+      const std::string site = label_of(s.labels, "site");
+      if (site.empty()) continue;
+      if (s.name == "cq_lock_acquisitions_total") locks[site].acquisitions = s.value;
+      if (s.name == "cq_lock_contended_total") locks[site].contended = s.value;
+      if (s.name == "cq_lock_wait_us_sum") locks[site].wait_us = s.value;
+    }
+    if (!locks.empty()) {
+      out << "\nLOCK SITE          acquires  contended  wait(us)\n";
+      for (const auto& [name, v] : locks) {
+        out << std::left << std::setw(18) << name << " " << std::setw(9)
+            << v.acquisitions << " " << std::setw(10) << v.contended << " "
+            << v.wait_us << "\n";
+      }
     }
     std::cout << out.str() << std::flush;
 

@@ -1,8 +1,11 @@
 #!/usr/bin/env sh
 # Smoke-test the introspection HTTP server end to end: start a scripted
-# cqshell with SERVE, scrape /metrics and /healthz with curl, and
-# regex-validate the Prometheus exposition (>=1 counter, >=1 gauge, a
-# histogram family with a +Inf bucket). Used by run_all.sh and CI.
+# cqshell with tracing + lock profiling + a 2-lane pool and SERVE, scrape
+# /metrics, /healthz, /events, /stats, /profile and /trace?trace_id= with
+# curl, regex-validate the Prometheus exposition (>=1 counter, >=1 gauge,
+# a histogram family with a +Inf bucket, a strict line-format pass, and
+# the commit-pipeline / pool / lock-contention families this engine
+# publishes). Used by run_all.sh and CI.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,6 +20,8 @@ trap 'kill $FEED_PID 2>/dev/null || true; rm -f "$LOG" "$PORT_FILE"' EXIT
 # alive while we scrape; port 0 lets the OS pick a free port.
 (
   printf 'TRACE ON\n'
+  printf 'PROFILE ON\n'
+  printf 'THREADS 2\n'
   printf 'CREATE TABLE Stocks (name STRING, price INT)\n'
   printf "INSERT INTO Stocks VALUES ('DEC', 150)\n"
   printf 'INSTALL watch TRIGGER ONCHANGE AS SELECT * FROM Stocks WHERE price > 120\n'
@@ -61,6 +66,35 @@ printf '%s\n' "$METRICS" | grep -Eq '^# TYPE cq_[a-z0-9_]+ histogram$' \
 printf '%s\n' "$METRICS" | grep -Eq '^cq_[a-z0-9_]+_bucket\{le="\+Inf"\} [0-9]+$' \
   || fail "no +Inf histogram bucket in /metrics"
 
+# Strict exposition-format pass: every line must be either a # TYPE
+# declaration or a sample `name{labels} value` — a malformed line anywhere
+# breaks Prometheus ingestion of the whole scrape, so reject the lot.
+BAD=$(printf '%s\n' "$METRICS" \
+  | grep -Ev '^# TYPE cq_[a-zA-Z0-9_]+ (counter|gauge|histogram)$' \
+  | grep -Ev '^cq_[a-zA-Z0-9_]+(\{[a-zA-Z0-9_]+="[^"]*"(,[a-zA-Z0-9_]+="[^"]*")*\})? -?[0-9]+$' \
+  | grep -Ev '^$' || true)
+[ -z "$BAD" ] || fail "malformed exposition line(s): $(printf '%s' "$BAD" | head -n 3)"
+
+# The observability PR's families: commit pipeline phases, pool queueing
+# and lane accounting, lock-contention profiling (PROFILE ON above), and
+# the dropped totals rendered as counters so rate() works.
+printf '%s\n' "$METRICS" | grep -Eq '^cq_commit_to_notify_us_bucket' \
+  || fail "no commit_to_notify_us histogram"
+printf '%s\n' "$METRICS" | grep -Eq '^cq_pool_task_wait_us_bucket' \
+  || fail "no pool_task_wait_us histogram (THREADS 2 should start the pool)"
+printf '%s\n' "$METRICS" | grep -Eq '^cq_pool_lane_busy_us_total\{lane="[^"]+"\} [0-9]+$' \
+  || fail "no per-lane busy-time counters"
+printf '%s\n' "$METRICS" | grep -Eq '^cq_pool_lane_utilization_pct\{lane="[^"]+"\} -?[0-9]+$' \
+  || fail "no per-lane utilization gauges"
+printf '%s\n' "$METRICS" | grep -Eq '^cq_lock_acquisitions_total\{site="[^"]+"\} [0-9]+$' \
+  || fail "no lock-profiling acquisition counters (PROFILE ON should enable them)"
+printf '%s\n' "$METRICS" | grep -Eq '^cq_lock_wait_us_bucket\{site="[^"]+",le="\+Inf"\} [0-9]+$' \
+  || fail "no lock wait-time histogram"
+printf '%s\n' "$METRICS" | grep -Eq '^# TYPE cq_trace_ring_dropped_total counter$' \
+  || fail "trace_ring_dropped not rendered as a counter"
+printf '%s\n' "$METRICS" | grep -Eq '^# TYPE cq_event_log_dropped_total counter$' \
+  || fail "event_log_dropped not rendered as a counter"
+
 HEALTH=$(curl -sf "http://127.0.0.1:$PORT/healthz")
 printf '%s\n' "$HEALTH" | grep -q '"status":"ok"' \
   || { echo "smoke_introspect: FAIL — /healthz not ok: $HEALTH" >&2; exit 1; }
@@ -72,7 +106,23 @@ printf '%s\n' "$EVENTS" | head -n 1 | grep -q '"kind"' \
 curl -sf "http://127.0.0.1:$PORT/stats" > /dev/null \
   || { echo "smoke_introspect: FAIL — /stats unreachable" >&2; exit 1; }
 
-echo "smoke_introspect: OK (metrics, healthz, events, stats)"
+PROFILE=$(curl -sf "http://127.0.0.1:$PORT/profile")
+printf '%s\n' "$PROFILE" | grep -q '"lock_contention"' \
+  || { echo "smoke_introspect: FAIL — /profile missing lock_contention: $PROFILE" >&2; exit 1; }
+printf '%s\n' "$PROFILE" | grep -q '"slowest_commits"' \
+  || { echo "smoke_introspect: FAIL — /profile missing slowest_commits" >&2; exit 1; }
+
+# The trace endpoint accepts a trace_id filter; an unknown id must still be
+# a well-formed (metadata-only) chrome-trace event array, not an error.
+TRACE=$(curl -sf "http://127.0.0.1:$PORT/trace?trace_id=999999999")
+case "$TRACE" in
+  \[*) ;;
+  *) echo "smoke_introspect: FAIL — /trace?trace_id= not a chrome trace array" >&2; exit 1 ;;
+esac
+printf '%s\n' "$TRACE" | grep -q '"process_name"' \
+  || { echo "smoke_introspect: FAIL — /trace?trace_id= missing metadata events" >&2; exit 1; }
+
+echo "smoke_introspect: OK (metrics, healthz, events, stats, profile, trace filter)"
 
 # One plain (non-TSan) pass of the concurrency stress binary: multi-thread
 # scrapes against a live engine loop, torn-JSON and counter checks. The

@@ -221,7 +221,12 @@ void Database::notify_commit(const std::vector<std::string>& tables,
       if (it != tables_.end()) it->second.publish_gauges(name);
     }
   }
-  if (commit_hook_) commit_hook_(tables, ts);
+  if (commit_hook_) {
+    // The eager dispatch phase of the commit pipeline (trigger checks +
+    // CQ evaluation + notification), as a child of the "commit" root span.
+    common::obs::Span span("commit.dispatch");
+    commit_hook_(tables, ts);
+  }
 }
 
 }  // namespace cq::cat

@@ -6,6 +6,7 @@
 
 #include "catalog/database.hpp"
 #include "common/error.hpp"
+#include "common/observability.hpp"
 
 namespace cq::cat {
 
@@ -60,6 +61,13 @@ void Transaction::modify(const std::string& table, TupleId tid,
 
 Timestamp Transaction::commit() {
   require_active();
+
+  // The causal trace of this commit: allocates the trace id every span
+  // downstream of here carries (including pool workers evaluating CQs in
+  // parallel — ThreadPool propagates the context), and at scope exit
+  // records the root "commit" span, the commit_to_notify_us sample and
+  // the tail-retention decision. One branch when collection is off.
+  common::obs::CommitTrace trace;
 
   // ---- validation pass: simulate visibility without touching the base ----
   // exists[t][tid]: known liveness of a tid after the ops so far; absent
@@ -161,6 +169,14 @@ Timestamp Transaction::commit() {
 
   state_ = State::kCommitted;
   ops_.clear();
+  if (trace.active()) {
+    std::string label;
+    for (const auto& name : touched) {
+      if (!label.empty()) label += ',';
+      label += name;
+    }
+    trace.set_label(std::move(label));
+  }
   db_->notify_commit(touched, ts);
   return ts;
 }

@@ -65,7 +65,7 @@ class EventLog {
   [[nodiscard]] std::string to_ndjson(std::size_t n) const;
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"event_log"};
   std::vector<Event> ring_ CQ_GUARDED_BY(mu_);
   std::size_t capacity_ CQ_GUARDED_BY(mu_);
   std::size_t next_ CQ_GUARDED_BY(mu_) = 0;     // ring index of the next write

@@ -1,0 +1,81 @@
+#include "common/histogram.hpp"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+namespace cq::common::obs {
+
+void Histogram::record(std::uint64_t value) noexcept {
+  buckets_[static_cast<std::size_t>(std::bit_width(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::copy_from(const Histogram& other) noexcept {
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    buckets_[b].store(load(other.buckets_[b]), std::memory_order_relaxed);
+  }
+  count_.store(load(other.count_), std::memory_order_relaxed);
+  sum_.store(load(other.sum_), std::memory_order_relaxed);
+  min_.store(load(other.min_), std::memory_order_relaxed);
+  max_.store(load(other.max_), std::memory_order_relaxed);
+}
+
+double Histogram::percentile(double p) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (p <= 0) return static_cast<double>(min());
+  if (p >= 100) return static_cast<double>(max());
+  // 1-based rank of the sample at percentile p (nearest-rank).
+  const auto rank =
+      static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    const std::uint64_t in_bucket = bucket(b);
+    if (in_bucket == 0) continue;
+    if (cum + in_bucket < rank) {
+      cum += in_bucket;
+      continue;
+    }
+    // Bucket b holds values with bit_width == b: [2^(b-1), 2^b - 1] (b>=1),
+    // or exactly 0 (b==0). Interpolate by rank position within the bucket.
+    const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
+    const double hi = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b)) - 1.0;
+    const double frac = in_bucket <= 1 ? 0.0
+                                       : static_cast<double>(rank - cum - 1) /
+                                             static_cast<double>(in_bucket - 1);
+    double v = lo + frac * (hi - lo);
+    // Clamp to observed range: makes single-sample and tail estimates exact.
+    v = std::max(v, static_cast<double>(min()));
+    v = std::min(v, static_cast<double>(max()));
+    return v;
+  }
+  return static_cast<double>(max());
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  os << "count=" << count() << " mean=" << mean() << " p50=" << p50()
+     << " p95=" << p95() << " p99=" << p99() << " max=" << max();
+  return os.str();
+}
+
+}  // namespace cq::common::obs

@@ -1,0 +1,80 @@
+// Fixed log2-bucketed latency histogram, split out of observability.hpp so
+// layers *below* the observability core can record into one. The lock
+// profiler (common/lock_profile.hpp) is included by sync.hpp, which
+// observability.hpp itself builds on — this header therefore depends on
+// nothing but <atomic> and friends, breaking the cycle.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace cq::common::obs {
+
+/// Fixed log2-bucketed histogram of non-negative integer samples (the
+/// engine records latencies in microseconds). Sample v lands in bucket
+/// bit_width(v): [0], [1], [2,3], [4,7], ... so 64 buckets cover the full
+/// uint64 range with <2x relative error, refined by linear interpolation
+/// inside the winning bucket and clamped to the observed [min, max].
+///
+/// Thread-safe: the parallel evaluation engine records from worker threads
+/// (dra_exec_us, eval_batch_us), so every field is a relaxed atomic.
+/// record() is wait-free except for the min/max CAS loops; readers see a
+/// possibly-torn but monotone view (count may momentarily lag sum), which
+/// is fine for monitoring and exact once the writers quiesce.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;  // bit_width in [0, 64]
+
+  Histogram() = default;
+  Histogram(const Histogram& other) noexcept { copy_from(other); }
+  Histogram& operator=(const Histogram& other) noexcept {
+    if (this != &other) copy_from(other);
+    return *this;
+  }
+
+  void record(std::uint64_t value) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return load(count_); }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return load(sum_); }
+  /// Raw count of bucket b (samples with bit_width == b).
+  [[nodiscard]] std::uint64_t bucket(std::size_t b) const noexcept {
+    return b < kBuckets ? load(buckets_[b]) : 0;
+  }
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return load(count_) == 0 ? 0 : load(min_);
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept { return load(max_); }
+  [[nodiscard]] double mean() const noexcept {
+    const std::uint64_t n = load(count_);
+    return n == 0 ? 0.0 : static_cast<double>(load(sum_)) / static_cast<double>(n);
+  }
+
+  /// Estimated value at percentile p in [0, 100]. 0 when empty; exact for
+  /// a single sample (interpolation clamps to [min, max]).
+  [[nodiscard]] double percentile(double p) const noexcept;
+  [[nodiscard]] double p50() const noexcept { return percentile(50); }
+  [[nodiscard]] double p95() const noexcept { return percentile(95); }
+  [[nodiscard]] double p99() const noexcept { return percentile(99); }
+
+  void reset() noexcept;
+
+  /// One-line summary: count/mean/p50/p95/p99/max.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  static std::uint64_t load(const std::atomic<std::uint64_t>& v) noexcept {
+    return v.load(std::memory_order_relaxed);
+  }
+  void copy_from(const Histogram& other) noexcept;
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  // Sentinel UINT64_MAX = "no sample yet"; min() hides it behind count_.
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace cq::common::obs

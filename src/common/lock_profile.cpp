@@ -1,0 +1,77 @@
+#include "common/lock_profile.hpp"
+
+#include <chrono>
+#include <cstring>
+
+namespace cq::common::lockprof {
+
+std::uint64_t now_ns() noexcept {
+  using clock = std::chrono::steady_clock;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+SiteStats g_sites[kMaxSites];
+std::atomic<std::size_t> g_site_count{0};
+
+}  // namespace
+
+SiteStats* register_site(const char* name) noexcept {
+  if (name == nullptr) return nullptr;
+  const std::size_t n = g_site_count.load(std::memory_order_acquire);
+  // Same literal (pointer) or same spelling: reuse the slot, so every
+  // "engine" mutex in the process lands in one aggregated row.
+  for (std::size_t i = 0; i < n; ++i) {
+    const char* existing = g_sites[i].name.load(std::memory_order_acquire);
+    if (existing == name || (existing != nullptr && std::strcmp(existing, name) == 0)) {
+      return &g_sites[i];
+    }
+  }
+  // Claim the next free slot. Racing registrants may briefly create a
+  // duplicate spelling (two threads registering the same new name); both
+  // slots stay valid and export distinguishes nothing — acceptable for a
+  // profiler, and impossible for the engine's compile-time site constants
+  // which all register through static locals in sync.hpp.
+  for (;;) {
+    std::size_t slot = g_site_count.load(std::memory_order_relaxed);
+    if (slot >= kMaxSites) return nullptr;
+    if (!g_site_count.compare_exchange_weak(slot, slot + 1,
+                                            std::memory_order_acq_rel)) {
+      continue;
+    }
+    g_sites[slot].name.store(name, std::memory_order_release);
+    return &g_sites[slot];
+  }
+}
+
+std::size_t site_count() noexcept {
+  const std::size_t n = g_site_count.load(std::memory_order_acquire);
+  // A slot is published once its name lands; trim a slot claimed but not
+  // yet named by a racing registrant.
+  std::size_t ready = 0;
+  while (ready < n && g_sites[ready].name.load(std::memory_order_acquire) != nullptr) {
+    ++ready;
+  }
+  return ready;
+}
+
+const SiteStats& site(std::size_t i) noexcept { return g_sites[i]; }
+
+void reset() noexcept {
+  const std::size_t n = site_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    SiteStats& s = g_sites[i];
+    s.acquisitions.store(0, std::memory_order_relaxed);
+    s.contended.store(0, std::memory_order_relaxed);
+    s.wait_ns.store(0, std::memory_order_relaxed);
+    s.hold_ns.store(0, std::memory_order_relaxed);
+    s.wait_us.reset();
+    s.hold_us.reset();
+  }
+}
+
+}  // namespace cq::common::lockprof

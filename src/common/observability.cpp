@@ -19,78 +19,73 @@ std::uint64_t now_ns() noexcept {
           .count());
 }
 
-// ------------------------------------------------------------- Histogram --
+// ------------------------------------------------------------- context --
 
-void Histogram::record(std::uint64_t value) noexcept {
-  buckets_[static_cast<std::size_t>(std::bit_width(value))].fetch_add(
-      1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(value, std::memory_order_relaxed);
-  std::uint64_t seen = min_.load(std::memory_order_relaxed);
-  while (value < seen &&
-         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
-  }
-  seen = max_.load(std::memory_order_relaxed);
-  while (value > seen &&
-         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
-  }
+namespace {
+
+thread_local SpanContext t_ctx;
+
+thread_local std::uint32_t t_lane = ~std::uint32_t{0};
+std::atomic<std::uint32_t> g_lane_counter{0};
+
+// Lane display names, indexed by lane id. Guarded by its own named mutex
+// (never taken on the span hot path — only at thread naming and export).
+Mutex& lane_mu() noexcept {
+  static Mutex mu{"lane_names"};
+  return mu;
+}
+std::vector<std::string>& lane_names_locked() {
+  static std::vector<std::string> names;
+  return names;
 }
 
-void Histogram::copy_from(const Histogram& other) noexcept {
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    buckets_[b].store(load(other.buckets_[b]), std::memory_order_relaxed);
+}  // namespace
+
+SpanContext current_context() noexcept { return t_ctx; }
+
+ContextScope::ContextScope(SpanContext ctx) noexcept : saved_(t_ctx) { t_ctx = ctx; }
+
+ContextScope::~ContextScope() { t_ctx = saved_; }
+
+std::uint64_t next_trace_id() noexcept {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::uint32_t lane_id() noexcept {
+  if (t_lane == ~std::uint32_t{0}) {
+    t_lane = g_lane_counter.fetch_add(1, std::memory_order_relaxed);
   }
-  count_.store(load(other.count_), std::memory_order_relaxed);
-  sum_.store(load(other.sum_), std::memory_order_relaxed);
-  min_.store(load(other.min_), std::memory_order_relaxed);
-  max_.store(load(other.max_), std::memory_order_relaxed);
+  return t_lane;
 }
 
-double Histogram::percentile(double p) const noexcept {
-  const std::uint64_t n = count();
-  if (n == 0) return 0.0;
-  if (p <= 0) return static_cast<double>(min());
-  if (p >= 100) return static_cast<double>(max());
-  // 1-based rank of the sample at percentile p (nearest-rank).
-  const auto rank =
-      static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
-  std::uint64_t cum = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    const std::uint64_t in_bucket = bucket(b);
-    if (in_bucket == 0) continue;
-    if (cum + in_bucket < rank) {
-      cum += in_bucket;
-      continue;
-    }
-    // Bucket b holds values with bit_width == b: [2^(b-1), 2^b - 1] (b>=1),
-    // or exactly 0 (b==0). Interpolate by rank position within the bucket.
-    const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b) - 1);
-    const double hi = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b)) - 1.0;
-    const double frac = in_bucket <= 1 ? 0.0
-                                       : static_cast<double>(rank - cum - 1) /
-                                             static_cast<double>(in_bucket - 1);
-    double v = lo + frac * (hi - lo);
-    // Clamp to observed range: makes single-sample and tail estimates exact.
-    v = std::max(v, static_cast<double>(min()));
-    v = std::min(v, static_cast<double>(max()));
-    return v;
+std::uint32_t lane_count() noexcept {
+  return g_lane_counter.load(std::memory_order_relaxed);
+}
+
+void set_lane_name(std::string name) {
+  const std::uint32_t lane = lane_id();
+  LockGuard lock(lane_mu());
+  auto& names = lane_names_locked();
+  if (names.size() <= lane) names.resize(lane + 1);
+  names[lane] = std::move(name);
+}
+
+void name_lane_if_unset(const char* name) {
+  const std::uint32_t lane = lane_id();
+  LockGuard lock(lane_mu());
+  auto& names = lane_names_locked();
+  if (names.size() <= lane) names.resize(lane + 1);
+  if (names[lane].empty()) names[lane] = name;
+}
+
+std::string lane_name(std::uint32_t lane) {
+  {
+    LockGuard lock(lane_mu());
+    const auto& names = lane_names_locked();
+    if (lane < names.size() && !names[lane].empty()) return names[lane];
   }
-  return static_cast<double>(max());
-}
-
-void Histogram::reset() noexcept {
-  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_.store(0, std::memory_order_relaxed);
-  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
-  max_.store(0, std::memory_order_relaxed);
-}
-
-std::string Histogram::to_string() const {
-  std::ostringstream os;
-  os << "count=" << count() << " mean=" << mean() << " p50=" << p50()
-     << " p95=" << p95() << " p99=" << p99() << " max=" << max();
-  return os.str();
+  return "lane-" + std::to_string(lane);
 }
 
 // --------------------------------------------------------- TraceCollector --
@@ -101,9 +96,11 @@ TraceCollector::TraceCollector(std::size_t capacity)
 }
 
 void TraceCollector::record(std::string name, std::uint64_t start_ns,
-                            std::uint64_t dur_ns, std::uint32_t depth) {
+                            std::uint64_t dur_ns, std::uint32_t depth,
+                            std::uint32_t tid, std::uint64_t trace_id) {
   LockGuard lock(mu_);
-  TraceEvent event{std::move(name), start_ns, dur_ns, depth};
+  TraceEvent event{std::move(name), start_ns, dur_ns, depth, tid, trace_id};
+  if (event.trace_id != 0 && !active_.empty()) capture(event);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
   } else {
@@ -111,6 +108,63 @@ void TraceCollector::record(std::string name, std::uint64_t start_ns,
   }
   next_ = (next_ + 1) % capacity_;
   ++total_;
+}
+
+void TraceCollector::capture(const TraceEvent& event) {
+  for (RetainedTrace& t : active_) {
+    if (t.trace_id == event.trace_id) {
+      if (t.events.size() < kMaxEventsPerTrace) t.events.push_back(event);
+      return;
+    }
+  }
+}
+
+void TraceCollector::begin_trace(std::uint64_t trace_id) {
+  LockGuard lock(mu_);
+  if (active_.size() >= kMaxActiveTraces) return;
+  RetainedTrace t;
+  t.trace_id = trace_id;
+  t.events.reserve(32);
+  active_.push_back(std::move(t));
+}
+
+void TraceCollector::end_trace(std::uint64_t trace_id, std::uint64_t start_ns,
+                               std::uint64_t dur_ns, std::string label) {
+  LockGuard lock(mu_);
+  auto it = active_.begin();
+  while (it != active_.end() && it->trace_id != trace_id) ++it;
+  if (it == active_.end()) return;  // capture never opened (active set full)
+  RetainedTrace done = std::move(*it);
+  active_.erase(it);
+  done.start_ns = start_ns;
+  done.dur_ns = dur_ns;
+  done.label = std::move(label);
+  // Keep slowest_ sorted, slowest first; admit iff it beats the current
+  // tail or there is room.
+  if (slowest_.size() >= slow_capacity_ &&
+      (slow_capacity_ == 0 || done.dur_ns <= slowest_.back().dur_ns)) {
+    return;
+  }
+  auto pos = slowest_.begin();
+  while (pos != slowest_.end() && pos->dur_ns >= done.dur_ns) ++pos;
+  slowest_.insert(pos, std::move(done));
+  if (slowest_.size() > slow_capacity_) slowest_.resize(slow_capacity_);
+}
+
+std::vector<RetainedTrace> TraceCollector::slowest() const {
+  LockGuard lock(mu_);
+  return slowest_;
+}
+
+std::size_t TraceCollector::slow_capacity() const {
+  LockGuard lock(mu_);
+  return slow_capacity_;
+}
+
+void TraceCollector::set_slow_capacity(std::size_t n) {
+  LockGuard lock(mu_);
+  slow_capacity_ = n;
+  if (slowest_.size() > slow_capacity_) slowest_.resize(slow_capacity_);
 }
 
 std::vector<TraceEvent> TraceCollector::snapshot() const {
@@ -148,6 +202,8 @@ void TraceCollector::clear() {
   ring_.clear();
   next_ = 0;
   total_ = 0;
+  active_.clear();
+  slowest_.clear();
 }
 
 void TraceCollector::set_capacity(std::size_t capacity) {
@@ -159,10 +215,52 @@ void TraceCollector::set_capacity(std::size_t capacity) {
   total_ = 0;
 }
 
-std::string TraceCollector::to_chrome_json() const {
-  const std::vector<TraceEvent> events = snapshot();
+std::string TraceCollector::to_chrome_json(std::uint64_t trace_id) const {
+  std::vector<TraceEvent> events;
+  if (trace_id != 0) {
+    // Prefer the retained capture (complete even after the ring wrapped);
+    // fall back to whatever of the trace still sits in the ring.
+    {
+      LockGuard lock(mu_);
+      for (const RetainedTrace& t : slowest_) {
+        if (t.trace_id == trace_id) {
+          events = t.events;
+          break;
+        }
+      }
+    }
+    if (events.empty()) {
+      for (TraceEvent& e : snapshot()) {
+        if (e.trace_id == trace_id) events.push_back(std::move(e));
+      }
+    }
+  } else {
+    events = snapshot();
+  }
+
   JsonWriter w;
   w.begin_array();
+  // "M" metadata events label the process and each lane track, so
+  // Perfetto shows "pool-1" instead of a bare tid.
+  w.begin_object();
+  w.kv("name", "process_name");
+  w.kv("ph", "M");
+  w.kv("pid", std::int64_t{1});
+  w.key("args").begin_object().kv("name", "cq-engine").end_object();
+  w.end_object();
+  std::uint32_t lanes = lane_count();
+  for (const TraceEvent& e : events) {
+    if (e.tid >= lanes) lanes = e.tid + 1;
+  }
+  for (std::uint32_t lane = 0; lane < lanes; ++lane) {
+    w.begin_object();
+    w.kv("name", "thread_name");
+    w.kv("ph", "M");
+    w.kv("pid", std::int64_t{1});
+    w.kv("tid", std::uint64_t{lane});
+    w.key("args").begin_object().kv("name", lane_name(lane)).end_object();
+    w.end_object();
+  }
   for (const auto& e : events) {
     w.begin_object();
     w.kv("name", e.name);
@@ -170,10 +268,13 @@ std::string TraceCollector::to_chrome_json() const {
     w.kv("pid", std::int64_t{1});
     // chrome://tracing stacks same-tid "X" events by time containment;
     // depth is informative only.
-    w.kv("tid", std::int64_t{1});
+    w.kv("tid", std::uint64_t{e.tid});
     w.kv("ts", static_cast<double>(e.start_ns) / 1000.0);
     w.kv("dur", static_cast<double>(e.dur_ns) / 1000.0);
-    w.key("args").begin_object().kv("depth", std::uint64_t{e.depth}).end_object();
+    w.key("args").begin_object();
+    w.kv("depth", std::uint64_t{e.depth});
+    if (e.trace_id != 0) w.kv("trace_id", e.trace_id);
+    w.end_object();
     w.end_object();
   }
   w.end_array();
@@ -189,28 +290,62 @@ void TraceCollector::write_chrome_trace(const std::string& path) const {
 
 // ------------------------------------------------------------------ Span --
 
-namespace {
-thread_local std::uint32_t t_span_depth = 0;
-}  // namespace
-
 Span::Span(const char* name, Histogram* latency_us) noexcept
     : name_(name), latency_us_(latency_us), active_(enabled()) {
   if (active_) {
     start_ns_ = now_ns();
-    depth_ = t_span_depth++;
+    trace_id_ = t_ctx.trace_id;
+    depth_ = t_ctx.depth++;
   }
 }
 
 void Span::close() noexcept {
   if (!active_) return;
   active_ = false;
-  --t_span_depth;
+  --t_ctx.depth;
   const std::uint64_t dur = now_ns() - start_ns_;
   try {
-    global().traces().record(name_, start_ns_, dur, depth_);
+    global().traces().record(name_, start_ns_, dur, depth_, lane_id(), trace_id_);
     if (latency_us_ != nullptr) latency_us_->record(dur / 1000);
   } catch (...) {
     // Tracing must never take the process down (allocation failure, ...).
+  }
+}
+
+// ----------------------------------------------------------- CommitTrace --
+
+CommitTrace::CommitTrace() noexcept {
+  if (!enabled()) return;
+  active_ = true;
+  id_ = next_trace_id();
+  start_ns_ = now_ns();
+  saved_ = t_ctx;
+  // Children open one level under the root "commit" span this scope
+  // records at close.
+  t_ctx = SpanContext{id_, saved_.depth + 1};
+  try {
+    global().traces().begin_trace(id_);
+  } catch (...) {
+  }
+}
+
+void CommitTrace::set_label(std::string label) {
+  if (active_) label_ = std::move(label);
+}
+
+CommitTrace::~CommitTrace() {
+  if (!active_) return;
+  const std::uint64_t dur = now_ns() - start_ns_;
+  t_ctx = saved_;
+  try {
+    TraceCollector& traces = global().traces();
+    traces.record("commit", start_ns_, dur, saved_.depth, lane_id(), id_);
+    static Histogram& commit_hist = global().histogram(hist::kCommitToNotifyUs);
+    commit_hist.record(dur / 1000);
+    traces.end_trace(id_, start_ns_, dur,
+                     label_.empty() ? std::string{"commit"} : std::move(label_));
+  } catch (...) {
+    // Same contract as Span::close: never take the engine down.
   }
 }
 
@@ -250,12 +385,49 @@ void Registry::reset() {
   for (auto& [key, g] : gauges_) g.set(0);
 }
 
+bool gauge_is_counter(const std::string& name) noexcept {
+  return name == gauge::kTraceRingDropped || name == gauge::kEventLogDropped ||
+         name == gauge::kPoolLaneBusyUs;
+}
+
+namespace {
+
+Mutex& hooks_mu() noexcept {
+  static Mutex mu{"refresh_hooks"};
+  return mu;
+}
+std::map<std::uint64_t, std::function<void()>>& hooks_locked() {
+  static std::map<std::uint64_t, std::function<void()>> hooks;
+  return hooks;
+}
+
+}  // namespace
+
+std::uint64_t register_refresh_hook(std::function<void()> fn) {
+  static std::atomic<std::uint64_t> next_id{0};
+  const std::uint64_t id = next_id.fetch_add(1, std::memory_order_relaxed) + 1;
+  LockGuard lock(hooks_mu());
+  hooks_locked()[id] = std::move(fn);
+  return id;
+}
+
+void unregister_refresh_hook(std::uint64_t id) {
+  LockGuard lock(hooks_mu());
+  hooks_locked().erase(id);
+}
+
 void refresh_registry_gauges() {
   Registry& r = global();
   r.gauge(gauge::kTraceRingEvents).set(static_cast<std::int64_t>(r.traces().size()));
   r.gauge(gauge::kTraceRingDropped).set(static_cast<std::int64_t>(r.traces().dropped()));
   r.gauge(gauge::kEventLogEvents).set(static_cast<std::int64_t>(r.events().size()));
   r.gauge(gauge::kEventLogDropped).set(static_cast<std::int64_t>(r.events().dropped()));
+  // Hooks run under the hooks mutex: unregister_refresh_hook then blocks
+  // until no refresh is mid-hook, so a component may destroy itself the
+  // moment unregister returns. Hooks only publish gauges — they must not
+  // call back into register/unregister.
+  LockGuard lock(hooks_mu());
+  for (const auto& [id, fn] : hooks_locked()) fn();
 }
 
 Registry& global() noexcept {
@@ -416,6 +588,91 @@ std::string export_json(const Metrics& counters,
 
 std::string export_json(const Registry& registry, const std::vector<Section>& sections) {
   return export_json(registry.metrics(), registry.histogram_snapshot(), sections);
+}
+
+std::string export_profile_json() {
+  refresh_registry_gauges();
+  Registry& r = global();
+  JsonWriter w;
+  w.begin_object();
+  w.kv("lock_profiling", lockprof::enabled());
+
+  w.key("lock_contention").begin_array();
+  const std::size_t sites = lockprof::site_count();
+  for (std::size_t i = 0; i < sites; ++i) {
+    const lockprof::SiteStats& s = lockprof::site(i);
+    const char* name = s.name.load(std::memory_order_acquire);
+    w.begin_object();
+    w.kv("site", name != nullptr ? name : "?");
+    w.kv("acquisitions", s.acquisitions.load(std::memory_order_relaxed));
+    w.kv("contended", s.contended.load(std::memory_order_relaxed));
+    w.kv("wait_us_total", s.wait_ns.load(std::memory_order_relaxed) / 1000);
+    w.kv("hold_us_total", s.hold_ns.load(std::memory_order_relaxed) / 1000);
+    w.key("wait_us");
+    write_histogram_json(w, s.wait_us);
+    w.key("hold_us");
+    write_histogram_json(w, s.hold_us);
+    w.end_object();
+  }
+  w.end_array();
+
+  // Lane rows come off the gauge snapshot (the pool's refresh hook just
+  // published them), so the document needs no reference to the pool.
+  std::map<std::string, std::pair<std::int64_t, std::int64_t>> lanes;
+  for (const GaugeSample& g : r.gauge_snapshot()) {
+    if (g.labels.size() != 1 || g.labels[0].first != "lane") continue;
+    if (g.name == gauge::kPoolLaneBusyUs) {
+      lanes[g.labels[0].second].first = g.value;
+    } else if (g.name == gauge::kPoolLaneUtilization) {
+      lanes[g.labels[0].second].second = g.value;
+    }
+  }
+  w.key("lanes").begin_array();
+  for (const auto& [lane, v] : lanes) {
+    w.begin_object();
+    w.kv("lane", lane);
+    w.kv("busy_us", v.first);
+    w.kv("utilization_pct", v.second);
+    w.end_object();
+  }
+  w.end_array();
+
+  const std::map<std::string, Histogram> hists = r.histogram_snapshot();
+  for (const char* name : {hist::kPoolTaskWaitUs, hist::kCommitToNotifyUs}) {
+    auto it = hists.find(name);
+    if (it == hists.end()) continue;
+    w.key(name);
+    write_histogram_json(w, it->second);
+  }
+
+  w.key("slowest_commits").begin_array();
+  for (const RetainedTrace& t : r.traces().slowest()) {
+    w.begin_object();
+    w.kv("trace_id", t.trace_id);
+    w.kv("label", t.label);
+    w.kv("start_us", t.start_ns / 1000);
+    w.kv("dur_us", t.dur_ns / 1000);
+    // Per-phase rollup: total duration and count of each span name under
+    // the commit (the child spans are the pipeline phases).
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> phases;
+    for (const TraceEvent& e : t.events) {
+      auto& [count, total_ns] = phases[e.name];
+      ++count;
+      total_ns += e.dur_ns;
+    }
+    w.key("phases").begin_object();
+    for (const auto& [name, p] : phases) {
+      w.key(name).begin_object();
+      w.kv("count", p.first);
+      w.kv("total_us", p.second / 1000);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace cq::common::obs

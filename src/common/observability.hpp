@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "common/event_log.hpp"
+#include "common/histogram.hpp"
 #include "common/metrics.hpp"
 #include "common/sync.hpp"
 
@@ -53,72 +54,8 @@ inline void set_enabled(bool on) noexcept {
 /// Monotonic nanoseconds since the first call in this process.
 [[nodiscard]] std::uint64_t now_ns() noexcept;
 
-// ------------------------------------------------------------- Histogram --
-
-/// Fixed log2-bucketed histogram of non-negative integer samples (the
-/// engine records latencies in microseconds). Sample v lands in bucket
-/// bit_width(v): [0], [1], [2,3], [4,7], ... so 64 buckets cover the full
-/// uint64 range with <2x relative error, refined by linear interpolation
-/// inside the winning bucket and clamped to the observed [min, max].
-///
-/// Thread-safe: the parallel evaluation engine records from worker threads
-/// (dra_exec_us, eval_batch_us), so every field is a relaxed atomic.
-/// record() is wait-free except for the min/max CAS loops; readers see a
-/// possibly-torn but monotone view (count may momentarily lag sum), which
-/// is fine for monitoring and exact once the writers quiesce.
-class Histogram {
- public:
-  static constexpr std::size_t kBuckets = 65;  // bit_width in [0, 64]
-
-  Histogram() = default;
-  Histogram(const Histogram& other) noexcept { copy_from(other); }
-  Histogram& operator=(const Histogram& other) noexcept {
-    if (this != &other) copy_from(other);
-    return *this;
-  }
-
-  void record(std::uint64_t value) noexcept;
-
-  [[nodiscard]] std::uint64_t count() const noexcept { return load(count_); }
-  [[nodiscard]] std::uint64_t sum() const noexcept { return load(sum_); }
-  /// Raw count of bucket b (samples with bit_width == b).
-  [[nodiscard]] std::uint64_t bucket(std::size_t b) const noexcept {
-    return b < kBuckets ? load(buckets_[b]) : 0;
-  }
-  [[nodiscard]] std::uint64_t min() const noexcept {
-    return load(count_) == 0 ? 0 : load(min_);
-  }
-  [[nodiscard]] std::uint64_t max() const noexcept { return load(max_); }
-  [[nodiscard]] double mean() const noexcept {
-    const std::uint64_t n = load(count_);
-    return n == 0 ? 0.0 : static_cast<double>(load(sum_)) / static_cast<double>(n);
-  }
-
-  /// Estimated value at percentile p in [0, 100]. 0 when empty; exact for
-  /// a single sample (interpolation clamps to [min, max]).
-  [[nodiscard]] double percentile(double p) const noexcept;
-  [[nodiscard]] double p50() const noexcept { return percentile(50); }
-  [[nodiscard]] double p95() const noexcept { return percentile(95); }
-  [[nodiscard]] double p99() const noexcept { return percentile(99); }
-
-  void reset() noexcept;
-
-  /// One-line summary: count/mean/p50/p95/p99/max.
-  [[nodiscard]] std::string to_string() const;
-
- private:
-  static std::uint64_t load(const std::atomic<std::uint64_t>& v) noexcept {
-    return v.load(std::memory_order_relaxed);
-  }
-  void copy_from(const Histogram& other) noexcept;
-
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> count_{0};
-  std::atomic<std::uint64_t> sum_{0};
-  // Sentinel UINT64_MAX = "no sample yet"; min() hides it behind count_.
-  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
-  std::atomic<std::uint64_t> max_{0};
-};
+// (Histogram lives in common/histogram.hpp — re-exported here so existing
+// obs::Histogram users are unaffected by the split.)
 
 // ----------------------------------------------------------------- gauge --
 
@@ -166,29 +103,121 @@ inline constexpr const char* kSourcePendingRows = "source_pending_rows";        
 inline constexpr const char* kPoolQueueDepth = "pool_queue_depth";
 /// Evaluation lanes the CQ manager dispatches across (1 = sequential).
 inline constexpr const char* kEvalParallelism = "eval_parallelism";
+/// Cumulative busy time of one pool lane, microseconds (label lane).
+/// Monotonic — exported as a Prometheus counter, not a gauge.
+inline constexpr const char* kPoolLaneBusyUs = "pool_lane_busy_us";
+/// Lifetime busy fraction of one pool lane, percent (label lane).
+inline constexpr const char* kPoolLaneUtilization = "pool_lane_utilization_pct";
 }  // namespace gauge
 
+/// Gauge families that are in fact monotonic counters (dropped-event
+/// totals, per-lane busy time). They live in the gauge map — set() is the
+/// natural way to publish them — but the Prometheus exposition renders
+/// them as counters so rate() works.
+[[nodiscard]] bool gauge_is_counter(const std::string& name) noexcept;
+
 // ----------------------------------------------------------------- trace --
+
+// --- span context: which commit, how deep, which lane ---
+//
+// Spans carry causal identity across threads. A commit allocates a trace
+// id (CommitTrace below); the id rides in a thread-local SpanContext that
+// ThreadPool::run_all captures at enqueue and adopts inside each worker
+// (ContextScope), so a worker's eval spans land on the worker's own lane
+// track but keep the commit's trace id — one commit's cost breakdown is a
+// single trace query.
+
+struct SpanContext {
+  std::uint64_t trace_id = 0;  // 0 = not inside any commit
+  std::uint32_t depth = 0;     // nesting depth the next span opens at
+};
+
+/// This thread's current span context (cheap: thread-local read).
+[[nodiscard]] SpanContext current_context() noexcept;
+
+/// RAII adoption of another thread's context: construct with the context
+/// captured at enqueue time, and spans opened on this thread until the
+/// scope closes inherit its trace id and nest under its depth.
+class ContextScope {
+ public:
+  explicit ContextScope(SpanContext ctx) noexcept;
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+  ~ContextScope();
+
+ private:
+  SpanContext saved_;
+};
+
+/// Allocate a fresh process-unique trace id (never 0).
+[[nodiscard]] std::uint64_t next_trace_id() noexcept;
+
+// --- lanes: one trace track per thread ---
+
+/// Dense id of the calling thread's trace lane, assigned on first use
+/// (0, 1, 2, ... in thread-first-seen order). Becomes the "tid" of every
+/// span the thread records.
+[[nodiscard]] std::uint32_t lane_id() noexcept;
+
+/// Name the calling thread's lane ("pool-1", "dispatch"); shown as the
+/// Perfetto track name via chrome-trace "M" metadata events.
+void set_lane_name(std::string name);
+
+/// Like set_lane_name but keeps an existing name (the dispatcher names
+/// its lane on first dispatch without clobbering an explicit name).
+void name_lane_if_unset(const char* name);
+
+/// The lane's display name; "lane-<id>" when never named.
+[[nodiscard]] std::string lane_name(std::uint32_t lane);
+
+/// Lanes handed out so far (ids are 0..lane_count()-1).
+[[nodiscard]] std::uint32_t lane_count() noexcept;
 
 /// One completed span, steady-clock nanoseconds.
 struct TraceEvent {
   std::string name;
   std::uint64_t start_ns = 0;
   std::uint64_t dur_ns = 0;
-  std::uint32_t depth = 0;  // nesting depth at span open (0 = top level)
+  std::uint32_t depth = 0;     // nesting depth at span open (0 = top level)
+  std::uint32_t tid = 0;       // lane id of the recording thread
+  std::uint64_t trace_id = 0;  // owning commit's trace id; 0 = none
+};
+
+/// One commit's retained trace: the root interval plus every span recorded
+/// under its trace id while it was active (bounded; see
+/// kMaxEventsPerTrace).
+struct RetainedTrace {
+  std::uint64_t trace_id = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::string label;  // e.g. the tables the commit touched
+  std::vector<TraceEvent> events;
 };
 
 /// Fixed-capacity ring buffer of completed spans. Mutex-guarded: spans may
 /// finish on any thread. When full, the oldest events are overwritten and
 /// counted in dropped().
+///
+/// Besides the ring, the collector retains the N *slowest* commit traces
+/// in full (tail-based retention): begin_trace() opens a bounded capture
+/// for a trace id, record() copies matching events into it, and
+/// end_trace() keeps the capture iff it ranks among the slowest seen.
 class TraceCollector {
  public:
   static constexpr std::size_t kDefaultCapacity = 1 << 16;
+  /// Commit traces capturable concurrently; excess commits are measured
+  /// but not retained.
+  static constexpr std::size_t kMaxActiveTraces = 8;
+  /// Events one retained trace may hold (a commit dispatching hundreds of
+  /// CQs keeps its first 512 spans, enough for the phase breakdown).
+  static constexpr std::size_t kMaxEventsPerTrace = 512;
+  /// Default tail-retention width (see set_slow_capacity).
+  static constexpr std::size_t kDefaultSlowCapacity = 16;
 
   explicit TraceCollector(std::size_t capacity = kDefaultCapacity);
 
   void record(std::string name, std::uint64_t start_ns, std::uint64_t dur_ns,
-              std::uint32_t depth);
+              std::uint32_t depth, std::uint32_t tid = 0, std::uint64_t trace_id = 0);
 
   /// Events in chronological (insertion) order.
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
@@ -198,31 +227,59 @@ class TraceCollector {
   /// Events overwritten because the ring was full.
   [[nodiscard]] std::uint64_t dropped() const;
 
-  /// Drop all events (capacity unchanged).
+  /// Drop all events and retained traces (capacity unchanged).
   void clear();
   /// Resize the ring; clears collected events.
   void set_capacity(std::size_t capacity);
 
-  /// The ring as a chrome://tracing "trace event" JSON array: complete
-  /// ("ph":"X") events with microsecond ts/dur. Load via chrome://tracing
-  /// or https://ui.perfetto.dev.
-  [[nodiscard]] std::string to_chrome_json() const;
+  // --- tail-based retention of the slowest commits ---
+
+  /// Start capturing events recorded under `trace_id`. No-op when
+  /// kMaxActiveTraces captures are already open.
+  void begin_trace(std::uint64_t trace_id);
+
+  /// Finish the capture: retain it iff it ranks among the slow_capacity()
+  /// slowest traces seen so far.
+  void end_trace(std::uint64_t trace_id, std::uint64_t start_ns, std::uint64_t dur_ns,
+                 std::string label);
+
+  /// The retained traces, slowest first.
+  [[nodiscard]] std::vector<RetainedTrace> slowest() const;
+
+  [[nodiscard]] std::size_t slow_capacity() const;
+  /// Resize the retention set (drops the fastest retained traces first).
+  void set_slow_capacity(std::size_t n);
+
+  /// The ring as a chrome://tracing "trace event" JSON array: "M" metadata
+  /// events naming the process and each lane track, then complete
+  /// ("ph":"X") events with microsecond ts/dur, real per-lane tids and the
+  /// owning commit's trace id in args. Load via chrome://tracing or
+  /// https://ui.perfetto.dev. A non-zero `trace_id` narrows the dump to
+  /// one commit: its retained capture when available, else the matching
+  /// ring events.
+  [[nodiscard]] std::string to_chrome_json(std::uint64_t trace_id = 0) const;
 
   /// Write to_chrome_json() to `path`; throws common::IoError on failure.
   void write_chrome_trace(const std::string& path) const;
 
  private:
-  mutable Mutex mu_;
+  void capture(const TraceEvent& event) CQ_REQUIRES(mu_);
+
+  mutable Mutex mu_{"trace_ring"};
   std::vector<TraceEvent> ring_ CQ_GUARDED_BY(mu_);
   std::size_t capacity_ CQ_GUARDED_BY(mu_);
   std::size_t next_ CQ_GUARDED_BY(mu_) = 0;  // ring index of the next write
   std::uint64_t total_ CQ_GUARDED_BY(mu_) = 0;  // events ever recorded
+  std::vector<RetainedTrace> active_ CQ_GUARDED_BY(mu_);   // captures in flight
+  std::vector<RetainedTrace> slowest_ CQ_GUARDED_BY(mu_);  // desc by dur_ns
+  std::size_t slow_capacity_ CQ_GUARDED_BY(mu_) = kDefaultSlowCapacity;
 };
 
 /// RAII span: opens at construction, records into the global trace
 /// collector at destruction (or close()). When obs::enabled() is false the
 /// constructor is one branch and the span records nothing. Optionally
-/// feeds its duration (µs) into a Histogram.
+/// feeds its duration (µs) into a Histogram. The span stamps the thread's
+/// current SpanContext (trace id + depth) into the recorded event.
 class Span {
  public:
   explicit Span(const char* name, Histogram* latency_us = nullptr) noexcept;
@@ -237,8 +294,35 @@ class Span {
   const char* name_;
   Histogram* latency_us_;
   std::uint64_t start_ns_ = 0;
+  std::uint64_t trace_id_ = 0;
   std::uint32_t depth_ = 0;
   bool active_;
+};
+
+/// RAII scope of one commit's trace: allocates the trace id, installs it
+/// in this thread's SpanContext, opens a retention capture, and at close
+/// records the root "commit" span, feeds commit_to_notify_us, and hands
+/// the capture to tail-based retention. Constructed at the top of
+/// Transaction::commit; a no-op (one branch) when collection is disabled.
+class CommitTrace {
+ public:
+  CommitTrace() noexcept;
+  CommitTrace(const CommitTrace&) = delete;
+  CommitTrace& operator=(const CommitTrace&) = delete;
+  ~CommitTrace();
+
+  /// Label the retained trace (the touched tables, set once known).
+  void set_label(std::string label);
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] std::uint64_t trace_id() const noexcept { return id_; }
+
+ private:
+  std::uint64_t id_ = 0;
+  std::uint64_t start_ns_ = 0;
+  SpanContext saved_{};
+  std::string label_;
+  bool active_ = false;
 };
 
 // -------------------------------------------------------------- registry --
@@ -282,7 +366,7 @@ class Registry {
   Metrics metrics_;
   TraceCollector traces_;
   EventLog events_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs_registry"};
   // mu_ guards the *map structure* (growth on first use). The Histogram
   // and Gauge values a lookup hands out stay referenced by hot paths and
   // are internally atomic — parallel evaluation workers record into both
@@ -303,6 +387,11 @@ inline constexpr const char* kSyncUs = "sync_us";
 inline constexpr const char* kNetTransferUs = "net_transfer_us";  // simulated
 /// One parallel evaluation batch (a worker's slice of a commit dispatch).
 inline constexpr const char* kEvalBatchUs = "eval_batch_us";
+/// Full commit pipeline: transaction commit through the last CQ
+/// notification leaving the manager (recorded by CommitTrace).
+inline constexpr const char* kCommitToNotifyUs = "commit_to_notify_us";
+/// Scheduler queue wait: task enqueue on the pool to execution start.
+inline constexpr const char* kPoolTaskWaitUs = "pool_task_wait_us";
 }  // namespace hist
 
 /// Append one event to the global journal — a no-op when collection is
@@ -316,8 +405,22 @@ inline void event(Severity severity, std::string kind, std::string subject,
 }
 
 /// Refresh the registry's self-describing gauges (trace-ring occupancy and
-/// drops, journal occupancy and drops). Called before each export/scrape.
+/// drops, journal occupancy and drops), then run every registered refresh
+/// hook. Called before each export/scrape.
 void refresh_registry_gauges();
+
+/// Register `fn` to run inside refresh_registry_gauges() — how components
+/// with live internal state (the thread pool's per-lane busy clocks)
+/// publish gauges only when someone scrapes. Returns a handle for
+/// unregister_refresh_hook; unregister blocks until no refresh is running
+/// the hook, so the component may be destroyed right after.
+[[nodiscard]] std::uint64_t register_refresh_hook(std::function<void()> fn);
+void unregister_refresh_hook(std::uint64_t id);
+
+/// The /profile document: lock-contention sites, pool lane utilization,
+/// scheduler + commit latency histograms, and the slowest retained commit
+/// traces with a per-phase duration rollup. Refreshes gauges first.
+[[nodiscard]] std::string export_profile_json();
 
 // ------------------------------------------------------------------ JSON --
 

@@ -125,18 +125,53 @@ std::string render_prometheus(
     const std::vector<std::function<void(PromWriter&)>>& sections) {
   PromWriter w;
   for (const auto& [name, value] : counters.all()) w.counter(name, value);
-  for (const GaugeSample& g : gauges) w.gauge(g.name, g.value, g.labels);
+  for (const GaugeSample& g : gauges) {
+    // Monotonic families kept in the gauge map (dropped totals, lane busy
+    // time) render as counters so rate() works on them.
+    if (gauge_is_counter(g.name)) {
+      w.counter(g.name, g.value, g.labels);
+    } else {
+      w.gauge(g.name, g.value, g.labels);
+    }
+  }
   for (const auto& [name, h] : histograms) w.histogram(name, h);
   for (const auto& section : sections) section(w);
   return w.str();
 }
 
+namespace {
+
+/// The lock-contention profiler's cq_lock_* families, one row per named
+/// site: acquisition/contention counters plus wait- and hold-time
+/// histograms.
+void write_lockprof(PromWriter& w) {
+  const std::size_t sites = lockprof::site_count();
+  for (std::size_t i = 0; i < sites; ++i) {
+    const lockprof::SiteStats& s = lockprof::site(i);
+    const char* name = s.name.load(std::memory_order_acquire);
+    if (name == nullptr) continue;
+    const Labels labels{{"site", name}};
+    w.counter("lock_acquisitions",
+              static_cast<std::int64_t>(s.acquisitions.load(std::memory_order_relaxed)),
+              labels);
+    w.counter("lock_contended",
+              static_cast<std::int64_t>(s.contended.load(std::memory_order_relaxed)),
+              labels);
+    w.histogram("lock_wait_us", s.wait_us, labels);
+    w.histogram("lock_hold_us", s.hold_us, labels);
+  }
+}
+
+}  // namespace
+
 std::string render_prometheus(
     const Metrics& counters, Registry& registry,
     const std::vector<std::function<void(PromWriter&)>>& sections) {
   refresh_registry_gauges();
+  std::vector<std::function<void(PromWriter&)>> all = sections;
+  all.emplace_back([](PromWriter& w) { write_lockprof(w); });
   return render_prometheus(counters, registry.gauge_snapshot(),
-                           registry.histogram_snapshot(), sections);
+                           registry.histogram_snapshot(), all);
 }
 
 }  // namespace cq::common::obs

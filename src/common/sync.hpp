@@ -27,7 +27,10 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
+
+#include "common/lock_profile.hpp"
 
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability)
@@ -71,18 +74,102 @@
 namespace cq::common {
 
 /// std::mutex as an annotated capability. Non-copyable, non-movable.
+///
+/// A mutex constructed with a *site name* (a string literal naming its
+/// role: "pool", "trace_ring", "engine", ...) additionally participates in
+/// the opt-in contention profiler (common/lock_profile.hpp). While
+/// lockprof::enabled() is on, lock() takes a try_lock fast path and on a
+/// miss records time-to-acquire + a contention count against the site, and
+/// unlock() feeds the critical-section hold time into the site's
+/// histogram. When profiling is off — or for unnamed mutexes, always — the
+/// cost over plain std::mutex is one relaxed load and a branch; no clock
+/// is ever read.
 class CQ_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  /// Profiled variant. `site` must be a string with static storage
+  /// duration (in practice: a literal); distinct mutexes sharing one site
+  /// name aggregate into one profiler row.
+  explicit Mutex(const char* site) noexcept : site_(site) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() CQ_ACQUIRE() { mu_.lock(); }
-  void unlock() CQ_RELEASE() { mu_.unlock(); }
-  [[nodiscard]] bool try_lock() CQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() CQ_ACQUIRE() {
+    if (site_ == nullptr || !lockprof::enabled()) {
+      mu_.lock();
+      return;
+    }
+    lock_profiled();
+  }
+
+  void unlock() CQ_RELEASE() {
+    // hold_start_ns_ is owned by the lock holder (synchronized by mu_
+    // itself); non-zero only when the acquisition went through the
+    // profiled path, so the off path stays clock-free.
+    if (hold_start_ns_ != 0) note_release();
+    mu_.unlock();
+  }
+
+  [[nodiscard]] bool try_lock() CQ_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    if (site_ != nullptr && lockprof::enabled()) note_uncontended();
+    return true;
+  }
 
  private:
+  void lock_profiled() noexcept {
+    lockprof::SiteStats* s = stats();
+    if (s == nullptr) {  // site table full: behave like an unnamed mutex
+      mu_.lock();
+      return;
+    }
+    if (mu_.try_lock()) {
+      s->acquisitions.fetch_add(1, std::memory_order_relaxed);
+      hold_start_ns_ = lockprof::now_ns();
+      return;
+    }
+    const std::uint64_t t0 = lockprof::now_ns();
+    mu_.lock();
+    const std::uint64_t acquired = lockprof::now_ns();
+    const std::uint64_t wait = acquired - t0;
+    s->acquisitions.fetch_add(1, std::memory_order_relaxed);
+    s->contended.fetch_add(1, std::memory_order_relaxed);
+    s->wait_ns.fetch_add(wait, std::memory_order_relaxed);
+    s->wait_us.record(wait / 1000);
+    hold_start_ns_ = acquired;
+  }
+
+  void note_uncontended() noexcept {
+    if (lockprof::SiteStats* s = stats()) {
+      s->acquisitions.fetch_add(1, std::memory_order_relaxed);
+      hold_start_ns_ = lockprof::now_ns();
+    }
+  }
+
+  void note_release() noexcept {
+    const std::uint64_t held = lockprof::now_ns() - hold_start_ns_;
+    hold_start_ns_ = 0;
+    if (lockprof::SiteStats* s = stats_.load(std::memory_order_relaxed)) {
+      s->hold_ns.fetch_add(held, std::memory_order_relaxed);
+      s->hold_us.record(held / 1000);
+    }
+  }
+
+  [[nodiscard]] lockprof::SiteStats* stats() noexcept {
+    lockprof::SiteStats* s = stats_.load(std::memory_order_acquire);
+    if (s == nullptr) {
+      s = lockprof::register_site(site_);
+      if (s != nullptr) stats_.store(s, std::memory_order_release);
+    }
+    return s;
+  }
+
   std::mutex mu_;
+  const char* site_ = nullptr;
+  std::atomic<lockprof::SiteStats*> stats_{nullptr};
+  // Steady-clock instant the current profiled hold began; 0 when the hold
+  // is unprofiled. Written only by the holding thread, ordered by mu_.
+  std::uint64_t hold_start_ns_ = 0;
 };
 
 /// std::lock_guard over Mutex, visible to the analysis: constructing one

@@ -1,8 +1,7 @@
 #include "common/thread_pool.hpp"
 
+#include <string>
 #include <utility>
-
-#include "common/observability.hpp"
 
 namespace cq::common {
 
@@ -13,16 +12,30 @@ obs::Gauge& queue_depth_gauge() {
   return g;
 }
 
+obs::Histogram& task_wait_histogram() {
+  static obs::Histogram& h = obs::global().histogram(obs::hist::kPoolTaskWaitUs);
+  return h;
+}
+
+std::string lane_label(std::size_t lane, std::size_t workers) {
+  return lane < workers ? "pool-" + std::to_string(lane + 1) : "dispatch";
+}
+
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t workers) {
+ThreadPool::ThreadPool(std::size_t workers)
+    : busy_ns_(workers + 1), created_ns_(obs::now_ns()) {
   threads_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
+  hook_id_ = obs::register_refresh_hook([this] { publish_lane_gauges(); });
 }
 
 ThreadPool::~ThreadPool() {
+  // Unregister first: it blocks until no scrape is mid-hook, so the hook
+  // can never observe a dying pool.
+  obs::unregister_refresh_hook(hook_id_);
   {
     LockGuard lock(mu_);
     stop_ = true;
@@ -31,29 +44,53 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::drain() {
+void ThreadPool::run_task(Task task, std::size_t lane) {
+  if (task.enqueue_ns == 0) {  // tracing was off at enqueue: zero overhead
+    task.fn();
+    return;
+  }
+  const std::uint64_t start = obs::now_ns();
+  task_wait_histogram().record((start - task.enqueue_ns) / 1000);
+  {
+    // Adopt the dispatcher's context: spans the task opens land on this
+    // lane's track but keep the commit's trace id and nesting depth.
+    obs::ContextScope ctx(task.ctx);
+    task.fn();
+  }
+  busy_ns_[lane].fetch_add(obs::now_ns() - start, std::memory_order_relaxed);
+}
+
+void ThreadPool::drain(std::size_t lane) {
   while (!queue_.empty()) {
-    std::function<void()> task = std::move(queue_.back());
+    Task task = std::move(queue_.back());
     queue_.pop_back();
     queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
     mu_.unlock();
-    task();
+    run_task(std::move(task), lane);
     mu_.lock();
     if (--pending_ == 0) done_cv_.notify_all();
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t lane) {
+  obs::set_lane_name("pool-" + std::to_string(lane + 1));
   LockGuard lock(mu_);
   for (;;) {
     work_cv_.wait(mu_, [this]() CQ_REQUIRES(mu_) { return stop_ || !queue_.empty(); });
     if (stop_ && queue_.empty()) return;
-    drain();
+    drain(lane);
   }
 }
 
 void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
+  std::uint64_t enqueue_ns = 0;
+  obs::SpanContext ctx{};
+  if (obs::enabled()) {
+    obs::name_lane_if_unset("dispatch");
+    enqueue_ns = obs::now_ns();
+    ctx = obs::current_context();
+  }
   {
     LockGuard lock(mu_);
     pending_ += tasks.size();
@@ -62,14 +99,28 @@ void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
     // completion order is irrelevant to the merge phase).
     queue_.reserve(queue_.size() + tasks.size());
     for (auto it = tasks.rbegin(); it != tasks.rend(); ++it) {
-      queue_.push_back(std::move(*it));
+      queue_.push_back(Task{std::move(*it), enqueue_ns, ctx});
     }
     queue_depth_gauge().set(static_cast<std::int64_t>(queue_.size()));
   }
   work_cv_.notify_all();
   LockGuard lock(mu_);
-  drain();  // the caller is a lane too
+  drain(threads_.size());  // the caller is a lane too (the last busy slot)
   done_cv_.wait(mu_, [this]() CQ_REQUIRES(mu_) { return pending_ == 0; });
+}
+
+void ThreadPool::publish_lane_gauges() {
+  const std::uint64_t alive_ns = obs::now_ns() - created_ns_;
+  for (std::size_t lane = 0; lane < busy_ns_.size(); ++lane) {
+    const obs::Labels labels{{"lane", lane_label(lane, threads_.size())}};
+    const std::uint64_t busy = busy_ns_[lane].load(std::memory_order_relaxed);
+    obs::global()
+        .gauge(obs::gauge::kPoolLaneBusyUs, labels)
+        .set(static_cast<std::int64_t>(busy / 1000));
+    obs::global()
+        .gauge(obs::gauge::kPoolLaneUtilization, labels)
+        .set(alive_ns == 0 ? 0 : static_cast<std::int64_t>(busy * 100 / alive_ns));
+  }
 }
 
 }  // namespace cq::common

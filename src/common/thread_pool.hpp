@@ -9,16 +9,28 @@
 // yields exactly `threads` concurrent lanes and a pool with zero workers
 // degenerates to a plain sequential loop (no thread ever starts).
 //
+// Scheduler observability (all gated on obs::enabled() at enqueue time):
+// run_all stamps each task with the enqueue instant and the caller's
+// SpanContext; whichever lane pops the task records the queue wait into
+// pool_task_wait_us and adopts the context, so worker-side spans carry the
+// dispatching commit's trace id onto the worker's own lane track. Each
+// lane also keeps a cumulative busy clock, published as
+// pool_lane_busy_us / pool_lane_utilization_pct gauges through a registry
+// refresh hook at scrape time.
+//
 // Built on the annotated cq::common::Mutex/CondVar from sync.hpp — this
 // file is the sanctioned home of std::thread in the tree
 // (scripts/lint_invariants.py rejects raw std::thread outside src/common).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <thread>
 #include <vector>
 
+#include "common/observability.hpp"
 #include "common/sync.hpp"
 
 namespace cq::common {
@@ -43,18 +55,47 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t workers() const noexcept { return threads_.size(); }
 
- private:
-  void worker_loop();
-  /// Pop + run queued tasks until the queue is empty. Returns with mu_ held.
-  void drain() CQ_REQUIRES(mu_);
+  /// Concurrent execution lanes: the workers plus the participating
+  /// caller.
+  [[nodiscard]] std::size_t lanes() const noexcept { return threads_.size() + 1; }
 
-  mutable Mutex mu_;
+  /// Cumulative busy time of one lane (nanoseconds spent running tasks
+  /// while tracing was enabled). Lane i < workers() is worker i; lane
+  /// workers() is the caller's.
+  [[nodiscard]] std::uint64_t lane_busy_ns(std::size_t lane) const noexcept {
+    return lane < busy_ns_.size() ? busy_ns_[lane].load(std::memory_order_relaxed)
+                                  : 0;
+  }
+
+ private:
+  /// One queued closure plus the tracing envelope captured at enqueue
+  /// (enqueue_ns == 0 means tracing was off; the execution path then adds
+  /// zero overhead).
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+    obs::SpanContext ctx{};
+  };
+
+  void worker_loop(std::size_t lane);
+  /// Pop + run queued tasks until the queue is empty. Returns with mu_ held.
+  void drain(std::size_t lane) CQ_REQUIRES(mu_);
+  /// Execute one task outside the lock: queue-wait accounting, context
+  /// adoption, busy-clock update.
+  void run_task(Task task, std::size_t lane);
+  /// Registry refresh hook: publish per-lane busy/utilization gauges.
+  void publish_lane_gauges();
+
+  mutable Mutex mu_{"pool"};
   CondVar work_cv_;         // signalled when tasks arrive or stop_ flips
   CondVar done_cv_;         // signalled when pending_ reaches zero
-  std::vector<std::function<void()>> queue_ CQ_GUARDED_BY(mu_);
+  std::vector<Task> queue_ CQ_GUARDED_BY(mu_);
   std::size_t pending_ CQ_GUARDED_BY(mu_) = 0;  // queued + running tasks
   bool stop_ CQ_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
+  std::vector<std::atomic<std::uint64_t>> busy_ns_;  // per lane, see lane_busy_ns
+  std::uint64_t created_ns_ = 0;  // for lifetime utilization
+  std::uint64_t hook_id_ = 0;     // refresh-hook registration
 };
 
 }  // namespace cq::common

@@ -209,7 +209,10 @@ void CqManager::run(CqHandle handle, Entry& entry) {
   }
 
   db_.zones().advance(entry.zone_id, entry.query->last_execution());
-  if (entry.sink) entry.sink->on_result(note);
+  if (entry.sink) {
+    obs::Span notify_span("cq.notify");
+    entry.sink->on_result(note);
+  }
   if (entry.query->should_stop(db_)) {
     entry.query->mark_finished();
     finish(handle);
@@ -260,6 +263,7 @@ std::size_t CqManager::dispatch_parallel(const std::vector<CqHandle>& handles) {
   if (!pool_) pool_ = std::make_unique<common::ThreadPool>(threads_ - 1);
 
   // ---- snapshot each touched delta once, shared by every eligible CQ ----
+  obs::Span snapshot_span("commit.snapshot");
   delta::SnapshotMap snapshots;
   for (const CqHandle h : handles) {
     auto it = entries_.find(h);
@@ -271,6 +275,7 @@ std::size_t CqManager::dispatch_parallel(const std::vector<CqHandle>& handles) {
       }
     }
   }
+  snapshot_span.close();
 
   // ---- one outcome slot per eligible CQ, in handle order ----
   struct Outcome {
@@ -330,7 +335,9 @@ std::size_t CqManager::dispatch_parallel(const std::vector<CqHandle>& handles) {
   tasks.reserve(batches.size());
   for (auto& batch : batches) {
     tasks.emplace_back([this, &snapshots, &outcomes, batch = std::move(batch)] {
-      const std::uint64_t b0 = obs::now_ns();
+      // Lands on the executing lane's track, carrying the dispatching
+      // commit's trace id (the pool adopts the dispatcher's context).
+      obs::Span batch_span("eval.batch", &batch_hist);
       for (const std::size_t i : batch) {
         Outcome& out = outcomes[i];
         try {
@@ -348,13 +355,16 @@ std::size_t CqManager::dispatch_parallel(const std::vector<CqHandle>& handles) {
           out.error = std::current_exception();
         }
       }
-      if (obs::enabled()) batch_hist.record((obs::now_ns() - b0) / 1000);
     });
   }
-  pool_->run_all(std::move(tasks));
+  {
+    obs::Span eval_span("commit.eval");
+    pool_->run_all(std::move(tasks));
+  }
 
   // ---- merge: replay every side effect in handle order, exactly as the
   // sequential loop would have produced it ----
+  obs::Span merge_span("commit.merge");
   std::size_t executed = 0;
   for (Outcome& out : outcomes) {
     metrics_.add(common::metric::kTriggerChecks, 1);
@@ -387,7 +397,10 @@ std::size_t CqManager::dispatch_parallel(const std::vector<CqHandle>& handles) {
                  entry.query->last_execution().ticks());
     }
     db_.zones().advance(entry.zone_id, entry.query->last_execution());
-    if (entry.sink) entry.sink->on_result(out.note);
+    if (entry.sink) {
+      obs::Span notify_span("cq.notify");
+      entry.sink->on_result(out.note);
+    }
     if (out.stop_post) {
       entry.query->mark_finished();
       finish(out.handle);
@@ -483,7 +496,10 @@ Notification CqManager::execute_now(CqHandle handle) {
   }
 
   db_.zones().advance(entry.zone_id, entry.query->last_execution());
-  if (entry.sink) entry.sink->on_result(note);
+  if (entry.sink) {
+    obs::Span notify_span("cq.notify");
+    entry.sink->on_result(note);
+  }
   if (entry.query->should_stop(db_)) {
     entry.query->mark_finished();
     finish(handle);

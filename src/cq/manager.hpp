@@ -174,7 +174,7 @@ class CqManager {
   std::unique_ptr<common::ThreadPool> pool_;  // built lazily, threads_ - 1 workers
   common::Metrics metrics_;
   DraStats last_stats_;
-  mutable common::Mutex stats_mu_;
+  mutable common::Mutex stats_mu_{"cq_stats"};
   std::map<std::string, CqStats> stats_ CQ_GUARDED_BY(stats_mu_);
 };
 

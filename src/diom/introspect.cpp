@@ -67,9 +67,17 @@ obs::HttpResponse events_handler(const obs::HttpRequest& req, common::Mutex& mu)
   return resp;
 }
 
-obs::HttpResponse trace_handler(common::Mutex& mu) {
+obs::HttpResponse trace_handler(const obs::HttpRequest& req, common::Mutex& mu) {
   common::LockGuard lock(mu);
-  return obs::HttpResponse::json(obs::global().traces().to_chrome_json());
+  // ?trace_id=N narrows the dump to one commit (its retained capture when
+  // the trace ranked among the slowest, else whatever is still in the ring).
+  const std::uint64_t id = req.query_u64("trace_id", 0);
+  return obs::HttpResponse::json(obs::global().traces().to_chrome_json(id));
+}
+
+obs::HttpResponse profile_handler(common::Mutex& mu) {
+  common::LockGuard lock(mu);
+  return obs::HttpResponse::json(obs::export_profile_json());
 }
 
 }  // namespace
@@ -88,8 +96,11 @@ void serve_introspection(common::obs::IntrospectServer& server, Mediator& mediat
   server.route("/events", [&engine_mu](const obs::HttpRequest& req) {
     return events_handler(req, engine_mu);
   });
-  server.route("/trace", [&engine_mu](const obs::HttpRequest&) {
-    return trace_handler(engine_mu);
+  server.route("/trace", [&engine_mu](const obs::HttpRequest& req) {
+    return trace_handler(req, engine_mu);
+  });
+  server.route("/profile", [&engine_mu](const obs::HttpRequest&) {
+    return profile_handler(engine_mu);
   });
 }
 

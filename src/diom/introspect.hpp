@@ -1,8 +1,9 @@
 // Wires a mediator (mirror database + CQ manager + attached sources) to
 // the introspection HTTP server: /metrics (Prometheus text exposition),
 // /stats (the JSON stats document), /healthz (per-source staleness,
-// 200/503), /trace (chrome://tracing JSON) and /events (NDJSON journal
-// tail, ?n=<count>).
+// 200/503), /trace (chrome://tracing JSON, ?trace_id=<id> for one
+// commit), /events (NDJSON journal tail, ?n=<count>) and /profile
+// (lock-contention sites + pool lane utilization + slowest commit traces).
 //
 // Handlers run on the server's background thread while the engine runs on
 // the caller's; every handler takes `engine_mu` — the mutex the engine

@@ -44,8 +44,10 @@
 
 #include "catalog/database.hpp"
 #include "catalog/transaction.hpp"
+#include "common/lock_profile.hpp"
 #include "common/observability.hpp"
 #include "common/sync.hpp"
+#include "common/thread_pool.hpp"
 #include "cq/manager.hpp"
 #include "cq/trigger.hpp"
 #include "delta/delta_relation.hpp"
@@ -178,8 +180,10 @@ TEST_F(ConcurrencyStress, ScrapesStayCoherentWhileEngineRuns) {
   readers.reserve(kReaders);
   for (int r = 0; r < kReaders; ++r) {
     readers.emplace_back([port, r, &done, &torn, &scrapes] {
-      const std::vector<std::string> targets = {"/metrics", "/stats", "/healthz",
-                                                "/events?n=50", "/trace"};
+      const std::vector<std::string> targets = {"/metrics",     "/stats",
+                                                "/healthz",     "/events?n=50",
+                                                "/trace",       "/profile",
+                                                "/trace?trace_id=1"};
       int i = r;  // stagger the rotation so readers diverge
       while (!done.load(std::memory_order_acquire)) {
         const std::string& target = targets[static_cast<std::size_t>(i++) % targets.size()];
@@ -187,7 +191,7 @@ TEST_F(ConcurrencyStress, ScrapesStayCoherentWhileEngineRuns) {
         const std::string body = raw_get(port, target, &status);
         if (body.empty() || (status != 200 && status != 503)) continue;
         ++scrapes;
-        if ((target == "/stats" || target == "/healthz" || target == "/trace") &&
+        if (target != "/metrics" && target.rfind("/events", 0) != 0 &&
             !json_is_whole(body)) {
           ++torn;
         }
@@ -219,7 +223,7 @@ TEST_F(ConcurrencyStress, ScrapesStayCoherentWhileEngineRuns) {
   // keep serving with the engine idle until each reader has seen every
   // endpoint at least once, so the coherence assertions mean something.
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
-  while (scrapes.load() < kReaders * 5 &&
+  while (scrapes.load() < kReaders * 7 &&
          std::chrono::steady_clock::now() < deadline) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
@@ -228,7 +232,7 @@ TEST_F(ConcurrencyStress, ScrapesStayCoherentWhileEngineRuns) {
   server.stop();
 
   EXPECT_EQ(torn.load(), 0);
-  EXPECT_GE(scrapes.load(), kReaders * 5);
+  EXPECT_GE(scrapes.load(), kReaders * 7);
   // Every committed row crossed the wire exactly once.
   EXPECT_EQ(rows_applied, committed);
   {
@@ -372,6 +376,140 @@ TEST(DeltaGcPins, SnapshotReadersVsGarbageCollect) {
   (void)db.garbage_collect();
   EXPECT_TRUE(d.empty());
   EXPECT_EQ(db.table("T").size(), static_cast<std::size_t>(kRows));
+}
+
+// -------------------------------------------- scheduler observability ----
+
+// run_all stamps each task with the dispatcher's SpanContext; every lane —
+// workers and the participating caller — must adopt it for the task's
+// duration, feed the queue-wait histogram, and advance its busy clock.
+TEST_F(ConcurrencyStress, PoolLanesAdoptDispatcherContextAndRecordWait) {
+  constexpr std::size_t kTasks = 32;
+  constexpr std::uint64_t kTraceId = 1234;
+
+  common::ThreadPool pool(3);
+  ASSERT_EQ(pool.lanes(), 4u);
+  const std::uint64_t waits_before =
+      obs::global().histogram(obs::hist::kPoolTaskWaitUs).count();
+
+  std::vector<std::uint64_t> seen(kTasks, 0);
+  {
+    obs::ContextScope ctx(obs::SpanContext{kTraceId, 1});
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(kTasks);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      tasks.push_back([&seen, i] {
+        seen[i] = obs::current_context().trace_id;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      });
+    }
+    pool.run_all(std::move(tasks));  // barrier: seen[] is safe to read after
+  }
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(seen[i], kTraceId) << "task " << i << " ran without the context";
+  }
+  // Outside the scope the thread's context is restored to none.
+  EXPECT_EQ(obs::current_context().trace_id, 0u);
+
+  EXPECT_GE(obs::global().histogram(obs::hist::kPoolTaskWaitUs).count(),
+            waits_before + kTasks);
+  std::uint64_t busy = 0;
+  for (std::size_t lane = 0; lane < pool.lanes(); ++lane) {
+    busy += pool.lane_busy_ns(lane);
+  }
+  EXPECT_GT(busy, 0u);
+}
+
+// Histogram::record is all relaxed atomics; N threads hammering one
+// histogram must lose nothing (the TSan lane checks the memory model, this
+// assertion checks the arithmetic).
+TEST(HistogramConcurrency, ParallelRecordsAllLand) {
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 5000;
+
+  obs::Histogram h;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (std::uint64_t v = 1; v <= kPerThread; ++v) h.record(v);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+  EXPECT_EQ(h.sum(), kThreads * (kPerThread * (kPerThread + 1) / 2));
+  EXPECT_EQ(h.min(), 1u);
+  EXPECT_EQ(h.max(), kPerThread);
+}
+
+// Profiled cq::Mutex under contention: acquisition counts must balance
+// exactly, the contended/wait columns must move, and — the part TSan is
+// here for — the holder-owned hold_start_ns_ handoff through the mutex
+// itself must be race-free.
+TEST(LockProfileConcurrency, ContendedAcquisitionsAreCounted) {
+  namespace lockprof = common::lockprof;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 2000;
+
+  common::Mutex mu("tsan_lockprof_site");
+  lockprof::set_enabled(true);
+  mu.lock();  // registers the site row
+  mu.unlock();
+
+  const lockprof::SiteStats* row = nullptr;
+  for (std::size_t i = 0; i < lockprof::site_count(); ++i) {
+    const char* name = lockprof::site(i).name.load(std::memory_order_acquire);
+    if (name != nullptr && std::string(name) == "tsan_lockprof_site") {
+      row = &lockprof::site(i);
+    }
+  }
+  ASSERT_NE(row, nullptr);
+  const std::uint64_t acq0 = row->acquisitions.load(std::memory_order_relaxed);
+
+  std::uint64_t shared = 0;  // guarded by mu
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mu, &shared] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        mu.lock();
+        ++shared;
+        mu.unlock();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  mu.lock();
+  EXPECT_EQ(shared, kThreads * kPerThread);
+  mu.unlock();
+  EXPECT_EQ(row->acquisitions.load(std::memory_order_relaxed) - acq0,
+            kThreads * kPerThread + 1);
+  EXPECT_GE(row->hold_us.count(), kThreads * kPerThread);
+
+  // Deterministic contention: hold the lock until another thread has
+  // announced its acquisition attempt, so its try_lock fast path misses.
+  // Retried for the (rare) schedule where the thread is preempted between
+  // announcing and attempting for the whole grace period.
+  const std::uint64_t contended0 = row->contended.load(std::memory_order_relaxed);
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    mu.lock();
+    std::atomic<bool> attempting{false};
+    std::thread blocked([&mu, &attempting] {
+      attempting.store(true, std::memory_order_release);
+      mu.lock();
+      mu.unlock();
+    });
+    while (!attempting.load(std::memory_order_acquire)) std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    mu.unlock();
+    blocked.join();
+    if (row->contended.load(std::memory_order_relaxed) > contended0) break;
+  }
+  EXPECT_GT(row->contended.load(std::memory_order_relaxed), contended0);
+  EXPECT_GT(row->wait_ns.load(std::memory_order_relaxed), 0u);
+  lockprof::set_enabled(false);
 }
 
 }  // namespace

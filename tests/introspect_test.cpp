@@ -10,10 +10,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "catalog/database.hpp"
@@ -21,8 +24,10 @@
 #include "common/error.hpp"
 #include "common/event_log.hpp"
 #include "common/introspect_server.hpp"
+#include "common/lock_profile.hpp"
 #include "common/observability.hpp"
 #include "common/prometheus.hpp"
+#include "common/thread_pool.hpp"
 #include "cq/manager.hpp"
 #include "cq/trigger.hpp"
 #include "diom/mediator.hpp"
@@ -287,6 +292,75 @@ TEST_F(IntrospectScope, RenderPrometheusHasCounterGaugeAndHistogram) {
   // The registry's self-describing gauges were refreshed into the render.
   EXPECT_NE(out.find("cq_event_log_events"), std::string::npos);
   EXPECT_NE(out.find("cq_trace_ring_events"), std::string::npos);
+}
+
+TEST_F(IntrospectScope, DroppedFamiliesRenderAsCounters) {
+  // Overflow both bounded buffers so the dropped totals are non-zero, then
+  // check they render as counter families (monotonic, so rate() works) and
+  // not as the gauges they are stored as internally.
+  obs::global().events().set_capacity(2);
+  for (int i = 0; i < 5; ++i) {
+    obs::event(obs::Severity::kInfo, "k", "s", std::to_string(i));
+  }
+  obs::global().traces().set_capacity(2);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    obs::global().traces().record("span", i * 10, 1, 0);
+  }
+
+  const std::string out = obs::render_prometheus(common::Metrics{}, obs::global());
+  EXPECT_NE(out.find("# TYPE cq_event_log_dropped_total counter"), std::string::npos);
+  EXPECT_NE(out.find("cq_event_log_dropped_total 3"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE cq_trace_ring_dropped_total counter"), std::string::npos);
+  EXPECT_NE(out.find("cq_trace_ring_dropped_total 3"), std::string::npos);
+  // The occupancy companions stay gauges.
+  EXPECT_NE(out.find("# TYPE cq_event_log_events gauge"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE cq_trace_ring_events gauge"), std::string::npos);
+
+  // Capacities are process-global state; put them back for later tests.
+  obs::global().events().set_capacity(obs::EventLog::kDefaultCapacity);
+  obs::global().traces().set_capacity(obs::TraceCollector::kDefaultCapacity);
+}
+
+TEST_F(IntrospectScope, LockProfileFamiliesRenderPerSite) {
+  common::lockprof::set_enabled(true);
+  common::Mutex mu("introspect_render_site");
+  mu.lock();
+  mu.unlock();
+  const std::string out = obs::render_prometheus(common::Metrics{}, obs::global());
+  common::lockprof::set_enabled(false);
+
+  EXPECT_NE(out.find("# TYPE cq_lock_acquisitions_total counter"), std::string::npos);
+  EXPECT_NE(out.find("cq_lock_acquisitions_total{site=\"introspect_render_site\"}"),
+            std::string::npos);
+  EXPECT_NE(out.find("cq_lock_contended_total{site=\"introspect_render_site\"}"),
+            std::string::npos);
+  // Wait/hold histograms carry the same site label on every series.
+  EXPECT_NE(out.find("# TYPE cq_lock_wait_us histogram"), std::string::npos);
+  EXPECT_NE(
+      out.find("cq_lock_hold_us_count{site=\"introspect_render_site\"}"),
+      std::string::npos);
+  EXPECT_NE(out.find("cq_lock_wait_us_bucket{site=\"introspect_render_site\",le=\"+Inf\"}"),
+            std::string::npos);
+}
+
+TEST_F(IntrospectScope, PoolFamiliesRenderWhilePoolAlive) {
+  common::ThreadPool pool(2);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([] { std::this_thread::sleep_for(std::chrono::microseconds(100)); });
+  }
+  pool.run_all(std::move(tasks));
+
+  // The pool publishes its lane gauges through a refresh hook, which
+  // render_prometheus runs; the hook only works while the pool is alive.
+  const std::string out = obs::render_prometheus(common::Metrics{}, obs::global());
+  EXPECT_NE(out.find("# TYPE cq_pool_task_wait_us histogram"), std::string::npos);
+  EXPECT_NE(out.find("cq_pool_task_wait_us_bucket"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE cq_pool_lane_busy_us_total counter"), std::string::npos);
+  EXPECT_NE(out.find("cq_pool_lane_busy_us_total{lane=\"pool-1\"}"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE cq_pool_lane_utilization_pct gauge"), std::string::npos);
+  EXPECT_NE(out.find("cq_pool_lane_utilization_pct{lane=\"dispatch\"}"),
+            std::string::npos);
 }
 
 // ------------------------------------------------------------- per-CQ stats --

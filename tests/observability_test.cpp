@@ -291,6 +291,144 @@ TEST(Clock, NowNsIsMonotone) {
   EXPECT_LE(a, b);
 }
 
+// ------------------------------------------- trace context and retention --
+
+TEST(TraceCollector, EventsCarryLaneAndTraceId) {
+  obs::TraceCollector ring(8);
+  ring.record("e", 1000, 10, 0, /*tid=*/3, /*trace_id=*/77);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].tid, 3u);
+  EXPECT_EQ(events[0].trace_id, 77u);
+}
+
+TEST(TraceCollector, ChromeJsonEmitsLaneMetadataTracks) {
+  obs::TraceCollector ring(8);
+  ring.record("on-lane-0", 1000, 10, 0, 0, 0);
+  ring.record("on-lane-3", 2000, 10, 0, 3, 7);
+  const std::string json = ring.to_chrome_json();
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  // Perfetto derives track names from "M" metadata events: one
+  // process_name plus a thread_name per lane (max observed tid + 1).
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  std::size_t lanes = 0;
+  for (std::size_t at = json.find("thread_name"); at != std::string::npos;
+       at = json.find("thread_name", at + 1)) {
+    ++lanes;
+  }
+  EXPECT_GE(lanes, 4u);
+  // The X events keep the real per-lane tid and the owning trace id.
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":7"), std::string::npos);
+}
+
+TEST(TraceCollector, RetainsSlowestTracesSortedAndTrimmed) {
+  obs::TraceCollector ring(64);
+  ring.set_slow_capacity(2);
+  const auto run = [&ring](std::uint64_t id, std::uint64_t dur_ns) {
+    ring.begin_trace(id);
+    ring.record("phase", id * 100, dur_ns / 2, 1, 0, id);
+    ring.end_trace(id, id * 100, dur_ns, "t" + std::to_string(id));
+  };
+  run(1, 5000);
+  run(2, 9000);
+  run(3, 1000);  // never ranks: both retained slots already hold slower traces
+  run(4, 7000);
+  const auto slow = ring.slowest();
+  ASSERT_EQ(slow.size(), 2u);
+  EXPECT_EQ(slow[0].trace_id, 2u);
+  EXPECT_EQ(slow[1].trace_id, 4u);
+  EXPECT_EQ(slow[0].label, "t2");
+  EXPECT_EQ(slow[0].dur_ns, 9000u);
+  ASSERT_EQ(slow[0].events.size(), 1u);
+  EXPECT_EQ(slow[0].events[0].name, "phase");
+  EXPECT_EQ(ring.slow_capacity(), 2u);
+}
+
+TEST(TraceCollector, TraceIdFilterNarrowsToOneCommit) {
+  obs::TraceCollector ring(64);
+  ring.set_slow_capacity(1);
+  ring.begin_trace(5);
+  ring.record("slow-phase", 100, 400, 1, 0, 5);
+  ring.end_trace(5, 100, 1000, "slow");
+  ring.record("other", 5000, 10, 0, 0, 6);
+
+  // Retained capture first: only trace 5's events, not trace 6's.
+  const std::string five = ring.to_chrome_json(5);
+  EXPECT_TRUE(JsonValidator::valid(five)) << five;
+  EXPECT_NE(five.find("slow-phase"), std::string::npos);
+  EXPECT_EQ(five.find("\"other\""), std::string::npos);
+
+  // Trace 6 was never retained: the filter falls back to the ring.
+  const std::string six = ring.to_chrome_json(6);
+  EXPECT_TRUE(JsonValidator::valid(six)) << six;
+  EXPECT_NE(six.find("\"other\""), std::string::npos);
+  EXPECT_EQ(six.find("slow-phase"), std::string::npos);
+}
+
+TEST(SpanContext, ContextScopeStampsSpansAndRestores) {
+  TracingScope scope;
+  {
+    obs::ContextScope ctx(obs::SpanContext{42, 0});
+    obs::Span inside("inside");
+  }
+  {
+    obs::Span outside("outside");
+  }
+  const auto events = obs::global().traces().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "inside");
+  EXPECT_EQ(events[0].trace_id, 42u);
+  EXPECT_EQ(events[1].name, "outside");
+  EXPECT_EQ(events[1].trace_id, 0u);  // scope exit restored the null context
+}
+
+TEST(CommitTrace, CommitAllocatesTraceIdAndRetainsCapture) {
+  TracingScope scope;
+  const std::uint64_t commits_before =
+      obs::global().histogram(obs::hist::kCommitToNotifyUs).count();
+
+  cat::Database db;
+  db.create_table("T", rel::Schema::of({{"id", ValueType::kInt}}));
+  db.insert("T", {Value(std::int64_t{1})});
+
+  const auto slow = obs::global().traces().slowest();
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_GT(slow[0].trace_id, 0u);
+  EXPECT_EQ(slow[0].label, "T");  // the touched table
+  EXPECT_GT(slow[0].dur_ns, 0u);
+
+  // The root "commit" span landed in the ring carrying the trace id.
+  bool saw_commit = false;
+  for (const auto& e : obs::global().traces().snapshot()) {
+    saw_commit = saw_commit || (e.name == "commit" && e.trace_id == slow[0].trace_id);
+  }
+  EXPECT_TRUE(saw_commit);
+  EXPECT_GT(obs::global().histogram(obs::hist::kCommitToNotifyUs).count(),
+            commits_before);
+
+  // A second commit gets a fresh, larger trace id.
+  db.insert("T", {Value(std::int64_t{2})});
+  const auto slow2 = obs::global().traces().slowest();
+  ASSERT_EQ(slow2.size(), 2u);
+  EXPECT_NE(slow2[0].trace_id, slow2[1].trace_id);
+}
+
+TEST(ExportProfileJson, WellFormedAndListsSections) {
+  TracingScope scope;
+  cat::Database db;
+  db.create_table("T", rel::Schema::of({{"id", ValueType::kInt}}));
+  db.insert("T", {Value(std::int64_t{1})});
+  const std::string json = obs::export_profile_json();
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"lock_profiling\""), std::string::npos);
+  EXPECT_NE(json.find("\"lock_contention\""), std::string::npos);
+  EXPECT_NE(json.find("\"lanes\""), std::string::npos);
+  EXPECT_NE(json.find("\"slowest_commits\""), std::string::npos);
+  EXPECT_NE(json.find("\"commit_to_notify_us\""), std::string::npos);
+}
+
 // ----------------------------------------------------------------- JSON ---
 
 TEST(JsonWriter, EscapesControlAndSpecialCharacters) {
