@@ -186,6 +186,46 @@ void BM_MultiCqObsOffCommit(benchmark::State& state) {
 
 BENCHMARK(BM_MultiCqObsOffCommit)->Arg(4)->Unit(benchmark::kMillisecond)->Iterations(3);
 
+/// Lineage companion rows: the same 4-lane workload with notification
+/// provenance collection ON (multi_cq_lineage_commit_us — every commit
+/// tags deltas, merges sets through the DRA, and retains per-CQ records)
+/// and with it OFF (multi_cq_lineage_off_commit_us — the committed
+/// baseline's tight threshold is the "lineage off is free" guard: the
+/// per-tuple provenance pointer and the enabled() branch must not move
+/// commit latency).
+void BM_MultiCqLineageCommit(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  const bool lineage_on = state.range(1) != 0;
+  static common::obs::Histogram& on_us =
+      common::obs::global().histogram("multi_cq_lineage_commit_us");
+  static common::obs::Histogram& off_us =
+      common::obs::global().histogram("multi_cq_lineage_off_commit_us");
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto w = make_workload(threads);
+    const ObsState obs(/*obs_on=*/false, /*lockprof_on=*/false);
+    w->manager->set_lineage(lineage_on);
+    state.ResumeTiming();
+
+    run_timed_commits(*w->table, lineage_on ? on_us : off_us);
+
+    state.PauseTiming();
+    w->manager->set_lineage(false);
+    export_metrics(state, w->manager->metrics());
+    state.ResumeTiming();
+  }
+
+  attach_commit_counters(state, threads);
+  state.counters["lineage"] = lineage_on ? 1.0 : 0.0;
+}
+
+BENCHMARK(BM_MultiCqLineageCommit)
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
 }  // namespace
 }  // namespace cq::bench
 

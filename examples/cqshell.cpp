@@ -57,13 +57,20 @@ const char* kHelp = R"(commands:
   EXPLAIN <cq-name>                   plan + pending deltas + staleness
   EXPLAIN SELECT ...                  run the query; plan tree with
                                       estimated vs. actual row counts
+  EXPLAIN NOTIFICATION <cq> [n]       retained lineage for the CQ's last n
+                                      notifications: each delivered row and
+                                      the base delta rows it derives from
+  LINEAGE ON [k] | OFF                collect notification lineage (retain
+                                      the last k notifications per CQ;
+                                      default 8); OFF keeps retained records
   STATS [JSON]                        engine counters, latency histograms,
                                       per-CQ statistics (JSON: one document)
   STATS RESET                         zero counters, histograms, gauges and
                                       per-CQ statistics
   SERVE <port>                        start the introspection HTTP server
                                       (/metrics /stats /healthz /trace
-                                      /events /profile); port 0 picks one
+                                      /events /lineage /profile); port 0
+                                      picks one
   EVENTS [n]                          last n journal events as NDJSON
                                       (default 20; needs TRACE ON)
   TRACE ON | OFF | DUMP <path>        span tracing (DUMP writes a
@@ -160,6 +167,8 @@ class Shell {
       do_serve(trim(args));
     } else if (cmd == "EVENTS") {
       do_events(trim(args));
+    } else if (cmd == "LINEAGE") {
+      do_lineage(trim(args));
     } else if (cmd == "TRACE") {
       do_trace(trim(args));
     } else if (cmd == "THREADS") {
@@ -209,13 +218,56 @@ class Shell {
   // estimated vs. actual row counts; EXPLAIN <cq-name> keeps the original
   // CQ inspection (plan + pending deltas + staleness).
   void do_explain(const std::string& args) {
-    if (upper_word(args) == "SELECT") {
+    std::size_t rest = 0;
+    const std::string first = upper_word(args, &rest);
+    if (first == "SELECT") {
       const qry::QueryExplain ex = qry::explain_query(qry::parse_query(args), *db_);
       std::cout << ex.to_string();
       std::cout << ex.result.size() << " row(s)\n";
       return;
     }
+    if (first == "NOTIFICATION") {
+      std::size_t name_end = 0;
+      const std::string tail = trim(args.substr(rest));
+      const std::string name = tail.substr(0, tail.find_first_of(" \t"));
+      std::size_t n = core::LineageStore::kDefaultRetention;
+      if (name.size() < tail.size()) {
+        name_end = tail.find_first_not_of(" \t", name.size());
+        n = static_cast<std::size_t>(
+            parse_count(tail.substr(name_end), "EXPLAIN NOTIFICATION"));
+      }
+      if (name.empty()) {
+        throw common::ParseError("EXPLAIN NOTIFICATION <cq-name> [n]");
+      }
+      std::cout << manager_->lineage().explain(*db_, name, n);
+      return;
+    }
     std::cout << manager_->cq(handle_of(args)).explain(*db_);
+  }
+
+  // LINEAGE ON [k] | OFF — toggle lineage collection. ON also sets the
+  // per-CQ retention ring depth; OFF stops collecting but keeps whatever
+  // records are already retained (still inspectable via /lineage and
+  // EXPLAIN NOTIFICATION).
+  void do_lineage(const std::string& args) {
+    std::size_t rest = 0;
+    const std::string verb = upper_word(args, &rest);
+    if (verb == "ON") {
+      std::size_t k = core::LineageStore::kDefaultRetention;
+      const std::string tail = trim(args.substr(rest));
+      if (!tail.empty()) {
+        k = static_cast<std::size_t>(parse_count(tail, "LINEAGE ON"));
+        if (k == 0) throw common::InvalidArgument("LINEAGE ON needs k >= 1");
+      }
+      manager_->set_lineage(true, k);
+      std::cout << "lineage on (retaining last " << k
+                << " notification(s) per CQ)\n";
+    } else if (verb == "OFF") {
+      manager_->set_lineage(false);
+      std::cout << "lineage off (retained records kept)\n";
+    } else {
+      throw common::ParseError("LINEAGE ON [k] | OFF");
+    }
   }
 
   void do_stats(bool as_json) {
@@ -302,7 +354,7 @@ class Shell {
       const common::LockGuard lock(mu_);
       return obs::HttpResponse::json(
           obs::export_json(manager_->metrics(), obs::global().histogram_snapshot(),
-                           {manager_->stats_section()}));
+                           {manager_->stats_section(), obs::events_section()}));
     });
     server_.route("/healthz", [this](const obs::HttpRequest&) {
       const common::LockGuard lock(mu_);
@@ -327,12 +379,20 @@ class Shell {
       obs::HttpResponse resp;
       resp.content_type = "application/x-ndjson; charset=utf-8";
       resp.body = obs::global().events().to_ndjson(
-          static_cast<std::size_t>(req.query_u64("n", 100)));
+          static_cast<std::size_t>(req.query_u64("n", 100)),
+          req.query_u64("since", 0));
       return resp;
+    });
+    server_.route("/lineage", [this](const obs::HttpRequest& req) {
+      const common::LockGuard lock(mu_);
+      return obs::HttpResponse::json(manager_->lineage().to_json(
+          req.query_str("cq"),
+          static_cast<std::size_t>(
+              req.query_u64("n", core::LineageStore::kDefaultRetention))));
     });
     server_.start(port);
     std::cout << "serving introspection on http://127.0.0.1:" << server_.port()
-              << " (/metrics /stats /healthz /trace /events /profile)\n";
+              << " (/metrics /stats /healthz /trace /events /lineage /profile)\n";
   }
 
   void do_trace(const std::string& args) {

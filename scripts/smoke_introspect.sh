@@ -1,11 +1,13 @@
 #!/usr/bin/env sh
 # Smoke-test the introspection HTTP server end to end: start a scripted
-# cqshell with tracing + lock profiling + a 2-lane pool and SERVE, scrape
-# /metrics, /healthz, /events, /stats, /profile and /trace?trace_id= with
-# curl, regex-validate the Prometheus exposition (>=1 counter, >=1 gauge,
-# a histogram family with a +Inf bucket, a strict line-format pass, and
-# the commit-pipeline / pool / lock-contention families this engine
-# publishes). Used by run_all.sh and CI.
+# cqshell with tracing + lock profiling + lineage collection + a 2-lane
+# pool and SERVE, scrape /metrics, /healthz, /events (with ?since=
+# cursoring), /stats, /lineage and /trace?trace_id= with curl,
+# regex-validate the Prometheus exposition (>=1 counter, >=1 gauge, a
+# histogram family with a +Inf bucket, a strict line-format pass, and the
+# commit-pipeline / pool / lock-contention families this engine
+# publishes), and strict-shape-check the lineage JSON. Used by run_all.sh
+# and CI.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,6 +23,7 @@ trap 'kill $FEED_PID 2>/dev/null || true; rm -f "$LOG" "$PORT_FILE"' EXIT
 (
   printf 'TRACE ON\n'
   printf 'PROFILE ON\n'
+  printf 'LINEAGE ON 4\n'
   printf 'THREADS 2\n'
   printf 'CREATE TABLE Stocks (name STRING, price INT)\n'
   printf "INSERT INTO Stocks VALUES ('DEC', 150)\n"
@@ -102,9 +105,40 @@ printf '%s\n' "$HEALTH" | grep -q '"status":"ok"' \
 EVENTS=$(curl -sf "http://127.0.0.1:$PORT/events?n=5")
 printf '%s\n' "$EVENTS" | head -n 1 | grep -q '"kind"' \
   || { echo "smoke_introspect: FAIL — /events returned no journal lines" >&2; exit 1; }
+printf '%s\n' "$EVENTS" | head -n 1 | grep -q '"trace_id"' \
+  || { echo "smoke_introspect: FAIL — /events lines missing trace_id" >&2; exit 1; }
 
-curl -sf "http://127.0.0.1:$PORT/stats" > /dev/null \
+STATS=$(curl -sf "http://127.0.0.1:$PORT/stats") \
   || { echo "smoke_introspect: FAIL — /stats unreachable" >&2; exit 1; }
+printf '%s\n' "$STATS" | grep -q '"last_seq":' \
+  || { echo "smoke_introspect: FAIL — /stats missing events.last_seq: $STATS" >&2; exit 1; }
+
+# ?since= must be an incremental cursor: asking for events after the
+# journal's last_seq yields an empty page.
+LAST_SEQ=$(printf '%s' "$STATS" | sed -n 's/.*"last_seq":\([0-9]*\).*/\1/p')
+[ -n "$LAST_SEQ" ] \
+  || { echo "smoke_introspect: FAIL — could not parse last_seq from /stats" >&2; exit 1; }
+SINCE=$(curl -sf "http://127.0.0.1:$PORT/events?n=100&since=$LAST_SEQ")
+[ -z "$SINCE" ] \
+  || { echo "smoke_introspect: FAIL — /events?since=last_seq not empty: $SINCE" >&2; exit 1; }
+
+# Lineage endpoint, strict JSON shape. The index form lists per-CQ rings;
+# the per-CQ form returns records with rows[] each citing base deltas by
+# (txn, relation, seq), plus the fan-in histogram.
+LINEAGE_INDEX=$(curl -sf "http://127.0.0.1:$PORT/lineage")
+for key in '"retention":' '"bytes":' '"cqs":' '"cq":"watch"' '"last_sequence":'; do
+  printf '%s\n' "$LINEAGE_INDEX" | grep -q "$key" \
+    || { echo "smoke_introspect: FAIL — /lineage index missing $key: $LINEAGE_INDEX" >&2; exit 1; }
+done
+LINEAGE=$(curl -sf "http://127.0.0.1:$PORT/lineage?cq=watch&n=4")
+for key in '"cq":"watch"' '"records":' '"sequence":' '"trace_id":' '"rows":' \
+           '"inserted":' '"fanin":' '"sources":' '"txn":' '"relation":"Stocks"' \
+           '"seq":'; do
+  printf '%s\n' "$LINEAGE" | grep -q "$key" \
+    || { echo "smoke_introspect: FAIL — /lineage?cq=watch missing $key: $LINEAGE" >&2; exit 1; }
+done
+curl -sf "http://127.0.0.1:$PORT/lineage?cq=nonexistent" | grep -q '"records":\[\]' \
+  || { echo "smoke_introspect: FAIL — /lineage for unknown CQ not an empty record list" >&2; exit 1; }
 
 PROFILE=$(curl -sf "http://127.0.0.1:$PORT/profile")
 printf '%s\n' "$PROFILE" | grep -q '"lock_contention"' \
@@ -122,7 +156,7 @@ esac
 printf '%s\n' "$TRACE" | grep -q '"process_name"' \
   || { echo "smoke_introspect: FAIL — /trace?trace_id= missing metadata events" >&2; exit 1; }
 
-echo "smoke_introspect: OK (metrics, healthz, events, stats, profile, trace filter)"
+echo "smoke_introspect: OK (metrics, healthz, events+since, stats, lineage, profile, trace filter)"
 
 # One plain (non-TSan) pass of the concurrency stress binary: multi-thread
 # scrapes against a live engine loop, torn-JSON and counter checks. The

@@ -17,7 +17,9 @@ void Database::create_table(const std::string& name, rel::Schema schema) {
   if (tables_.contains(name)) {
     throw common::InvalidArgument("Database: table '" + name + "' already exists");
   }
-  tables_.emplace(name, Table(std::move(schema)));
+  auto [it, inserted] = tables_.emplace(name, Table(std::move(schema)));
+  (void)inserted;
+  it->second.delta.set_name(name);
 }
 
 bool Database::has_table(const std::string& name) const noexcept {
@@ -148,6 +150,7 @@ void Database::restore_table(const std::string& name, rel::Relation base,
   Table table(base.schema());
   table.base = std::move(base);
   table.delta = std::move(log);
+  table.delta.set_name(name);
   table.base_bytes = table.base.byte_size();  // one O(n) pass at restore
   tables_.emplace(name, std::move(table));
 }

@@ -19,11 +19,14 @@ EventLog::EventLog(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacit
 }
 
 void EventLog::record(Severity severity, std::string kind, std::string subject,
-                      std::string detail, std::int64_t logical) {
+                      std::string detail, std::int64_t logical,
+                      std::uint64_t trace_id) {
   const std::uint64_t at = now_ns();
   LockGuard lock(mu_);
-  Event event{++total_, at,       logical,           severity,
-              std::move(kind),    std::move(subject), std::move(detail)};
+  Event event{++total_,        at,
+              logical,         trace_id,
+              severity,        std::move(kind),
+              std::move(subject), std::move(detail)};
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(event));
   } else {
@@ -32,7 +35,7 @@ void EventLog::record(Severity severity, std::string kind, std::string subject,
   next_ = (next_ + 1) % capacity_;
 }
 
-std::vector<Event> EventLog::tail(std::size_t n) const {
+std::vector<Event> EventLog::tail(std::size_t n, std::uint64_t since_seq) const {
   LockGuard lock(mu_);
   std::vector<Event> out;
   const std::size_t have = ring_.size();
@@ -41,7 +44,8 @@ std::vector<Event> EventLog::tail(std::size_t n) const {
   // Chronological start of the ring: index next_ once it has wrapped.
   const std::size_t base = have < capacity_ ? 0 : next_;
   for (std::size_t i = have - want; i < have; ++i) {
-    out.push_back(ring_[(base + i) % have]);
+    const Event& e = ring_[(base + i) % have];
+    if (e.seq > since_seq) out.push_back(e);
   }
   return out;
 }
@@ -82,8 +86,8 @@ void EventLog::set_capacity(std::size_t capacity) {
   total_ = 0;
 }
 
-std::string EventLog::to_ndjson(std::size_t n) const {
-  const std::vector<Event> events = tail(n);
+std::string EventLog::to_ndjson(std::size_t n, std::uint64_t since_seq) const {
+  const std::vector<Event> events = tail(n, since_seq);
   std::string out;
   for (const Event& e : events) {
     JsonWriter w;
@@ -91,6 +95,7 @@ std::string EventLog::to_ndjson(std::size_t n) const {
     w.kv("seq", e.seq);
     w.kv("wall_ns", e.wall_ns);
     w.kv("logical", e.logical);
+    w.kv("trace_id", e.trace_id);
     w.kv("severity", to_string(e.severity));
     w.kv("kind", e.kind);
     w.kv("subject", e.subject);

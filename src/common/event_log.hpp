@@ -29,6 +29,7 @@ struct Event {
   std::uint64_t seq = 0;       // 1-based, process-lifetime ordinal
   std::uint64_t wall_ns = 0;   // obs::now_ns() at record time
   std::int64_t logical = 0;    // engine logical-clock ticks
+  std::uint64_t trace_id = 0;  // owning commit's trace id; 0 = none
   Severity severity = Severity::kInfo;
   std::string kind;
   std::string subject;
@@ -41,12 +42,16 @@ class EventLog {
 
   explicit EventLog(std::size_t capacity = kDefaultCapacity);
 
-  /// Append one event; assigns seq and wall_ns. Thread-safe.
+  /// Append one event; assigns seq and wall_ns. `trace_id` joins the line
+  /// to the owning commit's trace (0 = outside any commit). Thread-safe.
   void record(Severity severity, std::string kind, std::string subject,
-              std::string detail, std::int64_t logical = 0);
+              std::string detail, std::int64_t logical = 0,
+              std::uint64_t trace_id = 0);
 
-  /// The newest `n` events, oldest first (all events when n >= size).
-  [[nodiscard]] std::vector<Event> tail(std::size_t n) const;
+  /// The newest `n` events with seq > `since_seq`, oldest first (all
+  /// events when n >= size and since_seq = 0).
+  [[nodiscard]] std::vector<Event> tail(std::size_t n,
+                                        std::uint64_t since_seq = 0) const;
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const;
@@ -59,10 +64,13 @@ class EventLog {
   /// Resize the ring; drops collected events.
   void set_capacity(std::size_t capacity);
 
-  /// Newest `n` events as NDJSON — one JSON object per line:
-  ///   {"seq":1,"wall_ns":...,"logical":...,"severity":"info",
-  ///    "kind":"cq_installed","subject":"watch","detail":"..."}
-  [[nodiscard]] std::string to_ndjson(std::size_t n) const;
+  /// Newest `n` events with seq > `since_seq` as NDJSON — one JSON object
+  /// per line:
+  ///   {"seq":1,"wall_ns":...,"logical":...,"trace_id":...,
+  ///    "severity":"info","kind":"cq_installed","subject":"watch",
+  ///    "detail":"..."}
+  [[nodiscard]] std::string to_ndjson(std::size_t n,
+                                      std::uint64_t since_seq = 0) const;
 
  private:
   mutable Mutex mu_{"event_log"};

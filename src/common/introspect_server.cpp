@@ -65,6 +65,22 @@ std::uint64_t HttpRequest::query_u64(const std::string& key,
   return fallback;
 }
 
+std::string HttpRequest::query_str(const std::string& key,
+                                   std::string fallback) const {
+  std::size_t pos = 0;
+  while (pos < query.size()) {
+    std::size_t amp = query.find('&', pos);
+    if (amp == std::string::npos) amp = query.size();
+    const std::string pair = query.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    pos = amp + 1;
+  }
+  return fallback;
+}
+
 HttpResponse HttpResponse::text(std::string body, int status) {
   return {status, "text/plain; charset=utf-8", std::move(body)};
 }

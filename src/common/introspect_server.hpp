@@ -35,6 +35,11 @@ struct HttpRequest {
   /// Integer query parameter `key`, or `fallback` when absent/malformed.
   [[nodiscard]] std::uint64_t query_u64(const std::string& key,
                                         std::uint64_t fallback) const;
+
+  /// String query parameter `key` (raw, no percent-decoding), or
+  /// `fallback` when absent.
+  [[nodiscard]] std::string query_str(const std::string& key,
+                                      std::string fallback = "") const;
 };
 
 struct HttpResponse {

@@ -564,6 +564,17 @@ void write_histogram_json(JsonWriter& w, const Histogram& h) {
   w.end_object();
 }
 
+Section events_section() {
+  return {"events", [](JsonWriter& w) {
+            const EventLog& log = global().events();
+            w.begin_object();
+            w.kv("last_seq", log.total());
+            w.kv("dropped", log.dropped());
+            w.kv("size", static_cast<std::uint64_t>(log.size()));
+            w.end_object();
+          }};
+}
+
 std::string export_json(const Metrics& counters,
                         const std::map<std::string, Histogram>& histograms,
                         const std::vector<Section>& sections) {

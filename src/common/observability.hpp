@@ -108,6 +108,8 @@ inline constexpr const char* kEvalParallelism = "eval_parallelism";
 inline constexpr const char* kPoolLaneBusyUs = "pool_lane_busy_us";
 /// Lifetime busy fraction of one pool lane, percent (label lane).
 inline constexpr const char* kPoolLaneUtilization = "pool_lane_utilization_pct";
+/// Heap bytes held by the per-CQ lineage retention rings.
+inline constexpr const char* kLineageBytes = "lineage_bytes";
 }  // namespace gauge
 
 /// Gauge families that are in fact monotonic counters (dropped-event
@@ -392,16 +394,23 @@ inline constexpr const char* kEvalBatchUs = "eval_batch_us";
 inline constexpr const char* kCommitToNotifyUs = "commit_to_notify_us";
 /// Scheduler queue wait: task enqueue on the pool to execution start.
 inline constexpr const char* kPoolTaskWaitUs = "pool_task_wait_us";
+/// Base deltas cited per notification output row (a fan-in count, not a
+/// latency — still a log2 histogram).
+inline constexpr const char* kLineageFanin = "lineage_fanin";
 }  // namespace hist
 
 /// Append one event to the global journal — a no-op when collection is
 /// disabled, so lifecycle call sites need no guard of their own. `logical`
-/// is the engine's logical-clock instant (ticks).
+/// is the engine's logical-clock instant (ticks). The calling thread's
+/// current trace id is stamped onto the line automatically, so events
+/// recorded inside a commit (trigger_fired, cq_delivered, ...) join
+/// against /trace?trace_id= without timestamp guessing.
 inline void event(Severity severity, std::string kind, std::string subject,
                   std::string detail = "", std::int64_t logical = 0) {
   if (!enabled()) return;  // "disabled is free": no journal writes
   global().events().record(severity, std::move(kind), std::move(subject),
-                           std::move(detail), logical);
+                           std::move(detail), logical,
+                           current_context().trace_id);
 }
 
 /// Refresh the registry's self-describing gauges (trace-ring occupancy and
@@ -469,6 +478,11 @@ struct Section {
   std::string key;
   std::function<void(JsonWriter&)> write;
 };
+
+/// A Section describing the global event journal's cursor state —
+/// {"last_seq": N, "dropped": M, "size": K} — so /stats consumers learn
+/// the seq to pass as /events?since= without fetching the journal itself.
+[[nodiscard]] Section events_section();
 
 /// The single stats document:
 ///   { "counters": {...}, "histograms": {...}, <section.key>: ..., ... }

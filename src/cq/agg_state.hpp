@@ -41,6 +41,14 @@ class AggregateState {
   /// Schema of current().
   [[nodiscard]] const rel::Schema& output_schema() const noexcept { return out_schema_; }
 
+  /// Indexes of the GROUP BY columns in the SPJ schema (empty when
+  /// ungrouped). Output rows of current() lead with these columns in the
+  /// same order, so the first group_columns().size() values of an output
+  /// row form its group key — lineage attachment relies on this layout.
+  [[nodiscard]] const std::vector<std::size_t>& group_columns() const noexcept {
+    return group_idx_;
+  }
+
   /// Convenience for single-aggregate, ungrouped queries: the lone value
   /// (e.g. the running SUM). Throws when grouped or multi-aggregate.
   [[nodiscard]] rel::Value scalar() const;

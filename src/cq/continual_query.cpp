@@ -1,5 +1,6 @@
 #include "cq/continual_query.hpp"
 
+#include <map>
 #include <sstream>
 
 #include "algebra/ops.hpp"
@@ -170,14 +171,56 @@ DiffResult lift_to_distinct(rel::TupleBag& counts, const DiffResult& raw,
     if (remaining < 0) {
       throw common::InternalError("distinct maintenance: negative multiplicity");
     }
-    if (remaining == 0) out.deleted.append(rel::Tuple(row.values()));
+    if (remaining == 0) {
+      rel::Tuple lifted(row.values());
+      lifted.set_prov(row.prov());
+      out.deleted.append(std::move(lifted));
+    }
   }
   for (const auto& row : raw.inserted.rows()) {
     const auto before = counts.count(row);
     counts.add(row, +1);
-    if (before == 0) out.inserted.append(rel::Tuple(row.values()));
+    if (before == 0) {
+      rel::Tuple lifted(row.values());
+      lifted.set_prov(row.prov());
+      out.inserted.append(std::move(lifted));
+    }
   }
   return out;
+}
+
+/// Attach to each aggregate delta row the union of the lineage sets of the
+/// raw ΔQ rows that landed in its group: the aggregate output's first
+/// |group_by| columns are the group key (AggregateState::group_columns
+/// documents the layout), and every raw SPJ row keys its group at those
+/// source columns.
+void attach_group_lineage(const AggregateState& state, const DiffResult& raw,
+                          DiffResult& delta) {
+  const std::vector<std::size_t>& group_cols = state.group_columns();
+  std::map<std::vector<rel::Value>, rel::prov::ProvSetPtr> by_group;
+  auto fold = [&](const Relation& r) {
+    for (const auto& row : r.rows()) {
+      if (!row.prov()) continue;
+      std::vector<rel::Value> key;
+      key.reserve(group_cols.size());
+      for (auto gi : group_cols) key.push_back(row.at(gi));
+      rel::prov::ProvSetPtr& slot = by_group[std::move(key)];
+      slot = rel::prov::merge(slot, row.prov());
+    }
+  };
+  fold(raw.inserted);
+  fold(raw.deleted);
+  auto attach = [&](Relation& r) {
+    for (auto& row : r.mutable_rows()) {
+      std::vector<rel::Value> key(row.values().begin(),
+                                  row.values().begin() +
+                                      static_cast<std::ptrdiff_t>(group_cols.size()));
+      auto it = by_group.find(key);
+      if (it != by_group.end()) row.set_prov(it->second);
+    }
+  };
+  attach(delta.inserted);
+  attach(delta.deleted);
 }
 
 rel::Relation distinct_from_counts(const rel::TupleBag& counts, const rel::Schema& schema) {
@@ -346,6 +389,7 @@ Notification ContinualQuery::execute(const cat::Database& db, common::Metrics* m
     const Relation after = delivered_aggregate();
     note.aggregate = after;
     note.delta = diff(before, after);
+    if (rel::prov::enabled()) attach_group_lineage(*agg_state_, raw, note.delta);
     if (spec_.mode == DeliveryMode::kComplete) note.complete = after;
   } else if (spec_.query.distinct) {
     note.delta = lift_to_distinct(*result_counts_, raw, raw.inserted.schema());

@@ -11,6 +11,53 @@ namespace cq::core {
 using rel::Relation;
 using rel::Tuple;
 
+namespace {
+
+// Why-provenance must survive multiset cancellation: one net joined row can
+// appear as several value-equal signed instances across DRA terms (ΔS⋈T',
+// S'⋈ΔT, ΔS⋈ΔT), each citing only its own term's deltas. The instance the
+// streaming difference happens to keep is arbitrary, so attach the union of
+// every value-equal instance's sources to the surviving rows instead.
+void merge_value_provenance(const DiffResult& raw, DiffResult& out) {
+  std::unordered_map<std::size_t,
+                     std::vector<std::pair<const Tuple*, rel::prov::ProvSetPtr>>>
+      by_value;
+  auto fold = [&](const Relation& r) {
+    for (const auto& row : r.rows()) {
+      if (row.prov() == nullptr) continue;
+      auto& bucket = by_value[row.value_hash()];
+      bool found = false;
+      for (auto& [exemplar, set] : bucket) {
+        if (exemplar->same_values(row)) {
+          set = rel::prov::merge(set, row.prov());
+          found = true;
+          break;
+        }
+      }
+      if (!found) bucket.emplace_back(&row, row.prov());
+    }
+  };
+  fold(raw.inserted);
+  fold(raw.deleted);
+  if (by_value.empty()) return;
+  auto attach = [&](Relation& r) {
+    for (auto& row : r.mutable_rows()) {
+      auto it = by_value.find(row.value_hash());
+      if (it == by_value.end()) continue;
+      for (const auto& [exemplar, set] : it->second) {
+        if (exemplar->same_values(row)) {
+          row.set_prov(set);
+          break;
+        }
+      }
+    }
+  };
+  attach(out.inserted);
+  attach(out.deleted);
+}
+
+}  // namespace
+
 bool DiffResult::equivalent(const DiffResult& other) const {
   const DiffResult a = consolidated();
   const DiffResult b = other.consolidated();
@@ -21,6 +68,7 @@ DiffResult DiffResult::consolidated() const {
   DiffResult out;
   out.inserted = alg::difference(inserted, deleted);
   out.deleted = alg::difference(deleted, inserted);
+  if (rel::prov::enabled()) merge_value_provenance(*this, out);
   return out;
 }
 

@@ -1,0 +1,252 @@
+#include "cq/lineage.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "catalog/database.hpp"
+#include "common/observability.hpp"
+#include "delta/delta_relation.hpp"
+
+namespace cq::core {
+
+namespace obs = common::obs;
+
+namespace {
+
+std::size_t row_bytes(const LineageRow& row) {
+  return sizeof(LineageRow) + row.row.size() +
+         row.sources.capacity() * sizeof(rel::prov::ProvId);
+}
+
+LineageRow make_row(const rel::Tuple& t, bool inserted) {
+  LineageRow out;
+  out.row = t.to_string();
+  out.inserted = inserted;
+  if (t.prov()) out.sources = *t.prov();
+  return out;
+}
+
+void write_record_json(obs::JsonWriter& w, const LineageRecord& rec) {
+  w.begin_object();
+  w.kv("sequence", rec.sequence);
+  w.kv("at", rec.at.ticks());
+  w.kv("trace_id", rec.trace_id);
+  w.key("rows");
+  w.begin_array();
+  for (const LineageRow& row : rec.rows) {
+    w.begin_object();
+    w.kv("row", row.row);
+    w.kv("inserted", row.inserted);
+    w.kv("fanin", static_cast<std::uint64_t>(row.sources.size()));
+    w.key("sources");
+    w.begin_array();
+    for (const rel::prov::ProvId& id : row.sources) {
+      w.begin_object();
+      w.kv("txn", id.txn);
+      w.kv("relation", rel::prov::relation_name(id.rel));
+      w.kv("seq", id.seq);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+/// Locate the physical delta row a ProvId cites, or nullptr when the table
+/// is gone or GC reclaimed the row.
+const delta::DeltaRow* resolve(const cat::Database& db, const rel::prov::ProvId& id) {
+  const std::string table = rel::prov::relation_name(id.rel);
+  if (!db.has_table(table)) return nullptr;
+  for (const delta::DeltaRow& row : db.delta(table).rows()) {
+    if (row.ts.ticks() == id.txn && row.seq == id.seq) return &row;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void LineageStore::set_retention(std::size_t k) {
+  common::LockGuard lock(mu_);
+  retention_ = k == 0 ? 1 : k;
+  for (auto& [name, ring] : rings_) {
+    while (ring.size() > retention_) {
+      bytes_ -= ring.front().bytes;
+      ring.pop_front();
+    }
+  }
+}
+
+std::size_t LineageStore::retention() const {
+  common::LockGuard lock(mu_);
+  return retention_;
+}
+
+void LineageStore::record(const Notification& note, std::uint64_t trace_id) {
+  LineageRecord rec;
+  rec.sequence = note.sequence;
+  rec.at = note.at;
+  rec.trace_id = trace_id;
+  rec.bytes = sizeof(LineageRecord);
+  for (const rel::Tuple& t : note.delta.inserted.rows()) {
+    rec.rows.push_back(make_row(t, true));
+  }
+  for (const rel::Tuple& t : note.delta.deleted.rows()) {
+    rec.rows.push_back(make_row(t, false));
+  }
+
+  std::size_t max_fanin = 0;
+  static obs::Histogram& global_fanin =
+      obs::global().histogram(obs::hist::kLineageFanin);
+  std::size_t total_bytes = 0;
+  {
+    common::LockGuard lock(mu_);
+    obs::Histogram& per_cq = fanin_[note.cq_name];
+    for (LineageRow& row : rec.rows) {
+      per_cq.record(row.sources.size());
+      global_fanin.record(row.sources.size());
+      max_fanin = std::max(max_fanin, row.sources.size());
+      rec.bytes += row_bytes(row);
+    }
+    std::deque<LineageRecord>& ring = rings_[note.cq_name];
+    bytes_ += rec.bytes;
+    ring.push_back(std::move(rec));
+    while (ring.size() > retention_) {
+      bytes_ -= ring.front().bytes;
+      ring.pop_front();
+    }
+    total_bytes = bytes_;
+  }
+  static obs::Gauge& bytes_gauge = obs::global().gauge(obs::gauge::kLineageBytes);
+  bytes_gauge.set(static_cast<std::int64_t>(total_bytes));
+  obs::event(obs::Severity::kDebug, "lineage", note.cq_name,
+             "rows=" + std::to_string(note.delta.inserted.size() +
+                                      note.delta.deleted.size()) +
+                 " max_fanin=" + std::to_string(max_fanin),
+             note.at.ticks());
+}
+
+std::vector<LineageRecord> LineageStore::tail(const std::string& cq,
+                                              std::size_t n) const {
+  common::LockGuard lock(mu_);
+  std::vector<LineageRecord> out;
+  auto it = rings_.find(cq);
+  if (it == rings_.end()) return out;
+  const std::deque<LineageRecord>& ring = it->second;
+  const std::size_t want = std::min(n, ring.size());
+  out.reserve(want);
+  for (std::size_t i = ring.size() - want; i < ring.size(); ++i) {
+    out.push_back(ring[i]);
+  }
+  return out;
+}
+
+std::vector<std::string> LineageStore::cq_names() const {
+  common::LockGuard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(rings_.size());
+  for (const auto& [name, ring] : rings_) out.push_back(name);
+  return out;
+}
+
+std::size_t LineageStore::bytes() const {
+  common::LockGuard lock(mu_);
+  return bytes_;
+}
+
+void LineageStore::clear() {
+  common::LockGuard lock(mu_);
+  rings_.clear();
+  fanin_.clear();
+  bytes_ = 0;
+}
+
+std::string LineageStore::to_json(const std::string& cq, std::size_t n) const {
+  obs::JsonWriter w;
+  if (cq.empty()) {
+    common::LockGuard lock(mu_);
+    w.begin_object();
+    w.kv("retention", static_cast<std::uint64_t>(retention_));
+    w.kv("bytes", static_cast<std::uint64_t>(bytes_));
+    w.key("cqs");
+    w.begin_array();
+    for (const auto& [name, ring] : rings_) {
+      w.begin_object();
+      w.kv("cq", name);
+      w.kv("records", static_cast<std::uint64_t>(ring.size()));
+      w.kv("last_sequence", ring.empty() ? std::uint64_t{0} : ring.back().sequence);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return w.str();
+  }
+
+  common::LockGuard lock(mu_);
+  w.begin_object();
+  w.kv("cq", cq);
+  w.kv("retention", static_cast<std::uint64_t>(retention_));
+  w.kv("bytes", static_cast<std::uint64_t>(bytes_));
+  w.key("records");
+  w.begin_array();
+  auto it = rings_.find(cq);
+  if (it != rings_.end()) {
+    const std::deque<LineageRecord>& ring = it->second;
+    const std::size_t want = std::min(n, ring.size());
+    for (std::size_t i = ring.size() - want; i < ring.size(); ++i) {
+      write_record_json(w, ring[i]);
+    }
+  }
+  w.end_array();
+  auto fit = fanin_.find(cq);
+  if (fit != fanin_.end()) {
+    w.key("fanin");
+    obs::write_histogram_json(w, fit->second);
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string LineageStore::explain(const cat::Database& db, const std::string& cq,
+                                  std::size_t n) const {
+  const std::vector<LineageRecord> records = tail(cq, n);
+  std::ostringstream os;
+  if (records.empty()) {
+    os << "no lineage retained for CQ '" << cq
+       << "' (is lineage collection on? see LINEAGE ON)\n";
+    return os.str();
+  }
+  for (const LineageRecord& rec : records) {
+    os << "notification #" << rec.sequence << " at t=" << rec.at.ticks();
+    if (rec.trace_id != 0) os << " (trace " << rec.trace_id << ")";
+    os << "\n";
+    if (rec.rows.empty()) os << "  (empty delta)\n";
+    for (const LineageRow& row : rec.rows) {
+      os << "  " << (row.inserted ? "+" : "-") << " " << row.row << "\n";
+      if (row.sources.empty()) {
+        os << "      <= (no cited base deltas)\n";
+        continue;
+      }
+      for (const rel::prov::ProvId& id : row.sources) {
+        os << "      <= Δ" << rel::prov::relation_name(id.rel) << " txn=" << id.txn
+           << " seq=" << id.seq;
+        if (const delta::DeltaRow* source = resolve(db, id)) {
+          os << " " << delta::to_string(source->kind());
+          if (source->old_values) {
+            os << " old=" << rel::Tuple(*source->old_values).to_string();
+          }
+          if (source->new_values) {
+            os << " new=" << rel::Tuple(*source->new_values).to_string();
+          }
+        } else {
+          os << " (row reclaimed or table dropped)";
+        }
+        os << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace cq::core

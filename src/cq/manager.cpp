@@ -74,6 +74,7 @@ CqHandle CqManager::install(CqSpec spec, std::shared_ptr<ResultSink> sink) {
   const Notification initial = entry.query->execute_initial(db_, &metrics_);
   const std::uint64_t elapsed = obs::now_ns() - t0;
   entry.zone_id = db_.zones().register_cq(entry.query->last_execution());
+  record_lineage(initial);
   if (entry.sink) entry.sink->on_result(initial);
 
   {
@@ -209,6 +210,7 @@ void CqManager::run(CqHandle handle, Entry& entry) {
   }
 
   db_.zones().advance(entry.zone_id, entry.query->last_execution());
+  record_lineage(note);
   if (entry.sink) {
     obs::Span notify_span("cq.notify");
     entry.sink->on_result(note);
@@ -397,6 +399,7 @@ std::size_t CqManager::dispatch_parallel(const std::vector<CqHandle>& handles) {
                  entry.query->last_execution().ticks());
     }
     db_.zones().advance(entry.zone_id, entry.query->last_execution());
+    record_lineage(out.note);
     if (entry.sink) {
       obs::Span notify_span("cq.notify");
       entry.sink->on_result(out.note);
@@ -496,6 +499,7 @@ Notification CqManager::execute_now(CqHandle handle) {
   }
 
   db_.zones().advance(entry.zone_id, entry.query->last_execution());
+  record_lineage(note);
   if (entry.sink) {
     obs::Span notify_span("cq.notify");
     entry.sink->on_result(note);
@@ -505,6 +509,18 @@ Notification CqManager::execute_now(CqHandle handle) {
     finish(handle);
   }
   return note;
+}
+
+void CqManager::set_lineage(bool enabled, std::size_t retention) {
+  lineage_.set_retention(retention);
+  if (enabled == lineage_on_) return;
+  lineage_on_ = enabled;
+  rel::prov::set_enabled(enabled);
+}
+
+void CqManager::record_lineage(const Notification& note) {
+  if (!lineage_on_) return;
+  lineage_.record(note, obs::current_context().trace_id);
 }
 
 std::size_t CqManager::collect_garbage() {

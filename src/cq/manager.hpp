@@ -18,6 +18,7 @@
 #include "common/sync.hpp"
 #include "common/thread_pool.hpp"
 #include "cq/continual_query.hpp"
+#include "cq/lineage.hpp"
 #include "delta/delta_snapshot.hpp"
 
 namespace cq::core {
@@ -93,6 +94,22 @@ class CqManager {
   void set_parallelism(std::size_t threads);
   [[nodiscard]] std::size_t parallelism() const noexcept { return threads_; }
 
+  /// Toggle delta lineage collection and set the per-CQ retention depth.
+  /// When on, every base delta row leaving a delta log is tagged with a
+  /// (txn, relation, seq) provenance id, the DRA operators thread the sets
+  /// through to notification output rows, and the newest `retention`
+  /// notifications per CQ are retained in lineage(). The provenance flag
+  /// is process-global (rel::prov::set_enabled) — with several managers in
+  /// one process, the last call wins. Disabling stops collection but keeps
+  /// the already-retained records inspectable.
+  void set_lineage(bool enabled,
+                   std::size_t retention = LineageStore::kDefaultRetention);
+  [[nodiscard]] bool lineage_enabled() const noexcept { return lineage_on_; }
+
+  /// The per-CQ lineage retention rings (/lineage, EXPLAIN NOTIFICATION).
+  [[nodiscard]] LineageStore& lineage() noexcept { return lineage_; }
+  [[nodiscard]] const LineageStore& lineage() const noexcept { return lineage_; }
+
   /// Reclaim differential-relation rows outside the system active delta
   /// zone (Section 5.4). Returns rows reclaimed.
   std::size_t collect_garbage();
@@ -153,6 +170,10 @@ class CqManager {
   void on_commit(const std::vector<std::string>& tables, common::Timestamp ts);
   /// Trigger-check bookkeeping shared by poll() and on_commit().
   void record_check(const Entry& entry, bool fired);
+  /// Retain a delivered notification's lineage (no-op when lineage is
+  /// off). Called only from serialized delivery points — the sequential
+  /// run, the parallel merge loop, execute_now and install.
+  void record_lineage(const Notification& note);
   CqStats& stats_of(const Entry& entry) CQ_REQUIRES(stats_mu_);
   /// Parallel dispatch (threads_ > 1): snapshot the touched deltas once,
   /// partition `handles` into read-set batches, evaluate on the pool, and
@@ -174,6 +195,8 @@ class CqManager {
   std::unique_ptr<common::ThreadPool> pool_;  // built lazily, threads_ - 1 workers
   common::Metrics metrics_;
   DraStats last_stats_;
+  bool lineage_on_ = false;
+  LineageStore lineage_;
   mutable common::Mutex stats_mu_{"cq_stats"};
   std::map<std::string, CqStats> stats_ CQ_GUARDED_BY(stats_mu_);
 };

@@ -55,8 +55,13 @@ void DeltaRelation::append(DeltaRow row) {
         "DeltaRelation: timestamps must be non-decreasing (got " + row.ts.to_string() +
         " after " + rows_.back().ts.to_string() + ")");
   }
+  row.seq = next_seq_++;
   bytes_ += row.byte_size();
   rows_.push_back(std::move(row));
+}
+
+void DeltaRelation::set_name(const std::string& name) {
+  prov_rel_ = rel::prov::intern_relation(name);
 }
 
 void DeltaRelation::record_insert(TupleId tid, std::vector<Value> values, Timestamp ts) {
@@ -101,9 +106,11 @@ std::vector<DeltaRow> net_effect_of(const std::vector<DeltaRow>& rows, Timestamp
     }
     DeltaRow& acc = out[pos->second];
     // Compose acc (earlier) with change (later). The earliest old half and
-    // the latest new half survive.
+    // the latest new half survive. The latest row also lends its (ts, seq)
+    // so the net row's lineage id resolves to a physical row in the log.
     acc.new_values = change.new_values;
     acc.ts = change.ts;
+    acc.seq = change.seq;
   }
 
   // Collapse no-ops: insert∘delete (both halves absent after composition is
@@ -137,16 +144,24 @@ std::vector<DeltaRow> DeltaRelation::net_effect(Timestamp since) const {
 
 rel::Relation DeltaRelation::insertions(Timestamp since) const {
   Relation out(base_schema_);
+  const bool lineage = rel::prov::enabled();
   for (const auto& row : net_effect(since)) {
-    if (row.new_values) out.append(Tuple(*row.new_values, row.tid));
+    if (!row.new_values) continue;
+    Tuple t(*row.new_values, row.tid);
+    if (lineage) t.set_prov(rel::prov::leaf(prov_id_of(row)));
+    out.append(std::move(t));
   }
   return out;
 }
 
 rel::Relation DeltaRelation::deletions(Timestamp since) const {
   Relation out(base_schema_);
+  const bool lineage = rel::prov::enabled();
   for (const auto& row : net_effect(since)) {
-    if (row.old_values) out.append(Tuple(*row.old_values, row.tid));
+    if (!row.old_values) continue;
+    Tuple t(*row.old_values, row.tid);
+    if (lineage) t.set_prov(rel::prov::leaf(prov_id_of(row)));
+    out.append(std::move(t));
   }
   return out;
 }

@@ -23,6 +23,7 @@
 
 #include "common/sync.hpp"
 #include "common/timestamp.hpp"
+#include "relation/provenance.hpp"
 #include "relation/relation.hpp"
 #include "relation/schema.hpp"
 
@@ -38,6 +39,11 @@ struct DeltaRow {
   std::optional<std::vector<rel::Value>> old_values;  // absent for insert
   std::optional<std::vector<rel::Value>> new_values;  // absent for delete
   common::Timestamp ts;
+  /// Position in the owning log, assigned by DeltaRelation::append (any
+  /// caller-supplied value is overwritten). Together with ts it forms the
+  /// row's lineage identity (rel::prov::ProvId); not part of the wire
+  /// format — a restored log reassigns identical seqs in append order.
+  std::uint64_t seq = 0;
 
   [[nodiscard]] ChangeKind kind() const noexcept {
     if (!old_values) return ChangeKind::kInsert;
@@ -71,6 +77,19 @@ class DeltaRelation {
   explicit DeltaRelation(rel::Schema base_schema);
 
   [[nodiscard]] const rel::Schema& base_schema() const noexcept { return base_schema_; }
+
+  /// Name this log for lineage (normally the owning table's name, set by
+  /// catalog::Database). Interns the name; cited ProvIds resolve back to
+  /// it via rel::prov::relation_name().
+  void set_name(const std::string& name);
+
+  /// Interned lineage id of this relation (0 when never named).
+  [[nodiscard]] std::uint32_t prov_rel() const noexcept { return prov_rel_; }
+
+  /// Lineage identity of one physical row of this log.
+  [[nodiscard]] rel::prov::ProvId prov_id_of(const DeltaRow& row) const noexcept {
+    return {row.ts.ticks(), prov_rel_, row.seq};
+  }
 
   /// Schema of the wide differential view: old half, new half, then
   /// "__tid" and "__ts" bookkeeping columns (both INT).
@@ -182,6 +201,8 @@ class DeltaRelation {
 
   rel::Schema base_schema_;
   rel::Schema wide_schema_;
+  std::uint32_t prov_rel_ = 0;   // interned lineage id; 0 = unnamed
+  std::uint64_t next_seq_ = 0;   // monotone over the log's lifetime
   std::vector<DeltaRow> rows_;  // ts-ordered
   std::size_t bytes_ = 0;       // sum of rows_[i].byte_size()
   std::optional<common::Timestamp> truncated_through_;  // max ts reclaimed

@@ -16,9 +16,21 @@ const DeltaSnapshot::Views& DeltaSnapshot::views(Timestamp since) const {
 
   Views v{net_effect_of(source_.rows(), since), Relation(source_.base_schema()),
           Relation(source_.base_schema())};
+  // Lineage leaves must match DeltaRelation::insertions/deletions exactly:
+  // the parallel path reads snapshots, the sequential path reads the live
+  // log, and the two must stay bit-identical.
+  const bool lineage = rel::prov::enabled();
   for (const auto& row : v.net) {
-    if (row.new_values) v.ins.append(Tuple(*row.new_values, row.tid));
-    if (row.old_values) v.del.append(Tuple(*row.old_values, row.tid));
+    if (row.new_values) {
+      Tuple t(*row.new_values, row.tid);
+      if (lineage) t.set_prov(rel::prov::leaf(source_.prov_id_of(row)));
+      v.ins.append(std::move(t));
+    }
+    if (row.old_values) {
+      Tuple t(*row.old_values, row.tid);
+      if (lineage) t.set_prov(rel::prov::leaf(source_.prov_id_of(row)));
+      v.del.append(std::move(t));
+    }
   }
   return cache_.emplace(since, std::move(v)).first->second;
 }

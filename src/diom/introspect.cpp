@@ -30,7 +30,8 @@ obs::HttpResponse stats_handler(Mediator& mediator, common::Mutex& mu) {
   common::LockGuard lock(mu);
   return obs::HttpResponse::json(obs::export_json(
       mediator.manager().metrics(), obs::global().histogram_snapshot(),
-      {mediator.manager().stats_section(), mediator.stats_section()}));
+      {mediator.manager().stats_section(), mediator.stats_section(),
+       obs::events_section()}));
 }
 
 obs::HttpResponse healthz_handler(Mediator& mediator, common::Mutex& mu) {
@@ -61,10 +62,23 @@ obs::HttpResponse healthz_handler(Mediator& mediator, common::Mutex& mu) {
 obs::HttpResponse events_handler(const obs::HttpRequest& req, common::Mutex& mu) {
   common::LockGuard lock(mu);
   const std::uint64_t n = req.query_u64("n", 100);
+  // ?since=<seq> returns only events newer than that journal seq —
+  // pollers resume from the last_seq /stats reported.
+  const std::uint64_t since = req.query_u64("since", 0);
   obs::HttpResponse resp;
   resp.content_type = "application/x-ndjson; charset=utf-8";
-  resp.body = obs::global().events().to_ndjson(static_cast<std::size_t>(n));
+  resp.body = obs::global().events().to_ndjson(static_cast<std::size_t>(n), since);
   return resp;
+}
+
+obs::HttpResponse lineage_handler(const obs::HttpRequest& req, Mediator& mediator,
+                                  common::Mutex& mu) {
+  common::LockGuard lock(mu);
+  const std::string cq = req.query_str("cq");
+  const std::uint64_t n =
+      req.query_u64("n", core::LineageStore::kDefaultRetention);
+  return obs::HttpResponse::json(
+      mediator.manager().lineage().to_json(cq, static_cast<std::size_t>(n)));
 }
 
 obs::HttpResponse trace_handler(const obs::HttpRequest& req, common::Mutex& mu) {
@@ -95,6 +109,9 @@ void serve_introspection(common::obs::IntrospectServer& server, Mediator& mediat
   });
   server.route("/events", [&engine_mu](const obs::HttpRequest& req) {
     return events_handler(req, engine_mu);
+  });
+  server.route("/lineage", [&mediator, &engine_mu](const obs::HttpRequest& req) {
+    return lineage_handler(req, mediator, engine_mu);
   });
   server.route("/trace", [&engine_mu](const obs::HttpRequest& req) {
     return trace_handler(req, engine_mu);

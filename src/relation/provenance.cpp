@@ -1,0 +1,61 @@
+#include "relation/provenance.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "common/sync.hpp"
+
+namespace cq::rel::prov {
+
+namespace {
+
+struct Interner {
+  common::Mutex mu{"prov_interner"};
+  std::vector<std::string> names CQ_GUARDED_BY(mu);  // index = id - 1
+};
+
+Interner& interner() {
+  static Interner table;
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t intern_relation(const std::string& name) {
+  Interner& table = interner();
+  common::LockGuard lock(table.mu);
+  for (std::size_t i = 0; i < table.names.size(); ++i) {
+    if (table.names[i] == name) return static_cast<std::uint32_t>(i + 1);
+  }
+  table.names.push_back(name);
+  return static_cast<std::uint32_t>(table.names.size());
+}
+
+std::string relation_name(std::uint32_t id) {
+  if (id == 0) return "?";
+  Interner& table = interner();
+  common::LockGuard lock(table.mu);
+  if (id > table.names.size()) return "?";
+  return table.names[id - 1];
+}
+
+ProvSetPtr leaf(const ProvId& id) {
+  return std::make_shared<const ProvSet>(ProvSet{id});
+}
+
+ProvSetPtr merge(const ProvSetPtr& a, const ProvSetPtr& b) {
+  if (!a) return b;
+  if (!b) return a;
+  ProvSet merged;
+  merged.reserve(a->size() + b->size());
+  std::set_union(a->begin(), a->end(), b->begin(), b->end(),
+                 std::back_inserter(merged));
+  return std::make_shared<const ProvSet>(std::move(merged));
+}
+
+std::size_t byte_size(const ProvSetPtr& set) noexcept {
+  if (!set) return 0;
+  return sizeof(ProvSet) + set->capacity() * sizeof(ProvId);
+}
+
+}  // namespace cq::rel::prov

@@ -1,0 +1,77 @@
+// Delta lineage: stable provenance ids for base delta rows, threaded
+// through the DRA operators as immutable shared sets on rel::Tuple.
+//
+// A ProvId names one net base-table change: (txn, rel, seq) where `txn`
+// is the commit timestamp in ticks (the clock ticks once per commit),
+// `rel` is the interned relation name, and `seq` is the physical row's
+// position in that relation's delta log. The id is assigned when the
+// delta row is appended and survives net-effect collapsing (the latest
+// physical row of a collapsed run lends its id), so every cited id can
+// be resolved back to a row that exists in the log.
+//
+// Sets are sorted, deduplicated vectors held by shared_ptr-to-const:
+// operators that copy tuples share sets for free, join unions the two
+// sides, projection passes the set through. When lineage is disabled
+// (the default) every pointer stays null and the only cost is a null
+// shared_ptr copy per tuple copy — the same "disabled is free"
+// discipline as obs:: and lockprof.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cq::rel::prov {
+
+/// Identity of one net base delta: commit txn, relation, log position.
+struct ProvId {
+  std::int64_t txn = 0;   ///< Commit timestamp ticks (one tick per commit).
+  std::uint32_t rel = 0;  ///< Interned relation name; see relation_name().
+  std::uint64_t seq = 0;  ///< Row position in the relation's delta log.
+
+  constexpr auto operator<=>(const ProvId&) const noexcept = default;
+};
+
+/// A sorted, deduplicated set of base-delta ids.
+using ProvSet = std::vector<ProvId>;
+/// Shared immutable set; null means "no lineage" (disabled or base row).
+using ProvSetPtr = std::shared_ptr<const ProvSet>;
+
+namespace detail {
+inline std::atomic<bool>& enabled_flag() noexcept {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+}  // namespace detail
+
+/// True when delta lineage collection is on. One relaxed atomic load —
+/// safe to call on every hot path.
+inline bool enabled() noexcept {
+  return detail::enabled_flag().load(std::memory_order_relaxed);
+}
+
+inline void set_enabled(bool on) noexcept {
+  detail::enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+/// Interns `name`, returning its stable non-zero id. Idempotent; ids are
+/// process-wide (the table is never cleared) so lineage records outlive
+/// the Database that minted them.
+[[nodiscard]] std::uint32_t intern_relation(const std::string& name);
+
+/// The name interned under `id`, or "?" for 0 / unknown ids.
+[[nodiscard]] std::string relation_name(std::uint32_t id);
+
+/// A one-element set.
+[[nodiscard]] ProvSetPtr leaf(const ProvId& id);
+
+/// Sorted union of two sets; either side may be null. Returns the
+/// non-null side unchanged when the other is null (no allocation).
+[[nodiscard]] ProvSetPtr merge(const ProvSetPtr& a, const ProvSetPtr& b);
+
+/// Heap bytes held by a set (0 for null); used by the lineage gauge.
+[[nodiscard]] std::size_t byte_size(const ProvSetPtr& set) noexcept;
+
+}  // namespace cq::rel::prov

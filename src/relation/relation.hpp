@@ -28,6 +28,11 @@ class Relation {
   [[nodiscard]] const std::vector<Tuple>& rows() const noexcept { return rows_; }
   [[nodiscard]] const Tuple& row(std::size_t i) const;
 
+  /// Mutable row access for in-place annotation (e.g. lineage attachment).
+  /// Callers must not change values or tids through this — the tid index
+  /// and multiset semantics assume rows are immutable once added.
+  [[nodiscard]] std::vector<Tuple>& mutable_rows() noexcept { return rows_; }
+
   /// Replace the schema qualifier view without touching rows. Used by the
   /// planner when a table is aliased (FROM Stocks AS s).
   void set_schema(Schema schema);

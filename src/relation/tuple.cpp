@@ -29,14 +29,18 @@ std::size_t Tuple::value_hash() const noexcept {
 Tuple Tuple::concat(const Tuple& other) const {
   std::vector<Value> merged = values_;
   merged.insert(merged.end(), other.values_.begin(), other.values_.end());
-  return Tuple(std::move(merged));
+  Tuple joined(std::move(merged));
+  if (prov_ || other.prov_) joined.prov_ = prov::merge(prov_, other.prov_);
+  return joined;
 }
 
 Tuple Tuple::project(const std::vector<std::size_t>& indexes) const {
   std::vector<Value> out;
   out.reserve(indexes.size());
   for (auto i : indexes) out.push_back(at(i));
-  return Tuple(std::move(out));
+  Tuple projected(std::move(out));
+  projected.prov_ = prov_;
+  return projected;
 }
 
 std::size_t Tuple::byte_size() const noexcept {

@@ -8,8 +8,10 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "relation/provenance.hpp"
 #include "relation/value.hpp"
 
 namespace cq::rel {
@@ -52,16 +54,23 @@ class Tuple {
   [[nodiscard]] TupleId tid() const noexcept { return tid_; }
   void set_tid(TupleId tid) noexcept { tid_ = tid; }
 
+  /// Base-delta lineage set; null unless prov::enabled() when the row was
+  /// minted. Never participates in same_values/value_hash/byte_size — two
+  /// rows with equal fields are the same value regardless of derivation.
+  [[nodiscard]] const prov::ProvSetPtr& prov() const noexcept { return prov_; }
+  void set_prov(prov::ProvSetPtr set) noexcept { prov_ = std::move(set); }
+
   /// Value equality over the fields only (tids are identity, not value).
   [[nodiscard]] bool same_values(const Tuple& other) const noexcept;
 
   /// Hash of the field values only.
   [[nodiscard]] std::size_t value_hash() const noexcept;
 
-  /// Concatenation (for join outputs). The result carries an invalid tid.
+  /// Concatenation (for join outputs). The result carries an invalid tid
+  /// and the union of both sides' lineage sets.
   [[nodiscard]] Tuple concat(const Tuple& other) const;
 
-  /// Projection onto the given column indexes.
+  /// Projection onto the given column indexes; lineage passes through.
   [[nodiscard]] Tuple project(const std::vector<std::size_t>& indexes) const;
 
   /// Total serialized size in bytes under the wire cost model.
@@ -72,6 +81,7 @@ class Tuple {
  private:
   std::vector<Value> values_;
   TupleId tid_;
+  prov::ProvSetPtr prov_;
 };
 
 }  // namespace cq::rel

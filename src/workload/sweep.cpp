@@ -92,7 +92,8 @@ qry::SpjQuery join_query(const std::vector<const SweepTable*>& tables,
   qry::SpjQuery q;
   std::vector<std::string> aliases;
   for (std::size_t i = 0; i < tables.size(); ++i) {
-    std::string alias = "j" + std::to_string(i);
+    std::string alias = "j";
+    alias += std::to_string(i);
     q.from.push_back({tables[i]->name(), alias});
     aliases.push_back(std::move(alias));
   }

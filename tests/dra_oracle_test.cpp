@@ -289,6 +289,36 @@ TEST(DraOracle, CorpusReplayIsByteIdenticalAcrossThreadCounts) {
   EXPECT_GT(replayed, 0u);
 }
 
+/// Lineage lane: with provenance collection on, sequential and 4-lane runs
+/// must agree on every delivered row's provenance set, bit for bit — the
+/// digest appends each row's sorted (relation, txn, seq) citations. The
+/// interpreter additionally cross-checks every citation against the DRA
+/// database's delta log (a dangling citation flips report.ok).
+TEST(DraOracle, LineageIsByteIdenticalAcrossThreadCounts) {
+  common::Rng rng(0x11ea);
+  std::size_t cited = 0;
+  for (int round = 0; round < 30; ++round) {
+    std::vector<std::uint8_t> script(256 + rng.index(512));
+    for (auto& b : script) b = static_cast<std::uint8_t>(rng.index(256));
+
+    const testing::DraScriptReport seq = testing::run_dra_oracle_script(
+        script.data(), script.size(), {.eval_threads = 1, .lineage = true});
+    const testing::DraScriptReport par = testing::run_dra_oracle_script(
+        script.data(), script.size(), {.eval_threads = 4, .lineage = true});
+    ASSERT_TRUE(seq.ok) << "round " << round << ": " << seq.message;
+    ASSERT_TRUE(par.ok) << "round " << round << ": " << par.message;
+    ASSERT_EQ(seq.digest, par.digest) << "round " << round;
+    for (std::size_t p = seq.digest.find("prov{"); p != std::string::npos;
+         p = seq.digest.find("prov{", p + 1)) {
+      if (p + 5 < seq.digest.size() && seq.digest[p + 5] != '}') {
+        ++cited;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(cited, 10u);  // the lane must compare real, non-empty citations
+}
+
 /// The default-config overload is the --threads 1 byte-stream: the digest
 /// of a sequential run through the config'd entry point must match it.
 TEST(DraOracle, ConfigDefaultMatchesLegacyEntryPoint) {

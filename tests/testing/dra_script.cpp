@@ -14,6 +14,7 @@
 #include "cq/manager.hpp"
 #include "cq/propagate.hpp"
 #include "query/ast.hpp"
+#include "relation/provenance.hpp"
 #include "relation/schema.hpp"
 #include "relation/value.hpp"
 #include "testing/fuzz_input.hpp"
@@ -231,13 +232,36 @@ std::string compare_step(const core::CqManager& dra_mgr,
   return {};
 }
 
+/// One line per delta row: its sorted provenance set as
+/// "relation:txn:seq" triples. Provenance sets are canonically sorted, so
+/// this is deterministic whenever the delivered stream itself is.
+void append_lineage(std::ostringstream& os, const rel::Relation& r, char sign) {
+  for (const auto& row : r.rows()) {
+    os << "  " << sign << " prov{";
+    if (row.prov() != nullptr) {
+      const char* sep = "";
+      for (const auto& id : *row.prov()) {
+        os << sep << rel::prov::relation_name(id.rel) << ':' << id.txn << ':'
+           << id.seq;
+        sep = ",";
+      }
+    }
+    os << "}\n";
+  }
+}
+
 /// Deterministic serialization of the delivered stream (see
 /// DraScriptReport::digest).
-std::string stream_digest(const core::CqManager& mgr, const core::CollectingSink& sink) {
+std::string stream_digest(const core::CqManager& mgr, const core::CollectingSink& sink,
+                          bool lineage) {
   std::ostringstream os;
   for (const core::Notification& n : sink.notifications()) {
     os << n.cq_name << '#' << n.sequence << '@' << n.at.ticks() << '\n';
     os << n.delta.to_string() << '\n';
+    if (lineage) {
+      append_lineage(os, n.delta.inserted, '+');
+      append_lineage(os, n.delta.deleted, '-');
+    }
     // Print every row (the default to_string truncates at 50).
     if (n.complete) os << "complete:" << n.complete->to_string(n.complete->size()) << '\n';
     if (n.aggregate) {
@@ -346,6 +370,15 @@ DraScriptReport run_dra_oracle_script(const std::uint8_t* data, std::size_t size
     core::CqManager oracle_mgr(oracle_db);
     dra_mgr.set_parallelism(config.eval_threads);
     oracle_mgr.set_parallelism(config.eval_threads);
+    // Lineage collection flips a process-global provenance flag; reset it
+    // on every exit path so back-to-back script runs stay independent.
+    struct ProvReset {
+      bool active;
+      ~ProvReset() {
+        if (active) rel::prov::set_enabled(false);
+      }
+    } prov_reset{config.lineage};
+    if (config.lineage) dra_mgr.set_lineage(true, kMaxCommits + 8);
     auto dra_sink = std::make_shared<core::CollectingSink>();
     auto oracle_sink = std::make_shared<core::CollectingSink>();
 
@@ -448,8 +481,39 @@ DraScriptReport run_dra_oracle_script(const std::uint8_t* data, std::size_t size
       }
     }
 
+    // Every delta row a notification cites must still exist in the DRA
+    // database's delta log with exactly that (relation, txn, seq) identity.
+    if (config.lineage) {
+      for (const core::Notification& n : dra_sink->notifications()) {
+        for (const rel::Relation* r : {&n.delta.inserted, &n.delta.deleted}) {
+          for (const auto& row : r->rows()) {
+            if (row.prov() == nullptr) continue;
+            for (const auto& id : *row.prov()) {
+              const std::string table = rel::prov::relation_name(id.rel);
+              bool found = dra_db.has_table(table);
+              if (found) {
+                found = false;
+                for (const auto& d : dra_db.delta(table).rows()) {
+                  if (d.ts.ticks() == id.txn && d.seq == id.seq) {
+                    found = true;
+                    break;
+                  }
+                }
+              }
+              if (!found) {
+                std::ostringstream os;
+                os << "lineage cites a delta row missing from the log: Δ" << table
+                   << " txn=" << id.txn << " seq=" << id.seq;
+                return fail(report.commits, os.str());
+              }
+            }
+          }
+        }
+      }
+    }
+
     report.executions = dra_mgr.cq_stats().at("cq").executions;
-    report.digest = stream_digest(dra_mgr, *dra_sink);
+    report.digest = stream_digest(dra_mgr, *dra_sink, config.lineage);
   } catch (const common::Error& e) {
     return fail(report.commits, std::string("unexpected engine error: ") + e.what());
   }

@@ -33,6 +33,13 @@ struct DraScriptReport {
 struct DraScriptConfig {
   /// CqManager evaluation lanes on BOTH pipelines (1 = sequential path).
   std::size_t eval_threads = 1;
+  /// Collect notification lineage on the DRA pipeline and (a) append every
+  /// delivered row's sorted provenance set to the digest — so two runs with
+  /// different eval_threads must also agree on lineage, bit for bit — and
+  /// (b) cross-check that every cited (relation, txn, seq) exists in the
+  /// DRA database's delta log (ok=false on a dangling citation). Resets the
+  /// process-global provenance flag to off before returning.
+  bool lineage = false;
 };
 
 /// Run one byte script. Never throws: malformed scripts are simply short
