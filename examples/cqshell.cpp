@@ -390,9 +390,17 @@ class Shell {
           static_cast<std::size_t>(
               req.query_u64("n", core::LineageStore::kDefaultRetention))));
     });
+    server_.route("/lockgraph", [](const obs::HttpRequest& req) {
+      // Atomics-only on the far side: no engine lock, by design.
+      if (req.query_str("format") == "dot") {
+        return obs::HttpResponse::text(common::lockorder::to_dot());
+      }
+      return obs::HttpResponse::json(common::lockorder::to_json());
+    });
     server_.start(port);
     std::cout << "serving introspection on http://127.0.0.1:" << server_.port()
-              << " (/metrics /stats /healthz /trace /events /lineage /profile)\n";
+              << " (/metrics /stats /healthz /trace /events /lineage /profile"
+                 " /lockgraph)\n";
   }
 
   void do_trace(const std::string& args) {
@@ -802,7 +810,9 @@ class Shell {
   std::unique_ptr<core::CqManager> manager_;
   std::map<std::string, core::CqHandle> handles_;
   std::map<std::string, SavedSpec> specs_;  // for RESTORE
-  common::Mutex mu_;  // serializes the command loop with server handlers
+  // Serializes the command loop with server handlers. Outermost lock of
+  // the process: rank kEngine (see docs/lock-hierarchy.md).
+  common::Mutex mu_{"engine", common::lockorder::LockRank::kEngine};
   common::obs::IntrospectServer server_;
 };
 

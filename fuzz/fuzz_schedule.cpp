@@ -1,0 +1,73 @@
+// Schedule-perturbation determinism target: the input's first 8 bytes seed
+// the perturber (common/schedule.hpp), the rest is a DRA transaction
+// script (tests/testing/dra_script.hpp). The script runs twice — once
+// sequential and unperturbed to establish the reference digest, once with
+// eval_threads > 1 while every CQ_SCHED_POINT in the Mutex/ThreadPool hot
+// paths injects seeded yields and micro-sleeps. libFuzzer therefore
+// explores the *interleaving* space, not just the input space: any
+// schedule in which the parallel pipeline delivers different rows, a
+// different order, or different trigger decisions than the sequential one
+// aborts with the (seed, script) pair as a deterministic reproducer. The
+// lock-order checker (when compiled in) rides along for free — a rank
+// inversion or cycle surfaced by an exotic interleaving aborts too.
+#include "fuzz_entry.hpp"
+#include "targets.hpp"
+
+#include "common/schedule.hpp"
+#include "testing/dra_script.hpp"
+
+namespace cq::fuzz {
+
+namespace {
+
+/// RAII so a violation()/abort path can't leave the process-global
+/// perturber armed for the next fuzz iteration's baseline run.
+struct PerturbScope {
+  explicit PerturbScope(std::uint64_t seed) { common::schedule::enable(seed); }
+  ~PerturbScope() { common::schedule::disable(); }
+};
+
+}  // namespace
+
+int schedule_target(const std::uint8_t* data, std::size_t size) {
+  if (size < 8) return 0;  // need a full seed; shorter inputs are boring
+  std::uint64_t seed = 0;
+  for (int i = 0; i < 8; ++i) {
+    seed |= static_cast<std::uint64_t>(data[i]) << (8 * i);
+  }
+  data += 8;
+  size -= 8;
+
+  // Reference: sequential, unperturbed. A script the DRA itself cannot
+  // handle is dra_oracle's bug, not a schedule bug — skip it here.
+  const testing::DraScriptReport base = testing::run_dra_oracle_script(data, size);
+  if (!base.ok) return 0;
+  if (base.commits == 0) return 0;  // no commit pipeline exercised
+
+  testing::DraScriptConfig cfg;
+  cfg.eval_threads = 2 + static_cast<std::size_t>(seed % 3);  // 2..4 lanes
+  testing::DraScriptReport perturbed;
+  {
+    PerturbScope perturb(seed);
+    perturbed = testing::run_dra_oracle_script(data, size, cfg);
+  }
+
+  if (!perturbed.ok) {
+    violation("schedule", "perturbed parallel run diverged from its oracle",
+              perturbed.message.c_str());
+  }
+  if (perturbed.digest != base.digest) {
+    violation("schedule",
+              "notification digest depends on the thread schedule",
+              ("sequential and perturbed parallel runs of the same script "
+               "delivered different notification streams (threads=" +
+               std::to_string(cfg.eval_threads) + ", seed=" +
+               std::to_string(seed) + ")")
+                  .c_str());
+  }
+  return 0;
+}
+
+}  // namespace cq::fuzz
+
+CQ_FUZZ_ENTRY(cq::fuzz::schedule_target)

@@ -1,4 +1,4 @@
-// The four fuzz targets, as plain functions. Each returns 0 (libFuzzer
+// The five fuzz targets, as plain functions. Each returns 0 (libFuzzer
 // convention) or aborts on an oracle violation.
 #pragma once
 
@@ -21,5 +21,10 @@ int wire_decode_target(const std::uint8_t* data, std::size_t size);
 /// Structure-aware transaction script driving DRA vs full recompute
 /// (tests/testing/dra_script.hpp); any divergence aborts.
 int dra_oracle_target(const std::uint8_t* data, std::size_t size);
+
+/// Schedule-perturbation determinism: 8-byte seed + DRA script; the script
+/// runs sequentially and then parallel under seeded yields/sleeps at every
+/// lock/dispatch point — digests must match bit for bit.
+int schedule_target(const std::uint8_t* data, std::size_t size);
 
 }  // namespace cq::fuzz

@@ -1,0 +1,311 @@
+#!/usr/bin/env python3
+"""Static lock-hierarchy checker — layer 2 of the lock-discipline stack.
+
+Cross-checks three artifacts that must agree:
+
+  1. The LockRank enum in src/common/lock_order.hpp (the authoritative
+     numeric hierarchy).
+  2. Every named cq::common::Mutex construction site in src/ and
+     examples/ — engine-lifetime mutexes must declare BOTH a site name
+     and a LockRank (`Mutex mu_{"site", LockRank::kX};`); the rank token
+     must exist in the enum; a site name reused anywhere in the tree must
+     reuse the same rank (sites are lockdep-style lock classes).
+  3. The checked-in manifest docs/lock-hierarchy.md — every ranked code
+     site appears there with the same rank and declaring file, and every
+     manifest row still corresponds to a live code site (no stale rows).
+
+Additionally, any CQ_ACQUIRED_BEFORE(target) annotation on a ranked mutex
+is checked against the numeric hierarchy: the annotated mutex must rank
+strictly BELOW its target, otherwise the declared static order and the
+runtime checker would disagree about the same pair.
+
+Usage:
+  scripts/check_lock_order.py             check the tree; exit 0 clean, 1 dirty
+  scripts/check_lock_order.py --self-test seed violations, assert detection
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+ENUM_PATH = "src/common/lock_order.hpp"
+MANIFEST_PATH = "docs/lock-hierarchy.md"
+SCAN_ROOTS = ("src", "examples")
+
+ENUM_RE = re.compile(r"\bk(\w+)\s*=\s*(\d+)\s*,")
+# A named Mutex construction, possibly spanning a line break between the
+# site string and the rank:  Mutex mu_{"site", LockRank::kX};
+SITE_RE = re.compile(
+    r"\bMutex\s+(\w+)\s*\{\s*\"([^\"]+)\"\s*"
+    r"(?:,\s*(?:[A-Za-z_]\w*::)*LockRank::k(\w+)\s*)?\}",
+    re.DOTALL,
+)
+ACQUIRED_BEFORE_RE = re.compile(
+    r"\bMutex\s+(\w+)\s+CQ_ACQUIRED_BEFORE\(\s*(\w+)\s*\)"
+)
+# Manifest rows: | 10 | `engine` | `examples/cqshell.cpp` | rationale |
+MANIFEST_ROW_RE = re.compile(
+    r"^\|\s*(\d+)\s*\|\s*`([^`]+)`\s*\|\s*`([^`]+)`\s*\|", re.MULTILINE
+)
+
+
+@dataclass
+class CodeSite:
+    name: str          # site string literal
+    rank_token: str    # enum token ("EventLog") or "" when undeclared
+    file: str          # repo-relative declaring file
+    line: int
+
+
+def parse_enum(repo: Path) -> dict[str, int]:
+    path = repo / ENUM_PATH
+    if not path.is_file():
+        return {}
+    return {m.group(1): int(m.group(2)) for m in ENUM_RE.finditer(path.read_text())}
+
+
+def parse_sites(repo: Path) -> tuple[list[CodeSite], list[tuple[str, int, str, str]]]:
+    """All named Mutex construction sites + CQ_ACQUIRED_BEFORE pairs."""
+    sites: list[CodeSite] = []
+    before_pairs: list[tuple[str, int, str, str]] = []  # file, line, mutex, target
+    for root in SCAN_ROOTS:
+        base = repo / root
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".hpp", ".cpp", ".h"):
+                continue
+            text = path.read_text()
+            rel = path.relative_to(repo).as_posix()
+            for m in SITE_RE.finditer(text):
+                line = text[: m.start()].count("\n") + 1
+                sites.append(CodeSite(m.group(2), m.group(3) or "", rel, line))
+            for m in ACQUIRED_BEFORE_RE.finditer(text):
+                line = text[: m.start()].count("\n") + 1
+                before_pairs.append((rel, line, m.group(1), m.group(2)))
+    return sites, before_pairs
+
+
+def parse_manifest(repo: Path) -> dict[str, tuple[int, str]]:
+    """site -> (rank, declaring file) from docs/lock-hierarchy.md."""
+    path = repo / MANIFEST_PATH
+    if not path.is_file():
+        return {}
+    return {
+        m.group(2): (int(m.group(1)), m.group(3))
+        for m in MANIFEST_ROW_RE.finditer(path.read_text())
+    }
+
+
+def check_tree(repo: Path) -> list[str]:
+    errors: list[str] = []
+    ranks = parse_enum(repo)
+    if not ranks:
+        errors.append(f"{ENUM_PATH}: no LockRank enumerators found")
+        return errors
+    sites, before_pairs = parse_sites(repo)
+    manifest = parse_manifest(repo)
+
+    # Sites exempt from the rank + manifest requirements: test scaffolding
+    # ranks (kLeaf / kUnranked) never claim a layer of the real hierarchy.
+    exempt_tokens = {"Leaf", "Unranked", ""}
+
+    seen_rank: dict[str, tuple[str, str]] = {}  # site -> (token, where)
+    for s in sites:
+        where = f"{s.file}:{s.line}"
+        if s.rank_token == "":
+            errors.append(
+                f"{where}: site \"{s.name}\": engine-lifetime mutex declares a "
+                "site name but no LockRank — add `lockorder::LockRank::kX` "
+                "and a docs/lock-hierarchy.md row"
+            )
+            continue
+        if s.rank_token not in ranks:
+            errors.append(
+                f"{where}: site \"{s.name}\": unknown rank token "
+                f"LockRank::k{s.rank_token} (not in {ENUM_PATH})"
+            )
+            continue
+        if s.name in seen_rank and seen_rank[s.name][0] != s.rank_token:
+            errors.append(
+                f"{where}: site \"{s.name}\": re-declared with rank "
+                f"k{s.rank_token}, but k{seen_rank[s.name][0]} at "
+                f"{seen_rank[s.name][1]} — one site, one rank"
+            )
+        seen_rank.setdefault(s.name, (s.rank_token, where))
+
+        if s.rank_token in exempt_tokens:
+            continue
+        if s.name not in manifest:
+            errors.append(
+                f"{where}: site \"{s.name}\" (rank {ranks[s.rank_token]}) is "
+                f"missing from {MANIFEST_PATH} — document its layer and "
+                "rationale"
+            )
+            continue
+        man_rank, man_file = manifest[s.name]
+        if man_rank != ranks[s.rank_token]:
+            errors.append(
+                f"{where}: site \"{s.name}\": code rank {ranks[s.rank_token]} "
+                f"(k{s.rank_token}) != manifest rank {man_rank} — "
+                f"{MANIFEST_PATH} has drifted"
+            )
+        if man_file != s.file:
+            errors.append(
+                f"{where}: site \"{s.name}\": declared in {s.file} but "
+                f"{MANIFEST_PATH} says {man_file}"
+            )
+
+    # Stale manifest rows: documented site no longer constructed anywhere.
+    code_names = {s.name for s in sites}
+    for name in manifest:
+        if name not in code_names:
+            errors.append(
+                f"{MANIFEST_PATH}: site \"{name}\" documented but no longer "
+                "constructed anywhere in src/ or examples/ — remove the row"
+            )
+
+    # CQ_ACQUIRED_BEFORE(target) must agree with the numeric hierarchy
+    # wherever both members resolve to ranked sites in the same file.
+    member_rank: dict[tuple[str, str], int] = {}
+    for s in sites:
+        if s.rank_token in ranks and s.rank_token not in exempt_tokens:
+            # Map the member variable name via its declaration text match.
+            member_rank[(s.file, s.name)] = ranks[s.rank_token]
+    for file, line, mutex, target in before_pairs:
+        # Resolve by declaration order in the same file: find ranks of the
+        # sites whose member identifiers match.
+        decls = {
+            m.group(1): m.group(3) or ""
+            for m in SITE_RE.finditer((repo / file).read_text())
+        }
+        r_mutex = ranks.get(decls.get(mutex, ""), None)
+        r_target = ranks.get(decls.get(target, ""), None)
+        if r_mutex is not None and r_target is not None and r_mutex >= r_target:
+            errors.append(
+                f"{file}:{line}: CQ_ACQUIRED_BEFORE({target}) on {mutex} "
+                f"contradicts the rank hierarchy ({r_mutex} >= {r_target}) — "
+                "the static and runtime checkers would disagree"
+            )
+
+    return errors
+
+
+# --------------------------------------------------------------- self-test --
+
+GOOD_ENUM = """
+enum class LockRank : std::uint16_t {
+  kUnranked = 0,
+  kOuter = 10,
+  kInner = 20,
+  kLeaf = 90,
+};
+"""
+
+GOOD_SITE = 'struct A { Mutex mu_{"alpha", lockorder::LockRank::kOuter}; };\n'
+GOOD_MANIFEST = "| rank | site | declared in | rationale |\n|--|--|--|--|\n| 10 | `alpha` | `src/a.hpp` | test |\n"
+
+
+def scratch_tree(tmp: Path, *, site: str = GOOD_SITE,
+                 manifest: str = GOOD_MANIFEST) -> Path:
+    (tmp / "src/common").mkdir(parents=True)
+    (tmp / "docs").mkdir()
+    (tmp / "src/common/lock_order.hpp").write_text(GOOD_ENUM)
+    (tmp / "src/a.hpp").write_text(site)
+    (tmp / "docs/lock-hierarchy.md").write_text(manifest)
+    return tmp
+
+
+def self_test() -> int:
+    failures = 0
+
+    def expect(label: str, errors: list[str], needle: str) -> None:
+        nonlocal failures
+        hits = [e for e in errors if needle in e]
+        if hits:
+            print(f"self-test: {label}: detected ({hits[0]})")
+        else:
+            print(f"self-test: {label}: NOT DETECTED (got {errors})", file=sys.stderr)
+            failures += 1
+
+    with tempfile.TemporaryDirectory() as d:
+        clean = check_tree(scratch_tree(Path(d)))
+        if clean:
+            print(f"self-test: clean tree flagged: {clean}", file=sys.stderr)
+            failures += 1
+        else:
+            print("self-test: clean tree: no findings")
+
+    with tempfile.TemporaryDirectory() as d:
+        errors = check_tree(scratch_tree(
+            Path(d), site='struct A { Mutex mu_{"alpha"}; };\n'))
+        expect("missing-rank", errors, "no LockRank")
+
+    with tempfile.TemporaryDirectory() as d:
+        errors = check_tree(scratch_tree(
+            Path(d),
+            site='struct A { Mutex mu_{"beta", lockorder::LockRank::kOuter}; };\n'))
+        expect("missing-manifest-row", errors, "missing from docs/lock-hierarchy.md")
+        expect("stale-manifest-row", errors, "no longer constructed")
+
+    with tempfile.TemporaryDirectory() as d:
+        errors = check_tree(scratch_tree(
+            Path(d),
+            site='struct A { Mutex mu_{"alpha", lockorder::LockRank::kInner}; };\n'))
+        expect("rank-drift", errors, "manifest rank 10")
+
+    with tempfile.TemporaryDirectory() as d:
+        errors = check_tree(scratch_tree(
+            Path(d),
+            site='struct A { Mutex mu_{"alpha", lockorder::LockRank::kBogus}; };\n'))
+        expect("unknown-token", errors, "unknown rank token")
+
+    with tempfile.TemporaryDirectory() as d:
+        errors = check_tree(scratch_tree(
+            Path(d),
+            site=('struct A {\n'
+                  '  Mutex a_{"alpha", lockorder::LockRank::kOuter};\n'
+                  '  Mutex z_{"zeta", lockorder::LockRank::kInner};\n'
+                  '};\n'
+                  'struct B { Mutex b_{"alpha", lockorder::LockRank::kInner}; };\n'),
+            manifest=(GOOD_MANIFEST + "| 20 | `zeta` | `src/a.hpp` | test |\n")))
+        expect("one-site-one-rank", errors, "one site, one rank")
+
+    with tempfile.TemporaryDirectory() as d:
+        # The seeded inversion: declared static order contradicting ranks.
+        errors = check_tree(scratch_tree(
+            Path(d),
+            site=('struct A {\n'
+                  '  Mutex inner_ CQ_ACQUIRED_BEFORE(outer_);\n'
+                  '  Mutex inner_x_{"zeta", lockorder::LockRank::kInner};\n'
+                  '  Mutex outer_{"alpha", lockorder::LockRank::kOuter};\n'
+                  '  Mutex inner_{"zeta", lockorder::LockRank::kInner};\n'
+                  '};\n'),
+            manifest=(GOOD_MANIFEST + "| 20 | `zeta` | `src/a.hpp` | test |\n")))
+        expect("acquired-before-inversion", errors, "contradicts the rank hierarchy")
+
+    return 1 if failures else 0
+
+
+def main(argv: list[str]) -> int:
+    if "--self-test" in argv:
+        return self_test()
+    errors = check_tree(REPO)
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"check_lock_order: {len(errors)} violation(s)", file=sys.stderr)
+        return 1
+    print("check_lock_order: clean "
+          f"({len(parse_manifest(REPO))} manifest rows cross-checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -7,6 +7,11 @@
 #   2. NEGATIVE: tests/negative/thread_safety_violation.cpp (guarded field
 #      touched lock-free) must FAIL to compile — proving the annotations
 #      actually fire and have not been compiled out.
+#   3. NEGATIVE (lock order): tests/negative/lock_order_violation.cpp
+#      declares a CQ_ACQUIRED_BEFORE order and acquires in the opposite
+#      order; under -Wthread-safety-beta that must also fail to compile.
+#      (The same inversion is caught at runtime by common/lock_order.hpp
+#      and dynamically by fuzz_schedule — this is the static leg.)
 #
 #   scripts/check_thread_safety.sh [--require]
 #
@@ -37,7 +42,10 @@ if [[ -z "$cxx" ]]; then
   exit 0
 fi
 
-flags=(-std=c++20 -fsyntax-only -Isrc -Wthread-safety -Werror=thread-safety)
+# -DCQ_LOCK_ORDER_CHECKS=1 so the analysis also sees the instrumented
+# lock()/unlock() bodies the Debug/tsan/lockcheck lanes actually run.
+flags=(-std=c++20 -fsyntax-only -Isrc -DCQ_LOCK_ORDER_CHECKS=1
+       -Wthread-safety -Werror=thread-safety)
 
 echo "check_thread_safety: positive pass ($cxx, library sources)"
 status=0
@@ -62,4 +70,18 @@ if ! grep -q "thread-safety" <<<"$out"; then
   exit 1
 fi
 echo "check_thread_safety: negative pass rejected as expected"
+
+echo "check_thread_safety: lock-order negative pass (declared-order inversion)"
+neg_order=tests/negative/lock_order_violation.cpp
+beta_flags=("${flags[@]}" -Wthread-safety-beta -Werror=thread-safety-beta)
+if out=$("$cxx" "${beta_flags[@]}" "$neg_order" 2>&1); then
+  echo "check_thread_safety: FAIL: $neg_order compiled — acquired_before is dead" >&2
+  exit 1
+fi
+if ! grep -q "thread-safety" <<<"$out"; then
+  echo "check_thread_safety: FAIL: $neg_order failed for the wrong reason:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+echo "check_thread_safety: lock-order negative pass rejected as expected"
 echo "check_thread_safety: OK"

@@ -41,6 +41,15 @@ Rules (scoped to src/ and examples/ unless noted):
                   libFuzzer binaries and the fuzz_replay_<name> ctest
                   cases — an unregistered target never replays in CI).
 
+  unnamed-mutex   Every cq::common::Mutex declared in library or example
+                  code carries a site name (and, for engine-lifetime locks,
+                  a LockRank): `Mutex mu_{"site", LockRank::kX};`. An
+                  unnamed mutex is invisible to lock-contention profiling
+                  (/profile), the lock-order checker and the /lockgraph
+                  export — docs/lock-hierarchy.md is the rank manifest,
+                  scripts/check_lock_order.py the deeper cross-check.
+                  (tests/ may declare anonymous scaffolding mutexes.)
+
 Usage:
   scripts/lint_invariants.py             lint the tree; exit 0 clean, 1 dirty
   scripts/lint_invariants.py --self-test seed violations, assert detection
@@ -60,6 +69,11 @@ RAW_MUTEX_RE = re.compile(
     r"unique_lock|scoped_lock|shared_lock)\b"
 )
 RAW_THREAD_RE = re.compile(r"std::(thread|jthread)\b")
+# A Mutex declaration with no initializer (`;`) or an empty one (`{}`):
+# references, parameters and the class definition itself don't match.
+UNNAMED_MUTEX_RE = re.compile(
+    r"\b(?:cq::)?(?:common::)?Mutex\s+\w+\s*(?:;|\{\s*\})"
+)
 STRING_COUNTER_RE = re.compile(r"\.add\(\s*\"")
 IOSTREAM_RE = re.compile(r"#include\s*<iostream>|std::(cout|cerr|clog)\b")
 COMMENT_RE = re.compile(r"^\s*(//|\*|/\*)")
@@ -114,6 +128,12 @@ def lint_tree(repo: Path) -> list[str]:
                 errors.append(
                     f"{rp}:{lineno}: string-counter: string-keyed .add(\"...\") — "
                     "intern the counter in metric::Id (common/metrics.hpp)"
+                )
+            if rp not in RAW_MUTEX_ALLOWED and UNNAMED_MUTEX_RE.search(code):
+                errors.append(
+                    f"{rp}:{lineno}: unnamed-mutex: Mutex without a site name — "
+                    "declare it `Mutex mu_{\"site\", LockRank::k...};` so "
+                    "lockprof, the lock-order checker and /lockgraph see it"
                 )
 
     # pragma-once: every header anywhere we compile from.
@@ -171,6 +191,7 @@ def self_test() -> int:
         "pragma-once": ("src/bad_header.hpp", "struct NoGuard {};\n"),
         "iostream": ("src/bad_print.cpp", "#include <iostream>\n"),
         "fuzz-corpus": ("fuzz/fuzz_orphan.cpp", "int orphan_target();\n"),
+        "unnamed-mutex": ("src/bad_anon_mutex.cpp", "struct S { common::Mutex mu_; };\n"),
     }
     failures = 0
     for rule, (relpath, content) in cases.items():

@@ -3,7 +3,7 @@
 #
 #   scripts/run_fuzz.sh [-t seconds] [-j jobs] [target ...]
 #
-# Runs each requested target (default: all four) for the time box against
+# Runs each requested target (default: all five) for the time box against
 # its checked-in seed corpus plus a scratch working corpus, then:
 #   * triages: any crash-*/timeout-*/oom-* artifact is minimized
 #     (-minimize_crash) and reported; exit 1 when new crashers exist,
@@ -20,7 +20,7 @@ REPO="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$REPO/build-fuzz}"
 TIME_BOX=300
 JOBS=1
-ALL_TARGETS=(sql_parser expr_eval wire_decode dra_oracle)
+ALL_TARGETS=(sql_parser expr_eval wire_decode dra_oracle schedule)
 
 while getopts "t:j:h" opt; do
   case "$opt" in

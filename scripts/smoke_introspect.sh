@@ -2,7 +2,7 @@
 # Smoke-test the introspection HTTP server end to end: start a scripted
 # cqshell with tracing + lock profiling + lineage collection + a 2-lane
 # pool and SERVE, scrape /metrics, /healthz, /events (with ?since=
-# cursoring), /stats, /lineage and /trace?trace_id= with curl,
+# cursoring), /stats, /lineage, /lockgraph and /trace?trace_id= with curl,
 # regex-validate the Prometheus exposition (>=1 counter, >=1 gauge, a
 # histogram family with a +Inf bucket, a strict line-format pass, and the
 # commit-pipeline / pool / lock-contention families this engine
@@ -146,6 +146,17 @@ printf '%s\n' "$PROFILE" | grep -q '"lock_contention"' \
 printf '%s\n' "$PROFILE" | grep -q '"slowest_commits"' \
   || { echo "smoke_introspect: FAIL — /profile missing slowest_commits" >&2; exit 1; }
 
+# /lockgraph is well-formed JSON in every build flavor; with the
+# lock-order checker compiled in it also carries real sites and edges,
+# and the DOT rendering is a digraph either way.
+LOCKGRAPH=$(curl -sf "http://127.0.0.1:$PORT/lockgraph")
+printf '%s\n' "$LOCKGRAPH" | grep -q '"enabled":' \
+  || { echo "smoke_introspect: FAIL — /lockgraph missing enabled flag: $LOCKGRAPH" >&2; exit 1; }
+printf '%s\n' "$LOCKGRAPH" | grep -q '"sites":' \
+  || { echo "smoke_introspect: FAIL — /lockgraph missing sites array" >&2; exit 1; }
+curl -sf "http://127.0.0.1:$PORT/lockgraph?format=dot" | grep -q 'digraph lockorder' \
+  || { echo "smoke_introspect: FAIL — /lockgraph?format=dot not a digraph" >&2; exit 1; }
+
 # The trace endpoint accepts a trace_id filter; an unknown id must still be
 # a well-formed (metadata-only) chrome-trace event array, not an error.
 TRACE=$(curl -sf "http://127.0.0.1:$PORT/trace?trace_id=999999999")
@@ -156,7 +167,7 @@ esac
 printf '%s\n' "$TRACE" | grep -q '"process_name"' \
   || { echo "smoke_introspect: FAIL — /trace?trace_id= missing metadata events" >&2; exit 1; }
 
-echo "smoke_introspect: OK (metrics, healthz, events+since, stats, lineage, profile, trace filter)"
+echo "smoke_introspect: OK (metrics, healthz, events+since, stats, lineage, profile, lockgraph, trace filter)"
 
 # One plain (non-TSan) pass of the concurrency stress binary: multi-thread
 # scrapes against a live engine loop, torn-JSON and counter checks. The

@@ -73,7 +73,7 @@ class EventLog {
                                       std::uint64_t since_seq = 0) const;
 
  private:
-  mutable Mutex mu_{"event_log"};
+  mutable Mutex mu_{"event_log", lockorder::LockRank::kEventLog};
   std::vector<Event> ring_ CQ_GUARDED_BY(mu_);
   std::size_t capacity_ CQ_GUARDED_BY(mu_);
   std::size_t next_ CQ_GUARDED_BY(mu_) = 0;     // ring index of the next write

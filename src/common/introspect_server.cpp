@@ -20,6 +20,18 @@ namespace {
 constexpr std::size_t kMaxRequestBytes = 16 * 1024;
 constexpr int kIoTimeoutMs = 5000;
 
+/// Thread-safe errno rendering (std::strerror shares one static buffer —
+/// concurrency-mt-unsafe). strerror_r has two signatures; cover both.
+std::string errno_message(int err) {
+  char buf[128] = {};
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  return strerror_r(err, buf, sizeof(buf));  // GNU: may return a static string
+#else
+  strerror_r(err, buf, sizeof(buf));  // XSI: fills buf
+  return buf;
+#endif
+}
+
 const char* reason_phrase(int status) noexcept {
   switch (status) {
     case 200: return "OK";
@@ -115,7 +127,7 @@ void IntrospectServer::start(std::uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = errno_message(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
     throw IoError("IntrospectServer: bind to port " + std::to_string(port) +

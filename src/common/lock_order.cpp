@@ -1,0 +1,352 @@
+#include "common/lock_order.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define CQ_LOCKORDER_HAVE_BACKTRACE 1
+#endif
+#endif
+
+namespace cq::common::lockorder {
+
+namespace {
+
+// ----------------------------------------------------------- site table --
+
+struct SiteSlot {
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint16_t> rank{0};
+};
+
+SiteSlot g_sites[kMaxSites];
+std::atomic<std::size_t> g_site_count{0};
+
+// Edge matrix over site ids: g_edges[from][to] counts observations of
+// "from held while to acquired". Relaxed atomics — the graph is monotone
+// and approximate counts are fine; *existence* transitions (0 -> 1) drive
+// the cycle check and the journal hook.
+std::atomic<std::uint64_t> g_edges[kMaxSites][kMaxSites];
+
+std::atomic<std::uint64_t> g_violations{0};
+std::atomic<bool> g_abort{true};
+std::atomic<EdgeHook> g_edge_hook{nullptr};
+
+// ------------------------------------------------------ held-lock stack --
+
+constexpr std::size_t kMaxHeld = 16;
+constexpr int kMaxFrames = 12;
+
+struct Held {
+  const void* addr = nullptr;
+  const char* name = nullptr;
+  std::uint16_t rank = 0;
+  std::uint32_t site = kNoSite;
+  int frames = 0;
+  void* stack[kMaxFrames];
+};
+
+struct ThreadState {
+  Held held[kMaxHeld];
+  std::size_t depth = 0;
+  std::size_t overflow = 0;  // acquisitions dropped past kMaxHeld
+  bool in_checker = false;   // re-entrancy guard (edge hook, reporting)
+};
+
+ThreadState& tls() noexcept {
+  thread_local ThreadState state;
+  return state;
+}
+
+void capture_stack(Held& h) noexcept {
+#if defined(CQ_LOCKORDER_HAVE_BACKTRACE)
+  h.frames = backtrace(h.stack, kMaxFrames);
+#else
+  h.frames = 0;
+#endif
+}
+
+void dump_stack(const Held& h) noexcept {
+#if defined(CQ_LOCKORDER_HAVE_BACKTRACE)
+  if (h.frames > 0) backtrace_symbols_fd(h.stack, h.frames, 2 /* stderr */);
+#else
+  (void)h;
+#endif
+}
+
+void dump_current_stack() noexcept {
+#if defined(CQ_LOCKORDER_HAVE_BACKTRACE)
+  void* frames[kMaxFrames];
+  const int n = backtrace(frames, kMaxFrames);
+  if (n > 0) backtrace_symbols_fd(frames, n, 2 /* stderr */);
+#endif
+}
+
+/// Report a violation: both sites, both ranks, the held chain, the held
+/// lock's acquisition backtrace and the current one. Aborts unless tests
+/// switched to counting mode.
+void violation(const char* what, const ThreadState& state, const Held& held,
+               const char* acq_name, std::uint16_t acq_rank) noexcept {
+  std::fprintf(stderr,
+               "[lockorder] VIOLATION: %s\n"
+               "  acquiring site \"%s\" (rank %u) while holding site \"%s\" "
+               "(rank %u)\n  held chain:",
+               what, acq_name != nullptr ? acq_name : "<unnamed>", acq_rank,
+               held.name != nullptr ? held.name : "<unnamed>", held.rank);
+  for (std::size_t i = 0; i < state.depth; ++i) {
+    std::fprintf(stderr, " %s(%u)",
+                 state.held[i].name != nullptr ? state.held[i].name : "?",
+                 state.held[i].rank);
+  }
+  std::fprintf(stderr, "\n  stack of the held acquisition (\"%s\"):\n",
+               held.name != nullptr ? held.name : "<unnamed>");
+  dump_stack(held);
+  std::fprintf(stderr, "  stack of the violating acquisition (\"%s\"):\n",
+               acq_name != nullptr ? acq_name : "<unnamed>");
+  dump_current_stack();
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  if (g_abort.load(std::memory_order_relaxed)) std::abort();
+}
+
+/// Is `to` reachable from `from` through observed edges? Bounded DFS over
+/// the atomic matrix (no locks; the graph only ever grows, so a "yes" is
+/// definitive and a racing "no" at worst delays detection to the next
+/// observation of the same edge).
+bool reachable(std::uint32_t from, std::uint32_t to) noexcept {
+  const std::size_t n = g_site_count.load(std::memory_order_acquire);
+  bool visited[kMaxSites] = {};
+  std::uint32_t work[kMaxSites];
+  std::size_t top = 0;
+  work[top++] = from;
+  visited[from] = true;
+  while (top > 0) {
+    const std::uint32_t cur = work[--top];
+    if (cur == to) return true;
+    for (std::uint32_t next = 0; next < n; ++next) {
+      if (!visited[next] &&
+          g_edges[cur][next].load(std::memory_order_relaxed) != 0) {
+        visited[next] = true;
+        work[top++] = next;
+      }
+    }
+  }
+  return false;
+}
+
+void record_edge(ThreadState& state, const Held& held, const char* acq_name,
+                 std::uint16_t acq_rank, std::uint32_t acq_site) noexcept {
+  if (held.site == kNoSite || acq_site == kNoSite || held.site == acq_site) {
+    return;
+  }
+  const std::uint64_t prev =
+      g_edges[held.site][acq_site].fetch_add(1, std::memory_order_relaxed);
+  if (prev != 0) return;  // edge already known
+  // First observation: does the reverse direction already exist (directly
+  // or transitively)? Then this acquisition just closed an ordering cycle.
+  if (reachable(acq_site, held.site)) {
+    violation("lock-order cycle closed by this acquisition", state, held,
+              acq_name, acq_rank);
+  }
+  if (EdgeHook hook = g_edge_hook.load(std::memory_order_acquire)) {
+    // The hook may take (already-ranked) journal locks; mark the thread so
+    // those acquisitions skip the checker instead of recursing.
+    state.in_checker = true;
+    const EdgeEvent event{held.name, acq_name, held.rank, acq_rank};
+    hook(event);
+    state.in_checker = false;
+  }
+}
+
+void append_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out.push_back('\\');
+    out.push_back(*s);
+  }
+}
+
+}  // namespace
+
+std::uint32_t register_site(const char* name, std::uint16_t rank) noexcept {
+  if (name == nullptr) return kNoSite;
+  const std::size_t n = g_site_count.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    const char* existing = g_sites[i].name.load(std::memory_order_acquire);
+    if (existing == name ||
+        (existing != nullptr && std::strcmp(existing, name) == 0)) {
+      return static_cast<std::uint32_t>(i);
+    }
+  }
+  for (;;) {
+    std::size_t slot = g_site_count.load(std::memory_order_relaxed);
+    if (slot >= kMaxSites) return kNoSite;
+    if (!g_site_count.compare_exchange_weak(slot, slot + 1,
+                                            std::memory_order_acq_rel)) {
+      continue;
+    }
+    g_sites[slot].rank.store(rank, std::memory_order_relaxed);
+    g_sites[slot].name.store(name, std::memory_order_release);
+    return static_cast<std::uint32_t>(slot);
+  }
+}
+
+void on_lock(const void* addr, const char* name, std::uint16_t rank,
+             std::uint32_t site, bool blocking) noexcept {
+  ThreadState& state = tls();
+  if (state.in_checker) return;
+  // Self-deadlock and rank monotonicity, against everything held. Checked
+  // *before* blocking on the mutex — the point is to die with a report
+  // instead of hanging.
+  for (std::size_t i = 0; i < state.depth; ++i) {
+    const Held& h = state.held[i];
+    if (h.addr == addr && blocking) {
+      violation("self-deadlock: relocking a mutex this thread already holds",
+                state, h, name, rank);
+    }
+    if (blocking && rank != 0 && h.rank != 0 && h.rank >= rank) {
+      violation("rank inversion: acquisition rank must strictly increase",
+                state, h, name, rank);
+    }
+  }
+  for (std::size_t i = 0; i < state.depth; ++i) {
+    record_edge(state, state.held[i], name, rank, site);
+  }
+  if (state.depth >= kMaxHeld) {
+    ++state.overflow;
+    return;
+  }
+  Held& h = state.held[state.depth++];
+  h.addr = addr;
+  h.name = name;
+  h.rank = rank;
+  h.site = site;
+  capture_stack(h);
+}
+
+void on_unlock(const void* addr) noexcept {
+  ThreadState& state = tls();
+  if (state.in_checker) return;
+  if (state.overflow > 0) {
+    // Past-capacity acquisitions were never pushed; assume LIFO for the
+    // overflow region (it is test-scaffolding depth anyway).
+    --state.overflow;
+    return;
+  }
+  for (std::size_t i = state.depth; i-- > 0;) {
+    if (state.held[i].addr != addr) continue;
+    for (std::size_t j = i + 1; j < state.depth; ++j) {
+      state.held[j - 1] = state.held[j];
+    }
+    --state.depth;
+    return;
+  }
+  // Unlock of a mutex we never saw locked: tolerated (e.g. the checker
+  // was enabled mid-hold, or the stack overflowed past kMaxHeld).
+}
+
+std::size_t held_depth() noexcept { return tls().depth; }
+
+std::size_t site_count() noexcept {
+  const std::size_t n = g_site_count.load(std::memory_order_acquire);
+  std::size_t ready = 0;
+  while (ready < n &&
+         g_sites[ready].name.load(std::memory_order_acquire) != nullptr) {
+    ++ready;
+  }
+  return ready;
+}
+
+SiteInfo site(std::size_t i) noexcept {
+  SiteInfo info;
+  if (i < kMaxSites) {
+    info.name = g_sites[i].name.load(std::memory_order_acquire);
+    info.rank = g_sites[i].rank.load(std::memory_order_relaxed);
+  }
+  return info;
+}
+
+std::uint64_t edge_count(std::uint32_t from, std::uint32_t to) noexcept {
+  if (from >= kMaxSites || to >= kMaxSites) return 0;
+  return g_edges[from][to].load(std::memory_order_relaxed);
+}
+
+std::uint64_t violations() noexcept {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+std::string to_json() {
+  const std::size_t n = site_count();
+  std::string out = "{\"enabled\":";
+  out += compiled_in() ? "true" : "false";
+  out += ",\"sites\":[";
+  for (std::size_t i = 0; i < n; ++i) {
+    const SiteInfo s = site(i);
+    if (i > 0) out.push_back(',');
+    out += "{\"id\":" + std::to_string(i) + ",\"name\":\"";
+    append_escaped(out, s.name != nullptr ? s.name : "");
+    out += "\",\"rank\":" + std::to_string(s.rank) + "}";
+  }
+  out += "],\"edges\":[";
+  bool first = true;
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      const std::uint64_t count =
+          g_edges[from][to].load(std::memory_order_relaxed);
+      if (count == 0) continue;
+      if (!first) out.push_back(',');
+      first = false;
+      out += "{\"from\":\"";
+      append_escaped(out, site(from).name != nullptr ? site(from).name : "");
+      out += "\",\"to\":\"";
+      append_escaped(out, site(to).name != nullptr ? site(to).name : "");
+      out += "\",\"count\":" + std::to_string(count) + "}";
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_dot() {
+  const std::size_t n = site_count();
+  std::string out = "digraph lockorder {\n  rankdir=TB;\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    const SiteInfo s = site(i);
+    out += "  \"";
+    append_escaped(out, s.name != nullptr ? s.name : "");
+    out += "\" [label=\"";
+    append_escaped(out, s.name != nullptr ? s.name : "");
+    out += "\\nrank " + std::to_string(s.rank) + "\"];\n";
+  }
+  for (std::size_t from = 0; from < n; ++from) {
+    for (std::size_t to = 0; to < n; ++to) {
+      const std::uint64_t count =
+          g_edges[from][to].load(std::memory_order_relaxed);
+      if (count == 0) continue;
+      out += "  \"";
+      append_escaped(out, site(from).name != nullptr ? site(from).name : "");
+      out += "\" -> \"";
+      append_escaped(out, site(to).name != nullptr ? site(to).name : "");
+      out += "\" [label=\"" + std::to_string(count) + "\"];\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+void reset_graph() noexcept {
+  for (auto& row : g_edges) {
+    for (auto& cell : row) cell.store(0, std::memory_order_relaxed);
+  }
+}
+
+void set_edge_hook(EdgeHook hook) noexcept {
+  g_edge_hook.store(hook, std::memory_order_release);
+}
+
+void set_abort_on_violation(bool abort_on_violation) noexcept {
+  g_abort.store(abort_on_violation, std::memory_order_relaxed);
+}
+
+}  // namespace cq::common::lockorder

@@ -11,6 +11,31 @@
 
 namespace cq::common::obs {
 
+namespace {
+
+// Journal every first-observed lock-order edge (common/lock_order.hpp).
+// The checker invokes the hook with its re-entrancy guard set, so the
+// journal mutex the record takes is invisible to the checker itself.
+void journal_lock_order_edge(const lockorder::EdgeEvent& e) {
+  if (!enabled()) return;  // same contract as every other journal producer
+  global().events().record(
+      Severity::kDebug, "lock_order_edge",
+      std::string(e.held != nullptr ? e.held : "?") + "->" +
+          (e.acquired != nullptr ? e.acquired : "?"),
+      "held rank " + std::to_string(e.held_rank) + ", acquired rank " +
+          std::to_string(e.acquired_rank));
+}
+
+// Installed at static-init time: set_edge_hook is one atomic store, and
+// the hook only dereferences function-local statics (global()), which
+// construct on first use.
+[[maybe_unused]] const bool g_lock_order_hook_installed = [] {
+  lockorder::set_edge_hook(&journal_lock_order_edge);
+  return true;
+}();
+
+}  // namespace
+
 std::uint64_t now_ns() noexcept {
   using clock = std::chrono::steady_clock;
   static const clock::time_point origin = clock::now();
@@ -31,7 +56,7 @@ std::atomic<std::uint32_t> g_lane_counter{0};
 // Lane display names, indexed by lane id. Guarded by its own named mutex
 // (never taken on the span hot path — only at thread naming and export).
 Mutex& lane_mu() noexcept {
-  static Mutex mu{"lane_names"};
+  static Mutex mu{"lane_names", lockorder::LockRank::kLaneNames};
   return mu;
 }
 std::vector<std::string>& lane_names_locked() {
@@ -393,7 +418,7 @@ bool gauge_is_counter(const std::string& name) noexcept {
 namespace {
 
 Mutex& hooks_mu() noexcept {
-  static Mutex mu{"refresh_hooks"};
+  static Mutex mu{"refresh_hooks", lockorder::LockRank::kRefreshHooks};
   return mu;
 }
 std::map<std::uint64_t, std::function<void()>>& hooks_locked() {

@@ -267,7 +267,7 @@ class TraceCollector {
  private:
   void capture(const TraceEvent& event) CQ_REQUIRES(mu_);
 
-  mutable Mutex mu_{"trace_ring"};
+  mutable Mutex mu_{"trace_ring", lockorder::LockRank::kTraceRing};
   std::vector<TraceEvent> ring_ CQ_GUARDED_BY(mu_);
   std::size_t capacity_ CQ_GUARDED_BY(mu_);
   std::size_t next_ CQ_GUARDED_BY(mu_) = 0;  // ring index of the next write
@@ -368,7 +368,7 @@ class Registry {
   Metrics metrics_;
   TraceCollector traces_;
   EventLog events_;
-  mutable Mutex mu_{"obs_registry"};
+  mutable Mutex mu_{"obs_registry", lockorder::LockRank::kObsRegistry};
   // mu_ guards the *map structure* (growth on first use). The Histogram
   // and Gauge values a lookup hands out stay referenced by hot paths and
   // are internally atomic — parallel evaluation workers record into both

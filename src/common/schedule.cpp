@@ -1,0 +1,81 @@
+#include "common/schedule.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace cq::common::schedule {
+
+namespace {
+
+std::atomic<std::uint64_t> g_seed{0};
+std::atomic<std::uint32_t> g_epoch{0};
+std::atomic<std::uint32_t> g_next_ordinal{0};
+std::atomic<std::uint64_t> g_injected{0};
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+struct ThreadStream {
+  std::uint32_t epoch = 0;
+  std::uint64_t state = 0;
+};
+
+ThreadStream& stream() noexcept {
+  thread_local ThreadStream s;
+  thread_local std::uint32_t ordinal =
+      g_next_ordinal.fetch_add(1, std::memory_order_relaxed);
+  const std::uint32_t epoch = g_epoch.load(std::memory_order_acquire);
+  if (s.epoch != epoch) {
+    s.epoch = epoch;
+    std::uint64_t mix = g_seed.load(std::memory_order_relaxed) ^
+                        (static_cast<std::uint64_t>(ordinal) << 32 | epoch);
+    // Two warm-up rounds decorrelate neighbouring ordinals.
+    splitmix64(mix);
+    s.state = splitmix64(mix) + mix;
+  }
+  return s;
+}
+
+}  // namespace
+
+void enable(std::uint64_t seed) noexcept {
+  g_seed.store(seed, std::memory_order_relaxed);
+  g_injected.store(0, std::memory_order_relaxed);
+  g_epoch.fetch_add(1, std::memory_order_acq_rel);
+  detail::g_enabled.store(true, std::memory_order_release);
+}
+
+void disable() noexcept {
+  detail::g_enabled.store(false, std::memory_order_release);
+}
+
+void perturb(const char* where) noexcept {
+  if (!enabled()) return;
+  ThreadStream& s = stream();
+  // Fold the point-class label in so lock() and unlock() points on one
+  // thread draw decorrelated streams. The label is a compile-time literal
+  // — hashing its address is stable within a run, which is all the
+  // determinism contract needs (streams are per (seed, thread) anyway).
+  std::uint64_t draw = splitmix64(s.state) ^
+                       (reinterpret_cast<std::uintptr_t>(where) * 0x9e3779b97f4a7c15ULL);
+  const unsigned kind = static_cast<unsigned>(draw & 0x3f);
+  if (kind < 8) {  // ~1/8 of points: give up the timeslice
+    g_injected.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+  } else if (kind < 10) {  // ~1/32: a real delay, 1..128 microseconds
+    g_injected.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(1 + ((draw >> 6) & 0x7f)));
+  }
+}
+
+std::uint64_t injected() noexcept {
+  return g_injected.load(std::memory_order_relaxed);
+}
+
+}  // namespace cq::common::schedule

@@ -1,0 +1,64 @@
+// Seeded schedule perturbation — layer 3 of the lock-discipline subsystem
+// (docs/static-analysis.md). When enabled, the preemption points compiled
+// into Mutex::lock/unlock and ThreadPool dispatch (CQ_LOCK_ORDER_CHECKS
+// builds only) inject randomized yields and micro-sleeps driven by a PRNG
+// seed, shaking thread interleavings loose from the scheduler's habitual
+// ones. The fuzz_schedule target feeds seeds from fuzzer input and asserts
+// the DRA pipeline's notification digest is bit-identical under every
+// perturbed schedule; tests sweep 100+ seeds the same way.
+//
+// Determinism contract: the *perturbation stream* each thread draws is a
+// pure function of (seed, thread-arrival ordinal), so a replayed seed
+// perturbs the same way — the schedules explored differ only by what the
+// OS makes of the injected delays. Disabled cost is one relaxed load and
+// a branch per point; Release builds compile the points out entirely.
+//
+// Sits below sync.hpp (which includes it) — no locks, atomics only.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace cq::common::schedule {
+
+namespace detail {
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+/// Is perturbation on? One relaxed load — called at every preemption
+/// point in checked builds.
+[[nodiscard]] inline bool enabled() noexcept {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Arm the perturber with `seed`. Threads derive their streams from
+/// (seed, per-thread arrival ordinal); re-enabling with a new seed starts
+/// a new epoch, so already-running threads reseed at their next point.
+void enable(std::uint64_t seed) noexcept;
+
+void disable() noexcept;
+
+/// One preemption point: maybe yield, maybe micro-sleep, per this
+/// thread's seeded stream. `where` labels the point class ("mutex.lock",
+/// "pool.dispatch", ...) and is folded into the draw so distinct point
+/// classes perturb decorrelated even on one thread.
+void perturb(const char* where) noexcept;
+
+/// Yields + sleeps injected since the last enable() (diagnostics: tests
+/// assert a perturbed run actually perturbed).
+[[nodiscard]] std::uint64_t injected() noexcept;
+
+}  // namespace cq::common::schedule
+
+/// Preemption point, compiled out with the lock-order checker so Release
+/// hot paths carry no trace of it.
+#if defined(CQ_LOCK_ORDER_CHECKS)
+#define CQ_SCHED_POINT(where)                       \
+  do {                                              \
+    if (::cq::common::schedule::enabled()) {        \
+      ::cq::common::schedule::perturb(where);       \
+    }                                               \
+  } while (0)
+#else
+#define CQ_SCHED_POINT(where) ((void)0)
+#endif

@@ -30,7 +30,9 @@
 #include <cstdint>
 #include <mutex>
 
+#include "common/lock_order.hpp"
 #include "common/lock_profile.hpp"
+#include "common/schedule.hpp"
 
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability)
@@ -91,10 +93,22 @@ class CQ_CAPABILITY("mutex") Mutex {
   /// duration (in practice: a literal); distinct mutexes sharing one site
   /// name aggregate into one profiler row.
   explicit Mutex(const char* site) noexcept : site_(site) {}
+  /// Profiled and *ranked* variant: the mutex additionally participates
+  /// in lock-order verification (common/lock_order.hpp) in checked
+  /// builds. Engine-lifetime mutexes must use this form — enforced by
+  /// scripts/check_lock_order.py against docs/lock-hierarchy.md.
+  Mutex(const char* site, lockorder::LockRank rank) noexcept
+      : site_(site), rank_(lockorder::rank_value(rank)) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
   void lock() CQ_ACQUIRE() {
+    CQ_SCHED_POINT("mutex.lock");
+#if defined(CQ_LOCK_ORDER_CHECKS)
+    if (site_ != nullptr) {
+      lockorder::on_lock(this, site_, rank_, order_site(), /*blocking=*/true);
+    }
+#endif
     if (site_ == nullptr || !lockprof::enabled()) {
       mu_.lock();
       return;
@@ -107,14 +121,29 @@ class CQ_CAPABILITY("mutex") Mutex {
     // itself); non-zero only when the acquisition went through the
     // profiled path, so the off path stays clock-free.
     if (hold_start_ns_ != 0) note_release();
+#if defined(CQ_LOCK_ORDER_CHECKS)
+    if (site_ != nullptr) lockorder::on_unlock(this);
+#endif
     mu_.unlock();
+    CQ_SCHED_POINT("mutex.unlock");
   }
 
   [[nodiscard]] bool try_lock() CQ_TRY_ACQUIRE(true) {
     if (!mu_.try_lock()) return false;
+#if defined(CQ_LOCK_ORDER_CHECKS)
+    // A successful try_lock cannot deadlock, so ranks are not enforced —
+    // but the lock *is* now held, so it joins the stack (later blocking
+    // acquisitions rank-check against it) and the edge graph.
+    if (site_ != nullptr) {
+      lockorder::on_lock(this, site_, rank_, order_site(), /*blocking=*/false);
+    }
+#endif
     if (site_ != nullptr && lockprof::enabled()) note_uncontended();
     return true;
   }
+
+  /// Declared acquisition rank (0 = unranked).
+  [[nodiscard]] std::uint16_t rank() const noexcept { return rank_; }
 
  private:
   void lock_profiled() noexcept {
@@ -164,9 +193,27 @@ class CQ_CAPABILITY("mutex") Mutex {
     return s;
   }
 
+#if defined(CQ_LOCK_ORDER_CHECKS)
+  /// Lazily registered lock-order graph slot (first lock of any instance
+  /// of this site wins; instances sharing a site literal share the slot).
+  [[nodiscard]] std::uint32_t order_site() noexcept {
+    std::uint32_t s = order_site_.load(std::memory_order_relaxed);
+    if (s == kOrderSiteUnset) {
+      s = lockorder::register_site(site_, rank_);
+      order_site_.store(s, std::memory_order_relaxed);
+    }
+    return s;
+  }
+#endif
+
   std::mutex mu_;
   const char* site_ = nullptr;
+  std::uint16_t rank_ = 0;  // lockorder::LockRank; 0 = unranked
   std::atomic<lockprof::SiteStats*> stats_{nullptr};
+#if defined(CQ_LOCK_ORDER_CHECKS)
+  static constexpr std::uint32_t kOrderSiteUnset = lockorder::kNoSite - 1;
+  std::atomic<std::uint32_t> order_site_{kOrderSiteUnset};
+#endif
   // Steady-clock instant the current profiled hold began; 0 when the hold
   // is unprofiled. Written only by the holding thread, ordered by mu_.
   std::uint64_t hold_start_ns_ = 0;
@@ -192,6 +239,13 @@ class CQ_SCOPED_CAPABILITY LockGuard {
 /// std::mutex. wait() releases and re-acquires the mutex internally; the
 /// analysis cannot see that handoff, so the contract is the honest one:
 /// the caller holds the mutex before and after the call.
+///
+/// Because the internal handoff goes through Mutex::unlock()/lock(), the
+/// runtime instrumentation stays exact across waits: lockprof attributes
+/// hold time only to the spans the mutex is actually held (the blocked
+/// wait is excluded), and the lock-order held stack pops on entry and
+/// re-pushes (re-rank-checked) on wakeup — asserted by the observability
+/// suite.
 class CondVar {
  public:
   CondVar() = default;

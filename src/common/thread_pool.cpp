@@ -45,6 +45,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run_task(Task task, std::size_t lane) {
+  // Schedule-perturbation point: shake which lane wins the next task and
+  // how long it sits on it (no-op unless a fuzz_schedule/seeded run armed
+  // the perturber; compiled out entirely with the lock-order checker).
+  CQ_SCHED_POINT("pool.task");
   if (task.enqueue_ns == 0) {  // tracing was off at enqueue: zero overhead
     task.fn();
     return;
@@ -84,6 +88,7 @@ void ThreadPool::worker_loop(std::size_t lane) {
 
 void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
+  CQ_SCHED_POINT("pool.dispatch");
   std::uint64_t enqueue_ns = 0;
   obs::SpanContext ctx{};
   if (obs::enabled()) {

@@ -86,7 +86,7 @@ class ThreadPool {
   /// Registry refresh hook: publish per-lane busy/utilization gauges.
   void publish_lane_gauges();
 
-  mutable Mutex mu_{"pool"};
+  mutable Mutex mu_{"pool", lockorder::LockRank::kPool};
   CondVar work_cv_;         // signalled when tasks arrive or stop_ flips
   CondVar done_cv_;         // signalled when pending_ reaches zero
   std::vector<Task> queue_ CQ_GUARDED_BY(mu_);

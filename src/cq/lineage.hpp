@@ -88,7 +88,7 @@ class LineageStore {
                                     std::size_t n) const;
 
  private:
-  mutable common::Mutex mu_{"lineage_store"};
+  mutable common::Mutex mu_{"lineage_store", common::lockorder::LockRank::kLineageStore};
   std::size_t retention_ CQ_GUARDED_BY(mu_) = kDefaultRetention;
   std::map<std::string, std::deque<LineageRecord>> rings_ CQ_GUARDED_BY(mu_);
   // Histogram is internally atomic, but the map structure grows on first

@@ -197,7 +197,7 @@ class CqManager {
   DraStats last_stats_;
   bool lineage_on_ = false;
   LineageStore lineage_;
-  mutable common::Mutex stats_mu_{"cq_stats"};
+  mutable common::Mutex stats_mu_{"cq_stats", common::lockorder::LockRank::kCqStats};
   std::map<std::string, CqStats> stats_ CQ_GUARDED_BY(stats_mu_);
 };
 

@@ -68,7 +68,7 @@ class DeltaRelation {
   /// stays movable (Table moves it) — copies of a DeltaRelation share the
   /// pin state, which is harmless: pins only ever make GC more cautious.
   struct PinState {
-    common::Mutex mu;
+    common::Mutex mu{"delta_pins", common::lockorder::LockRank::kDeltaPins};
     std::size_t pins CQ_GUARDED_BY(mu) = 0;
   };
 

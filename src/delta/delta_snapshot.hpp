@@ -65,7 +65,8 @@ class DeltaSnapshot {
 
   const DeltaRelation& source_;
   DeltaRelation::ReadPin pin_;
-  mutable common::Mutex mu_;
+  mutable common::Mutex mu_{"delta_snapshot",
+                             common::lockorder::LockRank::kDeltaSnapshot};
   mutable std::map<common::Timestamp, Views> cache_ CQ_GUARDED_BY(mu_);
 };
 

@@ -94,6 +94,16 @@ obs::HttpResponse profile_handler(common::Mutex& mu) {
   return obs::HttpResponse::json(obs::export_profile_json());
 }
 
+obs::HttpResponse lockgraph_handler(const obs::HttpRequest& req) {
+  // Deliberately lock-free: the lock-order graph is relaxed atomics all
+  // the way down, so the one endpoint that *reports on* the engine's
+  // mutexes never waits on any of them. ?format=dot renders GraphViz.
+  if (req.query_str("format") == "dot") {
+    return obs::HttpResponse::text(common::lockorder::to_dot());
+  }
+  return obs::HttpResponse::json(common::lockorder::to_json());
+}
+
 }  // namespace
 
 void serve_introspection(common::obs::IntrospectServer& server, Mediator& mediator,
@@ -118,6 +128,9 @@ void serve_introspection(common::obs::IntrospectServer& server, Mediator& mediat
   });
   server.route("/profile", [&engine_mu](const obs::HttpRequest&) {
     return profile_handler(engine_mu);
+  });
+  server.route("/lockgraph", [](const obs::HttpRequest& req) {
+    return lockgraph_handler(req);
   });
 }
 

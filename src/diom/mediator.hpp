@@ -221,7 +221,7 @@ class Mediator {
   // engine thread runs sync rounds.
   cat::Database db_;
   core::CqManager manager_;
-  mutable common::Mutex mu_{"mediator"};
+  mutable common::Mutex mu_{"mediator", common::lockorder::LockRank::kMediator};
   std::vector<Attached> sources_ CQ_GUARDED_BY(mu_);
   std::deque<SyncReport> history_ CQ_GUARDED_BY(mu_);
   std::uint64_t sync_rounds_ CQ_GUARDED_BY(mu_) = 0;

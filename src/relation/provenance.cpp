@@ -10,7 +10,7 @@ namespace cq::rel::prov {
 namespace {
 
 struct Interner {
-  common::Mutex mu{"prov_interner"};
+  common::Mutex mu{"prov_interner", common::lockorder::LockRank::kProvInterner};
   std::vector<std::string> names CQ_GUARDED_BY(mu);  // index = id - 1
 };
 

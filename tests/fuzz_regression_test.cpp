@@ -121,6 +121,7 @@ TEST(FuzzReplay, SqlParser) { replay_dirs(sql_parser_target, "sql_parser"); }
 TEST(FuzzReplay, ExprEval) { replay_dirs(expr_eval_target, "expr_eval"); }
 TEST(FuzzReplay, WireDecode) { replay_dirs(wire_decode_target, "wire_decode"); }
 TEST(FuzzReplay, DraOracle) { replay_dirs(dra_oracle_target, "dra_oracle"); }
+TEST(FuzzReplay, Schedule) { replay_dirs(schedule_target, "schedule"); }
 
 }  // namespace
 }  // namespace cq::fuzz

@@ -1,0 +1,36 @@
+// NEGATIVE-COMPILE TEST — this file must NOT build.
+//
+// Deliberately excluded from the CMake tree; only
+// scripts/check_thread_safety.sh compiles it, with
+// `clang++ -Wthread-safety -Wthread-safety-beta -Werror`, and asserts the
+// compile FAILS. It declares the static lock order with
+// CQ_ACQUIRED_BEFORE and then acquires in the opposite order — proving
+// the declared-order half of the lock discipline is live at compile time,
+// independent of the runtime checker (common/lock_order.hpp) and the
+// seeded schedule fuzzer that catch the same inversion dynamically.
+#include "common/sync.hpp"
+
+namespace {
+
+class Pipeline {
+ public:
+  // VIOLATION: inner_ taken first, then blocking on outer_ — the declared
+  // acquired_before(inner_) order inverted.
+  void inverted() {
+    cq::common::LockGuard inner(inner_);
+    cq::common::LockGuard outer(outer_);
+    (void)this;
+  }
+
+ private:
+  cq::common::Mutex outer_ CQ_ACQUIRED_BEFORE(inner_);
+  cq::common::Mutex inner_;
+};
+
+}  // namespace
+
+int main() {
+  Pipeline p;
+  p.inverted();
+  return 0;
+}
