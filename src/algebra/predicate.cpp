@@ -79,8 +79,12 @@ int predicate_cost_rank(const ExprPtr& conjunct) {
     case Expr::Kind::kLike: return 2;
     case Expr::Kind::kArith: return 3;
     case Expr::Kind::kLogical: return 4;
-    default: return 2;
+    // Literal/column conjuncts (e.g. a bare TRUE) are degenerate; rank
+    // them mid-range so they neither jump the queue nor sink.
+    case Expr::Kind::kLiteral: return 2;
+    case Expr::Kind::kColumn: return 2;
   }
+  return 2;
 }
 
 double estimate_selectivity(const ExprPtr& predicate) {
@@ -90,8 +94,12 @@ double estimate_selectivity(const ExprPtr& predicate) {
       switch (predicate->cmp_op()) {
         case CmpOp::kEq: return 0.1;
         case CmpOp::kNe: return 0.9;
-        default: return 0.33;
+        case CmpOp::kLt:
+        case CmpOp::kLe:
+        case CmpOp::kGt:
+        case CmpOp::kGe: return 0.33;
       }
+      return 0.33;
     case Expr::Kind::kBetween: return 0.25;
     case Expr::Kind::kIn:
       return std::min(1.0, 0.1 * static_cast<double>(predicate->values().size()));
@@ -111,9 +119,14 @@ double estimate_selectivity(const ExprPtr& predicate) {
           return 1.0 - estimate_selectivity(predicate->children()[0]);
       }
       return 0.5;
-    default:
+    // No statistics to say otherwise: arithmetic-rooted predicates and
+    // degenerate literal/column roots get the even-odds prior.
+    case Expr::Kind::kArith:
+    case Expr::Kind::kLiteral:
+    case Expr::Kind::kColumn:
       return 0.5;
   }
+  return 0.5;
 }
 
 }  // namespace cq::alg

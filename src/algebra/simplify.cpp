@@ -41,8 +41,14 @@ ExprPtr simplify_impl(const ExprPtr& expression, bool boolean_context) {
     case Expr::Kind::kLiteral:
     case Expr::Kind::kColumn:
       return expression;
-    default:
-      break;
+    case Expr::Kind::kCompare:
+    case Expr::Kind::kArith:
+    case Expr::Kind::kLogical:
+    case Expr::Kind::kIsNull:
+    case Expr::Kind::kIn:
+    case Expr::Kind::kBetween:
+    case Expr::Kind::kLike:
+      break;  // rewritten below
   }
 
   // Whole-subtree constant folding first: evaluation with no rows bound is
