@@ -99,6 +99,9 @@ ContinualQuery::Staleness ContinualQuery::staleness(const cat::Database& db) con
 
   for (std::size_t i = 0; i < core.from.size(); ++i) {
     const auto& d = db.delta(core.from[i].table);
+    // Pin so GC cannot truncate the window between the change test and
+    // the insertion/deletion copies below.
+    const auto pin = d.pin_reads();
     if (!d.changed_since(last_exec_)) continue;
     Relation ins = d.insertions(last_exec_);
     Relation del = d.deletions(last_exec_);
@@ -138,6 +141,7 @@ std::string ContinualQuery::explain(const cat::Database& db) const {
 
   for (std::size_t i = 0; i < core.from.size(); ++i) {
     const auto& d = db.delta(core.from[i].table);
+    const auto pin = d.pin_reads();  // hold GC off while we count the window
     const std::size_t pending =
         d.changed_since(last_exec_) ? d.net_effect(last_exec_).size() : 0;
     os << "  Δ" << core.from[i].table << ": " << pending << " pending net rows";

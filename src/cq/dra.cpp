@@ -133,6 +133,9 @@ DiffResult dra_differential(const qry::SpjQuery& query, const cat::Database& db,
       if (it != snapshots->end()) snap = it->second.get();
     }
     const auto& d = db.delta(query.from[i].table);
+    // Pin before reading ΔRi directly: GC must not truncate the window
+    // between changed_since and the insertions/deletions copies.
+    const auto pin = d.pin_reads();
     if (snap != nullptr ? !snap->changed_since(since) : !d.changed_since(since)) continue;
     Relation ins = snap != nullptr ? snap->insertions(since) : d.insertions(since);
     Relation del = snap != nullptr ? snap->deletions(since) : d.deletions(since);

@@ -37,6 +37,9 @@ rel::Relation EpsilonView::current_result(const Notification& n) const {
 double EpsilonView::pending_drift() const {
   if (!spec_.max_drift) return 0.0;
   const auto& delta = db_.delta(spec_.drift_table);
+  // Pin before the net_effect scan: drift is computed outside any engine
+  // lock, so GC must be held off for the duration of the read.
+  const auto pin = delta.pin_reads();
   if (!delta.changed_since(cq_.last_execution())) return 0.0;
   const std::size_t col = delta.base_schema().index_of(spec_.drift_column);
   double drift = 0.0;

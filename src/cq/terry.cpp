@@ -8,7 +8,9 @@ namespace cq::core {
 bool append_only_since(const qry::SpjQuery& query, const cat::Database& db,
                        common::Timestamp since) {
   for (const auto& ref : query.from) {
-    for (const auto& row : db.delta(ref.table).net_effect(since)) {
+    const auto& d = db.delta(ref.table);
+    const auto pin = d.pin_reads();  // hold GC off while scanning the window
+    for (const auto& row : d.net_effect(since)) {
       if (row.kind() != delta::ChangeKind::kInsert) return false;
     }
   }

@@ -81,9 +81,12 @@ class ChangeCountTrigger final : public Trigger {
     std::size_t total = 0;
     for (const auto& table : context.relations) {
       const auto* snap = context.snapshot_of(table);
+      const auto& delta = context.db.delta(table);
+      // Pin before the direct read; the snapshot path pins internally.
+      const auto pin = delta.pin_reads();
       total += snap != nullptr
                    ? snap->net_effect(context.last_execution).size()
-                   : context.db.delta(table).net_effect(context.last_execution).size();
+                   : delta.net_effect(context.last_execution).size();
       if (total >= threshold_) return true;
     }
     return false;
@@ -110,6 +113,8 @@ class AggregateDriftTrigger final : public Trigger {
     // Differential form (Section 5.3): scan only ΔR with ts > t_last.
     const auto* snap = context.snapshot_of(table_);
     const auto& delta = context.db.delta(table_);
+    // Pin before the direct reads below; the snapshot path pins internally.
+    const auto pin = delta.pin_reads();
     const bool changed = snap != nullptr ? snap->changed_since(context.last_execution)
                                          : delta.changed_since(context.last_execution);
     if (!changed) return false;

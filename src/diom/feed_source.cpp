@@ -17,6 +17,7 @@ rel::TupleId FeedSource::publish(std::vector<rel::Value> values) {
 }
 
 std::vector<delta::DeltaRow> FeedSource::pull_deltas(common::Timestamp since) const {
+  const auto pin = log_.pin_reads();  // net_effect copies; pin covers the copy
   return log_.net_effect(since);
 }
 

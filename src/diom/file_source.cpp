@@ -95,6 +95,7 @@ rel::Relation FileSource::snapshot() const {
 }
 
 std::vector<delta::DeltaRow> FileSource::pull_deltas(common::Timestamp since) const {
+  const auto pin = log_.pin_reads();  // net_effect copies; pin covers the copy
   return log_.net_effect(since);
 }
 
