@@ -41,6 +41,14 @@ Rules (scoped to src/ and examples/ unless noted):
                   libFuzzer binaries and the fuzz_replay_<name> ctest
                   cases — an unregistered target never replays in CI).
 
+  swallowed-exception
+                  No `catch (...)` in library code (src/) that neither
+                  rethrows, captures via std::current_exception, logs
+                  through cq::log, nor carries a comment saying *why* the
+                  swallow is safe. A silent catch-all turns every future
+                  bug into a no-symptom bug; the sanctioned swallows
+                  (tracing must never take the engine down) all say so.
+
   unnamed-mutex   Every cq::common::Mutex declared in library or example
                   code carries a site name (and, for engine-lifetime locks,
                   a LockRank): `Mutex mu_{"site", LockRank::kX};`. An
@@ -81,6 +89,34 @@ COMMENT_RE = re.compile(r"^\s*(//|\*|/\*)")
 RAW_MUTEX_ALLOWED = {"src/common/sync.hpp"}
 RAW_THREAD_ALLOWED_PREFIX = "src/common/"
 IOSTREAM_ALLOWED = {"src/common/logging.cpp"}
+
+CATCH_ALL_RE = re.compile(r"\bcatch\s*\(\s*\.\.\.\s*\)")
+#: Anything that makes a catch-all honest: rethrow, capture, log, or an
+#: explanatory comment inside the handler block.
+CATCH_OK_RE = re.compile(
+    r"\bthrow\b|\bcurrent_exception\b|\blog\s*[:(]|\bCQ_LOG\b|//|/\*"
+)
+
+
+def find_swallowed_catches(text: str) -> list[int]:
+    """1-based line numbers of `catch (...)` handlers in `text` that
+    neither rethrow, capture, log, nor explain themselves."""
+    hits: list[int] = []
+    for m in CATCH_ALL_RE.finditer(text):
+        open_idx = text.find("{", m.end())
+        if open_idx < 0:
+            continue
+        depth, i = 1, open_idx + 1
+        while i < len(text) and depth:
+            if text[i] == "{":
+                depth += 1
+            elif text[i] == "}":
+                depth -= 1
+            i += 1
+        body = text[open_idx + 1 : i - 1]
+        if not CATCH_OK_RE.search(body):
+            hits.append(text.count("\n", 0, m.start()) + 1)
+    return hits
 
 
 def strip_line_comment(line: str) -> str:
@@ -157,6 +193,17 @@ def lint_tree(repo: Path) -> list[str]:
                     "log through cq::log (common/logging.hpp)"
                 )
 
+    # swallowed-exception: catch-alls in library code must rethrow, capture,
+    # log, or explain themselves.
+    for path in iter_files("src", suffixes=(".hpp", ".cpp", ".h")):
+        rp = rel(path)
+        for lineno in find_swallowed_catches(path.read_text()):
+            errors.append(
+                f"{rp}:{lineno}: swallowed-exception: `catch (...)` neither "
+                "rethrows, captures via std::current_exception, logs via "
+                "cq::log, nor carries a comment saying why the swallow is safe"
+            )
+
     # fuzz-corpus: each fuzz target needs seeds and a replay registration.
     fuzz_dir = repo / "fuzz"
     if fuzz_dir.is_dir():
@@ -192,6 +239,10 @@ def self_test() -> int:
         "iostream": ("src/bad_print.cpp", "#include <iostream>\n"),
         "fuzz-corpus": ("fuzz/fuzz_orphan.cpp", "int orphan_target();\n"),
         "unnamed-mutex": ("src/bad_anon_mutex.cpp", "struct S { common::Mutex mu_; };\n"),
+        "swallowed-exception": (
+            "src/bad_catch.cpp",
+            "void f() { try { g(); } catch (...) { count += 1; } }\n",
+        ),
     }
     failures = 0
     for rule, (relpath, content) in cases.items():

@@ -351,6 +351,8 @@ CommitTrace::CommitTrace() noexcept {
   try {
     global().traces().begin_trace(id_);
   } catch (...) {
+    // Same contract as Span::close: tracing must never take the engine
+    // down. A failed begin_trace just loses this commit's trace.
   }
 }
 
