@@ -1,0 +1,85 @@
+"""Baseline / suppression handling.
+
+scripts/cqlint/baseline.json lists the findings the project has examined
+and accepts, each with a *mandatory written justification*. Matching is
+structural — (rule, file, symbol-or-message substring) — never line
+numbers, so unrelated edits do not invalidate entries; the message match
+lets one entry pin a single capture/callee (e.g. "captures `this`")
+rather than silencing a whole function. Two honesty checks:
+
+  * an entry with a missing/short justification fails the run, and
+  * an entry that no current finding matches is reported as stale
+    (someone fixed the code: delete the suppression).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from model import Finding
+
+MIN_JUSTIFICATION = 20  # characters; "ok" is not a justification
+
+
+@dataclass
+class Suppression:
+    rule: str
+    file: str
+    symbol: str
+    justification: str
+    used: int = 0
+
+    def matches(self, f: Finding) -> bool:
+        return (f.rule == self.rule and f.file == self.file
+                and (self.symbol in f.symbol or self.symbol in f.message))
+
+
+class Baseline:
+    def __init__(self, entries: list[Suppression], path: str):
+        self.entries = entries
+        self.path = path
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.is_file():
+            return cls([], str(path))
+        doc = json.loads(path.read_text())
+        entries = [
+            Suppression(e["rule"], e["file"], e["symbol"],
+                        e.get("justification", ""))
+            for e in doc.get("suppressions", [])
+        ]
+        return cls(entries, str(path))
+
+    def validate(self) -> list[str]:
+        """Structural problems in the baseline file itself."""
+        problems = []
+        for e in self.entries:
+            if len(e.justification.strip()) < MIN_JUSTIFICATION:
+                problems.append(
+                    f"{self.path}: suppression ({e.rule}, {e.file}, "
+                    f"{e.symbol!r}) lacks a written justification "
+                    f"(≥{MIN_JUSTIFICATION} chars) — every accepted finding "
+                    "must say why it is safe")
+        return problems
+
+    def filter(self, findings: list[Finding]) -> list[Finding]:
+        kept = []
+        for f in findings:
+            for e in self.entries:
+                if e.matches(f):
+                    e.used += 1
+                    break
+            else:
+                kept.append(f)
+        return kept
+
+    def stale(self) -> list[str]:
+        return [
+            f"{self.path}: stale suppression ({e.rule}, {e.file}, "
+            f"{e.symbol!r}) matches no current finding — the code was "
+            "fixed; delete the entry"
+            for e in self.entries if e.used == 0
+        ]

@@ -1,0 +1,15 @@
+#!/usr/bin/env python3
+"""Executable entry point: `python3 scripts/cqlint/cqlint.py [...]`.
+
+Kept separate from cli.py so the package modules can import each other
+by bare name regardless of how the tool is launched."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# Run cqlint, the whole-project semantic analyzer (scripts/cqlint/).
+#
+# Backend selection mirrors check_thread_safety.sh: the libclang backend
+# is used when the pinned python bindings + shared library are present;
+# otherwise the dependency-free textual backend runs (same rules, same
+# fixtures). CI passes --require-clang so the semantic backend cannot
+# silently degrade there; local runs degrade gracefully.
+#
+# Usage:
+#   scripts/run_cqlint.sh [--require-clang] [--self-test] [extra cqlint args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+REQUIRE_CLANG=0
+ARGS=()
+for a in "$@"; do
+  case "$a" in
+    --require-clang) REQUIRE_CLANG=1 ;;
+    *) ARGS+=("$a") ;;
+  esac
+done
+
+PY=python3
+if ! command -v "$PY" >/dev/null 2>&1; then
+  echo "run_cqlint: python3 not found; skipping (install python3 to enable)" >&2
+  exit 0
+fi
+
+# Pin libclang discovery for the semantic backend: prefer an explicit
+# CQLINT_LIBCLANG, else probe the llvm major versions the tool supports.
+if [[ -z "${CQLINT_LIBCLANG:-}" ]]; then
+  for v in 18 17 16 15 14; do
+    for cand in "/usr/lib/llvm-$v/lib/libclang-$v.so.1" \
+                "/usr/lib/llvm-$v/lib/libclang.so.1" \
+                "/usr/lib/x86_64-linux-gnu/libclang-$v.so.1"; do
+      if [[ -e "$cand" ]]; then
+        export CQLINT_LIBCLANG="$cand"
+        break 2
+      fi
+    done
+  done
+fi
+
+# The semantic backend wants compile_commands.json; point it at whichever
+# configured build tree has one (dev preset first, then the default tree).
+COMPDB=""
+for d in build-dev build build-coverage; do
+  if [[ -f "$d/compile_commands.json" ]]; then
+    COMPDB="$d"
+    break
+  fi
+done
+
+CMD=("$PY" scripts/cqlint/cqlint.py)
+[[ -n "$COMPDB" ]] && CMD+=(--compdb "$COMPDB")
+if [[ "$REQUIRE_CLANG" == 1 ]]; then
+  CMD+=(--require-clang)
+fi
+CMD+=("${ARGS[@]+"${ARGS[@]}"}")
+
+echo "run_cqlint: ${CMD[*]}" >&2
+exec "${CMD[@]}"

@@ -1,0 +1,96 @@
+// cqlint negative fixture: blocking-under-lock.
+//
+// Nothing that blocks arbitrarily long — sleeps, file/socket I/O,
+// ThreadPool::run_all, waits on a foreign condition variable — may run
+// while a cq::common::Mutex is held. (The runtime lockdep from PR 8
+// catches the resulting deadlocks after the fact; this rule rejects the
+// pattern before it ships.)
+#include <chrono>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cq::common {
+class Mutex {
+ public:
+  void lock() {}
+  void unlock() {}
+};
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() { mu_.unlock(); }
+
+ private:
+  Mutex& mu_;
+};
+class CondVar {
+ public:
+  void wait(Mutex& mu) { (void)mu; }
+  void notify_all() {}
+};
+class ThreadPool {
+ public:
+  void run_all(std::vector<std::function<void()>> tasks) { (void)tasks; }
+};
+}  // namespace cq::common
+
+namespace cq {
+
+class Engine {
+ public:
+  // VIOLATION: sleeping while holding the engine mutex stalls every
+  // other acquirer for the whole nap.
+  void nap() {
+    common::LockGuard lock(mu_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));  // cqlint-expect: blocking-under-lock
+  }
+
+  // VIOLATION: dispatching to the pool under the lock — a worker that
+  // needs this same mutex deadlocks against the dispatcher.
+  void dispatch_locked(common::ThreadPool& pool,
+                       std::vector<std::function<void()>> tasks) {
+    common::LockGuard lock(mu_);
+    pool.run_all(std::move(tasks));  // cqlint-expect: blocking-under-lock
+  }
+
+  // VIOLATION: file I/O under the lock.
+  void load(const std::string& path) {
+    common::LockGuard lock(mu_);
+    std::ifstream in(path);  // cqlint-expect: blocking-under-lock
+    (void)in;
+  }
+
+  // VIOLATION: waiting on a condvar paired with a DIFFERENT mutex while
+  // this one is held — the classic two-lock deadlock recipe.
+  void cross_wait() {
+    common::LockGuard lock(mu_);
+    done_cv_.wait(other_mu_);  // cqlint-expect: blocking-under-lock
+  }
+
+  // OK (near-miss): waiting on the condvar paired with the mutex we
+  // hold is the sanctioned pattern (the wait releases and re-acquires).
+  void drain() {
+    common::LockGuard lock(mu_);
+    done_cv_.wait(mu_);
+  }
+
+  // OK (near-miss): the sleep happens after the guard's scope closed.
+  void nap_unlocked() {
+    {
+      common::LockGuard lock(mu_);
+      counter_ += 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+ private:
+  mutable common::Mutex mu_;
+  mutable common::Mutex other_mu_;
+  common::CondVar done_cv_;
+  int counter_ = 0;
+};
+
+}  // namespace cq

@@ -1,0 +1,82 @@
+// cqlint negative fixture: pin-before-snapshot.
+//
+// DeltaRelation reads (net_effect / insertions / deletions) must happen
+// under a live ReadPin — otherwise GC may truncate the delta log rows
+// mid-read (use-after-truncate). Reads through a DeltaSnapshot are safe:
+// the snapshot takes its own pin at construction.
+#include <cstdint>
+#include <vector>
+
+namespace cq::delta {
+
+struct DeltaRow {
+  std::int64_t tid = 0;
+};
+
+class DeltaRelation {
+ public:
+  class ReadPin {
+   public:
+    ReadPin() = default;
+    ~ReadPin() = default;
+  };
+
+  ReadPin pin_reads() const { return ReadPin{}; }
+  const std::vector<DeltaRow>& net_effect(std::int64_t since) const {
+    (void)since;
+    return rows_;
+  }
+  const std::vector<DeltaRow>& insertions(std::int64_t since) const {
+    (void)since;
+    return rows_;
+  }
+
+ private:
+  std::vector<DeltaRow> rows_;
+};
+
+class DeltaSnapshot {
+ public:
+  explicit DeltaSnapshot(const DeltaRelation& source)
+      : source_(source), pin_(source.pin_reads()) {}
+  const std::vector<DeltaRow>& net_effect(std::int64_t since) const {
+    return source_.net_effect(since);
+  }
+
+ private:
+  const DeltaRelation& source_;
+  DeltaRelation::ReadPin pin_;
+};
+
+}  // namespace cq::delta
+
+namespace cq {
+
+// VIOLATION: live-log read with no pin in scope — GC can truncate the
+// vector this loop is walking.
+std::size_t count_unpinned(const delta::DeltaRelation& rel, std::int64_t since) {
+  std::size_t n = 0;
+  for (const auto& row : rel.net_effect(since)) {  // cqlint-expect: pin-before-snapshot
+    (void)row;
+    ++n;
+  }
+  return n;
+}
+
+// VIOLATION: insertions() is the same read path under another name.
+std::size_t count_insertions(const delta::DeltaRelation& rel, std::int64_t since) {
+  return rel.insertions(since).size();  // cqlint-expect: pin-before-snapshot
+}
+
+// OK (near-miss): the pin is taken first and lives across the read.
+std::size_t count_pinned(const delta::DeltaRelation& rel, std::int64_t since) {
+  const auto pin = rel.pin_reads();
+  return rel.net_effect(since).size();
+}
+
+// OK (near-miss): a DeltaSnapshot receiver pins internally.
+std::size_t count_via_snapshot(const delta::DeltaSnapshot& snap, std::int64_t since) {
+  return snap.net_effect(since).size();
+}
+
+}  // namespace cq
