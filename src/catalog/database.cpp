@@ -1,47 +1,162 @@
 #include "catalog/database.hpp"
 
+#include <algorithm>
+
 #include "catalog/transaction.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
 
 namespace cq::cat {
 
+// ------------------------------------------------------------ ShardLockSet --
+
+namespace {
+/// Innermost ShardLockSet frame on this thread — commits nested inside a
+/// dispatch (a sink writing back) must not re-acquire shards the
+/// enclosing commit already holds.
+ShardLockSet** innermost_slot() noexcept {
+  thread_local ShardLockSet* innermost = nullptr;
+  return &innermost;
+}
+}  // namespace
+
+ShardLockSet::ShardLockSet(const Database& db, std::uint32_t mask)
+    : db_(&db), prev_(*innermost_slot()) {
+  std::uint32_t held = 0;
+  for (ShardLockSet* f = prev_; f != nullptr; f = f->prev_) {
+    if (f->db_ == db_) held |= f->locked_;
+  }
+  const std::uint32_t to_lock = mask & ~held;
+  for (std::size_t i = 0; i < Database::kNumShards; ++i) {
+    if ((to_lock & (1u << i)) == 0) continue;
+    db_->shards_[i].mu.lock();
+    locked_ |= 1u << i;
+  }
+  *innermost_slot() = this;
+}
+
+ShardLockSet::~ShardLockSet() {
+  for (std::size_t i = Database::kNumShards; i-- > 0;) {
+    if ((locked_ & (1u << i)) != 0) db_->shards_[i].mu.unlock();
+  }
+  *innermost_slot() = prev_;
+}
+
+// ---------------------------------------------------------------- Database --
+
 Database::Database(std::shared_ptr<common::Clock> clock) : clock_(std::move(clock)) {
   if (!clock_) throw common::InvalidArgument("Database: null clock");
+  // The shard mutexes share one site and rank; the order key (shard
+  // index + 1, zero means "no cohort") is what lets the lock-order
+  // checker admit ascending-index acquisition of several of them.
+  for (std::size_t i = 0; i < kNumShards; ++i) {
+    shards_[i].mu.set_order_key(static_cast<std::uint32_t>(i + 1));
+  }
 }
 
 Database::Database() : Database(std::make_shared<common::VirtualClock>()) {}
 
+Database::Database(Database&& other) noexcept
+    : clock_(std::move(other.clock_)),
+      zones_(std::move(other.zones_)),
+      commit_hook_(std::move(other.commit_hook_)),
+      closure_hook_(std::move(other.closure_hook_)) {
+  for (std::size_t i = 0; i < kNumShards; ++i) {
+    shards_[i].mu.set_order_key(static_cast<std::uint32_t>(i + 1));
+    shards_[i].tables = std::move(other.shards_[i].tables);
+    shards_[i].commits.store(other.shards_[i].commits.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+  }
+  // Our own ts_mu_ stays unlocked: *this is invisible mid-construction,
+  // and a second same-rank "commit_ts" acquisition would trip the
+  // lock-order checker.
+  common::LockGuard lock(other.ts_mu_);
+  commit_seq_ = other.commit_seq_;
+}
+
+std::size_t Database::shard_of(const std::string& name) noexcept {
+  return std::hash<std::string>{}(name) % kNumShards;
+}
+
+std::uint32_t Database::shard_mask(const std::vector<std::string>& tables) noexcept {
+  std::uint32_t mask = 0;
+  for (const auto& name : tables) mask |= 1u << shard_of(name);
+  return mask;
+}
+
+std::vector<std::string> Database::commit_closure(
+    const std::vector<std::string>& write_set) const {
+  std::vector<std::string> closure = write_set;
+  if (closure_hook_) closure_hook_(write_set, closure);
+  return closure;
+}
+
+common::Timestamp Database::allocate_commit_ts() {
+  common::LockGuard lock(ts_mu_);
+  ++commit_seq_;
+  return clock_->tick();
+}
+
+std::uint64_t Database::commit_sequence() const {
+  common::LockGuard lock(ts_mu_);
+  return commit_seq_;
+}
+
+std::uint64_t Database::shard_commits(std::size_t i) const noexcept {
+  if (i >= kNumShards) return 0;
+  return shards_[i].commits.load(std::memory_order_relaxed);
+}
+
+rel::TupleId Database::reserve_tid(const std::string& table) {
+  Table& entry = table_entry(table);
+  ShardLockSet lock(*this, 1u << shard_of(table));
+  return entry.base.reserve_tid();
+}
+
+void Database::unreserve_tid(const std::string& table, rel::TupleId tid) noexcept {
+  auto& shard = shards_[shard_of(table)];
+  auto it = shard.tables.find(table);
+  if (it == shard.tables.end()) return;
+  ShardLockSet lock(*this, 1u << shard_of(table));
+  it->second.base.unreserve_tid(tid);
+}
+
 void Database::create_table(const std::string& name, rel::Schema schema) {
   if (name.empty()) throw common::InvalidArgument("Database: empty table name");
-  if (tables_.contains(name)) {
+  if (has_table(name)) {
     throw common::InvalidArgument("Database: table '" + name + "' already exists");
   }
-  auto [it, inserted] = tables_.emplace(name, Table(std::move(schema)));
+  Shard& shard = shards_[shard_of(name)];
+  ShardLockSet lock(*this, 1u << shard_of(name));
+  auto [it, inserted] = shard.tables.emplace(name, Table(std::move(schema)));
   (void)inserted;
   it->second.delta.set_name(name);
 }
 
 bool Database::has_table(const std::string& name) const noexcept {
-  return tables_.contains(name);
+  return shards_[shard_of(name)].tables.contains(name);
 }
 
 std::vector<std::string> Database::table_names() const {
   std::vector<std::string> out;
-  out.reserve(tables_.size());
-  for (const auto& [name, table] : tables_) out.push_back(name);
+  for (const auto& shard : shards_) {
+    for (const auto& [name, table] : shard.tables) out.push_back(name);
+  }
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 Table& Database::table_entry(const std::string& name) {
-  auto it = tables_.find(name);
-  if (it == tables_.end()) throw common::NotFound("Database: no table '" + name + "'");
+  auto& tables = shards_[shard_of(name)].tables;
+  auto it = tables.find(name);
+  if (it == tables.end()) throw common::NotFound("Database: no table '" + name + "'");
   return it->second;
 }
 
 const Table& Database::table_entry(const std::string& name) const {
-  auto it = tables_.find(name);
-  if (it == tables_.end()) throw common::NotFound("Database: no table '" + name + "'");
+  const auto& tables = shards_[shard_of(name)].tables;
+  auto it = tables.find(name);
+  if (it == tables.end()) throw common::NotFound("Database: no table '" + name + "'");
   return it->second;
 }
 
@@ -97,6 +212,7 @@ void Database::create_index(const std::string& table, const std::string& index_n
     throw common::InvalidArgument("Database: index needs at least one column");
   }
   Table& entry = table_entry(table);
+  ShardLockSet lock(*this, 1u << shard_of(table));
   if (entry.indexes.contains(index_name)) {
     throw common::InvalidArgument("Database: index '" + index_name +
                                   "' already exists on '" + table + "'");
@@ -141,7 +257,7 @@ const rel::MaintainedIndex& Database::index(const std::string& table,
 void Database::restore_table(const std::string& name, rel::Relation base,
                              delta::DeltaRelation log) {
   if (name.empty()) throw common::InvalidArgument("Database: empty table name");
-  if (tables_.contains(name)) {
+  if (has_table(name)) {
     throw common::InvalidArgument("Database: table '" + name + "' already exists");
   }
   if (!(base.schema() == log.base_schema())) {
@@ -152,7 +268,9 @@ void Database::restore_table(const std::string& name, rel::Relation base,
   table.delta = std::move(log);
   table.delta.set_name(name);
   table.base_bytes = table.base.byte_size();  // one O(n) pass at restore
-  tables_.emplace(name, std::move(table));
+  Shard& shard = shards_[shard_of(name)];
+  ShardLockSet lock(*this, 1u << shard_of(name));
+  shard.tables.emplace(name, std::move(table));
 }
 
 std::vector<std::string> Database::index_names(const std::string& table) const {
@@ -189,9 +307,14 @@ std::size_t Database::garbage_collect() {
   namespace obs = common::obs;
   const common::Timestamp cutoff = zones_.system_zone_start().value_or(clock_->now());
   std::size_t reclaimed = 0;
-  for (auto& [name, table] : tables_) {
-    reclaimed += table.delta.truncate_before(cutoff);
-    if (obs::enabled()) table.publish_gauges(name);
+  // One shard at a time: GC never stalls the whole commit pipeline, only
+  // the shard it is truncating.
+  for (std::size_t i = 0; i < kNumShards; ++i) {
+    ShardLockSet lock(*this, 1u << i);
+    for (auto& [name, table] : shards_[i].tables) {
+      reclaimed += table.delta.truncate_before(cutoff);
+      if (obs::enabled()) table.publish_gauges(name);
+    }
   }
   obs::event(obs::Severity::kInfo, "gc_pass", "database",
              "reclaimed " + std::to_string(reclaimed) + " delta row(s), cutoff " +
@@ -206,22 +329,49 @@ std::size_t Database::garbage_collect() {
 
 std::size_t Database::delta_bytes() const noexcept {
   std::size_t total = 0;
-  for (const auto& [name, table] : tables_) total += table.delta.byte_size();
+  for (std::size_t i = 0; i < kNumShards; ++i) {
+    ShardLockSet lock(*this, 1u << i);
+    for (const auto& [name, table] : shards_[i].tables) total += table.delta.byte_size();
+  }
   return total;
 }
 
 void Database::refresh_resource_gauges() const {
-  for (const auto& [name, table] : tables_) table.publish_gauges(name);
+  for (std::size_t i = 0; i < kNumShards; ++i) {
+    ShardLockSet lock(*this, 1u << i);
+    for (const auto& [name, table] : shards_[i].tables) table.publish_gauges(name);
+  }
 }
 
 void Database::notify_commit(const std::vector<std::string>& tables,
                              common::Timestamp ts) {
+  // Caller (Transaction::commit) holds the shard locks of the whole
+  // commit closure, so the gauges and the dispatched CQ evaluations read
+  // a stable snapshot of every table involved.
+  const std::uint32_t touched_shards = shard_mask(tables);
+  for (std::size_t i = 0; i < kNumShards; ++i) {
+    if ((touched_shards & (1u << i)) != 0) {
+      shards_[i].commits.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   if (common::obs::enabled()) {
+    namespace obs = common::obs;
     // Keep the touched tables' resource gauges fresh: one O(1) publish per
     // table per commit (sizes and byte totals are maintained incrementally).
     for (const auto& name : tables) {
-      auto it = tables_.find(name);
-      if (it != tables_.end()) it->second.publish_gauges(name);
+      const auto& shard_tables = shards_[shard_of(name)].tables;
+      auto it = shard_tables.find(name);
+      if (it != shard_tables.end()) it->second.publish_gauges(name);
+    }
+    for (std::size_t i = 0; i < kNumShards; ++i) {
+      if ((touched_shards & (1u << i)) == 0) continue;
+      const Shard& shard = shards_[i];
+      if (shard.commits_gauge == nullptr) {
+        shard.commits_gauge = &obs::global().gauge(
+            obs::gauge::kShardCommits, obs::Labels{{"shard", std::to_string(i)}});
+      }
+      shard.commits_gauge->set(
+          static_cast<std::int64_t>(shard.commits.load(std::memory_order_relaxed)));
     }
   }
   if (commit_hook_) {

@@ -3,8 +3,27 @@
 // information source: updates arrive as transactions (Example 1), the
 // system instantiates the differential relation as a side effect, and the
 // DRA later reads (base, ΔR, timestamps) from here (Section 4.2 inputs).
+//
+// The catalog is *sharded* by relation for multi-writer commits: tables
+// hash onto kNumShards shards, each with its own commit lock (site
+// "commit_shard", a same-rank cohort ordered by shard index — see
+// docs/lock-hierarchy.md). A committing transaction acquires only the
+// shards its write set (plus the read closure of the CQs it can trigger)
+// hashes to, in ascending shard order, so transactions over disjoint
+// shard sets commit — and dispatch their notifications — concurrently.
+// Timestamp allocation stays a single short critical section
+// ("commit_ts") that totally orders commits.
+//
+// Concurrency contract: DDL (create_table / create_index /
+// restore_table) and whole-catalog reads (table_names, index lookups)
+// require commits to be quiesced — the table *maps* only change under
+// DDL, which is why table()/delta() lookups stay lock-free. Rows inside
+// a table are guarded by its shard's commit lock.
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -13,6 +32,7 @@
 
 #include "common/clock.hpp"
 #include "common/observability.hpp"
+#include "common/sync.hpp"
 #include "delta/delta_relation.hpp"
 #include "delta/delta_zone.hpp"
 #include "relation/index.hpp"
@@ -21,6 +41,7 @@
 namespace cq::cat {
 
 class Transaction;
+class ShardLockSet;
 
 /// One base relation together with its change log and persistent indexes.
 struct Table {
@@ -57,12 +78,26 @@ struct Table {
 
 class Database {
  public:
+  /// Catalog shard fan-out. A power of two keeps the mask math cheap and
+  /// 8 comfortably exceeds the writer parallelism the bench exercises;
+  /// the shard lock cohort and the per-shard gauges are sized to it.
+  static constexpr std::size_t kNumShards = 8;
+
   /// Databases share their clock with the CQ manager so commit timestamps
   /// and CQ execution timestamps are comparable.
   explicit Database(std::shared_ptr<common::Clock> clock);
 
   /// Convenience: a database with its own VirtualClock.
   Database();
+
+  /// Move support for snapshot restore (persist::load_database builds a
+  /// Database by value and hands it to a Mediator). The source must be
+  /// quiescent — no in-flight transactions, no thread holding any of its
+  /// shard locks; the moved-to database gets fresh locks of its own.
+  Database(Database&& other) noexcept;
+  Database& operator=(Database&&) = delete;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
 
   [[nodiscard]] common::Clock& clock() const noexcept { return *clock_; }
   [[nodiscard]] std::shared_ptr<common::Clock> clock_ptr() const noexcept { return clock_; }
@@ -73,9 +108,21 @@ class Database {
   [[nodiscard]] bool has_table(const std::string& name) const noexcept;
   [[nodiscard]] std::vector<std::string> table_names() const;
 
-  /// Read access to a table's current contents / change log.
+  /// Read access to a table's current contents / change log. Lock-free:
+  /// the shard maps only change under (quiesced) DDL. Callers racing
+  /// concurrent commits must hold the table's shard lock (the eager
+  /// dispatch path runs with the whole closure locked).
   [[nodiscard]] const rel::Relation& table(const std::string& name) const;
   [[nodiscard]] const delta::DeltaRelation& delta(const std::string& name) const;
+
+  /// Shard index `name` hashes to (stable for the database's lifetime).
+  [[nodiscard]] static std::size_t shard_of(const std::string& name) noexcept;
+
+  /// Commits applied through shard `i` so far.
+  [[nodiscard]] std::uint64_t shard_commits(std::size_t i) const noexcept;
+
+  /// Total commits allocated a timestamp so far.
+  [[nodiscard]] std::uint64_t commit_sequence() const;
 
   // ---- persistent indexes ----
 
@@ -122,7 +169,9 @@ class Database {
   [[nodiscard]] const delta::DeltaZoneRegistry& zones() const noexcept { return zones_; }
 
   /// Drop every delta row outside the system active delta zone. With no
-  /// registered CQ, drops everything up to `now`. Returns rows reclaimed.
+  /// registered CQ, drops everything up to `now`. Locks one shard at a
+  /// time, so it interleaves with concurrent commits to other shards.
+  /// Returns rows reclaimed.
   std::size_t garbage_collect();
 
   /// Total bytes held by all differential relations.
@@ -136,22 +185,92 @@ class Database {
 
   /// Hook invoked after every commit (used for eager trigger evaluation,
   /// Section 5.3 strategy 1). Receives the names of the tables the commit
-  /// touched and the commit timestamp.
+  /// touched and the commit timestamp. Runs *while the commit's shard
+  /// lock set is held*, so everything it reads through the closure (see
+  /// set_commit_closure_hook) is stable and conflicting commits observe
+  /// exactly the sequential dispatch order.
   using CommitHook =
       std::function<void(const std::vector<std::string>&, common::Timestamp)>;
   void set_commit_hook(CommitHook hook) { commit_hook_ = std::move(hook); }
 
+  /// Closure hook: given a commit's write set, append every further table
+  /// the commit hook will read (the read sets of the CQs the write set
+  /// can trigger). Commit acquires the shard locks of the whole closure,
+  /// so disjoint-closure commits run fully concurrently while commits
+  /// sharing a CQ serialize. Without a hook the closure is the write set.
+  using ClosureHook = std::function<void(const std::vector<std::string>& write_set,
+                                         std::vector<std::string>& closure)>;
+  void set_commit_closure_hook(ClosureHook hook) { closure_hook_ = std::move(hook); }
+
  private:
   friend class Transaction;
+  friend class ShardLockSet;
+
+  /// One catalog shard: the tables hashing here plus the commit lock that
+  /// guards their rows (and this map's structure, outside quiesced DDL).
+  /// The shard mutexes form a rank cohort — every shard shares the
+  /// "commit_shard" site and rank, and carries order key (index + 1) so
+  /// the lock-order checker admits only ascending-index acquisition.
+  struct Shard {
+    mutable common::Mutex mu{"commit_shard",
+                             common::lockorder::LockRank::kCommitShard};
+    std::map<std::string, Table> tables;
+    std::atomic<std::uint64_t> commits{0};
+    mutable common::obs::Gauge* commits_gauge = nullptr;  // lazily resolved
+  };
 
   [[nodiscard]] Table& table_entry(const std::string& name);
   [[nodiscard]] const Table& table_entry(const std::string& name) const;
+
+  /// Shard-mask of a table list (bit i = shard i).
+  [[nodiscard]] static std::uint32_t shard_mask(
+      const std::vector<std::string>& tables) noexcept;
+
+  /// The commit closure of `write_set`: the write set itself plus
+  /// whatever the closure hook appends.
+  [[nodiscard]] std::vector<std::string> commit_closure(
+      const std::vector<std::string>& write_set) const;
+
+  /// Allocate the commit timestamp and the global commit sequence number
+  /// as one atomic step (the "commit_ts" critical section). Called with
+  /// the commit's shard locks held, so per-relation delta appends stay
+  /// timestamp-ordered.
+  [[nodiscard]] common::Timestamp allocate_commit_ts();
+
+  /// Reserve / return a tid under the table's shard lock (Transaction
+  /// insert/abort — reservation must not race concurrent writers).
+  [[nodiscard]] rel::TupleId reserve_tid(const std::string& table);
+  void unreserve_tid(const std::string& table, rel::TupleId tid) noexcept;
+
   void notify_commit(const std::vector<std::string>& tables, common::Timestamp ts);
 
   std::shared_ptr<common::Clock> clock_;
-  std::map<std::string, Table> tables_;
+  std::array<Shard, kNumShards> shards_;
+  mutable common::Mutex ts_mu_{"commit_ts", common::lockorder::LockRank::kCommitTs};
+  std::uint64_t commit_seq_ CQ_GUARDED_BY(ts_mu_) = 0;
   delta::DeltaZoneRegistry zones_;
   CommitHook commit_hook_;
+  ClosureHook closure_hook_;
+};
+
+/// RAII acquisition of a set of catalog shard locks, always in ascending
+/// shard order (the cohort discipline the lock-order checker enforces).
+/// Reentrancy-aware: shards already held by an enclosing ShardLockSet on
+/// this thread (e.g. a result sink committing during eager dispatch) are
+/// not re-acquired — but such nested commits may only *add* shards above
+/// the highest one held, or the runtime checker dies loudly; locking a
+/// lower shard from inside a dispatch is a deadlock under concurrency.
+class ShardLockSet {
+ public:
+  ShardLockSet(const Database& db, std::uint32_t mask);
+  ~ShardLockSet();
+  ShardLockSet(const ShardLockSet&) = delete;
+  ShardLockSet& operator=(const ShardLockSet&) = delete;
+
+ private:
+  const Database* db_;
+  std::uint32_t locked_ = 0;      // shards this frame acquired itself
+  ShardLockSet* prev_ = nullptr;  // enclosing frame on this thread
 };
 
 }  // namespace cq::cat

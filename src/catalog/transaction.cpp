@@ -1,5 +1,6 @@
 #include "catalog/transaction.hpp"
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <set>
@@ -14,14 +15,21 @@ using common::Timestamp;
 using rel::TupleId;
 using rel::Value;
 
+namespace obs = common::obs;
+
 Transaction::~Transaction() {
   if (state_ == State::kActive) abort();
 }
 
 Transaction::Transaction(Transaction&& other) noexcept
-    : db_(other.db_), ops_(std::move(other.ops_)), state_(other.state_) {
+    : db_(other.db_),
+      ops_(std::move(other.ops_)),
+      reserved_(std::move(other.reserved_)),
+      apply_fault_hook_(std::move(other.apply_fault_hook_)),
+      state_(other.state_) {
   other.state_ = State::kAborted;
   other.ops_.clear();
+  other.reserved_.clear();
 }
 
 void Transaction::require_active() const {
@@ -36,7 +44,8 @@ TupleId Transaction::insert(const std::string& table, std::vector<Value> values)
   if (values.size() != entry.base.schema().size()) {
     throw common::SchemaMismatch("Transaction::insert arity mismatch for '" + table + "'");
   }
-  const TupleId tid = entry.base.reserve_tid();
+  const TupleId tid = db_->reserve_tid(table);
+  reserved_.emplace_back(table, tid);
   ops_.push_back(Op{OpKind::kInsert, table, tid, std::move(values)});
   return tid;
 }
@@ -67,7 +76,28 @@ Timestamp Transaction::commit() {
   // parallel — ThreadPool propagates the context), and at scope exit
   // records the root "commit" span, the commit_to_notify_us sample and
   // the tail-retention decision. One branch when collection is off.
-  common::obs::CommitTrace trace;
+  obs::CommitTrace trace;
+
+  // ---- lock the commit closure's shards, ascending shard order ----
+  // The closure is the write set plus everything the eager dispatcher
+  // will read on our behalf (the read sets of the CQs we can trigger);
+  // holding it across validate/apply/stamp/dispatch is what makes
+  // conflicting commits observe exactly the sequential order while
+  // disjoint ones overlap completely.
+  std::vector<std::string> write_set;
+  for (const auto& op : ops_) {
+    if (std::find(write_set.begin(), write_set.end(), op.table) == write_set.end()) {
+      write_set.push_back(op.table);
+    }
+  }
+  const std::vector<std::string> closure = db_->commit_closure(write_set);
+  std::optional<ShardLockSet> locks;
+  {
+    static obs::Histogram& lock_wait_hist =
+        obs::global().histogram(obs::hist::kCommitLockWaitUs);
+    obs::Span lock_span("commit.lock_wait", &lock_wait_hist);
+    locks.emplace(*db_, Database::shard_mask(closure));
+  }
 
   // ---- validation pass: simulate visibility without touching the base ----
   // exists[t][tid]: known liveness of a tid after the ops so far; absent
@@ -111,41 +141,79 @@ Timestamp Transaction::commit() {
   // Ordered map => deterministic delta append order across runs.
   std::map<std::string, std::map<TupleId, NetChange>> net;
 
-  for (const auto& op : ops_) {
-    Table& entry = db_->table_entry(op.table);
-    auto& changes = net[op.table];
-    auto [it, fresh] = changes.try_emplace(op.tid);
-    NetChange& change = it->second;
-    switch (op.kind) {
-      case OpKind::kInsert: {
-        if (fresh) change.pre_existing = false;
-        entry.apply_insert(rel::Tuple(op.values, op.tid));
-        change.new_values = op.values;
-        break;
-      }
-      case OpKind::kDelete: {
-        rel::Tuple old = entry.apply_erase(op.tid);
-        if (fresh) {
-          change.pre_existing = true;
-          change.old_values = old.values();
+  // Undo journal: enough to reverse every applied op if a later one
+  // throws — commit is all-or-nothing even past validation (apply_* can
+  // still fail on e.g. allocation).
+  struct AppliedOp {
+    Table* table;
+    OpKind kind;
+    TupleId tid;
+    std::vector<Value> old_values;  // pre-image for kDelete / kModify
+  };
+  std::vector<AppliedOp> applied;
+  applied.reserve(ops_.size());
+
+  try {
+    for (const auto& op : ops_) {
+      Table& entry = db_->table_entry(op.table);
+      auto& changes = net[op.table];
+      auto [it, fresh] = changes.try_emplace(op.tid);
+      NetChange& change = it->second;
+      switch (op.kind) {
+        case OpKind::kInsert: {
+          if (fresh) change.pre_existing = false;
+          entry.apply_insert(rel::Tuple(op.values, op.tid));
+          applied.push_back(AppliedOp{&entry, op.kind, op.tid, {}});
+          change.new_values = op.values;
+          break;
         }
-        change.new_values.reset();
-        break;
-      }
-      case OpKind::kModify: {
-        rel::Tuple old = entry.apply_update(op.tid, op.values);
-        if (fresh) {
-          change.pre_existing = true;
-          change.old_values = old.values();
+        case OpKind::kDelete: {
+          rel::Tuple old = entry.apply_erase(op.tid);
+          applied.push_back(AppliedOp{&entry, op.kind, op.tid, old.values()});
+          if (fresh) {
+            change.pre_existing = true;
+            change.old_values = old.values();
+          }
+          change.new_values.reset();
+          break;
         }
-        change.new_values = op.values;
-        break;
+        case OpKind::kModify: {
+          rel::Tuple old = entry.apply_update(op.tid, op.values);
+          applied.push_back(AppliedOp{&entry, op.kind, op.tid, old.values()});
+          if (fresh) {
+            change.pre_existing = true;
+            change.old_values = old.values();
+          }
+          change.new_values = op.values;
+          break;
+        }
+      }
+      if (apply_fault_hook_) apply_fault_hook_(applied.size());
+    }
+  } catch (...) {
+    // Roll back in reverse order; each undo reverses an op that just
+    // succeeded, so the pre-rollback state it needs is exactly in place.
+    for (auto it = applied.rbegin(); it != applied.rend(); ++it) {
+      switch (it->kind) {
+        case OpKind::kInsert:
+          it->table->apply_erase(it->tid);
+          break;
+        case OpKind::kDelete:
+          it->table->apply_insert(rel::Tuple(it->old_values, it->tid));
+          break;
+        case OpKind::kModify:
+          it->table->apply_update(it->tid, it->old_values);
+          break;
       }
     }
+    throw;
   }
 
   // ---- stamp and log the net effect ----
-  const Timestamp ts = db_->clock_->tick();
+  // Timestamp + global commit sequence come from one short critical
+  // section; our shard locks are held, so per-relation delta appends
+  // arrive in timestamp order.
+  const Timestamp ts = db_->allocate_commit_ts();
   std::vector<std::string> touched;
   for (auto& [table_name, changes] : net) {
     Table& entry = db_->table_entry(table_name);
@@ -169,6 +237,7 @@ Timestamp Transaction::commit() {
 
   state_ = State::kCommitted;
   ops_.clear();
+  reserved_.clear();  // consumed by the commit
   if (trace.active()) {
     std::string label;
     for (const auto& name : touched) {
@@ -177,6 +246,8 @@ Timestamp Transaction::commit() {
     }
     trace.set_label(std::move(label));
   }
+  // Dispatch while the closure is still locked: a conflicting commit
+  // cannot slip its changes between our apply and our notifications.
   db_->notify_commit(touched, ts);
   return ts;
 }
@@ -184,6 +255,13 @@ Timestamp Transaction::commit() {
 void Transaction::abort() noexcept {
   state_ = State::kAborted;
   ops_.clear();
+  // Return reserved tids newest-first; each return succeeds while the
+  // reservation is still on top, so a clean abort leaves the counter
+  // exactly where it started.
+  for (auto it = reserved_.rbegin(); it != reserved_.rend(); ++it) {
+    db_->unreserve_tid(it->first, it->second);
+  }
+  reserved_.clear();
 }
 
 }  // namespace cq::cat

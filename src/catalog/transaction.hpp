@@ -9,9 +9,21 @@
 // Changes become visible — and are appended to the differential relations,
 // composed to their per-tid net effect — atomically at commit(), stamped
 // with a single fresh timestamp.
+//
+// Commit pipeline (multi-writer): compute the commit closure (write set
+// plus the read sets of the CQs it can trigger), acquire the closure's
+// shard locks in ascending shard order, validate, apply all-or-nothing
+// (a failure mid-apply rolls every applied op back), allocate the commit
+// timestamp in the "commit_ts" critical section, append the net effect
+// to the delta logs, and dispatch notifications — all before releasing
+// the shards. Transactions over disjoint closures run this whole
+// pipeline concurrently; conflicting ones serialize on their shared
+// shards, so each CQ still observes exactly the sequential order.
 #pragma once
 
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/timestamp.hpp"
@@ -31,7 +43,9 @@ class Transaction {
   Transaction& operator=(const Transaction&) = delete;
 
   /// Queue an insert; the returned tid may be used by later ops in this
-  /// transaction (e.g. modify a row inserted moments earlier).
+  /// transaction (e.g. modify a row inserted moments earlier). The tid is
+  /// reserved under the table's shard lock, so concurrent transactions
+  /// never race a reservation.
   rel::TupleId insert(const std::string& table, std::vector<rel::Value> values);
 
   /// Queue a deletion of the row with this tid.
@@ -43,14 +57,25 @@ class Transaction {
   /// Validate and apply every queued op atomically, append the net effect to
   /// the differential relations, and return the commit timestamp. A
   /// validation failure (unknown table/tid, double delete, arity mismatch)
-  /// throws and leaves the database untouched.
+  /// throws and leaves the database untouched; a failure mid-apply rolls
+  /// back the already-applied ops before rethrowing, so the base tables
+  /// never expose a partial transaction.
   common::Timestamp commit();
 
-  /// Discard all queued ops. Reserved tids are not reused.
+  /// Discard all queued ops. Reserved tids are returned when no later
+  /// reservation built on top of them (so an abort normally does not
+  /// disturb the tids of subsequent commits).
   void abort() noexcept;
 
   [[nodiscard]] bool active() const noexcept { return state_ == State::kActive; }
   [[nodiscard]] std::size_t pending_ops() const noexcept { return ops_.size(); }
+
+  /// Test seam: invoked after each op the apply pass applies, with the
+  /// count of ops applied so far. A hook that throws exercises the
+  /// mid-apply rollback path. Never set in production code.
+  void set_apply_fault_hook_for_testing(std::function<void(std::size_t)> hook) {
+    apply_fault_hook_ = std::move(hook);
+  }
 
  private:
   friend class Database;
@@ -70,6 +95,9 @@ class Transaction {
 
   Database* db_;
   std::vector<Op> ops_;
+  /// Tids reserved by insert(), in reservation order; unwound on abort.
+  std::vector<std::pair<std::string, rel::TupleId>> reserved_;
+  std::function<void(std::size_t)> apply_fault_hook_;
   State state_ = State::kActive;
 };
 

@@ -44,6 +44,7 @@ struct Held {
   const void* addr = nullptr;
   const char* name = nullptr;
   std::uint16_t rank = 0;
+  std::uint32_t order_key = 0;
   std::uint32_t site = kNoSite;
   int frames = 0;
   void* stack[kMaxFrames];
@@ -193,7 +194,8 @@ std::uint32_t register_site(const char* name, std::uint16_t rank) noexcept {
 }
 
 void on_lock(const void* addr, const char* name, std::uint16_t rank,
-             std::uint32_t site, bool blocking) noexcept {
+             std::uint32_t order_key, std::uint32_t site,
+             bool blocking) noexcept {
   ThreadState& state = tls();
   if (state.in_checker) return;
   // Self-deadlock and rank monotonicity, against everything held. Checked
@@ -205,9 +207,21 @@ void on_lock(const void* addr, const char* name, std::uint16_t rank,
       violation("self-deadlock: relocking a mutex this thread already holds",
                 state, h, name, rank);
     }
-    if (blocking && rank != 0 && h.rank != 0 && h.rank >= rank) {
-      violation("rank inversion: acquisition rank must strictly increase",
-                state, h, name, rank);
+    if (blocking && rank != 0 && h.rank != 0) {
+      if (h.rank > rank) {
+        violation("rank inversion: acquisition rank must strictly increase",
+                  state, h, name, rank);
+      } else if (h.rank == rank) {
+        // Cohort rule: equal-rank blocking is legal only between members
+        // of one ordered array (both keys nonzero) taken in strictly
+        // ascending key order — e.g. the commit shards by shard index.
+        if (h.order_key == 0 || order_key == 0 || h.order_key >= order_key) {
+          violation(
+              "same-rank acquisition outside ascending cohort order "
+              "(equal ranks need strictly increasing nonzero order keys)",
+              state, h, name, rank);
+        }
+      }
     }
   }
   for (std::size_t i = 0; i < state.depth; ++i) {
@@ -221,6 +235,7 @@ void on_lock(const void* addr, const char* name, std::uint16_t rank,
   h.addr = addr;
   h.name = name;
   h.rank = rank;
+  h.order_key = order_key;
   h.site = site;
   capture_stack(h);
 }

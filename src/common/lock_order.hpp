@@ -49,6 +49,19 @@ enum class LockRank : std::uint16_t {
   kEngine = 10,
   /// diom::Mediator internal state (sources, cursors, sync stats).
   kMediator = 20,
+  /// Per-shard catalog commit locks (catalog::Database). A *cohort*: the
+  /// shards share this rank and one site literal, and are acquired in
+  /// ascending shard order — each shard mutex carries its shard index as
+  /// an order key, and same-rank acquisition is legal only with strictly
+  /// ascending nonzero keys.
+  kCommitShard = 22,
+  /// Commit timestamp/sequence allocator (catalog::Database) — the short
+  /// critical section that totally orders commits.
+  kCommitTs = 24,
+  /// CqManager registered-CQ map structure (install/finish vs. dispatch).
+  kCqEntries = 26,
+  /// DeltaZoneRegistry per-relation zone clocks.
+  kDeltaZones = 28,
   /// CqManager per-CQ stats registry.
   kCqStats = 30,
   /// core::LineageStore retention rings (delivery-time recording).
@@ -113,8 +126,15 @@ inline constexpr std::uint32_t kNoSite = ~static_cast<std::uint32_t>(0);
 /// thread's held stack (only when `blocking`), record held->acquired
 /// edges, then push. Aborts on a rank inversion, a self-deadlock (same
 /// mutex already held by this thread), or a freshly closed graph cycle.
+///
+/// `order_key` refines the rank rule for *cohorts* — arrays of mutexes
+/// sharing one rank (the commit shards): blocking on a mutex whose rank
+/// *equals* a held rank is legal iff both carry nonzero order keys and
+/// the new key is strictly greater than every held same-rank key.
+/// Key 0 means "no cohort": equal-rank blocking stays a violation.
 void on_lock(const void* addr, const char* name, std::uint16_t rank,
-             std::uint32_t site, bool blocking) noexcept;
+             std::uint32_t order_key, std::uint32_t site,
+             bool blocking) noexcept;
 
 /// Mutex::unlock instrumentation: remove `addr` from the held stack
 /// (wherever it sits — release order need not mirror acquisition).

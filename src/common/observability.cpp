@@ -414,7 +414,7 @@ void Registry::reset() {
 
 bool gauge_is_counter(const std::string& name) noexcept {
   return name == gauge::kTraceRingDropped || name == gauge::kEventLogDropped ||
-         name == gauge::kPoolLaneBusyUs;
+         name == gauge::kPoolLaneBusyUs || name == gauge::kShardCommits;
 }
 
 namespace {

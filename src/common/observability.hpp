@@ -110,6 +110,9 @@ inline constexpr const char* kPoolLaneBusyUs = "pool_lane_busy_us";
 inline constexpr const char* kPoolLaneUtilization = "pool_lane_utilization_pct";
 /// Heap bytes held by the per-CQ lineage retention rings.
 inline constexpr const char* kLineageBytes = "lineage_bytes";
+/// Commits applied through one catalog shard (label shard). Monotonic —
+/// exported as a Prometheus counter, not a gauge.
+inline constexpr const char* kShardCommits = "shard_commits";
 }  // namespace gauge
 
 /// Gauge families that are in fact monotonic counters (dropped-event
@@ -394,6 +397,8 @@ inline constexpr const char* kEvalBatchUs = "eval_batch_us";
 inline constexpr const char* kCommitToNotifyUs = "commit_to_notify_us";
 /// Scheduler queue wait: task enqueue on the pool to execution start.
 inline constexpr const char* kPoolTaskWaitUs = "pool_task_wait_us";
+/// Time a committer spends blocked acquiring its shard lock set.
+inline constexpr const char* kCommitLockWaitUs = "commit_lock_wait_us";
 /// Base deltas cited per notification output row (a fan-in count, not a
 /// latency — still a log2 histogram).
 inline constexpr const char* kLineageFanin = "lineage_fanin";

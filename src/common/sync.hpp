@@ -99,14 +99,29 @@ class CQ_CAPABILITY("mutex") Mutex {
   /// scripts/check_lock_order.py against docs/lock-hierarchy.md.
   Mutex(const char* site, lockorder::LockRank rank) noexcept
       : site_(site), rank_(lockorder::rank_value(rank)) {}
+  /// Ranked *cohort* member: one of an ordered array of same-rank mutexes
+  /// (e.g. the catalog commit shards). `order_key` must be nonzero and
+  /// unique within the cohort; the lock-order checker permits equal-rank
+  /// nesting only in strictly ascending key order.
+  Mutex(const char* site, lockorder::LockRank rank,
+        std::uint32_t order_key) noexcept
+      : site_(site), rank_(lockorder::rank_value(rank)),
+        order_key_(order_key) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
+
+  /// Late cohort-key assignment for mutexes whose array index is not
+  /// known at member-initialization time. Call before first lock().
+  void set_order_key(std::uint32_t order_key) noexcept {
+    order_key_ = order_key;
+  }
 
   void lock() CQ_ACQUIRE() {
     CQ_SCHED_POINT("mutex.lock");
 #if defined(CQ_LOCK_ORDER_CHECKS)
     if (site_ != nullptr) {
-      lockorder::on_lock(this, site_, rank_, order_site(), /*blocking=*/true);
+      lockorder::on_lock(this, site_, rank_, order_key_, order_site(),
+                         /*blocking=*/true);
     }
 #endif
     if (site_ == nullptr || !lockprof::enabled()) {
@@ -135,7 +150,8 @@ class CQ_CAPABILITY("mutex") Mutex {
     // but the lock *is* now held, so it joins the stack (later blocking
     // acquisitions rank-check against it) and the edge graph.
     if (site_ != nullptr) {
-      lockorder::on_lock(this, site_, rank_, order_site(), /*blocking=*/false);
+      lockorder::on_lock(this, site_, rank_, order_key_, order_site(),
+                         /*blocking=*/false);
     }
 #endif
     if (site_ != nullptr && lockprof::enabled()) note_uncontended();
@@ -208,7 +224,8 @@ class CQ_CAPABILITY("mutex") Mutex {
 
   std::mutex mu_;
   const char* site_ = nullptr;
-  std::uint16_t rank_ = 0;  // lockorder::LockRank; 0 = unranked
+  std::uint16_t rank_ = 0;       // lockorder::LockRank; 0 = unranked
+  std::uint32_t order_key_ = 0;  // cohort index; 0 = not a cohort member
   std::atomic<lockprof::SiteStats*> stats_{nullptr};
 #if defined(CQ_LOCK_ORDER_CHECKS)
   static constexpr std::uint32_t kOrderSiteUnset = lockorder::kNoSite - 1;

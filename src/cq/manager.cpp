@@ -37,17 +37,46 @@ obs::Gauge& parallelism_gauge() {
   return g;
 }
 
-/// Resets the reentrancy flag even when a CQ execution throws, so one
-/// failed dispatch cannot wedge every future commit into a silent no-op.
+/// The manager this thread is currently dispatching for. Commits arrive
+/// on whichever writer thread committed, so the reentrancy guard ("a CQ
+/// execution never re-triggers itself") must be per-thread — a bool
+/// member would make one writer's dispatch swallow another's.
+thread_local const void* t_dispatching = nullptr;
+
+/// Restores the guard even when a CQ execution throws, so one failed
+/// dispatch cannot wedge every future commit into a silent no-op.
 class DispatchGuard {
  public:
-  explicit DispatchGuard(bool& flag) : flag_(flag) { flag_ = true; }
-  ~DispatchGuard() { flag_ = false; }
+  explicit DispatchGuard(const void* manager) : prev_(t_dispatching) {
+    t_dispatching = manager;
+  }
+  ~DispatchGuard() { t_dispatching = prev_; }
   DispatchGuard(const DispatchGuard&) = delete;
   DispatchGuard& operator=(const DispatchGuard&) = delete;
 
  private:
-  bool& flag_;
+  const void* prev_;
+};
+
+/// Claims the shared thread pool for one dispatch; concurrent dispatches
+/// that lose the race evaluate their batches inline instead of waiting
+/// (run_all is not reentrant and must not be entered twice).
+class PoolLease {
+ public:
+  explicit PoolLease(std::atomic<bool>& busy) : busy_(busy) {
+    owned_ = !busy_.exchange(true, std::memory_order_acquire);
+  }
+  ~PoolLease() {
+    if (owned_) busy_.store(false, std::memory_order_release);
+  }
+  PoolLease(const PoolLease&) = delete;
+  PoolLease& operator=(const PoolLease&) = delete;
+
+  [[nodiscard]] bool owned() const noexcept { return owned_; }
+
+ private:
+  std::atomic<bool>& busy_;
+  bool owned_ = false;
 };
 
 }  // namespace
@@ -55,7 +84,10 @@ class DispatchGuard {
 CqManager::CqManager(cat::Database& db) : db_(db) {}
 
 CqManager::~CqManager() {
-  if (eager_) db_.set_commit_hook(nullptr);
+  if (eager_) {
+    db_.set_commit_hook(nullptr);
+    db_.set_commit_closure_hook(nullptr);
+  }
 }
 
 CqStats& CqManager::stats_of(const Entry& entry) {
@@ -64,14 +96,55 @@ CqStats& CqManager::stats_of(const Entry& entry) {
   return s;
 }
 
+CqManager::Entry* CqManager::find_entry(CqHandle handle) {
+  common::LockGuard lock(entries_mu_);
+  auto it = entries_.find(handle);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+std::vector<CqHandle> CqManager::relevant_handles(
+    const std::vector<std::string>* tables) const {
+  common::LockGuard lock(entries_mu_);
+  std::vector<CqHandle> out;
+  out.reserve(entries_.size());
+  for (const auto& [h, e] : entries_) {
+    if (tables != nullptr) {
+      const auto& relations = e.query->relations();
+      const bool relevant =
+          std::any_of(tables->begin(), tables->end(), [&](const std::string& t) {
+            return std::find(relations.begin(), relations.end(), t) != relations.end();
+          });
+      if (!relevant) continue;
+    }
+    out.push_back(h);
+  }
+  return out;
+}
+
+void CqManager::extend_closure(const std::vector<std::string>& write_set,
+                               std::vector<std::string>& closure) const {
+  common::LockGuard lock(entries_mu_);
+  for (const auto& [h, e] : entries_) {
+    const auto& relations = e.query->relations();
+    const bool relevant =
+        std::any_of(write_set.begin(), write_set.end(), [&](const std::string& t) {
+          return std::find(relations.begin(), relations.end(), t) != relations.end();
+        });
+    if (!relevant) continue;
+    // Duplicates are fine: the closure only feeds the shard-mask OR.
+    closure.insert(closure.end(), relations.begin(), relations.end());
+  }
+}
+
 CqHandle CqManager::install(CqSpec spec, std::shared_ptr<ResultSink> sink) {
   Entry entry;
   entry.query = std::make_unique<ContinualQuery>(std::move(spec), db_);
   entry.sink = std::move(sink);
 
   obs::Span span("cq.install");
+  common::Metrics local;
   const std::uint64_t t0 = obs::now_ns();
-  const Notification initial = entry.query->execute_initial(db_, &metrics_);
+  const Notification initial = entry.query->execute_initial(db_, &local);
   const std::uint64_t elapsed = obs::now_ns() - t0;
   entry.zone_id = db_.zones().register_cq(entry.query->last_execution());
   record_lineage(initial);
@@ -79,6 +152,7 @@ CqHandle CqManager::install(CqSpec spec, std::shared_ptr<ResultSink> sink) {
 
   {
     common::LockGuard lock(stats_mu_);
+    metrics_.merge(local);
     CqStats& s = stats_of(entry);
     s.executions = 1;
     s.finished = false;
@@ -95,9 +169,13 @@ CqHandle CqManager::install(CqSpec spec, std::shared_ptr<ResultSink> sink) {
              "trigger=" + entry.query->spec().trigger->describe(),
              db_.clock().now().ticks());
 
-  const CqHandle handle = next_handle_++;
-  entries_.emplace(handle, std::move(entry));
-  active_cq_gauge().set(static_cast<std::int64_t>(entries_.size()));
+  CqHandle handle = 0;
+  {
+    common::LockGuard lock(entries_mu_);
+    handle = next_handle_++;
+    entries_.emplace(handle, std::move(entry));
+    active_cq_gauge().set(static_cast<std::int64_t>(entries_.size()));
+  }
   return handle;
 }
 
@@ -121,13 +199,18 @@ CqHandle CqManager::install_restored(CqSpec spec, std::shared_ptr<ResultSink> si
   common::log_info("restored CQ '", entry.query->name(), "' at t=",
                    last_execution.to_string(), " after ", executions, " executions");
 
-  const CqHandle handle = next_handle_++;
-  entries_.emplace(handle, std::move(entry));
-  active_cq_gauge().set(static_cast<std::int64_t>(entries_.size()));
+  CqHandle handle = 0;
+  {
+    common::LockGuard lock(entries_mu_);
+    handle = next_handle_++;
+    entries_.emplace(handle, std::move(entry));
+    active_cq_gauge().set(static_cast<std::int64_t>(entries_.size()));
+  }
   return handle;
 }
 
 void CqManager::remove(CqHandle handle) {
+  common::LockGuard lock(entries_mu_);
   auto it = entries_.find(handle);
   if (it == entries_.end()) {
     throw common::NotFound("CqManager: unknown handle " + std::to_string(handle));
@@ -135,7 +218,7 @@ void CqManager::remove(CqHandle handle) {
   obs::event(obs::Severity::kInfo, "cq_terminated", it->second.query->name(),
              "removed", db_.clock().now().ticks());
   {
-    common::LockGuard lock(stats_mu_);
+    common::LockGuard stats_lock(stats_mu_);
     stats_of(it->second).finished = true;
   }
   db_.zones().unregister(it->second.zone_id);
@@ -144,13 +227,14 @@ void CqManager::remove(CqHandle handle) {
 }
 
 void CqManager::finish(CqHandle handle) {
+  common::LockGuard lock(entries_mu_);
   auto it = entries_.find(handle);
   if (it == entries_.end()) return;
   common::log_info("CQ '", it->second.query->name(), "' reached its Stop condition");
   obs::event(obs::Severity::kInfo, "cq_terminated", it->second.query->name(),
              "stop condition reached", db_.clock().now().ticks());
   {
-    common::LockGuard lock(stats_mu_);
+    common::LockGuard stats_lock(stats_mu_);
     stats_of(it->second).finished = true;
   }
   db_.zones().unregister(it->second.zone_id);
@@ -165,18 +249,18 @@ void CqManager::record_check(const Entry& entry, bool fired) {
     ++s.trigger_checks;
     if (fired) {
       ++s.fired;
+      metrics_.add(common::metric::kTriggersFired, 1);
     } else {
       ++s.suppressed;
+      metrics_.add(common::metric::kTriggersSuppressed, 1);
     }
   }
   if (fired) {
-    metrics_.add(common::metric::kTriggersFired, 1);
     if (obs::enabled()) {
       obs::event(obs::Severity::kInfo, "trigger_fired", entry.query->name(), "",
                  db_.clock().now().ticks());
     }
   } else {
-    metrics_.add(common::metric::kTriggersSuppressed, 1);
     if (obs::enabled()) {
       obs::event(obs::Severity::kDebug, "trigger_suppressed", entry.query->name(), "",
                  db_.clock().now().ticks());
@@ -187,13 +271,15 @@ void CqManager::record_check(const Entry& entry, bool fired) {
 void CqManager::run(CqHandle handle, Entry& entry) {
   obs::Span span("cq.run");
   DraStats stats;
+  common::Metrics local;
   const std::uint64_t t0 = obs::now_ns();
-  const Notification note = entry.query->execute(db_, &metrics_, &stats);
+  const Notification note = entry.query->execute(db_, &local, &stats);
   const std::uint64_t elapsed = obs::now_ns() - t0;
-  last_stats_ = stats;
 
   {
     common::LockGuard lock(stats_mu_);
+    last_stats_ = stats;
+    metrics_.merge(local);
     CqStats& s = stats_of(entry);
     ++s.executions;
     s.last_exec_ns = elapsed;
@@ -226,26 +312,26 @@ std::size_t CqManager::poll() {
   obs::Span span("cq.poll", &poll_hist);
   std::size_t executed = 0;
   // Snapshot handles: run() may erase finished entries.
-  std::vector<CqHandle> handles;
-  handles.reserve(entries_.size());
-  for (const auto& [h, e] : entries_) handles.push_back(h);
+  const std::vector<CqHandle> handles = relevant_handles(nullptr);
 
   if (threads_ > 1) return dispatch_parallel(handles);
 
   for (const CqHandle h : handles) {
-    auto it = entries_.find(h);
-    if (it == entries_.end()) continue;
-    Entry& entry = it->second;
-    metrics_.add(common::metric::kTriggerChecks, 1);
-    if (entry.query->should_stop(db_)) {
-      entry.query->mark_finished();
+    Entry* entry = find_entry(h);
+    if (entry == nullptr) continue;
+    {
+      common::LockGuard lock(stats_mu_);
+      metrics_.add(common::metric::kTriggerChecks, 1);
+    }
+    if (entry->query->should_stop(db_)) {
+      entry->query->mark_finished();
       finish(h);
       continue;
     }
-    const bool fire = entry.query->should_fire(db_);
-    record_check(entry, fire);
+    const bool fire = entry->query->should_fire(db_);
+    record_check(*entry, fire);
     if (fire) {
-      run(h, entry);
+      run(h, *entry);
       ++executed;
     }
   }
@@ -262,22 +348,6 @@ void CqManager::set_parallelism(std::size_t threads) {
 
 std::size_t CqManager::dispatch_parallel(const std::vector<CqHandle>& handles) {
   if (handles.empty()) return 0;
-  if (!pool_) pool_ = std::make_unique<common::ThreadPool>(threads_ - 1);
-
-  // ---- snapshot each touched delta once, shared by every eligible CQ ----
-  obs::Span snapshot_span("commit.snapshot");
-  delta::SnapshotMap snapshots;
-  for (const CqHandle h : handles) {
-    auto it = entries_.find(h);
-    if (it == entries_.end()) continue;
-    for (const auto& table : it->second.query->relations()) {
-      if (!snapshots.contains(table)) {
-        snapshots.emplace(table,
-                          std::make_shared<delta::DeltaSnapshot>(db_.delta(table)));
-      }
-    }
-  }
-  snapshot_span.close();
 
   // ---- one outcome slot per eligible CQ, in handle order ----
   struct Outcome {
@@ -295,14 +365,27 @@ std::size_t CqManager::dispatch_parallel(const std::vector<CqHandle>& handles) {
   std::vector<Outcome> outcomes;
   outcomes.reserve(handles.size());
   for (const CqHandle h : handles) {
-    auto it = entries_.find(h);
-    if (it == entries_.end()) continue;
+    Entry* entry = find_entry(h);
+    if (entry == nullptr) continue;
     Outcome o;
     o.handle = h;
-    o.entry = &it->second;
+    o.entry = entry;
     outcomes.push_back(std::move(o));
   }
   if (outcomes.empty()) return 0;
+
+  // ---- snapshot each touched delta once, shared by every eligible CQ ----
+  obs::Span snapshot_span("commit.snapshot");
+  delta::SnapshotMap snapshots;
+  for (const Outcome& o : outcomes) {
+    for (const auto& table : o.entry->query->relations()) {
+      if (!snapshots.contains(table)) {
+        snapshots.emplace(table,
+                          std::make_shared<delta::DeltaSnapshot>(db_.delta(table)));
+      }
+    }
+  }
+  snapshot_span.close();
 
   // ---- partition into batches keyed by the relations each CQ reads ----
   // CQs over one read set share the snapshot's memoized views, so keeping
@@ -361,7 +444,16 @@ std::size_t CqManager::dispatch_parallel(const std::vector<CqHandle>& handles) {
   }
   {
     obs::Span eval_span("commit.eval");
-    pool_->run_all(std::move(tasks));
+    // One pool, many possible dispatchers: the lease loser (a concurrent
+    // commit over disjoint shards) evaluates its batches on its own
+    // thread — same results, no cross-dispatch wait.
+    PoolLease lease(pool_busy_);
+    if (lease.owned()) {
+      if (!pool_) pool_ = std::make_unique<common::ThreadPool>(threads_ - 1);
+      pool_->run_all(std::move(tasks));
+    } else {
+      for (auto& task : tasks) task();
+    }
   }
 
   // ---- merge: replay every side effect in handle order, exactly as the
@@ -369,7 +461,10 @@ std::size_t CqManager::dispatch_parallel(const std::vector<CqHandle>& handles) {
   obs::Span merge_span("commit.merge");
   std::size_t executed = 0;
   for (Outcome& out : outcomes) {
-    metrics_.add(common::metric::kTriggerChecks, 1);
+    {
+      common::LockGuard lock(stats_mu_);
+      metrics_.add(common::metric::kTriggerChecks, 1);
+    }
     if (out.error) std::rethrow_exception(out.error);
     Entry& entry = *out.entry;
     if (out.stop_pre) {
@@ -380,10 +475,10 @@ std::size_t CqManager::dispatch_parallel(const std::vector<CqHandle>& handles) {
     record_check(entry, out.fired);
     if (!out.fired) continue;
     ++executed;
-    last_stats_ = out.stats;
-    metrics_.merge(out.local);
     {
       common::LockGuard lock(stats_mu_);
+      last_stats_ = out.stats;
+      metrics_.merge(out.local);
       CqStats& s = stats_of(entry);
       ++s.executions;
       s.last_exec_ns = out.elapsed_ns;
@@ -416,73 +511,66 @@ void CqManager::set_eager(bool eager) {
   if (eager == eager_) return;
   eager_ = eager;
   if (eager_) {
+    // The closure hook first: a commit arriving between the two set
+    // calls must never dispatch without its closure being locked.
+    db_.set_commit_closure_hook(
+        [this](const std::vector<std::string>& write_set,
+               std::vector<std::string>& closure) { extend_closure(write_set, closure); });
     db_.set_commit_hook([this](const std::vector<std::string>& tables,
                                common::Timestamp ts) { on_commit(tables, ts); });
   } else {
     db_.set_commit_hook(nullptr);
+    db_.set_commit_closure_hook(nullptr);
   }
 }
 
 void CqManager::on_commit(const std::vector<std::string>& tables, common::Timestamp) {
-  if (in_dispatch_) return;  // a CQ execution never re-triggers itself
-  DispatchGuard guard(in_dispatch_);
+  if (t_dispatching == this) return;  // a CQ execution never re-triggers itself
+  DispatchGuard guard(this);
+
+  const std::vector<CqHandle> relevant = relevant_handles(&tables);
+  if (relevant.empty()) return;
 
   if (threads_ > 1) {
-    std::vector<CqHandle> relevant;
-    relevant.reserve(entries_.size());
-    for (const auto& [h, e] : entries_) {
-      const auto& relations = e.query->relations();
-      if (std::any_of(tables.begin(), tables.end(), [&](const std::string& t) {
-            return std::find(relations.begin(), relations.end(), t) != relations.end();
-          })) {
-        relevant.push_back(h);
-      }
-    }
     dispatch_parallel(relevant);
     return;
   }
 
-  std::vector<CqHandle> handles;
-  handles.reserve(entries_.size());
-  for (const auto& [h, e] : entries_) handles.push_back(h);
-
-  for (const CqHandle h : handles) {
-    auto it = entries_.find(h);
-    if (it == entries_.end()) continue;
-    Entry& entry = it->second;
-    const auto& relations = entry.query->relations();
-    const bool relevant =
-        std::any_of(tables.begin(), tables.end(), [&](const std::string& t) {
-          return std::find(relations.begin(), relations.end(), t) != relations.end();
-        });
-    if (!relevant) continue;
-    metrics_.add(common::metric::kTriggerChecks, 1);
-    if (entry.query->should_stop(db_)) {
-      entry.query->mark_finished();
+  for (const CqHandle h : relevant) {
+    Entry* entry = find_entry(h);
+    if (entry == nullptr) continue;
+    {
+      common::LockGuard lock(stats_mu_);
+      metrics_.add(common::metric::kTriggerChecks, 1);
+    }
+    if (entry->query->should_stop(db_)) {
+      entry->query->mark_finished();
       finish(h);
       continue;
     }
-    const bool fire = entry.query->should_fire(db_);
-    record_check(entry, fire);
-    if (fire) run(h, entry);
+    const bool fire = entry->query->should_fire(db_);
+    record_check(*entry, fire);
+    if (fire) run(h, *entry);
   }
 }
 
 Notification CqManager::execute_now(CqHandle handle) {
-  auto it = entries_.find(handle);
-  if (it == entries_.end()) {
+  Entry* found = find_entry(handle);
+  if (found == nullptr) {
     throw common::NotFound("CqManager: unknown handle " + std::to_string(handle));
   }
-  Entry& entry = it->second;
+  Entry& entry = *found;
   obs::Span span("cq.run");
   DraStats stats;
+  common::Metrics local;
   const std::uint64_t t0 = obs::now_ns();
-  const Notification note = entry.query->execute(db_, &metrics_, &stats);
+  const Notification note = entry.query->execute(db_, &local, &stats);
   const std::uint64_t elapsed = obs::now_ns() - t0;
-  last_stats_ = stats;
 
   {
     common::LockGuard lock(stats_mu_);
+    last_stats_ = stats;
+    metrics_.merge(local);
     CqStats& s = stats_of(entry);
     ++s.executions;
     s.last_exec_ns = elapsed;
@@ -527,12 +615,14 @@ std::size_t CqManager::collect_garbage() {
   static obs::Histogram& gc_hist = obs::global().histogram(obs::hist::kGcUs);
   obs::Span span("cq.gc", &gc_hist);
   const std::size_t reclaimed = db_.garbage_collect();
+  common::LockGuard lock(stats_mu_);
   metrics_.add(common::metric::kGcRuns, 1);
   metrics_.add(common::metric::kGcRowsReclaimed, static_cast<std::int64_t>(reclaimed));
   return reclaimed;
 }
 
 const ContinualQuery& CqManager::cq(CqHandle handle) const {
+  common::LockGuard lock(entries_mu_);
   auto it = entries_.find(handle);
   if (it == entries_.end()) {
     throw common::NotFound("CqManager: unknown handle " + std::to_string(handle));
@@ -541,12 +631,17 @@ const ContinualQuery& CqManager::cq(CqHandle handle) const {
 }
 
 CqStats CqManager::stats(CqHandle handle) const {
-  auto it = entries_.find(handle);
-  if (it == entries_.end()) {
-    throw common::NotFound("CqManager: unknown handle " + std::to_string(handle));
+  std::string name;
+  {
+    common::LockGuard lock(entries_mu_);
+    auto it = entries_.find(handle);
+    if (it == entries_.end()) {
+      throw common::NotFound("CqManager: unknown handle " + std::to_string(handle));
+    }
+    name = it->second.query->name();
   }
   common::LockGuard lock(stats_mu_);
-  auto stats_it = stats_.find(it->second.query->name());
+  auto stats_it = stats_.find(name);
   CQ_ASSERT(stats_it != stats_.end());
   return stats_it->second;
 }
@@ -557,6 +652,7 @@ std::map<std::string, CqStats> CqManager::cq_stats() const {
 }
 
 std::vector<CqHandle> CqManager::handles() const {
+  common::LockGuard lock(entries_mu_);
   std::vector<CqHandle> out;
   out.reserve(entries_.size());
   for (const auto& [h, e] : entries_) out.push_back(h);
@@ -610,8 +706,8 @@ std::function<void(common::obs::PromWriter&)> CqManager::prometheus_section() co
 
 void CqManager::reset_stats() {
   metrics_.reset();
-  last_stats_ = DraStats{};
   common::LockGuard lock(stats_mu_);
+  last_stats_ = DraStats{};
   // Zero in place: stats(handle) relies on every installed CQ keeping its
   // record, and the name/finished fields describe identity, not work.
   for (auto& [name, s] : stats_) {

@@ -5,6 +5,7 @@
 // collection of the differential relations through the delta-zone registry.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -114,8 +115,12 @@ class CqManager {
   /// zone (Section 5.4). Returns rows reclaimed.
   std::size_t collect_garbage();
 
-  [[nodiscard]] std::size_t active_count() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t active_count() const noexcept {
+    common::LockGuard lock(entries_mu_);
+    return entries_.size();
+  }
   [[nodiscard]] bool contains(CqHandle handle) const noexcept {
+    common::LockGuard lock(entries_mu_);
     return entries_.contains(handle);
   }
   [[nodiscard]] const ContinualQuery& cq(CqHandle handle) const;
@@ -127,7 +132,12 @@ class CqManager {
   [[nodiscard]] const common::Metrics& metrics() const noexcept { return metrics_; }
 
   /// Stats of the most recent DRA invocation (for EXPLAIN-style output).
-  [[nodiscard]] const DraStats& last_dra_stats() const noexcept { return last_stats_; }
+  /// A copy: the record is overwritten by whichever thread dispatched the
+  /// latest commit.
+  [[nodiscard]] DraStats last_dra_stats() const {
+    common::LockGuard lock(stats_mu_);
+    return last_stats_;
+  }
 
   /// Per-CQ statistics for a live handle. Returns a copy: the live record
   /// is guarded by the stats mutex and keeps moving while introspection
@@ -168,6 +178,19 @@ class CqManager {
   void run(CqHandle handle, Entry& entry);
   void finish(CqHandle handle);
   void on_commit(const std::vector<std::string>& tables, common::Timestamp ts);
+  /// Closure callback registered with the database while eager: appends
+  /// the read sets of every CQ whose relations intersect `write_set`, so
+  /// the committer's shard lock set covers everything on_commit reads.
+  void extend_closure(const std::vector<std::string>& write_set,
+                      std::vector<std::string>& closure) const;
+  /// The handles whose read set intersects `tables` (all handles when
+  /// `tables` is nullptr), snapshotted under entries_mu_.
+  [[nodiscard]] std::vector<CqHandle> relevant_handles(
+      const std::vector<std::string>* tables) const;
+  /// Entry lookup under entries_mu_; nullptr when the handle is gone.
+  /// The returned pointer is stable (map nodes don't move) and the entry
+  /// is safe to use under the exclusivity contract above.
+  [[nodiscard]] Entry* find_entry(CqHandle handle);
   /// Trigger-check bookkeeping shared by poll() and on_commit().
   void record_check(const Entry& entry, bool fired);
   /// Retain a delivered notification's lineage (no-op when lineage is
@@ -180,25 +203,36 @@ class CqManager {
   /// merge all side effects in handle order. Returns executions performed.
   std::size_t dispatch_parallel(const std::vector<CqHandle>& handles);
 
-  // Engine state: entries_, metrics_ and last_stats_ are mutated by
-  // install/poll/commit dispatch and must stay serialized by the engine
-  // mutex (introspection handlers hold it — see diom::serve_introspection).
-  // The per-CQ stats registry alone carries its own mutex, because it is
-  // the one piece of manager state the registry readers (write_stats_json,
-  // write_prometheus, STATS) walk while executions are mid-flight.
+  // Concurrency contract (multi-writer commits): the entries_ map
+  // *structure* is guarded by entries_mu_ — every iteration, find,
+  // emplace and erase takes it. The Entry objects and their query state
+  // are NOT: a CQ is only ever touched by the thread holding the shard
+  // locks of its read set (commit dispatch runs under the committer's
+  // closure lock set, and install/remove/poll/execute_now require
+  // commits to be quiesced), so entry contents never see two writers.
+  // The map is deliberately not CQ_GUARDED_BY-annotated: accessors hand
+  // out references under that exclusivity contract, exactly like the
+  // engine-serialized state before sharding. metrics_ and last_stats_
+  // are merged/written under stats_mu_ on every concurrent path;
+  // metrics() escapes a reference for the quiesced readers (cqshell
+  // METRICS, tests) and is unsynchronized by contract.
   cat::Database& db_;
+  mutable common::Mutex entries_mu_{"cq_entries",
+                                    common::lockorder::LockRank::kCqEntries};
   std::map<CqHandle, Entry> entries_;
   CqHandle next_handle_ = 1;
   bool eager_ = false;
-  bool in_dispatch_ = false;  // guards against reentrant commit hooks
   std::size_t threads_ = 1;   // evaluation lanes (1 = sequential path)
   std::unique_ptr<common::ThreadPool> pool_;  // built lazily, threads_ - 1 workers
+  /// run_all is not reentrant and the pool is one resource: concurrent
+  /// dispatches race for it; losers evaluate their batches inline.
+  std::atomic<bool> pool_busy_{false};
   common::Metrics metrics_;
-  DraStats last_stats_;
   bool lineage_on_ = false;
   LineageStore lineage_;
   mutable common::Mutex stats_mu_{"cq_stats", common::lockorder::LockRank::kCqStats};
   std::map<std::string, CqStats> stats_ CQ_GUARDED_BY(stats_mu_);
+  DraStats last_stats_ CQ_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace cq::core

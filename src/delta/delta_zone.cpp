@@ -8,13 +8,28 @@ namespace cq::delta {
 
 using common::Timestamp;
 
+DeltaZoneRegistry::DeltaZoneRegistry(DeltaZoneRegistry&& other) noexcept {
+  // The quiescence contract makes the lock formally redundant, but it is
+  // free here and keeps the thread-safety analysis honest. Our own mu_ is
+  // not locked: no other thread can see *this mid-construction, and a
+  // second same-rank "delta_zones" acquisition would (rightly) trip the
+  // runtime lock-order checker.
+  common::LockGuard theirs(other.mu_);
+  zones_ = std::move(other.zones_);
+  next_id_ = other.next_id_;
+  other.zones_.clear();
+  other.next_id_ = 1;
+}
+
 CqId DeltaZoneRegistry::register_cq(Timestamp t) {
+  common::LockGuard lock(mu_);
   const CqId id = next_id_++;
   zones_.emplace(id, t);
   return id;
 }
 
 void DeltaZoneRegistry::advance(CqId id, Timestamp t) {
+  common::LockGuard lock(mu_);
   auto it = zones_.find(id);
   if (it == zones_.end()) {
     throw common::NotFound("DeltaZoneRegistry: unknown CQ id " + std::to_string(id));
@@ -27,12 +42,14 @@ void DeltaZoneRegistry::advance(CqId id, Timestamp t) {
 }
 
 void DeltaZoneRegistry::unregister(CqId id) {
+  common::LockGuard lock(mu_);
   if (zones_.erase(id) == 0) {
     throw common::NotFound("DeltaZoneRegistry: unknown CQ id " + std::to_string(id));
   }
 }
 
 Timestamp DeltaZoneRegistry::zone_start(CqId id) const {
+  common::LockGuard lock(mu_);
   auto it = zones_.find(id);
   if (it == zones_.end()) {
     throw common::NotFound("DeltaZoneRegistry: unknown CQ id " + std::to_string(id));
@@ -41,6 +58,7 @@ Timestamp DeltaZoneRegistry::zone_start(CqId id) const {
 }
 
 std::optional<Timestamp> DeltaZoneRegistry::system_zone_start() const noexcept {
+  common::LockGuard lock(mu_);
   std::optional<Timestamp> start;
   for (const auto& [id, t] : zones_) {
     if (!start || t < *start) start = t;
@@ -50,8 +68,13 @@ std::optional<Timestamp> DeltaZoneRegistry::system_zone_start() const noexcept {
 
 std::string DeltaZoneRegistry::to_string() const {
   std::ostringstream os;
+  common::LockGuard lock(mu_);
   os << "DeltaZoneRegistry{" << zones_.size() << " CQs";
-  if (auto s = system_zone_start()) os << ", system zone starts at " << s->to_string();
+  std::optional<Timestamp> start;
+  for (const auto& [id, t] : zones_) {
+    if (!start || t < *start) start = t;
+  }
+  if (start) os << ", system zone starts at " << start->to_string();
   os << "}";
   return os.str();
 }

@@ -5,6 +5,10 @@
 // rows with ts > t. Its "active delta zone" therefore starts at its last
 // execution timestamp; the system active delta zone starts at the minimum
 // over all registered CQs, and everything older can be reclaimed.
+//
+// The registry is internally synchronized ("delta_zones" in the lock
+// hierarchy): zone advances happen on whichever thread dispatches a
+// commit, while GC reads the system zone start from the engine thread.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +16,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/sync.hpp"
 #include "common/timestamp.hpp"
 
 namespace cq::delta {
@@ -21,6 +26,16 @@ using CqId = std::uint64_t;
 
 class DeltaZoneRegistry {
  public:
+  DeltaZoneRegistry() = default;
+
+  /// Move support for snapshot restore (a Database is built and then moved
+  /// into its Mediator). The source must be quiescent — no thread may be
+  /// registering or advancing zones while it is moved from.
+  DeltaZoneRegistry(DeltaZoneRegistry&& other) noexcept;
+  DeltaZoneRegistry& operator=(DeltaZoneRegistry&&) = delete;
+  DeltaZoneRegistry(const DeltaZoneRegistry&) = delete;
+  DeltaZoneRegistry& operator=(const DeltaZoneRegistry&) = delete;
+
   /// Register a CQ whose last execution (or installation) happened at `t`.
   /// Returns a fresh id.
   CqId register_cq(common::Timestamp t);
@@ -32,7 +47,10 @@ class DeltaZoneRegistry {
   /// Remove a finished CQ (its Stop condition fired).
   void unregister(CqId id);
 
-  [[nodiscard]] std::size_t active_count() const noexcept { return zones_.size(); }
+  [[nodiscard]] std::size_t active_count() const noexcept {
+    common::LockGuard lock(mu_);
+    return zones_.size();
+  }
 
   /// Zone start of one CQ.
   [[nodiscard]] common::Timestamp zone_start(CqId id) const;
@@ -44,8 +62,9 @@ class DeltaZoneRegistry {
   [[nodiscard]] std::string to_string() const;
 
  private:
-  std::unordered_map<CqId, common::Timestamp> zones_;
-  CqId next_id_ = 1;
+  mutable common::Mutex mu_{"delta_zones", common::lockorder::LockRank::kDeltaZones};
+  std::unordered_map<CqId, common::Timestamp> zones_ CQ_GUARDED_BY(mu_);
+  CqId next_id_ CQ_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace cq::delta

@@ -11,7 +11,11 @@
 // handlers can read it while the engine thread runs sync rounds. The
 // mirror database and the CQ manager remain engine state — serialize
 // access to them with the engine mutex you hand diom::serve_introspection
-// (lock order: engine mutex first, then the mediator's internal mutex).
+// (lock order: engine mutex first, then the mediator's internal mutex,
+// then whatever the commit pipeline takes below them: the mirror's
+// commit_shard locks, commit_ts, and the manager's internal mutexes all
+// rank after "mediator", so a sync round committing mirror transactions
+// nests legally — see docs/lock-hierarchy.md).
 #pragma once
 
 #include <deque>

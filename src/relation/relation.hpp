@@ -46,8 +46,21 @@ class Relation {
   TupleId insert_values(std::vector<Value> values);
 
   /// Claim the next tid without inserting (transactions reserve tids at
-  /// op-queue time so later ops in the same transaction can reference them).
+  /// op-queue time so later ops in the same transaction can reference
+  /// them). Not synchronized — under multi-writer commits, go through
+  /// Database, which serializes reservation on the table's shard lock.
   TupleId reserve_tid() noexcept { return TupleId(next_tid_++); }
+
+  /// Best-effort return of a reserved-but-unused tid (transaction abort):
+  /// succeeds only while `tid` is still the newest reservation, so an
+  /// abort leaves the tids of subsequent commits undisturbed. Returns
+  /// false — the tid is simply consumed — when later reservations
+  /// already built on top of it.
+  bool unreserve_tid(TupleId tid) noexcept {
+    if (next_tid_ != tid.raw() + 1) return false;
+    next_tid_ = tid.raw();
+    return true;
+  }
 
   /// Remove the row with this tid. Returns the removed tuple.
   Tuple erase(TupleId tid);

@@ -21,6 +21,20 @@
 #include "common/sync.hpp"
 #include "testing/dra_script.hpp"
 
+// This binary deliberately acquires mutexes in inverted / cyclic order to
+// prove the project's own checker catches it — patterns TSan's deadlock
+// detector would (rightly, elsewhere) also flag. Worse, glibc's
+// std::mutex never calls pthread_mutex_destroy, so the short-lived stack
+// mutexes below can alias addresses across scopes and close *false*
+// cycles in TSan's graph. Race detection is unaffected; only the
+// redundant deadlock layer is off, and only for this test binary.
+#ifndef __has_feature
+#define __has_feature(x) 0
+#endif
+#if defined(__SANITIZE_THREAD__) || __has_feature(thread_sanitizer)
+extern "C" const char* __tsan_default_options() { return "detect_deadlocks=0"; }
+#endif
+
 namespace cq {
 namespace {
 
@@ -84,6 +98,77 @@ TEST(LockOrder, CountingModeReportsInversionWithoutAborting) {
   lockorder::set_abort_on_violation(true);
   EXPECT_GT(lockorder::violations(), before);
   EXPECT_EQ(lockorder::held_depth(), 0u);  // stack balanced despite the report
+}
+
+TEST(LockOrder, CohortAdmitsAscendingOrderKeysAtEqualRank) {
+  if (!lockorder::compiled_in()) GTEST_SKIP() << "checker compiled out";
+  // The shard-lock shape: same site name, same rank, order keys 1..3.
+  // Ascending acquisition of several cohort members is the sanctioned
+  // pattern (Transaction::commit takes its closure's shards this way),
+  // and a higher plain rank may still nest inside the whole cohort.
+  const std::uint64_t before = lockorder::violations();
+  common::Mutex a{"zz_cohort", LockRank::kCommitShard};
+  common::Mutex b{"zz_cohort", LockRank::kCommitShard};
+  common::Mutex c{"zz_cohort", LockRank::kCommitShard};
+  a.set_order_key(1);
+  b.set_order_key(2);
+  c.set_order_key(3);
+  common::Mutex leaf{"zz_cohort_leaf", LockRank::kLeaf};
+  {
+    common::LockGuard la(a);
+    common::LockGuard lb(b);
+    common::LockGuard lc(c);
+    common::LockGuard ll(leaf);
+  }
+  EXPECT_EQ(lockorder::violations(), before);
+  EXPECT_EQ(lockorder::held_depth(), 0u);
+}
+
+TEST(LockOrder, CohortRejectsDescendingOrEqualOrderKeys) {
+  if (!lockorder::compiled_in()) GTEST_SKIP() << "checker compiled out";
+  // Descending cohort acquisition is exactly the shard-lock deadlock the
+  // discipline exists to prevent; an equal (reused) key is just as bad.
+  const std::uint64_t before = lockorder::violations();
+  lockorder::set_abort_on_violation(false);
+  {
+    common::Mutex lo{"zz_cohort_down", LockRank::kCommitShard};
+    common::Mutex hi{"zz_cohort_down", LockRank::kCommitShard};
+    lo.set_order_key(1);
+    hi.set_order_key(2);
+    common::LockGuard lh(hi);
+    common::LockGuard ll(lo);  // key 1 after key 2: counted violation
+  }
+  const std::uint64_t after_descending = lockorder::violations();
+  {
+    common::Mutex x{"zz_cohort_dup", LockRank::kCommitShard};
+    common::Mutex y{"zz_cohort_dup", LockRank::kCommitShard};
+    x.set_order_key(7);
+    y.set_order_key(7);
+    common::LockGuard lx(x);
+    common::LockGuard ly(y);  // equal keys: counted violation
+  }
+  lockorder::set_abort_on_violation(true);
+  EXPECT_GT(after_descending, before);
+  EXPECT_GT(lockorder::violations(), after_descending);
+  EXPECT_EQ(lockorder::held_depth(), 0u);
+}
+
+TEST(LockOrder, EqualRankWithoutOrderKeysStaysAViolation) {
+  if (!lockorder::compiled_in()) GTEST_SKIP() << "checker compiled out";
+  // No cohort membership (order key 0 on either side) keeps the original
+  // strict rule: equal-rank blocking acquisition is never legal.
+  const std::uint64_t before = lockorder::violations();
+  lockorder::set_abort_on_violation(false);
+  {
+    common::Mutex a{"zz_norank_key", LockRank::kCommitShard};
+    common::Mutex b{"zz_norank_key", LockRank::kCommitShard};
+    b.set_order_key(2);  // one keyed side is not enough
+    common::LockGuard la(a);
+    common::LockGuard lb(b);
+  }
+  lockorder::set_abort_on_violation(true);
+  EXPECT_GT(lockorder::violations(), before);
+  EXPECT_EQ(lockorder::held_depth(), 0u);
 }
 
 TEST(LockOrder, UnrankedSitesFeedTheGraphButSkipRankChecks) {

@@ -272,6 +272,122 @@ TEST(Database, SingleStatementConveniences) {
   EXPECT_EQ(db.delta("T").size(), 3u);
 }
 
+TEST(Transaction, MidApplyFailureRollsBackAppliedOps) {
+  // A fault injected after the second applied op must undo both applied
+  // ops before the exception escapes: the base table, its byte
+  // accounting and the delta log all look exactly as before commit().
+  Database db = make_db();
+  const TupleId seeded = db.insert("T", {Value(1), Value("a")});
+  const std::size_t rows_before = db.table("T").size();
+  const std::size_t delta_before = db.delta("T").size();
+
+  struct Fault {};
+  auto txn = db.begin();
+  txn.insert("T", {Value(2), Value("b")});
+  txn.modify("T", seeded, {Value(1), Value("a2")});
+  txn.erase("T", seeded);
+  txn.set_apply_fault_hook_for_testing([](std::size_t applied) {
+    if (applied == 2) throw Fault{};
+  });
+  EXPECT_THROW(txn.commit(), Fault);
+
+  EXPECT_EQ(db.table("T").size(), rows_before);
+  EXPECT_EQ(db.delta("T").size(), delta_before);
+  EXPECT_EQ(db.table("T").find(seeded)->at(1), Value("a"));  // modify undone
+  txn.abort();
+
+  // The database stays fully usable: a later clean commit sees no debris.
+  auto next = db.begin();
+  next.modify("T", seeded, {Value(1), Value("final")});
+  next.commit();
+  EXPECT_EQ(db.table("T").find(seeded)->at(1), Value("final"));
+}
+
+TEST(Transaction, MidApplyFailureOnDeleteRestoresTheRow) {
+  Database db = make_db();
+  const TupleId victim = db.insert("T", {Value(7), Value("keep")});
+
+  struct Fault {};
+  auto txn = db.begin();
+  txn.erase("T", victim);
+  txn.insert("T", {Value(8), Value("new")});
+  txn.set_apply_fault_hook_for_testing([](std::size_t applied) {
+    if (applied == 2) throw Fault{};
+  });
+  EXPECT_THROW(txn.commit(), Fault);
+
+  ASSERT_NE(db.table("T").find(victim), nullptr);
+  EXPECT_EQ(db.table("T").find(victim)->at(1), Value("keep"));
+  EXPECT_EQ(db.table("T").size(), 1u);
+}
+
+TEST(Transaction, AbortReturnsReservedTids) {
+  // An aborted transaction's reserved tids go back to the pool, so the
+  // next *committed* insert gets the tid the aborted one would have used
+  // — aborts leave no gaps in the committed tid sequence.
+  Database db = make_db();
+  TupleId wasted;
+  {
+    auto txn = db.begin();
+    wasted = txn.insert("T", {Value(1), Value("discarded")});
+    txn.abort();
+  }
+  const TupleId committed = db.insert("T", {Value(1), Value("kept")});
+  EXPECT_EQ(committed.raw(), wasted.raw());
+}
+
+TEST(Transaction, AbortUnwindsMultipleReservationsNewestFirst) {
+  Database db = make_db();
+  {
+    auto txn = db.begin();
+    txn.insert("T", {Value(1), Value("a")});
+    txn.insert("T", {Value(2), Value("b")});
+    txn.insert("T", {Value(3), Value("c")});
+    txn.abort();
+  }
+  {
+    auto txn = db.begin();
+    const TupleId t1 = txn.insert("T", {Value(4), Value("d")});
+    const TupleId t2 = txn.insert("T", {Value(5), Value("e")});
+    txn.commit();
+    EXPECT_EQ(t2.raw(), t1.raw() + 1);
+  }
+  EXPECT_EQ(db.table("T").size(), 2u);
+}
+
+TEST(Transaction, InterleavedAbortKeepsLaterReservationValid) {
+  // Reservations interleave: txn A reserves, txn B reserves on top, A
+  // aborts. A's tid cannot be returned (B built on it) — but B's commit
+  // must still apply cleanly with the tid it was handed.
+  Database db = make_db();
+  auto a = db.begin();
+  auto b = db.begin();
+  const TupleId a_tid = a.insert("T", {Value(1), Value("a")});
+  const TupleId b_tid = b.insert("T", {Value(2), Value("b")});
+  ASSERT_NE(a_tid.raw(), b_tid.raw());
+  a.abort();
+  b.commit();
+  ASSERT_NE(db.table("T").find(b_tid), nullptr);
+  EXPECT_EQ(db.table("T").find(b_tid)->at(0), Value(2));
+  EXPECT_EQ(db.table("T").size(), 1u);
+}
+
+TEST(Database, ShardAccountingCountsCommitsPerShard) {
+  Database db = make_db();
+  db.create_table("U", rel::Schema::of({{"k", ValueType::kInt}}));
+  const std::uint64_t seq_before = db.commit_sequence();
+  const std::size_t t_shard = Database::shard_of("T");
+  const std::size_t u_shard = Database::shard_of("U");
+  const std::uint64_t t_before = db.shard_commits(t_shard);
+  db.insert("T", {Value(1), Value("a")});
+  db.insert("U", {Value(2)});
+  EXPECT_EQ(db.commit_sequence(), seq_before + 2);
+  const std::uint64_t t_expected = t_shard == u_shard ? 2 : 1;
+  EXPECT_EQ(db.shard_commits(t_shard), t_before + t_expected);
+  EXPECT_GE(db.shard_commits(u_shard), 1u);
+  EXPECT_EQ(db.shard_commits(Database::kNumShards + 5), 0u);  // out of range
+}
+
 TEST(Database, TableManagement) {
   Database db = make_db();
   EXPECT_TRUE(db.has_table("T"));
